@@ -1,0 +1,119 @@
+// Model-level microbenchmarks (google-benchmark): per-query inference and
+// per-batch detection costs of the learned components. Not a paper artifact.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "bench/harness.h"
+#include "core/detector.h"
+#include "models/spn.h"
+#include "workload/executor.h"
+
+namespace ddup::bench {
+namespace {
+
+struct Shared {
+  BenchParams params;
+  DatasetBundle bundle;
+  std::unique_ptr<models::Mdn> mdn;
+  std::unique_ptr<models::Darn> darn;
+  std::unique_ptr<models::Tvae> tvae;
+  std::unique_ptr<models::Spn> spn;
+  std::vector<workload::Query> aqp_queries;
+  std::vector<workload::Query> naru_queries;
+
+  Shared() : params(BenchParams::FromEnv()), bundle(MakeBundle("census", params)) {
+    params.rows = 2000;  // inference benches need less data
+    bundle = MakeBundle("census", params);
+    mdn = std::make_unique<models::Mdn>(bundle.base, bundle.aqp.categorical,
+                                        bundle.aqp.numeric,
+                                        MdnConfigFor(params));
+    darn = std::make_unique<models::Darn>(bundle.base, DarnConfigFor(params));
+    tvae = std::make_unique<models::Tvae>(bundle.base, TvaeConfigFor(params));
+    spn = std::make_unique<models::Spn>(bundle.base, models::SpnConfig{});
+    Rng rng(params.seed);
+    aqp_queries = AqpCountQueries(bundle, params, rng);
+    naru_queries = NaruCountQueries(bundle, params, rng);
+  }
+};
+
+Shared& shared() {
+  static Shared* s = new Shared();
+  return *s;
+}
+
+void BM_MdnEstimateAqp(benchmark::State& state) {
+  Shared& s = shared();
+  size_t i = 0;
+  for (auto _ : state) {
+    double v = s.mdn->EstimateAqp(s.aqp_queries[i % s.aqp_queries.size()],
+                                  s.bundle.base);
+    benchmark::DoNotOptimize(v);
+    ++i;
+  }
+}
+BENCHMARK(BM_MdnEstimateAqp);
+
+void BM_DarnEstimateCardinality(benchmark::State& state) {
+  Shared& s = shared();
+  size_t i = 0;
+  for (auto _ : state) {
+    double v =
+        s.darn->EstimateCardinality(s.naru_queries[i % s.naru_queries.size()]);
+    benchmark::DoNotOptimize(v);
+    ++i;
+  }
+}
+BENCHMARK(BM_DarnEstimateCardinality);
+
+void BM_SpnEstimateCardinality(benchmark::State& state) {
+  Shared& s = shared();
+  size_t i = 0;
+  for (auto _ : state) {
+    double v =
+        s.spn->EstimateCardinality(s.naru_queries[i % s.naru_queries.size()]);
+    benchmark::DoNotOptimize(v);
+    ++i;
+  }
+}
+BENCHMARK(BM_SpnEstimateCardinality);
+
+void BM_TvaeSample256(benchmark::State& state) {
+  Shared& s = shared();
+  Rng rng(7);
+  for (auto _ : state) {
+    auto t = s.tvae->Sample(256, rng);
+    benchmark::DoNotOptimize(t.num_rows());
+  }
+}
+BENCHMARK(BM_TvaeSample256);
+
+void BM_DetectorOnlineTest(benchmark::State& state) {
+  Shared& s = shared();
+  core::DetectorConfig config;
+  config.bootstrap_iterations = 64;
+  core::OodDetector detector(config);
+  detector.Fit(*s.mdn, s.bundle.base);
+  for (auto _ : state) {
+    auto res = detector.Test(*s.mdn, s.bundle.ood_batch);
+    benchmark::DoNotOptimize(res.statistic);
+  }
+}
+BENCHMARK(BM_DetectorOnlineTest);
+
+void BM_ExactScanGroundTruth(benchmark::State& state) {
+  Shared& s = shared();
+  size_t i = 0;
+  for (auto _ : state) {
+    auto r = workload::Execute(s.bundle.base,
+                               s.naru_queries[i % s.naru_queries.size()]);
+    benchmark::DoNotOptimize(r.value);
+    ++i;
+  }
+}
+BENCHMARK(BM_ExactScanGroundTruth);
+
+}  // namespace
+}  // namespace ddup::bench
+
+BENCHMARK_MAIN();

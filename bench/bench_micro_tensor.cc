@@ -1,0 +1,85 @@
+// Substrate microbenchmarks (google-benchmark): the tensor/autodiff kernels
+// every learned component sits on. Not a paper artifact; used to track the
+// cost model of the NN substrate.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "nn/layers.h"
+#include "nn/ops.h"
+#include "nn/optim.h"
+
+namespace ddup::nn {
+namespace {
+
+void BM_MatMulValue(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  Rng rng(1);
+  Matrix a = Matrix::Randn(rng, n, n);
+  Matrix b = Matrix::Randn(rng, n, n);
+  for (auto _ : state) {
+    Matrix c = MatMulValue(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * int64_t{2} * n * n * n);
+}
+BENCHMARK(BM_MatMulValue)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_SoftmaxForward(benchmark::State& state) {
+  Rng rng(2);
+  Variable x = Constant(Matrix::Randn(rng, 256, 64));
+  for (auto _ : state) {
+    Variable y = Softmax(x);
+    benchmark::DoNotOptimize(y.value().data());
+  }
+}
+BENCHMARK(BM_SoftmaxForward);
+
+void BM_MlpForwardBackward(benchmark::State& state) {
+  Rng rng(3);
+  Mlp mlp({64, 64, 64, 8}, rng);
+  std::vector<Variable> params;
+  mlp.CollectParameters(&params);
+  Variable x = Constant(Matrix::Randn(rng, 128, 64));
+  for (auto _ : state) {
+    for (auto& p : params) p.ZeroGrad();
+    Variable loss = Mean(Square(mlp.Forward(x)));
+    Backward(loss);
+    benchmark::DoNotOptimize(params[0].grad().data());
+  }
+}
+BENCHMARK(BM_MlpForwardBackward);
+
+void BM_AdamStep(benchmark::State& state) {
+  Rng rng(4);
+  std::vector<Variable> params;
+  for (int i = 0; i < 8; ++i) {
+    params.push_back(Parameter(Matrix::Randn(rng, 64, 64)));
+  }
+  Adam opt(params, 1e-3);
+  // Seed gradients once; Step reads whatever is there.
+  Variable loss = Mean(Square(MatMul(params[0], params[1])));
+  Backward(loss);
+  for (auto _ : state) {
+    opt.Step();
+  }
+}
+BENCHMARK(BM_AdamStep);
+
+void BM_EmbeddingGather(benchmark::State& state) {
+  Rng rng(5);
+  Variable table = Parameter(Matrix::Randn(rng, 512, 64));
+  std::vector<int> idx(256);
+  for (size_t i = 0; i < idx.size(); ++i) {
+    idx[i] = static_cast<int>(rng.UniformInt(0, 511));
+  }
+  for (auto _ : state) {
+    Variable g = Rows(table, idx);
+    benchmark::DoNotOptimize(g.value().data());
+  }
+}
+BENCHMARK(BM_EmbeddingGather);
+
+}  // namespace
+}  // namespace ddup::nn
+
+BENCHMARK_MAIN();

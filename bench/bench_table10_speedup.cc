@@ -1,0 +1,56 @@
+// Reproduces paper Table 10: DDUp's update-time speed-up over retraining
+// from scratch, for two update sizes (sp1 = 20% of the base table, sp2 = 5%).
+// Expected shape: speed-ups > 1 everywhere and larger for the smaller
+// update (the paper reports up to ~9x, and ~18x for late join partitions).
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "storage/transforms.h"
+
+namespace ddup::bench {
+namespace {
+
+template <typename RunFn>
+void Row(const std::string& dataset, const std::string& model,
+         const DatasetBundle& bundle, const BenchParams& params, RunFn run) {
+  Rng rng(params.seed + 139);
+  storage::Table sp1 = bundle.ood_batch;  // 20%
+  storage::Table sp2 = storage::OutOfDistributionSample(bundle.base, rng, 0.05);
+  auto a1 = run(bundle, sp1, params);
+  auto a2 = run(bundle, sp2, params);
+  std::printf("%-8s %-5s | %6.1fx (%6.2fs vs %6.2fs) | %6.1fx (%6.2fs vs "
+              "%6.2fs)\n",
+              dataset.c_str(), model.c_str(),
+              a1.retrain_seconds / std::max(1e-9, a1.ddup_seconds),
+              a1.ddup_seconds, a1.retrain_seconds,
+              a2.retrain_seconds / std::max(1e-9, a2.ddup_seconds),
+              a2.ddup_seconds, a2.retrain_seconds);
+}
+
+void Run() {
+  BenchParams params = BenchParams::FromEnv();
+  PrintBanner("Table 10", "DDUp speed-up over retrain (sp1=20%, sp2=5%)",
+              params);
+  std::printf("%-8s %-5s | %28s | %28s\n", "dataset", "model",
+              "sp1: speedup (ddup vs retrain)", "sp2");
+  for (const auto& name : datagen::DatasetNames()) {
+    DatasetBundle bundle = MakeBundle(name, params);
+    Row(name, "mdn", bundle, params,
+        [](const DatasetBundle& b, const storage::Table& batch,
+           const BenchParams& p) { return RunMdnApproaches(b, batch, p); });
+    Row(name, "darn", bundle, params,
+        [](const DatasetBundle& b, const storage::Table& batch,
+           const BenchParams& p) { return RunDarnApproaches(b, batch, p); });
+    Row(name, "tvae", bundle, params,
+        [](const DatasetBundle& b, const storage::Table& batch,
+           const BenchParams& p) { return RunTvaeApproaches(b, batch, p); });
+  }
+  std::printf(
+      "\nshape check: every speed-up > 1x and sp2 (smaller update) gives a "
+      "larger speed-up than sp1.\n");
+}
+
+}  // namespace
+}  // namespace ddup::bench
+
+int main() { ddup::bench::Run(); }

@@ -1,0 +1,76 @@
+// Reproduces paper Table 8: forward-transfer (FWT: q-error on queries whose
+// ground truth changed) and backward-transfer (BWT: q-error on unchanged
+// queries) after a 20% OOD insertion. Expected shape: baseline has good FWT
+// but terrible BWT (catastrophic forgetting); stale the reverse
+// (intransigence); DDUp balanced.
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "workload/executor.h"
+
+namespace ddup::bench {
+namespace {
+
+void PrintFwtBwt(const std::string& label, const std::vector<double>& est,
+                 const std::vector<double>& truth_after,
+                 const workload::FwtBwtSplit& split) {
+  auto errors = QErrors(est, truth_after);
+  auto fwt = workload::Summarize(workload::Select(errors, split.changed));
+  auto bwt = workload::Summarize(workload::Select(errors, split.fixed));
+  std::printf("  %-10s | %8.2f %9.2f %9.2f | %8.2f %9.2f %9.2f\n",
+              label.c_str(), fwt.median, fwt.p95, fwt.p99, bwt.median, bwt.p95,
+              bwt.p99);
+}
+
+void Run() {
+  BenchParams params = BenchParams::FromEnv();
+  PrintBanner("Table 8", "FWT / BWT q-error decomposition (OOD insertion)",
+              params);
+  for (const auto& name : datagen::DatasetNames()) {
+    DatasetBundle bundle = MakeBundle(name, params);
+    storage::Table after = Union(bundle.base, bundle.ood_batch);
+    std::printf("\n%s%23s | %28s\n", name.c_str(),
+                "FWT (med/95/99)", "BWT (med/95/99)");
+
+    {
+      Rng qrng(params.seed + 53);
+      auto queries = AqpCountQueries(bundle, params, qrng);
+      auto truth_before = workload::ExecuteAll(bundle.base, queries);
+      auto truth_after = workload::ExecuteAll(after, queries);
+      auto split =
+          workload::SplitByGroundTruthChange(truth_before, truth_after);
+      std::printf("  [MDN] changed=%zu fixed=%zu\n", split.changed.size(),
+                  split.fixed.size());
+      MdnApproaches a = RunMdnApproaches(bundle, bundle.ood_batch, params);
+      PrintFwtBwt("DDUp", EstimateAll(*a.ddup, queries, bundle.base),
+                  truth_after, split);
+      PrintFwtBwt("baseline", EstimateAll(*a.baseline, queries, bundle.base),
+                  truth_after, split);
+      PrintFwtBwt("stale", EstimateAll(*a.stale, queries, bundle.base),
+                  truth_after, split);
+    }
+    {
+      Rng qrng(params.seed + 59);
+      auto queries = NaruCountQueries(bundle, params, qrng);
+      auto truth_before = workload::ExecuteAll(bundle.base, queries);
+      auto truth_after = workload::ExecuteAll(after, queries);
+      auto split =
+          workload::SplitByGroundTruthChange(truth_before, truth_after);
+      std::printf("  [DARN] changed=%zu fixed=%zu\n", split.changed.size(),
+                  split.fixed.size());
+      DarnApproaches a = RunDarnApproaches(bundle, bundle.ood_batch, params);
+      PrintFwtBwt("DDUp", EstimateAll(*a.ddup, queries), truth_after, split);
+      PrintFwtBwt("baseline", EstimateAll(*a.baseline, queries), truth_after,
+                  split);
+      PrintFwtBwt("stale", EstimateAll(*a.stale, queries), truth_after, split);
+    }
+  }
+  std::printf(
+      "\nshape check: baseline FWT << baseline BWT; stale BWT << stale FWT; "
+      "DDUp keeps the two close.\n");
+}
+
+}  // namespace
+}  // namespace ddup::bench
+
+int main() { ddup::bench::Run(); }

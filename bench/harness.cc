@@ -1,0 +1,280 @@
+#include "bench/harness.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/status.h"
+#include "common/stopwatch.h"
+#include "storage/sampling.h"
+#include "storage/transforms.h"
+#include "workload/executor.h"
+
+namespace ddup::bench {
+
+namespace {
+int64_t EnvInt(const char* name, int64_t fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::atoll(v) : fallback;
+}
+
+double EnvDouble(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::atof(v) : fallback;
+}
+}  // namespace
+
+BenchParams BenchParams::FromEnv() {
+  BenchParams p;
+  p.rows = EnvInt("DDUP_ROWS", p.rows);
+  p.num_queries = static_cast<int>(EnvInt("DDUP_QUERIES", p.num_queries));
+  p.epoch_scale = EnvDouble("DDUP_EPOCH_SCALE", p.epoch_scale);
+  p.bootstrap_iterations =
+      static_cast<int>(EnvInt("DDUP_BOOTSTRAP", p.bootstrap_iterations));
+  p.seed = static_cast<uint64_t>(EnvInt("DDUP_SEED", 42));
+  return p;
+}
+
+int BenchParams::ScaledEpochs(int epochs) const {
+  int scaled = static_cast<int>(std::lround(epochs * epoch_scale));
+  return scaled < 1 ? 1 : scaled;
+}
+
+DatasetBundle MakeBundle(const std::string& dataset,
+                         const BenchParams& params) {
+  DatasetBundle b;
+  b.name = dataset;
+  b.base = datagen::MakeDataset(dataset, params.rows, params.seed);
+  Rng rng(params.seed + 1);
+  b.ind_batch = storage::InDistributionSample(b.base, rng, 0.2);
+  b.ood_batch = storage::OutOfDistributionSample(b.base, rng, 0.2);
+  b.aqp = datagen::AqpColumnsFor(dataset);
+  return b;
+}
+
+storage::Table Union(const storage::Table& base, const storage::Table& batch) {
+  storage::Table all = base;
+  all.Append(batch);
+  return all;
+}
+
+models::MdnConfig MdnConfigFor(const BenchParams& params) {
+  models::MdnConfig c;
+  c.num_components = 8;
+  c.hidden_width = 48;
+  c.epochs = params.ScaledEpochs(20);
+  c.learning_rate = 5e-3;
+  c.seed = params.seed + 11;
+  return c;
+}
+
+models::DarnConfig DarnConfigFor(const BenchParams& params) {
+  models::DarnConfig c;
+  c.hidden_width = 64;
+  c.max_bins = 64;
+  c.epochs = params.ScaledEpochs(16);
+  c.learning_rate = 5e-3;
+  c.progressive_samples = 32;
+  c.seed = params.seed + 13;
+  return c;
+}
+
+models::TvaeConfig TvaeConfigFor(const BenchParams& params) {
+  models::TvaeConfig c;
+  c.latent_dim = 8;
+  c.hidden_width = 48;
+  c.epochs = params.ScaledEpochs(15);
+  c.learning_rate = 2e-3;
+  c.seed = params.seed + 17;
+  return c;
+}
+
+core::DistillConfig DistillConfigFor(const BenchParams& params) {
+  core::DistillConfig c;
+  c.lambda = 0.5;
+  c.temperature = 2.0;
+  c.epochs = params.ScaledEpochs(12);
+  c.learning_rate = 1e-3;
+  return c;
+}
+
+core::ControllerConfig ControllerConfigFor(const BenchParams& params) {
+  core::ControllerConfig c;
+  c.detector.bootstrap_iterations = params.bootstrap_iterations;
+  c.detector.seed = params.seed + 19;
+  c.policy.distill = DistillConfigFor(params);
+  c.policy.finetune_epochs = params.ScaledEpochs(3);
+  c.policy.transfer_fraction = 0.10;
+  c.seed = params.seed + 23;
+  return c;
+}
+
+std::vector<workload::Query> AqpCountQueries(const DatasetBundle& bundle,
+                                             const BenchParams& params,
+                                             Rng& rng) {
+  workload::AqpWorkloadConfig config;
+  config.categorical_column = bundle.aqp.categorical;
+  config.numeric_column = bundle.aqp.numeric;
+  config.agg = workload::AggFunc::kCount;
+  return workload::GenerateNonEmptyAqpQueries(bundle.base, config,
+                                              params.num_queries, rng);
+}
+
+std::vector<workload::Query> NaruCountQueries(const DatasetBundle& bundle,
+                                              const BenchParams& params,
+                                              Rng& rng) {
+  workload::NaruWorkloadConfig config;
+  config.min_filters = 2;
+  config.max_filters = std::min(6, bundle.base.num_columns());
+  return workload::GenerateNonEmptyNaruQueries(bundle.base, config,
+                                               params.num_queries, rng);
+}
+
+std::vector<double> EstimateAll(const models::Mdn& model,
+                                const std::vector<workload::Query>& queries,
+                                const storage::Table& schema) {
+  std::vector<double> out;
+  out.reserve(queries.size());
+  for (const auto& q : queries) out.push_back(model.EstimateAqp(q, schema));
+  return out;
+}
+
+std::vector<double> EstimateAll(const models::Darn& model,
+                                const std::vector<workload::Query>& queries) {
+  std::vector<double> out;
+  out.reserve(queries.size());
+  for (const auto& q : queries) out.push_back(model.EstimateCardinality(q));
+  return out;
+}
+
+std::vector<double> QErrors(const std::vector<double>& estimates,
+                            const std::vector<double>& truths) {
+  DDUP_CHECK(estimates.size() == truths.size());
+  std::vector<double> out;
+  out.reserve(estimates.size());
+  for (size_t i = 0; i < estimates.size(); ++i) {
+    out.push_back(workload::QError(estimates[i], truths[i]));
+  }
+  return out;
+}
+
+std::vector<double> RelErrors(const std::vector<double>& estimates,
+                              const std::vector<double>& truths) {
+  DDUP_CHECK(estimates.size() == truths.size());
+  std::vector<double> out;
+  out.reserve(estimates.size());
+  for (size_t i = 0; i < estimates.size(); ++i) {
+    if (truths[i] == 0.0) continue;
+    out.push_back(workload::RelativeErrorPercent(estimates[i], truths[i]));
+  }
+  return out;
+}
+
+namespace {
+
+// Applies the four update approaches to model copies. ModelT must be
+// constructible identically from (bundle, config) via `make`.
+template <typename ModelT, typename MakeFn>
+void RunApproaches(const DatasetBundle& bundle, const storage::Table& batch,
+                   const BenchParams& params, MakeFn make,
+                   std::unique_ptr<ModelT>* m0, std::unique_ptr<ModelT>* ddup,
+                   std::unique_ptr<ModelT>* baseline,
+                   std::unique_ptr<ModelT>* stale,
+                   std::unique_ptr<ModelT>* retrain, double* ddup_seconds,
+                   double* baseline_seconds, double* retrain_seconds) {
+  *m0 = make();
+  *stale = make();
+
+  Rng rng(params.seed + 31);
+  storage::Table transfer = storage::SampleFraction(bundle.base, rng, 0.10);
+  core::DistillConfig distill = DistillConfigFor(params);
+  // Eq. 5 weighting against the full old-data size (see controller.cc).
+  distill.alpha =
+      core::ResolveAlpha(distill, bundle.base.num_rows(), batch.num_rows());
+
+  *ddup = make();
+  Stopwatch ddup_timer;
+  (*ddup)->AbsorbMetadata(batch);
+  (*ddup)->DistillUpdate(transfer, batch, distill);
+  *ddup_seconds = ddup_timer.ElapsedSeconds();
+
+  *baseline = make();
+  Stopwatch baseline_timer;
+  (*baseline)->AbsorbMetadata(batch);
+  // Paper baseline: SGD on the new data with a smaller learning rate.
+  (*baseline)->FineTune(batch, kBaselineLrMultiplier * distill.learning_rate,
+                        distill.epochs);
+  *baseline_seconds = baseline_timer.ElapsedSeconds();
+
+  *retrain = make();
+  Stopwatch retrain_timer;
+  (*retrain)->RetrainFromScratch(Union(bundle.base, batch));
+  *retrain_seconds = retrain_timer.ElapsedSeconds();
+}
+
+}  // namespace
+
+MdnApproaches RunMdnApproaches(const DatasetBundle& bundle,
+                               const storage::Table& batch,
+                               const BenchParams& params) {
+  MdnApproaches out;
+  auto make = [&]() {
+    return std::make_unique<models::Mdn>(bundle.base, bundle.aqp.categorical,
+                                         bundle.aqp.numeric,
+                                         MdnConfigFor(params));
+  };
+  RunApproaches<models::Mdn>(bundle, batch, params, make, &out.m0, &out.ddup,
+                             &out.baseline, &out.stale, &out.retrain,
+                             &out.ddup_seconds, &out.baseline_seconds,
+                             &out.retrain_seconds);
+  return out;
+}
+
+DarnApproaches RunDarnApproaches(const DatasetBundle& bundle,
+                                 const storage::Table& batch,
+                                 const BenchParams& params) {
+  DarnApproaches out;
+  auto make = [&]() {
+    return std::make_unique<models::Darn>(bundle.base, DarnConfigFor(params));
+  };
+  RunApproaches<models::Darn>(bundle, batch, params, make, &out.m0, &out.ddup,
+                              &out.baseline, &out.stale, &out.retrain,
+                              &out.ddup_seconds, &out.baseline_seconds,
+                              &out.retrain_seconds);
+  return out;
+}
+
+TvaeApproaches RunTvaeApproaches(const DatasetBundle& bundle,
+                                 const storage::Table& batch,
+                                 const BenchParams& params) {
+  TvaeApproaches out;
+  auto make = [&]() {
+    return std::make_unique<models::Tvae>(bundle.base, TvaeConfigFor(params));
+  };
+  RunApproaches<models::Tvae>(bundle, batch, params, make, &out.m0, &out.ddup,
+                              &out.baseline, &out.stale, &out.retrain,
+                              &out.ddup_seconds, &out.baseline_seconds,
+                              &out.retrain_seconds);
+  return out;
+}
+
+void PrintBanner(const std::string& artifact, const std::string& description,
+                 const BenchParams& params) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", artifact.c_str(), description.c_str());
+  std::printf("rows=%lld queries=%d epoch_scale=%.2f bootstrap=%d seed=%llu\n",
+              static_cast<long long>(params.rows), params.num_queries,
+              params.epoch_scale, params.bootstrap_iterations,
+              static_cast<unsigned long long>(params.seed));
+  std::printf("==============================================================\n");
+}
+
+std::string FormatRow(const std::string& label,
+                      const workload::ErrorSummary& summary) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "  %-10s %s", label.c_str(),
+                workload::FormatSummary(summary).c_str());
+  return buf;
+}
+
+}  // namespace ddup::bench

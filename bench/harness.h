@@ -1,0 +1,144 @@
+#ifndef DDUP_BENCH_HARNESS_H_
+#define DDUP_BENCH_HARNESS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/controller.h"
+#include "datagen/datasets.h"
+#include "datagen/star_schema.h"
+#include "models/darn.h"
+#include "models/mdn.h"
+#include "models/tvae.h"
+#include "storage/table.h"
+#include "workload/generator.h"
+#include "workload/metrics.h"
+
+// Shared scaffolding for the paper-reproduction benchmarks: dataset bundles
+// (base + 20% IND/OOD update samples, §5.1), bench-sized model configs, and
+// the five-approach protocol (M0 / DDUp / baseline / stale / retrain) used
+// by Tables 5, 6, 8 and Figures 5-9.
+namespace ddup::bench {
+
+// The paper's "baseline" update fine-tunes on the new data with a reduced
+// learning rate — but one still large enough to move the weights; that is
+// precisely what triggers catastrophic forgetting. We keep it at 2x the
+// (conservative) distillation learning rate.
+inline constexpr double kBaselineLrMultiplier = 2.0;
+
+// Environment overrides: DDUP_ROWS, DDUP_QUERIES, DDUP_EPOCH_SCALE (float
+// multiplier), DDUP_BOOTSTRAP, DDUP_SEED.
+struct BenchParams {
+  int64_t rows = 4000;
+  int num_queries = 200;
+  double epoch_scale = 1.0;
+  int bootstrap_iterations = 300;
+  uint64_t seed = 42;
+
+  static BenchParams FromEnv();
+  int ScaledEpochs(int epochs) const;
+};
+
+// A dataset plus the paper's update samples: "IND" is a 20% random sample of
+// a straight copy; "OOD" is a 20% sample of the independently-sorted
+// (joint-permuted) copy (§5.1).
+struct DatasetBundle {
+  std::string name;
+  storage::Table base;
+  storage::Table ind_batch;
+  storage::Table ood_batch;
+  datagen::AqpColumns aqp;
+};
+
+DatasetBundle MakeBundle(const std::string& dataset, const BenchParams& params);
+// The union base + batch (the post-insertion table).
+storage::Table Union(const storage::Table& base, const storage::Table& batch);
+
+// Bench-sized model configurations.
+models::MdnConfig MdnConfigFor(const BenchParams& params);
+models::DarnConfig DarnConfigFor(const BenchParams& params);
+models::TvaeConfig TvaeConfigFor(const BenchParams& params);
+core::DistillConfig DistillConfigFor(const BenchParams& params);
+core::ControllerConfig ControllerConfigFor(const BenchParams& params);
+
+// Query workloads (generated at time 0 against the base table; §5.1.2).
+std::vector<workload::Query> AqpCountQueries(const DatasetBundle& bundle,
+                                             const BenchParams& params,
+                                             Rng& rng);
+std::vector<workload::Query> NaruCountQueries(const DatasetBundle& bundle,
+                                              const BenchParams& params,
+                                              Rng& rng);
+
+// Per-model estimate vectors for a query set.
+std::vector<double> EstimateAll(const models::Mdn& model,
+                                const std::vector<workload::Query>& queries,
+                                const storage::Table& schema);
+std::vector<double> EstimateAll(const models::Darn& model,
+                                const std::vector<workload::Query>& queries);
+
+// Q-errors of estimates against truths.
+std::vector<double> QErrors(const std::vector<double>& estimates,
+                            const std::vector<double>& truths);
+// Relative errors (%) of estimates against truths.
+std::vector<double> RelErrors(const std::vector<double>& estimates,
+                              const std::vector<double>& truths);
+
+// ---------------------------------------------------------------------------
+// Five-approach protocol (Tables 5/6/8): given a bundle and an update batch,
+// produce the post-update models for every approach. The same seeds make the
+// base model identical across approaches.
+// ---------------------------------------------------------------------------
+struct MdnApproaches {
+  std::unique_ptr<models::Mdn> m0;        // untouched base model
+  std::unique_ptr<models::Mdn> ddup;      // distillation update
+  std::unique_ptr<models::Mdn> baseline;  // plain fine-tune on new data
+  std::unique_ptr<models::Mdn> stale;     // do nothing
+  std::unique_ptr<models::Mdn> retrain;   // retrain on base+batch
+  double ddup_seconds = 0.0;
+  double baseline_seconds = 0.0;
+  double retrain_seconds = 0.0;
+};
+MdnApproaches RunMdnApproaches(const DatasetBundle& bundle,
+                               const storage::Table& batch,
+                               const BenchParams& params);
+
+struct DarnApproaches {
+  std::unique_ptr<models::Darn> m0;
+  std::unique_ptr<models::Darn> ddup;
+  std::unique_ptr<models::Darn> baseline;
+  std::unique_ptr<models::Darn> stale;
+  std::unique_ptr<models::Darn> retrain;
+  double ddup_seconds = 0.0;
+  double baseline_seconds = 0.0;
+  double retrain_seconds = 0.0;
+};
+DarnApproaches RunDarnApproaches(const DatasetBundle& bundle,
+                                 const storage::Table& batch,
+                                 const BenchParams& params);
+
+struct TvaeApproaches {
+  std::unique_ptr<models::Tvae> m0;
+  std::unique_ptr<models::Tvae> ddup;
+  std::unique_ptr<models::Tvae> baseline;
+  std::unique_ptr<models::Tvae> stale;
+  std::unique_ptr<models::Tvae> retrain;
+  double ddup_seconds = 0.0;
+  double baseline_seconds = 0.0;
+  double retrain_seconds = 0.0;
+};
+TvaeApproaches RunTvaeApproaches(const DatasetBundle& bundle,
+                                 const storage::Table& batch,
+                                 const BenchParams& params);
+
+// Output helpers.
+void PrintBanner(const std::string& artifact, const std::string& description,
+                 const BenchParams& params);
+std::string FormatRow(const std::string& label,
+                      const workload::ErrorSummary& summary);
+
+}  // namespace ddup::bench
+
+#endif  // DDUP_BENCH_HARNESS_H_

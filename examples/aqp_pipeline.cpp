@@ -1,0 +1,101 @@
+// AQP pipeline: a DBEst++-style approximate query processing engine on the
+// census-like dataset, kept fresh by DDUp across a stream of insertions.
+//
+// Shows the full production loop: train M0, answer COUNT/SUM/AVG queries
+// without touching the data, ingest batches (some benign, some drifted),
+// let DDUp decide fine-tune vs distill, and track accuracy throughout.
+//
+// Build & run:  ./build/examples/aqp_pipeline
+#include <cstdio>
+
+#include "common/rng.h"
+#include "core/controller.h"
+#include "datagen/datasets.h"
+#include "models/mdn.h"
+#include "storage/sampling.h"
+#include "storage/transforms.h"
+#include "workload/executor.h"
+#include "workload/generator.h"
+#include "workload/metrics.h"
+
+namespace {
+
+using namespace ddup;  // NOLINT: example code
+
+double MedianQError(const models::Mdn& model, const storage::Table& schema,
+                    const std::vector<workload::Query>& queries,
+                    const storage::Table& truth_table) {
+  std::vector<double> errs;
+  for (const auto& q : queries) {
+    double truth = workload::Execute(truth_table, q).value;
+    if (truth == 0.0) continue;
+    errs.push_back(workload::QError(model.EstimateAqp(q, schema), truth));
+  }
+  return workload::Summarize(errs).median;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("AQP pipeline on census-like data (MDN + DDUp)\n\n");
+  storage::Table base = datagen::CensusLike(6000, 7);
+  datagen::AqpColumns cols = datagen::AqpColumnsFor("census");
+
+  models::MdnConfig config;
+  config.epochs = 20;
+  models::Mdn model(base, cols.categorical, cols.numeric, config);
+
+  // A fixed dashboard workload, generated once at deployment time.
+  Rng qrng(8);
+  workload::AqpWorkloadConfig wconfig;
+  wconfig.categorical_column = cols.categorical;
+  wconfig.numeric_column = cols.numeric;
+  auto queries = workload::GenerateNonEmptyAqpQueries(base, wconfig, 150, qrng);
+
+  // Show a few one-off estimates vs the exact answers.
+  std::printf("sample estimates (COUNT):\n");
+  for (int i = 0; i < 3; ++i) {
+    const auto& q = queries[static_cast<size_t>(i)];
+    std::printf("  %-60s est %8.1f truth %8.1f\n",
+                q.ToString(base).c_str(), model.EstimateAqp(q, base),
+                workload::Execute(base, q).value);
+  }
+
+  core::ControllerConfig cc;
+  cc.policy.distill.epochs = 10;
+  // A dashboard ingesting many small batches affords a stricter significance
+  // level (§3.5: false positives only cost update time).
+  cc.detector.threshold_sigmas = 3.0;
+  core::DdupController controller(&model, base, cc);
+
+  // Stream of insertions: two benign, then a distribution shift, then more
+  // data from the shifted distribution.
+  Rng stream_rng(9);
+  std::vector<std::pair<const char*, storage::Table>> stream;
+  stream.emplace_back("ind-1",
+                      storage::InDistributionSample(base, stream_rng, 0.08));
+  stream.emplace_back("ind-2",
+                      storage::InDistributionSample(base, stream_rng, 0.08));
+  storage::Table drifted =
+      storage::PermuteJointDistribution(base, stream_rng);
+  stream.emplace_back("drift-1",
+                      storage::SampleFraction(drifted, stream_rng, 0.10));
+  stream.emplace_back("drift-2",
+                      storage::SampleFraction(drifted, stream_rng, 0.10));
+
+  std::printf("\n%-8s %-8s %-10s %10s %12s\n", "batch", "verdict", "action",
+              "stat/thr", "median q-err");
+  for (auto& [label, batch] : stream) {
+    auto report = controller.HandleInsertion(batch);
+    double med = MedianQError(model, base, queries, controller.data());
+    std::printf("%-8s %-8s %-10s %10.2f %12.2f\n", label,
+                report.test.is_ood ? "OOD" : "in-dist",
+                core::ActionName(report.action),
+                report.test.statistic / report.test.threshold, med);
+  }
+
+  std::printf(
+      "\nThe drifted batches trigger distillation; accuracy stays close to "
+      "the pre-drift level without ever retraining from scratch.\n");
+  return 0;
+}

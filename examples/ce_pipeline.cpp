@@ -1,0 +1,88 @@
+// CE pipeline: a Naru/NeuroCard-style learned cardinality estimator on the
+// forest-like dataset, with DDUp keeping it accurate under OOD inserts.
+// Compares DDUp side by side with the paper's baseline (plain fine-tuning)
+// after a drifted insertion.
+//
+// Build & run:  ./build/examples/ce_pipeline
+#include <cstdio>
+
+#include "common/rng.h"
+#include "core/controller.h"
+#include "datagen/datasets.h"
+#include "models/darn.h"
+#include "storage/transforms.h"
+#include "workload/executor.h"
+#include "workload/generator.h"
+#include "workload/metrics.h"
+
+namespace {
+
+using namespace ddup;  // NOLINT: example code
+
+workload::ErrorSummary Evaluate(const models::Darn& model,
+                                const std::vector<workload::Query>& queries,
+                                const storage::Table& truth_table) {
+  std::vector<double> errs;
+  for (const auto& q : queries) {
+    double truth = workload::Execute(truth_table, q).value;
+    if (truth == 0.0) continue;
+    errs.push_back(workload::QError(model.EstimateCardinality(q), truth));
+  }
+  return workload::Summarize(errs);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("CE pipeline on forest-like data (DARN + DDUp)\n\n");
+  storage::Table base = datagen::ForestLike(5000, 11);
+
+  models::DarnConfig config;
+  config.epochs = 12;
+  config.max_bins = 48;
+  models::Darn ddup_model(base, config);
+  models::Darn baseline_model(base, config);  // same seed -> identical M0
+
+  Rng qrng(12);
+  workload::NaruWorkloadConfig wconfig;
+  wconfig.min_filters = 3;
+  wconfig.max_filters = 6;
+  auto queries =
+      workload::GenerateNonEmptyNaruQueries(base, wconfig, 150, qrng);
+
+  auto before = Evaluate(ddup_model, queries, base);
+  std::printf("M0 q-error:        median %.2f   95th %.2f   max %.2f\n",
+              before.median, before.p95, before.max);
+
+  // One drifted insertion (20% of a joint-permuted copy).
+  Rng drift_rng(13);
+  storage::Table batch =
+      storage::OutOfDistributionSample(base, drift_rng, 0.2);
+
+  core::ControllerConfig cc;
+  cc.policy.distill.epochs = 12;
+  core::DdupController controller(&ddup_model, base, cc);
+  auto report = controller.HandleInsertion(batch);
+  std::printf("\ninsert verdict: %s (statistic %.2f vs threshold %.2f) -> %s\n",
+              report.test.is_ood ? "OOD" : "in-distribution",
+              report.test.statistic, report.test.threshold,
+              core::ActionName(report.action));
+
+  // The paper's baseline handles the same batch by fine-tuning.
+  baseline_model.AbsorbMetadata(batch);
+  baseline_model.FineTune(batch, 2e-3, 12);
+
+  storage::Table after = base;
+  after.Append(batch);
+  auto ddup_sum = Evaluate(ddup_model, queries, after);
+  auto base_sum = Evaluate(baseline_model, queries, after);
+  std::printf("\nafter the OOD insert (truth = old + new data):\n");
+  std::printf("  DDUp      median %6.2f   95th %8.2f   max %8.2f\n",
+              ddup_sum.median, ddup_sum.p95, ddup_sum.max);
+  std::printf("  baseline  median %6.2f   95th %8.2f   max %8.2f\n",
+              base_sum.median, base_sum.p95, base_sum.max);
+  std::printf(
+      "\nDDUp's distillation keeps the tail (95th/max) in check while the "
+      "fine-tuned baseline forgets the historical distribution.\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// DG pipeline: TVAE-based synthetic data generation (privacy-friendly data
+// sharing) with DDUp keeping the generator aligned with evolving data.
+// Quality is measured the way the paper does (§5.1.4): train a boosted-tree
+// classifier on synthetic rows and score it on held-out real rows.
+//
+// Build & run:  ./build/examples/dg_pipeline
+#include <cstdio>
+
+#include "common/rng.h"
+#include "core/controller.h"
+#include "datagen/datasets.h"
+#include "models/gbdt.h"
+#include "models/tvae.h"
+#include "storage/sampling.h"
+#include "storage/transforms.h"
+
+namespace {
+
+using namespace ddup;  // NOLINT: example code
+
+double SyntheticDataScore(const models::Tvae& generator, int64_t rows,
+                          const storage::Table& holdout,
+                          const std::string& target, uint64_t seed) {
+  Rng rng(seed);
+  storage::Table synth = generator.Sample(rows, rng);
+  models::GbdtConfig config;
+  config.num_rounds = 15;
+  models::Gbdt clf(config);
+  clf.Train(synth, target);
+  return clf.MicroF1(holdout);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("DG pipeline on forest-like data (TVAE + GBDT + DDUp)\n\n");
+  storage::Table base = datagen::ForestLike(5000, 21);
+  const std::string target = datagen::ClassColumnFor("forest");
+
+  models::TvaeConfig config;
+  config.epochs = 18;
+  models::Tvae generator(base, config);
+
+  // Real held-out rows for scoring (fresh draw from the same process).
+  storage::Table holdout = datagen::ForestLike(1500, 22);
+
+  models::GbdtConfig gconfig;
+  gconfig.num_rounds = 15;
+  models::Gbdt real_clf(gconfig);
+  real_clf.Train(base, target);
+  std::printf("micro-F1, classifier trained on real data:      %.3f\n",
+              real_clf.MicroF1(holdout));
+  std::printf("micro-F1, classifier trained on synthetic data: %.3f\n",
+              SyntheticDataScore(generator, base.num_rows(), holdout, target,
+                                 23));
+
+  // Drifted insertion; DDUp distills the generator.
+  core::ControllerConfig cc;
+  cc.policy.distill.epochs = 12;
+  core::DdupController controller(&generator, base, cc);
+  Rng drift_rng(24);
+  storage::Table batch =
+      storage::OutOfDistributionSample(base, drift_rng, 0.2);
+  auto report = controller.HandleInsertion(batch);
+  std::printf("\ninsert verdict: %s -> %s (ELBO stat %.2f vs thr %.2f)\n",
+              report.test.is_ood ? "OOD" : "in-distribution",
+              core::ActionName(report.action), report.test.statistic,
+              report.test.threshold);
+
+  // Score against the *new* reality: holdout drawn from old + new mix.
+  storage::Table new_holdout = storage::SampleFraction(
+      controller.data(), drift_rng, 0.25);
+  std::printf(
+      "micro-F1 on post-drift holdout, synthetic-trained classifier: %.3f\n",
+      SyntheticDataScore(generator, controller.data().num_rows(), new_holdout,
+                         target, 25));
+  std::printf(
+      "\nThe distilled generator synthesizes data reflecting both the "
+      "historical table and the drifted insertions.\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Join pipeline: DDUp over a 3-table star join (§4.5 / Figure 8). The fact
+// table arrives in time-ordered partitions whose distribution drifts; each
+// insertion's "new data" is the new partition joined with the dimension
+// tables. A DARN cardinality estimator is kept fresh by the controller.
+//
+// Build & run:  ./build/examples/join_pipeline
+#include <cstdio>
+
+#include "common/rng.h"
+#include "core/controller.h"
+#include "datagen/star_schema.h"
+#include "models/darn.h"
+#include "storage/sampling.h"
+#include "workload/executor.h"
+#include "workload/generator.h"
+#include "workload/metrics.h"
+
+namespace {
+
+using namespace ddup;  // NOLINT: example code
+
+}  // namespace
+
+int main() {
+  std::printf("Join pipeline: JOB-like star schema (title info/company)\n\n");
+  datagen::StarDataset star = datagen::ImdbLike(5000, 31);
+  auto parts = storage::SplitIntoBatches(star.fact, 5);
+  storage::Table base_join = star.JoinWithFact(parts[0]);
+  std::printf("base join: %lld rows x %d columns\n",
+              static_cast<long long>(base_join.num_rows()),
+              base_join.num_columns());
+
+  models::DarnConfig config;
+  config.epochs = 12;
+  models::Darn model(base_join, config);
+
+  Rng qrng(32);
+  workload::NaruWorkloadConfig wconfig;
+  wconfig.min_filters = 2;
+  wconfig.max_filters = 4;
+  auto queries =
+      workload::GenerateNonEmptyNaruQueries(base_join, wconfig, 120, qrng);
+
+  core::ControllerConfig cc;
+  cc.policy.distill.epochs = 10;
+  core::DdupController controller(&model, base_join, cc);
+
+  storage::Table accumulated = base_join;
+  std::printf("\n%-6s %-8s %-10s %14s %14s\n", "step", "verdict", "action",
+              "median q-err", "update (s)");
+  for (size_t step = 1; step < parts.size(); ++step) {
+    storage::Table new_data = star.JoinWithFact(parts[step]);
+    auto report = controller.HandleInsertion(new_data);
+    accumulated.Append(new_data);
+
+    std::vector<double> errs;
+    for (const auto& q : queries) {
+      double truth = workload::Execute(accumulated, q).value;
+      if (truth == 0.0) continue;
+      errs.push_back(workload::QError(model.EstimateCardinality(q), truth));
+    }
+    std::printf("%-6zu %-8s %-10s %14.2f %14.2f\n", step,
+                report.test.is_ood ? "OOD" : "in-dist",
+                core::ActionName(report.action),
+                workload::Summarize(errs).median, report.update_seconds);
+  }
+  std::printf(
+      "\nEach drifted partition is detected as OOD and distilled in — the "
+      "estimator follows the moving join distribution without full "
+      "retrains.\n");
+  return 0;
+}

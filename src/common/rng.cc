@@ -1,0 +1,75 @@
+#include "common/rng.h"
+
+#include <cmath>
+#include <numeric>
+
+#include "common/status.h"
+
+namespace ddup {
+
+double Rng::Uniform(double lo, double hi) {
+  std::uniform_real_distribution<double> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::Normal(double mean, double stddev) {
+  std::normal_distribution<double> dist(mean, stddev);
+  return dist(engine_);
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  DDUP_CHECK(lo <= hi);
+  std::uniform_int_distribution<int64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+bool Rng::Bernoulli(double p) {
+  std::bernoulli_distribution dist(p);
+  return dist(engine_);
+}
+
+int Rng::Categorical(const std::vector<double>& weights) {
+  DDUP_CHECK(!weights.empty());
+  double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  DDUP_CHECK_MSG(total > 0.0, "categorical weights must have positive mass");
+  double u = Uniform(0.0, total);
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (u < acc) return static_cast<int>(i);
+  }
+  return static_cast<int>(weights.size()) - 1;
+}
+
+int Rng::Zipf(int n, double s) {
+  DDUP_CHECK(n > 0);
+  std::vector<double> w(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    w[static_cast<size_t>(i)] = 1.0 / std::pow(static_cast<double>(i + 1), s);
+  }
+  return Categorical(w);
+}
+
+std::vector<int64_t> Rng::SampleWithoutReplacement(int64_t n, int64_t k) {
+  DDUP_CHECK(k >= 0 && k <= n);
+  // Partial Fisher–Yates over an index vector: O(n) memory, O(n + k) time.
+  std::vector<int64_t> idx(static_cast<size_t>(n));
+  std::iota(idx.begin(), idx.end(), 0);
+  for (int64_t i = 0; i < k; ++i) {
+    int64_t j = UniformInt(i, n - 1);
+    std::swap(idx[static_cast<size_t>(i)], idx[static_cast<size_t>(j)]);
+  }
+  idx.resize(static_cast<size_t>(k));
+  return idx;
+}
+
+std::vector<int64_t> Rng::SampleWithReplacement(int64_t n, int64_t k) {
+  DDUP_CHECK(n > 0 && k >= 0);
+  std::vector<int64_t> idx(static_cast<size_t>(k));
+  for (int64_t i = 0; i < k; ++i) idx[static_cast<size_t>(i)] = UniformInt(0, n - 1);
+  return idx;
+}
+
+Rng Rng::Fork() { return Rng(engine_()); }
+
+}  // namespace ddup

@@ -1,0 +1,56 @@
+#ifndef DDUP_COMMON_RNG_H_
+#define DDUP_COMMON_RNG_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace ddup {
+
+// Deterministic random source used by every stochastic component in the
+// library. All samplers take an explicit Rng so experiments are reproducible
+// run-to-run and seed-to-seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42) : engine_(seed) {}
+
+  // Uniform double in [lo, hi).
+  double Uniform(double lo = 0.0, double hi = 1.0);
+  // Standard (or scaled) normal deviate.
+  double Normal(double mean = 0.0, double stddev = 1.0);
+  // Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+  // Bernoulli draw with probability p of true.
+  bool Bernoulli(double p);
+  // Index in [0, weights.size()) drawn proportionally to `weights`
+  // (non-negative, not all zero).
+  int Categorical(const std::vector<double>& weights);
+  // Zipf-distributed rank in [0, n) with exponent s (s=0 is uniform).
+  int Zipf(int n, double s);
+
+  // k indices sampled from [0, n) without replacement (k <= n).
+  std::vector<int64_t> SampleWithoutReplacement(int64_t n, int64_t k);
+  // k indices sampled from [0, n) with replacement (bootstrap draw).
+  std::vector<int64_t> SampleWithReplacement(int64_t n, int64_t k);
+  // In-place Fisher–Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(UniformInt(0, static_cast<int64_t>(i) - 1));
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+  // Derives an independent child generator; used to hand sub-components
+  // their own streams without coupling their consumption patterns.
+  Rng Fork();
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace ddup
+
+#endif  // DDUP_COMMON_RNG_H_

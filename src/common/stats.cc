@@ -1,0 +1,89 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/status.h"
+
+namespace ddup {
+
+double Mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double StdDev(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  double mu = Mean(xs);
+  double ss = 0.0;
+  for (double x : xs) ss += (x - mu) * (x - mu);
+  return std::sqrt(ss / static_cast<double>(xs.size()));
+}
+
+double Percentile(std::vector<double> xs, double p) {
+  DDUP_CHECK(!xs.empty());
+  DDUP_CHECK(p >= 0.0 && p <= 100.0);
+  std::sort(xs.begin(), xs.end());
+  if (xs.size() == 1) return xs[0];
+  double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+  size_t lo = static_cast<size_t>(rank);
+  size_t hi = std::min(lo + 1, xs.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+double Median(std::vector<double> xs) { return Percentile(std::move(xs), 50.0); }
+
+double NormalCdf(double x, double mean, double stddev) {
+  DDUP_CHECK(stddev > 0.0);
+  return 0.5 * std::erfc(-(x - mean) / (stddev * std::sqrt(2.0)));
+}
+
+double NormalPdf(double x, double mean, double stddev) {
+  DDUP_CHECK(stddev > 0.0);
+  double z = (x - mean) / stddev;
+  constexpr double kInvSqrt2Pi = 0.3989422804014327;
+  return kInvSqrt2Pi / stddev * std::exp(-0.5 * z * z);
+}
+
+double TruncatedNormalPartialExpectation(double mean, double stddev, double lo,
+                                         double hi) {
+  // E[Y * 1{lo <= Y <= hi}] for Y ~ N(mean, stddev^2):
+  //   mean * (Phi(b) - Phi(a)) - stddev * (phi(b) - phi(a))
+  // with a=(lo-mean)/stddev, b=(hi-mean)/stddev and standard phi/Phi.
+  DDUP_CHECK(stddev > 0.0);
+  double a = (lo - mean) / stddev;
+  double b = (hi - mean) / stddev;
+  double mass = NormalCdf(b) - NormalCdf(a);
+  double density_diff = NormalPdf(b) - NormalPdf(a);
+  return mean * mass - stddev * density_diff;
+}
+
+double LogSumExp(const std::vector<double>& xs) {
+  DDUP_CHECK(!xs.empty());
+  double mx = *std::max_element(xs.begin(), xs.end());
+  if (!std::isfinite(mx)) return mx;
+  double sum = 0.0;
+  for (double x : xs) sum += std::exp(x - mx);
+  return mx + std::log(sum);
+}
+
+double PearsonCorrelation(const std::vector<double>& a,
+                          const std::vector<double>& b) {
+  DDUP_CHECK(a.size() == b.size());
+  if (a.size() < 2) return 0.0;
+  double ma = Mean(a);
+  double mb = Mean(b);
+  double cov = 0.0, va = 0.0, vb = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    cov += (a[i] - ma) * (b[i] - mb);
+    va += (a[i] - ma) * (a[i] - ma);
+    vb += (b[i] - mb) * (b[i] - mb);
+  }
+  if (va <= 0.0 || vb <= 0.0) return 0.0;
+  return cov / std::sqrt(va * vb);
+}
+
+}  // namespace ddup

@@ -1,0 +1,42 @@
+#ifndef DDUP_COMMON_STATS_H_
+#define DDUP_COMMON_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace ddup {
+
+// Arithmetic mean; 0.0 for an empty vector.
+double Mean(const std::vector<double>& xs);
+
+// Population standard deviation; 0.0 for fewer than two elements.
+double StdDev(const std::vector<double>& xs);
+
+// Linear-interpolated percentile, p in [0, 100]. Copies and sorts.
+double Percentile(std::vector<double> xs, double p);
+
+// Median shorthand.
+double Median(std::vector<double> xs);
+
+// Standard normal CDF via erf.
+double NormalCdf(double x, double mean = 0.0, double stddev = 1.0);
+
+// Standard normal PDF.
+double NormalPdf(double x, double mean = 0.0, double stddev = 1.0);
+
+// Mean of a normal(mean, stddev) truncated to [lo, hi], times the mass of
+// the truncation interval: returns E[Y * 1{lo <= Y <= hi}]. Used by the MDN
+// AQP engine to answer SUM queries analytically.
+double TruncatedNormalPartialExpectation(double mean, double stddev, double lo,
+                                         double hi);
+
+// log(sum_i exp(xs[i])) computed stably.
+double LogSumExp(const std::vector<double>& xs);
+
+// Pearson correlation of two equal-length vectors; 0.0 when degenerate.
+double PearsonCorrelation(const std::vector<double>& a,
+                          const std::vector<double>& b);
+
+}  // namespace ddup
+
+#endif  // DDUP_COMMON_STATS_H_

@@ -1,0 +1,113 @@
+#ifndef DDUP_COMMON_STATUS_H_
+#define DDUP_COMMON_STATUS_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+
+namespace ddup {
+
+// Lightweight Status / StatusOr pair in the RocksDB/Arrow idiom: library code
+// never throws; fallible operations return Status (or StatusOr<T>) and
+// programmer errors abort via DDUP_CHECK.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kIoError,
+  kInternal,
+};
+
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // Human-readable "CODE: message" string.
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// Minimal StatusOr: either an OK status and a value, or a non-OK status.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status status)  // NOLINT: implicit by design, mirrors absl.
+      : status_(std::move(status)) {}
+  StatusOr(T value)  // NOLINT: implicit by design, mirrors absl.
+      : value_(std::move(value)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& { return value_; }
+  T& value() & { return value_; }
+  T&& value() && { return std::move(value_); }
+
+ private:
+  Status status_ = Status::OK();
+  T value_{};
+};
+
+namespace internal {
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
+                              const std::string& extra);
+}  // namespace internal
+
+}  // namespace ddup
+
+// Aborts with a diagnostic if `cond` is false. Used for programmer errors
+// (out-of-bounds, shape mismatches), not for data-dependent failures.
+#define DDUP_CHECK(cond)                                          \
+  do {                                                            \
+    if (!(cond)) {                                                \
+      ::ddup::internal::CheckFailed(__FILE__, __LINE__, #cond, ""); \
+    }                                                             \
+  } while (0)
+
+#define DDUP_CHECK_MSG(cond, msg)                                    \
+  do {                                                               \
+    if (!(cond)) {                                                   \
+      ::ddup::internal::CheckFailed(__FILE__, __LINE__, #cond, msg); \
+    }                                                                \
+  } while (0)
+
+// Propagates a non-OK Status from the current function.
+#define DDUP_RETURN_IF_ERROR(expr)          \
+  do {                                      \
+    ::ddup::Status _st = (expr);            \
+    if (!_st.ok()) return _st;              \
+  } while (0)
+
+#endif  // DDUP_COMMON_STATUS_H_

@@ -1,0 +1,12 @@
+#include "common/stopwatch.h"
+
+namespace ddup {
+
+void Stopwatch::Restart() { start_ = std::chrono::steady_clock::now(); }
+
+double Stopwatch::ElapsedSeconds() const {
+  auto now = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(now - start_).count();
+}
+
+}  // namespace ddup

@@ -1,0 +1,25 @@
+#ifndef DDUP_COMMON_STOPWATCH_H_
+#define DDUP_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace ddup {
+
+// Wall-clock stopwatch used to report update/detection overheads
+// (paper Tables 10 and 11).
+class Stopwatch {
+ public:
+  Stopwatch() { Restart(); }
+
+  void Restart();
+  // Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const;
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace ddup
+
+#endif  // DDUP_COMMON_STOPWATCH_H_

@@ -1,0 +1,66 @@
+#include "core/controller.h"
+
+#include "common/status.h"
+#include "common/stopwatch.h"
+#include "storage/sampling.h"
+
+namespace ddup::core {
+
+DdupController::DdupController(UpdatableModel* model, storage::Table base_data,
+                               ControllerConfig config)
+    : model_(model),
+      data_(std::move(base_data)),
+      config_(config),
+      detector_(config.detector),
+      rng_(config.seed) {
+  DDUP_CHECK(model_ != nullptr);
+  DDUP_CHECK(data_.num_rows() > 0);
+  detector_.Fit(*model_, data_);
+}
+
+InsertionReport DdupController::HandleInsertion(const storage::Table& batch) {
+  DDUP_CHECK(batch.num_rows() > 0);
+  InsertionReport report;
+  report.old_rows = data_.num_rows();
+  report.new_rows = batch.num_rows();
+
+  Stopwatch detect_timer;
+  report.test = detector_.Test(*model_, batch);
+  report.detect_seconds = detect_timer.ElapsedSeconds();
+
+  // Metadata (frequency tables, cardinalities) always tracks the data state,
+  // whatever happens to the weights (§2.2).
+  model_->AbsorbMetadata(batch);
+
+  Stopwatch update_timer;
+  if (report.test.is_ood) {
+    report.action = UpdateAction::kDistill;
+    storage::Table transfer_set =
+        storage::SampleFraction(data_, rng_, config_.policy.transfer_fraction);
+    // Resolve the Eq. 5 weighting against the FULL old-data size here — the
+    // model only sees the (much smaller) transfer set and would otherwise
+    // over-weight the new batch.
+    DistillConfig distill = config_.policy.distill;
+    distill.alpha = ResolveAlpha(distill, report.old_rows, report.new_rows);
+    model_->DistillUpdate(transfer_set, batch, distill);
+  } else if (config_.policy.finetune_on_ind) {
+    report.action = UpdateAction::kFineTune;
+    double lr = ScaledFineTuneLr(config_.policy, report.old_rows,
+                                 report.new_rows);
+    model_->FineTune(batch, lr, config_.policy.finetune_epochs);
+  } else {
+    report.action = UpdateAction::kKeepStale;
+  }
+  report.update_seconds = update_timer.ElapsedSeconds();
+
+  data_.Append(batch);
+
+  // Refresh the offline phase against the new model + data state so the next
+  // insertion is tested under the updated null distribution.
+  Stopwatch offline_timer;
+  detector_.Fit(*model_, data_);
+  report.offline_refresh_seconds = offline_timer.ElapsedSeconds();
+  return report;
+}
+
+}  // namespace ddup::core

@@ -1,0 +1,61 @@
+#ifndef DDUP_CORE_CONTROLLER_H_
+#define DDUP_CORE_CONTROLLER_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "core/detector.h"
+#include "core/interfaces.h"
+#include "core/policies.h"
+#include "storage/table.h"
+
+namespace ddup::core {
+
+struct ControllerConfig {
+  DetectorConfig detector;
+  PolicyConfig policy;
+  uint64_t seed = 31;
+};
+
+// Everything that happened for one insertion (Figure 1's full loop).
+struct InsertionReport {
+  OodDetector::TestResult test;
+  UpdateAction action = UpdateAction::kKeepStale;
+  double detect_seconds = 0.0;          // online test time
+  double update_seconds = 0.0;          // fine-tune / distill time
+  double offline_refresh_seconds = 0.0; // bootstrap refresh time
+  int64_t old_rows = 0;
+  int64_t new_rows = 0;
+};
+
+// Orchestrates DDUp per §2.2: on every insertion batch, run the online
+// two-sample test against the bootstrapped threshold; if in-distribution,
+// fine-tune with the size-scaled learning rate (or keep the model stale);
+// if OOD, run the sequential self-distillation update with a transfer set
+// sampled from the accumulated old data. After updating, the offline
+// bootstrap phase is refreshed so the next insertion tests against the new
+// model/data state.
+class DdupController {
+ public:
+  // Runs the offline phase on construction. `model` must already be trained
+  // on `base_data` and must outlive the controller.
+  DdupController(UpdatableModel* model, storage::Table base_data,
+                 ControllerConfig config);
+
+  InsertionReport HandleInsertion(const storage::Table& batch);
+
+  const storage::Table& data() const { return data_; }
+  const OodDetector& detector() const { return detector_; }
+  UpdatableModel* model() { return model_; }
+
+ private:
+  UpdatableModel* model_;
+  storage::Table data_;
+  ControllerConfig config_;
+  OodDetector detector_;
+  Rng rng_;
+};
+
+}  // namespace ddup::core
+
+#endif  // DDUP_CORE_CONTROLLER_H_

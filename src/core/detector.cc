@@ -1,0 +1,69 @@
+#include "core/detector.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/stats.h"
+#include "common/status.h"
+#include "storage/sampling.h"
+
+namespace ddup::core {
+
+namespace {
+int64_t SampleSize(int64_t available, double fraction, int64_t floor_rows) {
+  auto n = static_cast<int64_t>(
+      std::llround(fraction * static_cast<double>(available)));
+  n = std::max(n, std::min(floor_rows, available));
+  return std::min(n, available);
+}
+}  // namespace
+
+OodDetector::OodDetector(DetectorConfig config)
+    : config_(config), rng_(config.seed) {
+  DDUP_CHECK(config_.bootstrap_iterations >= 2);
+  DDUP_CHECK(config_.old_sample_fraction > 0.0 &&
+             config_.old_sample_fraction <= 1.0);
+  DDUP_CHECK(config_.threshold_sigmas > 0.0);
+}
+
+void OodDetector::Fit(const LossModel& model, const storage::Table& old_data) {
+  DDUP_CHECK(old_data.num_rows() > 0);
+  int64_t sample_rows = SampleSize(old_data.num_rows(),
+                                   config_.old_sample_fraction,
+                                   config_.min_sample_rows);
+  std::vector<double> losses;
+  losses.reserve(static_cast<size_t>(config_.bootstrap_iterations));
+  for (int i = 0; i < config_.bootstrap_iterations; ++i) {
+    storage::Table sample = storage::BootstrapRows(old_data, rng_, sample_rows);
+    losses.push_back(model.AverageLoss(sample));
+  }
+  bootstrap_mean_ = Mean(losses);
+  bootstrap_std_ = StdDev(losses);
+  // A perfectly deterministic model (or degenerate data) can yield zero
+  // spread; keep a tiny floor so thresholds stay meaningful.
+  bootstrap_std_ = std::max(bootstrap_std_, 1e-12);
+  fitted_ = true;
+}
+
+OodDetector::TestResult OodDetector::Test(
+    const LossModel& model, const storage::Table& new_batch) const {
+  DDUP_CHECK_MSG(fitted_, "OodDetector::Test before Fit");
+  DDUP_CHECK(new_batch.num_rows() > 0);
+  int64_t sample_rows = SampleSize(new_batch.num_rows(),
+                                   config_.new_sample_fraction,
+                                   config_.min_sample_rows);
+  storage::Table sample = storage::SampleRows(new_batch, rng_, sample_rows);
+
+  TestResult res;
+  res.new_loss = model.AverageLoss(sample);
+  res.bootstrap_mean = bootstrap_mean_;
+  res.bootstrap_std = bootstrap_std_;
+  res.signed_statistic = res.new_loss - bootstrap_mean_;
+  res.statistic = std::fabs(res.signed_statistic);
+  res.threshold = config_.threshold_sigmas * bootstrap_std_;
+  res.is_ood = config_.two_sided ? res.statistic > res.threshold
+                                 : res.signed_statistic > res.threshold;
+  return res;
+}
+
+}  // namespace ddup::core

@@ -1,0 +1,72 @@
+#ifndef DDUP_CORE_DETECTOR_H_
+#define DDUP_CORE_DETECTOR_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "core/interfaces.h"
+#include "storage/table.h"
+
+namespace ddup::core {
+
+// Configuration of the loss-based two-sample OOD test (§3.3-3.4).
+struct DetectorConfig {
+  // Offline bootstrap iterations (the paper uses >1000; benches raise it).
+  int bootstrap_iterations = 256;
+  // Bootstrap sample size as a fraction of the old data (paper: 1% samples
+  // with replacement), floored at min_sample_rows.
+  double old_sample_fraction = 0.01;
+  int64_t min_sample_rows = 32;
+  // Online sample taken from the new batch, as a fraction of the batch
+  // (paper: 10% without replacement), floored at min_sample_rows.
+  double new_sample_fraction = 0.10;
+  // Significance threshold = threshold_sigmas * bootstrap std (2 ~= p 0.05).
+  double threshold_sigmas = 2.0;
+  // Two-sided tests also flag suspiciously *low* loss; the paper's test is
+  // effectively one-sided on loss increase.
+  bool two_sided = true;
+  uint64_t seed = 29;
+};
+
+// The DDUp OOD detector. Offline (Fit): bootstrap samples of the old data
+// are scored with the model's own average training loss to estimate the
+// sampling distribution of the mean loss under H0 (CLT: approximately
+// normal). Online (Test): the average loss of a sample of the new batch is
+// compared against bootstrap_mean with threshold k * std (Eq. 3).
+class OodDetector {
+ public:
+  explicit OodDetector(DetectorConfig config = {});
+
+  // Offline phase. Must be re-run whenever the model or the reference data
+  // changes (the controller does this after every accepted insertion).
+  void Fit(const LossModel& model, const storage::Table& old_data);
+  bool fitted() const { return fitted_; }
+
+  struct TestResult {
+    double signed_statistic = 0.0;  // new_loss - bootstrap_mean
+    double statistic = 0.0;         // |signed_statistic|
+    double threshold = 0.0;         // threshold_sigmas * bootstrap_std
+    double bootstrap_mean = 0.0;
+    double bootstrap_std = 0.0;
+    double new_loss = 0.0;
+    bool is_ood = false;
+  };
+
+  // Online phase; CHECKs that Fit ran.
+  TestResult Test(const LossModel& model, const storage::Table& new_batch) const;
+
+  double bootstrap_mean() const { return bootstrap_mean_; }
+  double bootstrap_std() const { return bootstrap_std_; }
+  const DetectorConfig& config() const { return config_; }
+
+ private:
+  DetectorConfig config_;
+  double bootstrap_mean_ = 0.0;
+  double bootstrap_std_ = 0.0;
+  bool fitted_ = false;
+  mutable Rng rng_;
+};
+
+}  // namespace ddup::core
+
+#endif  // DDUP_CORE_DETECTOR_H_

@@ -1,0 +1,87 @@
+#ifndef DDUP_CORE_INTERFACES_H_
+#define DDUP_CORE_INTERFACES_H_
+
+#include <string>
+
+#include "storage/table.h"
+
+namespace ddup::core {
+
+// A trained model that can score data with its own training loss (§3.2 of
+// the paper). "Loss" follows the model's minimized objective (NLL for MDN
+// and DARN, ELBO for TVAE): lower means more in-distribution. This is the
+// only hook the OOD detector needs, which is what makes DDUp model-agnostic.
+class LossModel {
+ public:
+  virtual ~LossModel() = default;
+
+  // Average per-row training loss over `sample` (no gradient computation).
+  virtual double AverageLoss(const storage::Table& sample) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+// Hyperparameters of the distillation update (Eq. 5-7).
+struct DistillConfig {
+  // Weight of the transfer-set term in Eq. 5. Negative means "auto": the
+  // old-data share |D_old| / (|D_old| + |D_new|) (see DESIGN.md §6 on the
+  // paper's ambiguous prose here).
+  double alpha = -1.0;
+  // Distillation weight inside the transfer-set term (paper tunes over
+  // {9/10, 5/6, 1/4, 1/2}).
+  double lambda = 0.5;
+  // Softmax temperature of the annealed cross-entropy (Eq. 6).
+  double temperature = 2.0;
+  int epochs = 8;
+  int batch_size = 128;
+  double learning_rate = 1e-3;
+};
+
+// Resolves DistillConfig::alpha given old/new data sizes.
+inline double ResolveAlpha(const DistillConfig& config, int64_t old_rows,
+                           int64_t new_rows) {
+  if (config.alpha >= 0.0) return config.alpha;
+  if (old_rows + new_rows <= 0) return 0.5;
+  return static_cast<double>(old_rows) /
+         static_cast<double>(old_rows + new_rows);
+}
+
+// A model supporting DDUp's update actions (§4). Implemented by the MDN,
+// DARN and TVAE components in models/.
+class UpdatableModel : public LossModel {
+ public:
+  // Plain SGD/Adam steps on `new_data` only, with the given learning rate.
+  // This is both the paper's "baseline" update and the in-distribution
+  // fine-tune policy (with a size-scaled learning rate).
+  virtual void FineTune(const storage::Table& new_data, double learning_rate,
+                        int epochs) = 0;
+
+  // Sequential self-distillation update (§4.2): snapshots the current model
+  // as the teacher, then trains the (same-architecture) student on
+  //   alpha * mean_tr[ lambda * L_distill + (1-lambda) * L_task ]
+  //   + (1-alpha) * mean_up[ L_task ]                                (Eq. 5)
+  // with the model-specific distillation loss (Eq. 9/10/11).
+  virtual void DistillUpdate(const storage::Table& transfer_set,
+                             const storage::Table& new_data,
+                             const DistillConfig& config) = 0;
+
+  // Re-initializes parameters and trains on `data` from scratch (the
+  // expensive reference policy).
+  virtual void RetrainFromScratch(const storage::Table& data) = 0;
+
+  // Updates task metadata that must track the true table state regardless of
+  // whether the network weights change (frequency tables for the MDN,
+  // total cardinality for the DARN; §2.2 "updating maybe just the
+  // hyper-parameters of the system"). Called by the controller for every
+  // insertion, including in-distribution ones handled by the stale policy.
+  virtual void AbsorbMetadata(const storage::Table& new_data) = 0;
+
+  // Clears the task metadata so it can be rebuilt with AbsorbMetadata —
+  // needed by policies that train weights on a sample but must keep exact
+  // metadata for the full table (e.g. NeuroCard-style fast-retrain).
+  virtual void ResetMetadata() = 0;
+};
+
+}  // namespace ddup::core
+
+#endif  // DDUP_CORE_INTERFACES_H_

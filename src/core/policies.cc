@@ -1,0 +1,30 @@
+#include "core/policies.h"
+
+#include <algorithm>
+
+#include "common/status.h"
+
+namespace ddup::core {
+
+const char* ActionName(UpdateAction action) {
+  switch (action) {
+    case UpdateAction::kKeepStale:
+      return "stale";
+    case UpdateAction::kFineTune:
+      return "fine-tune";
+    case UpdateAction::kDistill:
+      return "distill";
+    case UpdateAction::kRetrain:
+      return "retrain";
+  }
+  return "unknown";
+}
+
+double ScaledFineTuneLr(const PolicyConfig& policy, int64_t old_rows,
+                        int64_t new_rows) {
+  DDUP_CHECK(old_rows > 0);
+  double ratio = static_cast<double>(new_rows) / static_cast<double>(old_rows);
+  return std::min(1.0, ratio) * policy.finetune_base_lr;
+}
+
+}  // namespace ddup::core

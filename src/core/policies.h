@@ -1,0 +1,41 @@
+#ifndef DDUP_CORE_POLICIES_H_
+#define DDUP_CORE_POLICIES_H_
+
+#include <string>
+
+#include "core/interfaces.h"
+
+namespace ddup::core {
+
+// What DDUp did (or a baseline would do) for one insertion batch.
+enum class UpdateAction {
+  kKeepStale,  // leave weights untouched (metadata may still refresh)
+  kFineTune,   // small-lr gradient steps on the new batch only
+  kDistill,    // sequential self-distillation (the OOD path)
+  kRetrain,    // retrain from scratch on all data (reference)
+};
+
+const char* ActionName(UpdateAction action);
+
+// Knobs of the controller's update decisions (§4).
+struct PolicyConfig {
+  // Base fine-tune learning rate lr_0; the effective in-distribution rate is
+  // lr_t = |D_new| / |D_old| * lr_0 (§4 "The in-distribution case").
+  double finetune_base_lr = 1e-3;
+  int finetune_epochs = 3;
+  // If false, in-distribution batches leave the model untouched (metadata
+  // still updates).
+  bool finetune_on_ind = true;
+  // Transfer-set size as a fraction of the accumulated old data (§5.1 uses
+  // 10% for MDN/DARN, 5% for TVAE).
+  double transfer_fraction = 0.10;
+  DistillConfig distill;
+};
+
+// The scaled in-distribution fine-tune learning rate.
+double ScaledFineTuneLr(const PolicyConfig& policy, int64_t old_rows,
+                        int64_t new_rows);
+
+}  // namespace ddup::core
+
+#endif  // DDUP_CORE_POLICIES_H_

@@ -1,0 +1,198 @@
+#include "datagen/datasets.h"
+
+#include "common/status.h"
+#include "datagen/latent_class.h"
+
+namespace ddup::datagen {
+
+namespace {
+
+NumericColumnSpec Num(std::string name, std::vector<double> means,
+                      std::vector<double> stds, double lo, double hi,
+                      bool round_to_int = false, double grid_step = 0.0) {
+  NumericColumnSpec n;
+  n.name = std::move(name);
+  n.class_means = std::move(means);
+  n.class_stddevs = std::move(stds);
+  n.min_value = lo;
+  n.max_value = hi;
+  n.round_to_int = round_to_int;
+  n.grid_step = grid_step;
+  return n;
+}
+
+CategoricalColumnSpec Cat(std::string name, int cardinality,
+                          std::vector<int> peaks, double decay,
+                          std::string prefix) {
+  CategoricalColumnSpec c;
+  c.name = std::move(name);
+  c.cardinality = cardinality;
+  for (int p : peaks) c.class_weights.push_back(PeakedWeights(cardinality, p, decay));
+  c.label_prefix = std::move(prefix);
+  return c;
+}
+
+}  // namespace
+
+storage::Table CensusLike(int64_t rows, uint64_t seed) {
+  // 4 latent "socio-economic" classes drive correlated age / education /
+  // occupation / hours / income.
+  LatentClassSpec spec;
+  spec.table_name = "census";
+  spec.class_priors = {0.35, 0.30, 0.20, 0.15};
+  spec.columns = {
+      ColumnSpec::OfNumeric(Num("age", {28, 38, 48, 60}, {6, 8, 9, 8}, 17, 90,
+                                /*round_to_int=*/true)),
+      ColumnSpec::OfCategorical(Cat("workclass", 8, {0, 4, 1, 2}, 0.5, "wc")),
+      ColumnSpec::OfNumeric(Num("fnlwgt", {180000, 200000, 210000, 170000},
+                                {40000, 50000, 45000, 35000}, 10000, 500000,
+                                /*round_to_int=*/false, /*grid_step=*/2000)),
+      // Non-monotone in the latent class on purpose: real attribute
+      // dependencies are not rank-aligned, so the paper's independent
+      // column sort must create genuinely impossible combinations.
+      ColumnSpec::OfCategorical(Cat("education", 16, {3, 11, 8, 14}, 0.55, "ed")),
+      ColumnSpec::OfNumeric(Num("education_num", {8, 12, 10, 14}, {1.2, 1.5, 1.5, 1.4},
+                                1, 16, /*round_to_int=*/true)),
+      ColumnSpec::OfCategorical(Cat("marital_status", 7, {1, 2, 2, 4}, 0.5, "ms")),
+      ColumnSpec::OfCategorical(Cat("occupation", 14, {9, 2, 12, 5}, 0.55, "oc")),
+      ColumnSpec::OfCategorical(Cat("relationship", 6, {3, 0, 4, 1}, 0.5, "rel")),
+      ColumnSpec::OfCategorical(Cat("race", 5, {0, 0, 1, 0}, 0.35, "race")),
+      ColumnSpec::OfCategorical(Cat("sex", 2, {0, 1, 0, 1}, 0.45, "sex")),
+      ColumnSpec::OfNumeric(Num("hours_per_week", {50, 35, 46, 28}, {5, 4, 6, 8},
+                                1, 99, /*round_to_int=*/true)),
+      ColumnSpec::OfCategorical(Cat("native_country", 10, {1, 0, 2, 0}, 0.4, "cty")),
+      ColumnSpec::OfCategorical(Cat("income", 2, {0, 0, 1, 1}, 0.22, "inc")),
+  };
+  Rng rng(seed);
+  return Generate(spec, rows, rng);
+}
+
+storage::Table ForestLike(int64_t rows, uint64_t seed) {
+  // 5 latent terrain types; cover_type strongly depends on them.
+  LatentClassSpec spec;
+  spec.table_name = "forest";
+  spec.class_priors = {0.28, 0.24, 0.20, 0.16, 0.12};
+  spec.columns = {
+      ColumnSpec::OfNumeric(Num("elevation", {2100, 2500, 2900, 3200, 3500},
+                                {120, 140, 130, 110, 100}, 1800, 3900,
+                                /*round_to_int=*/false, /*grid_step=*/10)),
+      ColumnSpec::OfNumeric(Num("aspect", {90, 150, 210, 270, 330},
+                                {40, 45, 40, 40, 35}, 0, 360,
+                                /*round_to_int=*/true)),
+      ColumnSpec::OfNumeric(Num("slope", {8, 14, 20, 26, 32}, {3, 4, 4, 5, 5},
+                                0, 60, /*round_to_int=*/true)),
+      ColumnSpec::OfNumeric(Num("horiz_dist_hydrology", {150, 250, 380, 520, 650},
+                                {60, 80, 90, 100, 110}, 0, 1400,
+                                /*round_to_int=*/false, /*grid_step=*/10)),
+      ColumnSpec::OfNumeric(Num("vert_dist_hydrology", {20, 45, 70, 95, 120},
+                                {12, 15, 18, 20, 22}, -150, 600,
+                                /*round_to_int=*/false, /*grid_step=*/5)),
+      ColumnSpec::OfNumeric(Num("horiz_dist_roadways", {800, 1500, 2300, 3100, 3900},
+                                {300, 400, 450, 500, 520}, 0, 7000,
+                                /*round_to_int=*/false, /*grid_step=*/50)),
+      ColumnSpec::OfNumeric(Num("hillshade_9am", {225, 215, 205, 195, 185},
+                                {10, 11, 12, 12, 13}, 0, 255,
+                                /*round_to_int=*/true)),
+      ColumnSpec::OfNumeric(Num("hillshade_noon", {235, 228, 221, 214, 207},
+                                {8, 9, 9, 10, 10}, 0, 255,
+                                /*round_to_int=*/true)),
+      ColumnSpec::OfNumeric(Num("horiz_dist_fire_points", {900, 1500, 2100, 2700, 3300},
+                                {350, 420, 470, 500, 520}, 0, 7000,
+                                /*round_to_int=*/false, /*grid_step=*/50)),
+      // Scrambled peaks (non-monotone in the latent terrain class).
+      ColumnSpec::OfCategorical(Cat("cover_type", 7, {1, 0, 3, 6, 2}, 0.3, "cov")),
+  };
+  Rng rng(seed);
+  return Generate(spec, rows, rng);
+}
+
+storage::Table DmvLike(int64_t rows, uint64_t seed) {
+  // 4 latent vehicle segments (compact / sedan / SUV / truck).
+  LatentClassSpec spec;
+  spec.table_name = "dmv";
+  spec.class_priors = {0.30, 0.30, 0.25, 0.15};
+  spec.columns = {
+      ColumnSpec::OfCategorical(Cat("record_type", 4, {0, 0, 1, 2}, 0.35, "rt")),
+      ColumnSpec::OfCategorical(Cat("registration_class", 18, {9, 2, 15, 5}, 0.5, "rc")),
+      ColumnSpec::OfCategorical(Cat("state", 15, {0, 1, 2, 3}, 0.45, "st")),
+      ColumnSpec::OfCategorical(Cat("county", 20, {12, 3, 17, 7}, 0.55, "cnty")),
+      // Non-monotone vs. weight: SUVs (heavy) share low peaks with compacts.
+      ColumnSpec::OfCategorical(Cat("body_type", 10, {6, 1, 8, 3}, 0.4, "bt")),
+      ColumnSpec::OfCategorical(Cat("fuel_type", 5, {0, 0, 1, 3}, 0.3, "fu")),
+      ColumnSpec::OfCategorical(Cat("color", 12, {7, 1, 10, 4}, 0.6, "col")),
+      ColumnSpec::OfCategorical(Cat("scofflaw", 2, {0, 0, 0, 1}, 0.2, "sc")),
+      ColumnSpec::OfCategorical(Cat("suspension", 2, {0, 0, 1, 0}, 0.25, "su")),
+      ColumnSpec::OfNumeric(Num("model_year", {2016, 2012, 2008, 2002},
+                                {3, 4, 5, 6}, 1980, 2023, /*round_to_int=*/true)),
+      ColumnSpec::OfNumeric(Num("max_gross_weight", {2600, 3400, 4600, 7800},
+                                {250, 320, 450, 900}, 1500, 12000,
+                                /*round_to_int=*/false, /*grid_step=*/100)),
+  };
+  Rng rng(seed);
+  return Generate(spec, rows, rng);
+}
+
+storage::Table TpcdsLike(int64_t rows, uint64_t seed) {
+  // 4 latent purchase patterns over the store_sales columns used in §5.1.
+  LatentClassSpec spec;
+  spec.table_name = "tpcds";
+  spec.class_priors = {0.4, 0.3, 0.2, 0.1};
+  spec.columns = {
+      // Anti-monotone vs. the other columns (cheap items sell late).
+      ColumnSpec::OfNumeric(Num("ss_sold_date_sk", {2452100, 2451700, 2451300, 2450900},
+                                {180, 180, 180, 180}, 2450500, 2452700,
+                                /*round_to_int=*/false, /*grid_step=*/10)),
+      ColumnSpec::OfNumeric(Num("ss_item_sk", {3000, 8000, 13000, 17000},
+                                {1500, 1800, 1700, 1200}, 1, 18000,
+                                /*round_to_int=*/false, /*grid_step=*/100)),
+      ColumnSpec::OfNumeric(Num("ss_customer_sk", {20000, 45000, 70000, 90000},
+                                {9000, 11000, 10000, 6000}, 1, 100000,
+                                /*round_to_int=*/false, /*grid_step=*/500)),
+      ColumnSpec::OfCategorical(Cat("ss_store_sk", 12, {1, 4, 7, 10}, 0.5, "store")),
+      ColumnSpec::OfCategorical(Cat("ss_quantity", 20, {11, 2, 16, 6}, 0.55, "q")),
+      ColumnSpec::OfNumeric(Num("ss_sales_price", {18, 45, 85, 140},
+                                {6, 12, 20, 30}, 0.5, 250,
+                                /*round_to_int=*/false, /*grid_step=*/0.5)),
+      ColumnSpec::OfNumeric(Num("ss_net_profit", {2, 9, 20, 38},
+                                {2.5, 4, 7, 10}, -20, 90,
+                                /*round_to_int=*/false, /*grid_step=*/0.5)),
+  };
+  Rng rng(seed);
+  return Generate(spec, rows, rng);
+}
+
+storage::Table MakeDataset(const std::string& name, int64_t rows,
+                           uint64_t seed) {
+  if (name == "census") return CensusLike(rows, seed);
+  if (name == "forest") return ForestLike(rows, seed);
+  if (name == "dmv") return DmvLike(rows, seed);
+  if (name == "tpcds") return TpcdsLike(rows, seed);
+  DDUP_CHECK_MSG(false, "unknown dataset '" + name + "'");
+  return storage::Table();
+}
+
+std::vector<std::string> DatasetNames() {
+  return {"census", "forest", "dmv", "tpcds"};
+}
+
+AqpColumns AqpColumnsFor(const std::string& dataset) {
+  // Mirrors §5.1.2's (categorical, numeric) template pairs.
+  if (dataset == "census") return {"education", "hours_per_week"};
+  if (dataset == "forest") return {"cover_type", "elevation"};
+  if (dataset == "dmv") return {"body_type", "max_gross_weight"};
+  if (dataset == "tpcds") return {"ss_quantity", "ss_sales_price"};
+  DDUP_CHECK_MSG(false, "unknown dataset '" + dataset + "'");
+  return {};
+}
+
+std::string ClassColumnFor(const std::string& dataset) {
+  // §5.1.4: income, cover-type, fuel-type targets.
+  if (dataset == "census") return "income";
+  if (dataset == "forest") return "cover_type";
+  if (dataset == "dmv") return "fuel_type";
+  if (dataset == "tpcds") return "ss_store_sk";
+  DDUP_CHECK_MSG(false, "unknown dataset '" + dataset + "'");
+  return {};
+}
+
+}  // namespace ddup::datagen

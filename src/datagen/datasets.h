@@ -1,0 +1,48 @@
+#ifndef DDUP_DATAGEN_DATASETS_H_
+#define DDUP_DATAGEN_DATASETS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/table.h"
+
+namespace ddup::datagen {
+
+// Synthetic stand-ins for the paper's evaluation datasets (Table 1). Shapes
+// (column counts, mixed types, correlated attributes) mirror the originals;
+// row counts are caller-chosen. All generators are deterministic in `seed`.
+//
+// Per-dataset AQP column pairs (categorical equality attribute + numeric
+// range/aggregate attribute) follow §5.1.2 and are exposed via AqpColumnsFor.
+
+// Census-like: 13 columns, strong education/income/hours correlations.
+storage::Table CensusLike(int64_t rows, uint64_t seed);
+
+// Forest-like: 10 columns (9 numeric terrain features + cover_type class).
+storage::Table ForestLike(int64_t rows, uint64_t seed);
+
+// DMV-like: 11 columns of vehicle registration attributes.
+storage::Table DmvLike(int64_t rows, uint64_t seed);
+
+// TPC-DS store_sales-like: 7 columns.
+storage::Table TpcdsLike(int64_t rows, uint64_t seed);
+
+// Dispatch by name ("census", "forest", "dmv", "tpcds").
+storage::Table MakeDataset(const std::string& name, int64_t rows,
+                           uint64_t seed);
+std::vector<std::string> DatasetNames();
+
+struct AqpColumns {
+  std::string categorical;  // equality attribute
+  std::string numeric;      // range + aggregation attribute
+};
+// The DBEst++-style query-template columns for each dataset.
+AqpColumns AqpColumnsFor(const std::string& dataset);
+
+// The class column used as the TVAE classification target (§5.1.4).
+std::string ClassColumnFor(const std::string& dataset);
+
+}  // namespace ddup::datagen
+
+#endif  // DDUP_DATAGEN_DATASETS_H_

@@ -1,0 +1,106 @@
+#include "datagen/latent_class.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/status.h"
+
+namespace ddup::datagen {
+
+ColumnSpec ColumnSpec::OfNumeric(NumericColumnSpec spec) {
+  ColumnSpec c;
+  c.kind = Kind::kNumeric;
+  c.numeric = std::move(spec);
+  return c;
+}
+
+ColumnSpec ColumnSpec::OfCategorical(CategoricalColumnSpec spec) {
+  ColumnSpec c;
+  c.kind = Kind::kCategorical;
+  c.categorical = std::move(spec);
+  return c;
+}
+
+std::vector<double> PeakedWeights(int cardinality, int peak, double decay) {
+  DDUP_CHECK(cardinality > 0 && peak >= 0 && peak < cardinality);
+  DDUP_CHECK(decay > 0.0 && decay < 1.0);
+  std::vector<double> w(static_cast<size_t>(cardinality));
+  for (int i = 0; i < cardinality; ++i) {
+    w[static_cast<size_t>(i)] =
+        std::pow(decay, std::abs(i - peak)) + 1e-3;  // keep all positive
+  }
+  return w;
+}
+
+namespace {
+void Validate(const LatentClassSpec& spec) {
+  DDUP_CHECK_MSG(!spec.class_priors.empty(), "need at least one latent class");
+  for (double p : spec.class_priors) DDUP_CHECK(p > 0.0);
+  size_t k = spec.class_priors.size();
+  DDUP_CHECK_MSG(!spec.columns.empty(), "need at least one column");
+  for (const auto& col : spec.columns) {
+    if (col.kind == ColumnSpec::Kind::kNumeric) {
+      const auto& n = col.numeric;
+      DDUP_CHECK_MSG(n.class_means.size() == k && n.class_stddevs.size() == k,
+                     "numeric column '" + n.name + "' class vectors mismatch");
+      DDUP_CHECK(n.min_value < n.max_value);
+      for (double s : n.class_stddevs) DDUP_CHECK(s > 0.0);
+    } else {
+      const auto& c = col.categorical;
+      DDUP_CHECK(c.cardinality > 0);
+      DDUP_CHECK_MSG(c.class_weights.size() == k,
+                     "categorical column '" + c.name + "' class count mismatch");
+      for (const auto& w : c.class_weights) {
+        DDUP_CHECK(static_cast<int>(w.size()) == c.cardinality);
+        for (double wi : w) DDUP_CHECK(wi > 0.0);
+      }
+    }
+  }
+}
+}  // namespace
+
+storage::Table Generate(const LatentClassSpec& spec, int64_t rows, Rng& rng) {
+  Validate(spec);
+  DDUP_CHECK(rows >= 0);
+
+  std::vector<int> classes(static_cast<size_t>(rows));
+  for (int64_t r = 0; r < rows; ++r) {
+    classes[static_cast<size_t>(r)] = rng.Categorical(spec.class_priors);
+  }
+
+  storage::Table table(spec.table_name);
+  for (const auto& col : spec.columns) {
+    if (col.kind == ColumnSpec::Kind::kNumeric) {
+      const auto& n = col.numeric;
+      std::vector<double> values(static_cast<size_t>(rows));
+      for (int64_t r = 0; r < rows; ++r) {
+        int k = classes[static_cast<size_t>(r)];
+        double v = rng.Normal(n.class_means[static_cast<size_t>(k)],
+                              n.class_stddevs[static_cast<size_t>(k)]);
+        if (n.grid_step > 0.0) v = std::round(v / n.grid_step) * n.grid_step;
+        v = std::clamp(v, n.min_value, n.max_value);
+        if (n.round_to_int) v = std::round(v);
+        values[static_cast<size_t>(r)] = v;
+      }
+      table.AddColumn(storage::Column::Numeric(n.name, std::move(values)));
+    } else {
+      const auto& c = col.categorical;
+      std::vector<int32_t> codes(static_cast<size_t>(rows));
+      for (int64_t r = 0; r < rows; ++r) {
+        int k = classes[static_cast<size_t>(r)];
+        codes[static_cast<size_t>(r)] = static_cast<int32_t>(
+            rng.Categorical(c.class_weights[static_cast<size_t>(k)]));
+      }
+      std::vector<std::string> dict;
+      dict.reserve(static_cast<size_t>(c.cardinality));
+      for (int i = 0; i < c.cardinality; ++i) {
+        dict.push_back(c.label_prefix + std::to_string(i));
+      }
+      table.AddColumn(
+          storage::Column::Categorical(c.name, std::move(codes), std::move(dict)));
+    }
+  }
+  return table;
+}
+
+}  // namespace ddup::datagen

@@ -1,0 +1,66 @@
+#ifndef DDUP_DATAGEN_LATENT_CLASS_H_
+#define DDUP_DATAGEN_LATENT_CLASS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "storage/table.h"
+
+namespace ddup::datagen {
+
+// Latent-class mixture generator: each row first draws a hidden class, then
+// every column draws from that class's distribution. This produces strongly
+// correlated columns — exactly the joint structure that the paper's
+// "sort each column independently" OOD transform destroys while leaving all
+// marginals intact.
+
+struct NumericColumnSpec {
+  std::string name;
+  std::vector<double> class_means;    // one per latent class
+  std::vector<double> class_stddevs;  // one per latent class
+  double min_value = 0.0;             // support clamp (keeps the paper's
+  double max_value = 1.0;             // support assumption valid for inserts)
+  bool round_to_int = false;
+  // Snap values to multiples of this step (0 = off). The original datasets
+  // are integer/fixed-point valued; coarse grids keep per-value domains
+  // small enough for the estimators' dictionary encodings.
+  double grid_step = 0.0;
+};
+
+struct CategoricalColumnSpec {
+  std::string name;
+  int cardinality = 0;
+  // Per latent class, a weight vector over the categories. Every weight must
+  // be strictly positive so each category exists in every class (support
+  // assumption: later batches never introduce unseen codes).
+  std::vector<std::vector<double>> class_weights;
+  std::string label_prefix;  // labels are "<prefix><code>"
+};
+
+struct ColumnSpec {
+  enum class Kind { kNumeric, kCategorical };
+  Kind kind = Kind::kNumeric;
+  NumericColumnSpec numeric;
+  CategoricalColumnSpec categorical;
+
+  static ColumnSpec OfNumeric(NumericColumnSpec spec);
+  static ColumnSpec OfCategorical(CategoricalColumnSpec spec);
+};
+
+struct LatentClassSpec {
+  std::string table_name;
+  std::vector<double> class_priors;  // strictly positive, any scale
+  std::vector<ColumnSpec> columns;   // emitted in this order
+};
+
+// Validates the spec (CHECKs) and generates `rows` rows.
+storage::Table Generate(const LatentClassSpec& spec, int64_t rows, Rng& rng);
+
+// Helper: a smooth weight vector over `cardinality` categories peaked at
+// `peak` with decay `decay` in (0,1); all entries positive.
+std::vector<double> PeakedWeights(int cardinality, int peak, double decay);
+
+}  // namespace ddup::datagen
+
+#endif  // DDUP_DATAGEN_LATENT_CLASS_H_

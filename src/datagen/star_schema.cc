@@ -1,0 +1,204 @@
+#include "datagen/star_schema.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "storage/join.h"
+
+namespace ddup::datagen {
+
+using storage::Column;
+using storage::Table;
+
+Table StarDataset::Join() const { return JoinWithFact(fact); }
+
+Table StarDataset::JoinWithFact(const Table& fact_part) const {
+  DDUP_CHECK(dims.size() == join_keys.size());
+  Table result = fact_part;
+  for (size_t i = 0; i < dims.size(); ++i) {
+    result = storage::HashJoin(result, join_keys[i].first, dims[i],
+                               join_keys[i].second);
+  }
+  return result;
+}
+
+namespace {
+
+std::vector<std::string> NumberedLabels(const std::string& prefix, int n) {
+  std::vector<std::string> out;
+  out.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) out.push_back(prefix + std::to_string(i));
+  return out;
+}
+
+}  // namespace
+
+StarDataset ImdbLike(int64_t fact_rows, uint64_t seed) {
+  Rng rng(seed);
+  StarDataset ds;
+
+  constexpr int kInfoTypes = 8;
+  constexpr int kCompanies = 40;
+
+  // Dimension 1: info_type(id, info_kind).
+  {
+    Table t("info_type");
+    std::vector<double> ids;
+    std::vector<int32_t> kind;
+    for (int i = 0; i < kInfoTypes; ++i) {
+      ids.push_back(i);
+      kind.push_back(static_cast<int32_t>(i % 4));
+    }
+    t.AddColumn(Column::Numeric("it_id", ids));
+    t.AddColumn(Column::Categorical("info_kind", kind, NumberedLabels("kind", 4)));
+    ds.dims.push_back(std::move(t));
+  }
+  // Dimension 2: company(id, country).
+  {
+    Table t("company");
+    std::vector<double> ids;
+    std::vector<int32_t> country;
+    for (int i = 0; i < kCompanies; ++i) {
+      ids.push_back(i);
+      country.push_back(static_cast<int32_t>(rng.Zipf(12, 1.1)));
+    }
+    t.AddColumn(Column::Numeric("co_id", ids));
+    t.AddColumn(
+        Column::Categorical("country", country, NumberedLabels("ctry", 12)));
+    ds.dims.push_back(std::move(t));
+  }
+
+  // Fact: one row per title; production era drifts with row index so later
+  // partitions are genuinely OOD.
+  {
+    Table t("title");
+    std::vector<int32_t> info_type_id(static_cast<size_t>(fact_rows));
+    std::vector<double> company_id(static_cast<size_t>(fact_rows));
+    std::vector<double> production_year(static_cast<size_t>(fact_rows));
+    std::vector<double> num_votes(static_cast<size_t>(fact_rows));
+    for (int64_t r = 0; r < fact_rows; ++r) {
+      double time = static_cast<double>(r) / std::max<int64_t>(1, fact_rows - 1);
+      // Era drifts from ~1965 to ~2015; popular info types shift too.
+      double year_mean = 1965.0 + 50.0 * time;
+      production_year[static_cast<size_t>(r)] = std::clamp(
+          std::round(rng.Normal(year_mean, 8.0)), 1950.0, 2022.0);
+      int it_peak = static_cast<int>(time * (kInfoTypes - 1));
+      int it = static_cast<int>(rng.UniformInt(0, kInfoTypes - 1));
+      if (rng.Bernoulli(0.7)) it = it_peak;  // 70% mass at the era's type
+      info_type_id[static_cast<size_t>(r)] = static_cast<int32_t>(it);
+      company_id[static_cast<size_t>(r)] =
+          static_cast<double>(rng.Zipf(kCompanies, 0.9 + 0.6 * time));
+      num_votes[static_cast<size_t>(r)] = std::max(
+          1.0, std::round(std::exp(rng.Normal(5.0 + 2.0 * time, 1.0))));
+    }
+    t.AddColumn(Column::Categorical("info_type_id", info_type_id,
+                                    NumberedLabels("it", kInfoTypes)));
+    t.AddColumn(Column::Numeric("company_id", company_id));
+    t.AddColumn(Column::Numeric("production_year", production_year));
+    t.AddColumn(Column::Numeric("num_votes", num_votes));
+    ds.fact = std::move(t);
+  }
+
+  // Joining info_type on its numeric id requires the fact key to be numeric;
+  // info_type_id is categorical whose codes equal it_id values, so join via a
+  // shadow numeric column. Simpler: join company first (numeric keys), then
+  // info_type through a numeric copy added below.
+  {
+    std::vector<double> it_numeric(static_cast<size_t>(fact_rows));
+    for (int64_t r = 0; r < fact_rows; ++r) {
+      it_numeric[static_cast<size_t>(r)] =
+          static_cast<double>(ds.fact.column("info_type_id").CodeAt(r));
+    }
+    ds.fact.AddColumn(Column::Numeric("it_fk", std::move(it_numeric)));
+  }
+  ds.join_keys = {{"company_id", "co_id"}, {"it_fk", "it_id"}};
+  std::swap(ds.dims[0], ds.dims[1]);  // order dims to match join_keys
+  return ds;
+}
+
+StarDataset TpchLike(int64_t fact_rows, uint64_t seed) {
+  Rng rng(seed);
+  StarDataset ds;
+
+  constexpr int kCustomers = 600;
+  constexpr int kNations = 25;
+
+  // nation(n_nationkey, n_region).
+  {
+    Table t("nation");
+    std::vector<double> keys;
+    std::vector<int32_t> region;
+    for (int i = 0; i < kNations; ++i) {
+      keys.push_back(i);
+      region.push_back(static_cast<int32_t>(i % 5));
+    }
+    t.AddColumn(Column::Numeric("n_nationkey", keys));
+    t.AddColumn(Column::Categorical("n_region", region, NumberedLabels("rg", 5)));
+    ds.dims.push_back(std::move(t));
+  }
+  // customer(c_custkey, c_nationkey, c_mktsegment).
+  {
+    Table t("customer");
+    std::vector<double> keys(static_cast<size_t>(kCustomers));
+    std::vector<double> nation(static_cast<size_t>(kCustomers));
+    std::vector<int32_t> segment(static_cast<size_t>(kCustomers));
+    for (int i = 0; i < kCustomers; ++i) {
+      keys[static_cast<size_t>(i)] = i;
+      nation[static_cast<size_t>(i)] =
+          static_cast<double>(rng.Zipf(kNations, 0.8));
+      segment[static_cast<size_t>(i)] = static_cast<int32_t>(rng.Zipf(5, 0.6));
+    }
+    t.AddColumn(Column::Numeric("c_custkey", keys));
+    t.AddColumn(Column::Numeric("c_nationkey", nation));
+    t.AddColumn(Column::Categorical("c_mktsegment", segment,
+                                    NumberedLabels("seg", 5)));
+    ds.dims.push_back(std::move(t));
+  }
+
+  // orders fact: o_custkey drifts toward high-id customers over time, but
+  // (o_orderdate, o_totalprice) stays stationary by construction.
+  {
+    Table t("orders");
+    std::vector<double> custkey(static_cast<size_t>(fact_rows));
+    std::vector<int32_t> orderdate(static_cast<size_t>(fact_rows));
+    std::vector<double> totalprice(static_cast<size_t>(fact_rows));
+    std::vector<int32_t> priority(static_cast<size_t>(fact_rows));
+    constexpr int kMonths = 24;
+    for (int64_t r = 0; r < fact_rows; ++r) {
+      double time = static_cast<double>(r) / std::max<int64_t>(1, fact_rows - 1);
+      double center = time * (kCustomers - 1);
+      double ck = rng.Normal(center, kCustomers / 6.0);
+      custkey[static_cast<size_t>(r)] =
+          std::clamp(std::round(ck), 0.0, static_cast<double>(kCustomers - 1));
+      int month = static_cast<int>(rng.UniformInt(0, kMonths - 1));
+      orderdate[static_cast<size_t>(r)] = static_cast<int32_t>(month);
+      // Price depends on the month (seasonality) but not on time.
+      double base = 1000.0 + 150.0 * (month % 12);
+      totalprice[static_cast<size_t>(r)] =
+          std::max(50.0, rng.Normal(base, 220.0));
+      priority[static_cast<size_t>(r)] = static_cast<int32_t>(rng.Zipf(5, 0.5));
+    }
+    t.AddColumn(Column::Numeric("o_custkey", custkey));
+    t.AddColumn(Column::Categorical("o_orderdate", orderdate,
+                                    NumberedLabels("m", kMonths)));
+    t.AddColumn(Column::Numeric("o_totalprice", totalprice));
+    t.AddColumn(Column::Categorical("o_orderpriority", priority,
+                                    NumberedLabels("pr", 5)));
+    ds.fact = std::move(t);
+  }
+  ds.join_keys = {{"o_custkey", "c_custkey"}, {"c_nationkey", "n_nationkey"}};
+  std::swap(ds.dims[0], ds.dims[1]);  // customer first, then nation
+  return ds;
+}
+
+std::pair<std::string, std::string> JoinAqpColumnsFor(const std::string& name) {
+  // §5.1.2: IMDB:[info_type_id, production_year]; TPCH:[orderdate, totalprice].
+  if (name == "imdb") return {"info_type_id", "production_year"};
+  if (name == "tpch") return {"o_orderdate", "o_totalprice"};
+  DDUP_CHECK_MSG(false, "unknown join dataset '" + name + "'");
+  return {};
+}
+
+}  // namespace ddup::datagen

@@ -1,0 +1,47 @@
+#ifndef DDUP_DATAGEN_STAR_SCHEMA_H_
+#define DDUP_DATAGEN_STAR_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "storage/table.h"
+
+namespace ddup::datagen {
+
+// A fact table plus dimension tables joined in a chain, standing in for the
+// paper's 3-table JOB (title ⋈ movie_info_idx ⋈ movie_companies) and TPC-H
+// (orders ⋈ customer ⋈ nation) joins (§5.4). The fact table is generated in
+// "time order": its row index acts as insertion time, so splitting it into
+// contiguous partitions yields the paper's update dynamics.
+struct StarDataset {
+  storage::Table fact;
+  std::vector<storage::Table> dims;
+  // Join steps applied left-to-right: step i joins the running result's
+  // `first` column with dims[i]'s `second` column.
+  std::vector<std::pair<std::string, std::string>> join_keys;
+
+  // fact ⋈ dims[0] ⋈ dims[1] ⋈ ... using the steps above.
+  storage::Table Join() const;
+  // Same, but with `fact_part` substituted for the full fact table — used to
+  // compute the new data D_t = (new fact partition) ⋈ dims (§4.5).
+  storage::Table JoinWithFact(const storage::Table& fact_part) const;
+};
+
+// JOB-like: fact "title" rows with info_type/company foreign keys and a
+// production_year that drifts over time (later partitions are OOD).
+StarDataset ImdbLike(int64_t fact_rows, uint64_t seed);
+
+// TPCH-like: orders ⋈ customer ⋈ nation chain. The AQP template columns
+// (o_orderdate, o_totalprice) are kept stationary over time while customer
+// mix drifts — reproducing the paper's observation that DBEst++ saw no OOD
+// on TPCH while the full-joint models did.
+StarDataset TpchLike(int64_t fact_rows, uint64_t seed);
+
+// AQP template (categorical, numeric) pairs on the *joined* tables.
+std::pair<std::string, std::string> JoinAqpColumnsFor(const std::string& name);
+
+}  // namespace ddup::datagen
+
+#endif  // DDUP_DATAGEN_STAR_SCHEMA_H_

@@ -1,0 +1,355 @@
+#include "models/darn.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/status.h"
+#include "nn/optim.h"
+#include "nn/ops.h"
+
+namespace ddup::models {
+
+Darn::Darn(const storage::Table& base_data, DarnConfig config)
+    : config_(config), rng_(config.seed) {
+  DDUP_CHECK(base_data.num_rows() > 0);
+  encoder_ = DiscreteEncoder::Fit(base_data, config_.max_bins);
+  num_columns_ = encoder_.num_columns();
+  BuildMasks(num_columns_);
+  RetrainFromScratch(base_data);
+}
+
+void Darn::BuildMasks(int m) {
+  using nn::Matrix;
+  int h = config_.hidden_width;
+  int total = encoder_.total_cardinality();
+  // Degrees: input units of column i carry degree i+1; hidden units cycle
+  // through [1, m-1] (0 when m == 1); output units of column i carry i+1.
+  // MADE connectivity: in->hid iff d_in <= d_hid; hid->hid iff d1 <= d2;
+  // hid->out iff d_hid < d_out.
+  std::vector<int> hidden_deg(static_cast<size_t>(h));
+  for (int j = 0; j < h; ++j) {
+    hidden_deg[static_cast<size_t>(j)] = (m == 1) ? 0 : 1 + (j % (m - 1));
+  }
+  mask1_ = Matrix::Zeros(total, h);
+  for (int col = 0; col < m; ++col) {
+    int deg = col + 1;
+    for (int u = 0; u < encoder_.cardinality(col); ++u) {
+      int row = encoder_.offset(col) + u;
+      for (int j = 0; j < h; ++j) {
+        if (deg <= hidden_deg[static_cast<size_t>(j)]) mask1_.At(row, j) = 1.0;
+      }
+    }
+  }
+  mask2_ = Matrix::Zeros(h, h);
+  for (int a = 0; a < h; ++a) {
+    for (int b = 0; b < h; ++b) {
+      if (hidden_deg[static_cast<size_t>(a)] <=
+          hidden_deg[static_cast<size_t>(b)]) {
+        mask2_.At(a, b) = 1.0;
+      }
+    }
+  }
+  mask3_ = Matrix::Zeros(h, total);
+  for (int col = 0; col < m; ++col) {
+    int deg = col + 1;
+    for (int u = 0; u < encoder_.cardinality(col); ++u) {
+      int out = encoder_.offset(col) + u;
+      for (int j = 0; j < h; ++j) {
+        if (hidden_deg[static_cast<size_t>(j)] < deg) mask3_.At(j, out) = 1.0;
+      }
+    }
+  }
+}
+
+void Darn::InitParams() {
+  using nn::Matrix;
+  int h = config_.hidden_width;
+  int total = encoder_.total_cardinality();
+  auto xavier = [this](int in, int out) {
+    double s = std::sqrt(2.0 / static_cast<double>(in + out));
+    return nn::Parameter(Matrix::Randn(rng_, in, out, s));
+  };
+  params_ = {xavier(total, h), nn::Parameter(Matrix::Zeros(1, h)),
+             xavier(h, h),     nn::Parameter(Matrix::Zeros(1, h)),
+             xavier(h, total), nn::Parameter(Matrix::Zeros(1, total))};
+}
+
+std::vector<std::vector<int>> Darn::GatherCodes(
+    const std::vector<std::vector<int>>& all,
+    const std::vector<int64_t>& rows) {
+  std::vector<std::vector<int>> out(all.size());
+  for (size_t c = 0; c < all.size(); ++c) {
+    out[c].reserve(rows.size());
+    for (int64_t r : rows) out[c].push_back(all[c][static_cast<size_t>(r)]);
+  }
+  return out;
+}
+
+nn::Variable Darn::ForwardLogits(
+    const std::vector<nn::Variable>& p,
+    const std::vector<std::vector<int>>& codes) const {
+  using namespace nn;  // NOLINT: op-heavy function
+  DDUP_CHECK(static_cast<int>(codes.size()) == num_columns_);
+  // Layer 1 via embedding gathers: the one-hot input selects exactly one row
+  // of the masked weight per column, so h = sum_cols row(offset+code) + b.
+  Variable masked_w1 = Mul(p[0], Constant(mask1_));
+  Variable h;
+  for (int col = 0; col < num_columns_; ++col) {
+    std::vector<int> idx(codes[static_cast<size_t>(col)].size());
+    for (size_t r = 0; r < idx.size(); ++r) {
+      idx[r] = encoder_.offset(col) + codes[static_cast<size_t>(col)][r];
+    }
+    Variable g = Rows(masked_w1, idx);
+    h = (col == 0) ? g : Add(h, g);
+  }
+  h = Relu(Add(h, p[1]));
+  Variable h2 = Relu(Add(MatMul(h, Mul(p[2], Constant(mask2_))), p[3]));
+  return Add(MatMul(h2, Mul(p[4], Constant(mask3_))), p[5]);
+}
+
+nn::Variable Darn::NllLoss(const std::vector<nn::Variable>& p,
+                           const std::vector<std::vector<int>>& codes) const {
+  using namespace nn;  // NOLINT
+  Variable logits = ForwardLogits(p, codes);
+  Variable total;
+  for (int col = 0; col < num_columns_; ++col) {
+    Variable block =
+        SliceCols(logits, encoder_.offset(col), encoder_.cardinality(col));
+    Variable ce = SoftmaxCrossEntropy(block, codes[static_cast<size_t>(col)]);
+    total = (col == 0) ? ce : Add(total, ce);
+  }
+  return total;  // mean-per-row joint NLL
+}
+
+void Darn::TrainLoop(const storage::Table& data, double lr, int epochs) {
+  DDUP_CHECK(data.num_rows() > 0);
+  auto all_codes = encoder_.EncodeTable(data);
+  nn::Adam opt(params_, lr);
+  for (int e = 0; e < epochs; ++e) {
+    for (const auto& rows :
+         MiniBatches(data.num_rows(), config_.batch_size, rng_)) {
+      auto codes = GatherCodes(all_codes, rows);
+      opt.ZeroGrad();
+      nn::Variable loss = NllLoss(params_, codes);
+      nn::Backward(loss);
+      opt.Step();
+    }
+  }
+}
+
+void Darn::RetrainFromScratch(const storage::Table& data) {
+  InitParams();
+  ResetMetadata();
+  AbsorbMetadata(data);
+  TrainLoop(data, config_.learning_rate, config_.epochs);
+}
+
+void Darn::FineTune(const storage::Table& new_data, double learning_rate,
+                    int epochs) {
+  TrainLoop(new_data, learning_rate, epochs);
+}
+
+void Darn::DistillUpdate(const storage::Table& transfer_set,
+                         const storage::Table& new_data,
+                         const core::DistillConfig& config) {
+  using namespace nn;  // NOLINT
+  std::vector<Variable> teacher = AsConstants(params_);
+  double alpha =
+      core::ResolveAlpha(config, transfer_set.num_rows(), new_data.num_rows());
+  auto tr_codes_all = encoder_.EncodeTable(transfer_set);
+  auto up_codes_all = encoder_.EncodeTable(new_data);
+
+  Adam opt(params_, config.learning_rate);
+  for (int e = 0; e < config.epochs; ++e) {
+    auto tr_batches =
+        MiniBatches(transfer_set.num_rows(), config.batch_size, rng_);
+    auto up_batches = MiniBatches(new_data.num_rows(), config.batch_size, rng_);
+    size_t steps = std::max(tr_batches.size(), up_batches.size());
+    for (size_t s = 0; s < steps; ++s) {
+      auto tr = GatherCodes(tr_codes_all, tr_batches[s % tr_batches.size()]);
+      auto up = GatherCodes(up_codes_all, up_batches[s % up_batches.size()]);
+
+      Variable s_logits = ForwardLogits(params_, tr);
+      Variable t_logits = ForwardLogits(teacher, tr);
+      // Eq. 10: annealed CE between teacher and student conditionals,
+      // averaged over attributes.
+      Variable distill;
+      for (int col = 0; col < num_columns_; ++col) {
+        Variable sb = SliceCols(s_logits, encoder_.offset(col),
+                                encoder_.cardinality(col));
+        Variable tb = SliceCols(t_logits, encoder_.offset(col),
+                                encoder_.cardinality(col));
+        Variable ce = DistillCrossEntropy(sb, tb, config.temperature);
+        distill = (col == 0) ? ce : Add(distill, ce);
+      }
+      distill = Scale(distill, 1.0 / num_columns_);
+
+      // Task CE on the transfer batch reuses the student logits.
+      Variable task_tr;
+      for (int col = 0; col < num_columns_; ++col) {
+        Variable sb = SliceCols(s_logits, encoder_.offset(col),
+                                encoder_.cardinality(col));
+        Variable ce = SoftmaxCrossEntropy(sb, tr[static_cast<size_t>(col)]);
+        task_tr = (col == 0) ? ce : Add(task_tr, ce);
+      }
+      Variable tr_term = Add(Scale(distill, config.lambda),
+                             Scale(task_tr, 1.0 - config.lambda));
+      Variable up_term = NllLoss(params_, up);
+      Variable loss = Add(Scale(tr_term, alpha), Scale(up_term, 1.0 - alpha));
+      opt.ZeroGrad();
+      Backward(loss);
+      opt.Step();
+    }
+  }
+}
+
+void Darn::AbsorbMetadata(const storage::Table& new_data) {
+  total_rows_ += new_data.num_rows();
+}
+
+double Darn::AverageLoss(const storage::Table& sample) const {
+  DDUP_CHECK(sample.num_rows() > 0);
+  auto codes = encoder_.EncodeTable(sample);
+  std::vector<nn::Variable> frozen = nn::AsConstants(params_);
+  return NllLoss(frozen, codes).value().At(0, 0);
+}
+
+Darn::FrozenNet Darn::Freeze() const {
+  FrozenNet net;
+  net.mw1 = params_[0].value();
+  for (int64_t i = 0; i < net.mw1.size(); ++i) {
+    net.mw1.data()[i] *= mask1_.data()[i];
+  }
+  net.b1 = params_[1].value();
+  net.mw2 = params_[2].value();
+  for (int64_t i = 0; i < net.mw2.size(); ++i) {
+    net.mw2.data()[i] *= mask2_.data()[i];
+  }
+  net.b2 = params_[3].value();
+  net.mw3 = params_[4].value();
+  for (int64_t i = 0; i < net.mw3.size(); ++i) {
+    net.mw3.data()[i] *= mask3_.data()[i];
+  }
+  net.b3 = params_[5].value();
+  return net;
+}
+
+nn::Matrix Darn::HiddenForward(
+    const FrozenNet& net, const std::vector<std::vector<int>>& codes) const {
+  int n = static_cast<int>(codes[0].size());
+  int h = config_.hidden_width;
+  nn::Matrix h1(n, h);
+  for (int r = 0; r < n; ++r) {
+    double* hrow = h1.data() + static_cast<size_t>(r) * h;
+    for (int j = 0; j < h; ++j) hrow[j] = net.b1.At(0, j);
+    for (int col = 0; col < num_columns_; ++col) {
+      int wrow =
+          encoder_.offset(col) + codes[static_cast<size_t>(col)][static_cast<size_t>(r)];
+      const double* src = net.mw1.data() + static_cast<size_t>(wrow) * h;
+      for (int j = 0; j < h; ++j) hrow[j] += src[j];
+    }
+    for (int j = 0; j < h; ++j) hrow[j] = std::max(0.0, hrow[j]);
+  }
+  nn::Matrix h2 = MatMulValue(h1, net.mw2);
+  for (int r = 0; r < n; ++r) {
+    for (int j = 0; j < h; ++j) {
+      h2.At(r, j) = std::max(0.0, h2.At(r, j) + net.b2.At(0, j));
+    }
+  }
+  return h2;
+}
+
+nn::Matrix Darn::BlockProbs(const FrozenNet& net, const nn::Matrix& h2,
+                            int col) const {
+  int n = h2.rows();
+  int h = config_.hidden_width;
+  int k = encoder_.cardinality(col);
+  int off = encoder_.offset(col);
+  nn::Matrix probs(n, k);
+  for (int r = 0; r < n; ++r) {
+    double mx = -1e300;
+    for (int u = 0; u < k; ++u) {
+      double z = net.b3.At(0, off + u);
+      for (int j = 0; j < h; ++j) z += h2.At(r, j) * net.mw3.At(j, off + u);
+      probs.At(r, u) = z;
+      mx = std::max(mx, z);
+    }
+    double sum = 0.0;
+    for (int u = 0; u < k; ++u) {
+      double e = std::exp(probs.At(r, u) - mx);
+      probs.At(r, u) = e;
+      sum += e;
+    }
+    for (int u = 0; u < k; ++u) probs.At(r, u) /= sum;
+  }
+  return probs;
+}
+
+double Darn::EstimateSelectivity(const workload::Query& query) const {
+  auto ranges = encoder_.AllowedRanges(query);
+  for (const auto& r : ranges) {
+    if (r.first > r.second) return 0.0;  // unsatisfiable predicate
+  }
+  FrozenNet net = Freeze();
+  int s = config_.progressive_samples;
+  std::vector<double> weight(static_cast<size_t>(s), 1.0);
+  std::vector<std::vector<int>> codes(
+      static_cast<size_t>(num_columns_),
+      std::vector<int>(static_cast<size_t>(s), 0));
+
+  // Progressive sampling (Naru): per column, sum the exact conditional mass
+  // of the allowed codes given each sampled prefix, then extend the prefix
+  // by sampling within the allowed set.
+  for (int col = 0; col < num_columns_; ++col) {
+    nn::Matrix h2 = HiddenForward(net, codes);
+    nn::Matrix probs = BlockProbs(net, h2, col);
+    auto [lo, hi] = ranges[static_cast<size_t>(col)];
+    for (int path = 0; path < s; ++path) {
+      if (weight[static_cast<size_t>(path)] == 0.0) continue;
+      double mass = 0.0;
+      for (int u = lo; u <= hi; ++u) mass += probs.At(path, u);
+      weight[static_cast<size_t>(path)] *= mass;
+      if (mass <= 0.0) {
+        weight[static_cast<size_t>(path)] = 0.0;
+        continue;
+      }
+      if (col + 1 < num_columns_) {
+        double u01 = rng_.Uniform(0.0, mass);
+        double acc = 0.0;
+        int chosen = hi;
+        for (int u = lo; u <= hi; ++u) {
+          acc += probs.At(path, u);
+          if (u01 < acc) {
+            chosen = u;
+            break;
+          }
+        }
+        codes[static_cast<size_t>(col)][static_cast<size_t>(path)] = chosen;
+      }
+    }
+  }
+  double total = 0.0;
+  for (double w : weight) total += w;
+  return total / static_cast<double>(s);
+}
+
+double Darn::EstimateCardinality(const workload::Query& query) const {
+  return EstimateSelectivity(query) * static_cast<double>(total_rows_);
+}
+
+double Darn::JointProbability(const std::vector<int>& encoded_row) const {
+  DDUP_CHECK(static_cast<int>(encoded_row.size()) == num_columns_);
+  FrozenNet net = Freeze();
+  std::vector<std::vector<int>> codes(static_cast<size_t>(num_columns_),
+                                      std::vector<int>(1, 0));
+  double p = 1.0;
+  for (int col = 0; col < num_columns_; ++col) {
+    nn::Matrix h2 = HiddenForward(net, codes);
+    nn::Matrix probs = BlockProbs(net, h2, col);
+    p *= probs.At(0, encoded_row[static_cast<size_t>(col)]);
+    codes[static_cast<size_t>(col)][0] = encoded_row[static_cast<size_t>(col)];
+  }
+  return p;
+}
+
+}  // namespace ddup::models

@@ -1,0 +1,106 @@
+#ifndef DDUP_MODELS_DARN_H_
+#define DDUP_MODELS_DARN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/interfaces.h"
+#include "models/encoding.h"
+#include "nn/layers.h"
+#include "workload/query.h"
+
+namespace ddup::models {
+
+// Naru/NeuroCard-style deep autoregressive network (§4.3 "Deep
+// Autoregressive Networks"): a MADE (masked autoencoder) over the
+// dictionary/bin-encoded columns learns the factorized joint
+// P(A1) P(A2|A1) ... P(Am|A1..Am-1). Cardinality estimates use progressive
+// sampling with exact per-column summation over the predicate's allowed
+// codes. The training loss (summed per-column cross-entropy == joint NLL)
+// doubles as DDUp's OOD signal.
+struct DarnConfig {
+  int hidden_width = 64;
+  int max_bins = 32;           // numeric columns binned equal-frequency
+  int epochs = 6;
+  int batch_size = 128;
+  double learning_rate = 5e-3;
+  int progressive_samples = 16;
+  uint64_t seed = 11;
+};
+
+class Darn : public core::UpdatableModel {
+ public:
+  // Fits the discretizer on `base_data` and trains the base model M0.
+  Darn(const storage::Table& base_data, DarnConfig config);
+
+  // core::UpdatableModel:
+  double AverageLoss(const storage::Table& sample) const override;
+  std::string name() const override { return "darn"; }
+  void FineTune(const storage::Table& new_data, double learning_rate,
+                int epochs) override;
+  void DistillUpdate(const storage::Table& transfer_set,
+                     const storage::Table& new_data,
+                     const core::DistillConfig& config) override;
+  void RetrainFromScratch(const storage::Table& data) override;
+  void AbsorbMetadata(const storage::Table& new_data) override;
+  void ResetMetadata() override { total_rows_ = 0; }
+
+  double AverageLogLikelihood(const storage::Table& sample) const {
+    return -AverageLoss(sample);
+  }
+
+  // Estimated number of rows matching the query's conjunctive predicates.
+  double EstimateCardinality(const workload::Query& query) const;
+  // Selectivity in [0, 1] (EstimateCardinality / total_rows).
+  double EstimateSelectivity(const workload::Query& query) const;
+  // Exact joint probability of one fully specified encoded row (tests only;
+  // enumerating these over a small domain must sum to 1).
+  double JointProbability(const std::vector<int>& encoded_row) const;
+
+  int64_t total_rows() const { return total_rows_; }
+  const DiscreteEncoder& encoder() const { return encoder_; }
+
+ private:
+  struct FrozenNet {
+    nn::Matrix mw1, b1, mw2, b2, mw3, b3;  // masked weights, biases
+  };
+
+  void InitParams();
+  void BuildMasks(int num_columns);
+  // Autograd forward: logits over all output blocks for the batch encoded as
+  // per-column code vectors.
+  nn::Variable ForwardLogits(const std::vector<nn::Variable>& params,
+                             const std::vector<std::vector<int>>& codes) const;
+  // Joint NLL (mean per row) for the batch.
+  nn::Variable NllLoss(const std::vector<nn::Variable>& params,
+                       const std::vector<std::vector<int>>& codes) const;
+  void TrainLoop(const storage::Table& data, double lr, int epochs);
+
+  FrozenNet Freeze() const;
+  // Value-level hidden pass shared by inference paths: returns the second
+  // hidden activation (num_paths x H).
+  nn::Matrix HiddenForward(const FrozenNet& net,
+                           const std::vector<std::vector<int>>& codes) const;
+  // Softmax probabilities of output block `col` from hidden activations.
+  nn::Matrix BlockProbs(const FrozenNet& net, const nn::Matrix& h2,
+                        int col) const;
+
+  // Gathers minibatch codes from whole-table codes.
+  static std::vector<std::vector<int>> GatherCodes(
+      const std::vector<std::vector<int>>& all,
+      const std::vector<int64_t>& rows);
+
+  DarnConfig config_;
+  DiscreteEncoder encoder_;
+  int num_columns_ = 0;
+  std::vector<nn::Variable> params_;  // W1,b1,W2,b2,W3,b3
+  nn::Matrix mask1_, mask2_, mask3_;
+  int64_t total_rows_ = 0;
+  mutable Rng rng_;
+};
+
+}  // namespace ddup::models
+
+#endif  // DDUP_MODELS_DARN_H_

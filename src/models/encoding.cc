@@ -1,0 +1,197 @@
+#include "models/encoding.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/status.h"
+
+namespace ddup::models {
+
+std::vector<std::vector<int64_t>> MiniBatches(int64_t n, int batch_size,
+                                              Rng& rng) {
+  DDUP_CHECK(n >= 0 && batch_size > 0);
+  std::vector<int64_t> idx(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) idx[static_cast<size_t>(i)] = i;
+  rng.Shuffle(&idx);
+  std::vector<std::vector<int64_t>> batches;
+  for (int64_t start = 0; start < n; start += batch_size) {
+    int64_t end = std::min(n, start + batch_size);
+    batches.emplace_back(idx.begin() + start, idx.begin() + end);
+  }
+  return batches;
+}
+
+ColumnDiscretizer ColumnDiscretizer::Fit(const storage::Column& column,
+                                         int max_bins) {
+  DDUP_CHECK(max_bins >= 1);
+  DDUP_CHECK(column.size() > 0);
+  ColumnDiscretizer d;
+  if (!column.is_numeric()) {
+    // One bin per dictionary code; codes are their own edges.
+    d.upper_edges_.reserve(static_cast<size_t>(column.cardinality()));
+    for (int i = 0; i < column.cardinality(); ++i) {
+      d.upper_edges_.push_back(static_cast<double>(i));
+    }
+    return d;
+  }
+  std::vector<double> values = column.numeric_values();
+  std::sort(values.begin(), values.end());
+  values.erase(std::unique(values.begin(), values.end()), values.end());
+  if (static_cast<int>(values.size()) <= max_bins) {
+    d.upper_edges_ = std::move(values);  // one bin per distinct value
+    return d;
+  }
+  // Equal-frequency edges over the sorted distinct values.
+  d.upper_edges_.reserve(static_cast<size_t>(max_bins));
+  for (int b = 1; b <= max_bins; ++b) {
+    size_t pos = static_cast<size_t>(
+        std::llround(static_cast<double>(b) / max_bins *
+                     static_cast<double>(values.size()))) -
+                 1;
+    pos = std::min(pos, values.size() - 1);
+    double edge = values[pos];
+    if (d.upper_edges_.empty() || edge > d.upper_edges_.back()) {
+      d.upper_edges_.push_back(edge);
+    }
+  }
+  DDUP_CHECK(!d.upper_edges_.empty());
+  return d;
+}
+
+int ColumnDiscretizer::Encode(double value) const {
+  // First bin whose upper edge is >= value; clamp above the top edge.
+  auto it = std::lower_bound(upper_edges_.begin(), upper_edges_.end(), value);
+  if (it == upper_edges_.end()) return cardinality() - 1;
+  return static_cast<int>(it - upper_edges_.begin());
+}
+
+std::pair<int, int> ColumnDiscretizer::BinRange(double lo, double hi) const {
+  if (lo > hi) return {0, -1};
+  if (lo > upper_edges_.back()) return {0, -1};
+  int first = Encode(lo);
+  int last = Encode(hi);
+  // If hi falls strictly below bin `last`'s interior (i.e. hi <= the previous
+  // edge), the bin cannot intersect; Encode already guarantees
+  // upper_edges_[last] >= hi or last == K-1, and lower edge < hi holds unless
+  // hi <= upper_edges_[last-1], which Encode rules out by construction.
+  return {first, last};
+}
+
+DiscreteEncoder DiscreteEncoder::Fit(const storage::Table& base, int max_bins) {
+  DDUP_CHECK(base.num_columns() > 0);
+  DiscreteEncoder e;
+  int off = 0;
+  for (int c = 0; c < base.num_columns(); ++c) {
+    e.columns_.push_back(ColumnDiscretizer::Fit(base.column(c), max_bins));
+    e.offsets_.push_back(off);
+    off += e.columns_.back().cardinality();
+  }
+  e.total_ = off;
+  return e;
+}
+
+int DiscreteEncoder::cardinality(int col) const {
+  DDUP_CHECK(col >= 0 && col < num_columns());
+  return columns_[static_cast<size_t>(col)].cardinality();
+}
+
+int DiscreteEncoder::offset(int col) const {
+  DDUP_CHECK(col >= 0 && col < num_columns());
+  return offsets_[static_cast<size_t>(col)];
+}
+
+const ColumnDiscretizer& DiscreteEncoder::discretizer(int col) const {
+  DDUP_CHECK(col >= 0 && col < num_columns());
+  return columns_[static_cast<size_t>(col)];
+}
+
+std::vector<std::vector<int>> DiscreteEncoder::EncodeTable(
+    const storage::Table& table) const {
+  DDUP_CHECK_MSG(table.num_columns() == num_columns(),
+                 "table does not match fitted schema");
+  std::vector<std::vector<int>> codes(static_cast<size_t>(num_columns()));
+  for (int c = 0; c < num_columns(); ++c) {
+    auto& out = codes[static_cast<size_t>(c)];
+    out.resize(static_cast<size_t>(table.num_rows()));
+    const storage::Column& col = table.column(c);
+    const ColumnDiscretizer& d = columns_[static_cast<size_t>(c)];
+    for (int64_t r = 0; r < table.num_rows(); ++r) {
+      out[static_cast<size_t>(r)] = d.Encode(col.AsDouble(r));
+    }
+  }
+  return codes;
+}
+
+std::vector<std::pair<int, int>> DiscreteEncoder::AllowedRanges(
+    const workload::Query& query) const {
+  std::vector<std::pair<int, int>> ranges;
+  ranges.reserve(static_cast<size_t>(num_columns()));
+  for (int c = 0; c < num_columns(); ++c) {
+    ranges.emplace_back(0, cardinality(c) - 1);
+  }
+  for (const auto& p : query.predicates) {
+    DDUP_CHECK(p.column >= 0 && p.column < num_columns());
+    const ColumnDiscretizer& d = columns_[static_cast<size_t>(p.column)];
+    std::pair<int, int> pr;
+    switch (p.op) {
+      case workload::CompareOp::kEq:
+        pr = d.BinRange(p.value, p.value);
+        break;
+      case workload::CompareOp::kGe:
+        pr = d.BinRange(p.value, std::numeric_limits<double>::infinity());
+        break;
+      case workload::CompareOp::kLe:
+        pr = d.BinRange(-std::numeric_limits<double>::infinity(), p.value);
+        break;
+    }
+    auto& r = ranges[static_cast<size_t>(p.column)];
+    r.first = std::max(r.first, pr.first);
+    r.second = std::min(r.second, pr.second);
+  }
+  return ranges;
+}
+
+nn::Matrix OneHot(const std::vector<int>& codes, int cardinality) {
+  nn::Matrix m(static_cast<int>(codes.size()), cardinality, 0.0);
+  for (size_t r = 0; r < codes.size(); ++r) {
+    DDUP_CHECK(codes[r] >= 0 && codes[r] < cardinality);
+    m.At(static_cast<int>(r), codes[r]) = 1.0;
+  }
+  return m;
+}
+
+MinMaxNormalizer MinMaxNormalizer::Fit(const storage::Column& column) {
+  MinMaxNormalizer n;
+  n.lo_ = column.MinAsDouble();
+  n.hi_ = column.MaxAsDouble();
+  if (n.hi_ <= n.lo_) n.hi_ = n.lo_ + 1.0;  // degenerate constant column
+  return n;
+}
+
+double MinMaxNormalizer::Encode(double value) const {
+  double v = std::clamp(value, lo_, hi_);
+  return (v - lo_) / (hi_ - lo_) * 2.0 - 1.0;
+}
+
+double MinMaxNormalizer::Decode(double normalized) const {
+  return (normalized + 1.0) / 2.0 * (hi_ - lo_) + lo_;
+}
+
+Standardizer Standardizer::Fit(const storage::Column& column) {
+  DDUP_CHECK(column.size() > 0);
+  Standardizer s;
+  double sum = 0.0, ss = 0.0;
+  int64_t n = column.size();
+  for (int64_t r = 0; r < n; ++r) sum += column.AsDouble(r);
+  s.mean_ = sum / static_cast<double>(n);
+  for (int64_t r = 0; r < n; ++r) {
+    double d = column.AsDouble(r) - s.mean_;
+    ss += d * d;
+  }
+  s.std_ = std::sqrt(ss / static_cast<double>(n));
+  if (s.std_ <= 1e-12) s.std_ = 1.0;  // constant column
+  return s;
+}
+
+}  // namespace ddup::models

@@ -1,0 +1,104 @@
+#ifndef DDUP_MODELS_ENCODING_H_
+#define DDUP_MODELS_ENCODING_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/matrix.h"
+#include "storage/table.h"
+#include "workload/query.h"
+
+namespace ddup::models {
+
+// Shuffled minibatch index lists covering [0, n).
+std::vector<std::vector<int64_t>> MiniBatches(int64_t n, int batch_size,
+                                              Rng& rng);
+
+// Ordered discretizer for a single column, fit once on base data and reused
+// for all later batches (valid under the paper's support assumption).
+// Categorical columns pass codes through; numeric columns get equal-frequency
+// bins (or one bin per distinct value when there are few).
+class ColumnDiscretizer {
+ public:
+  static ColumnDiscretizer Fit(const storage::Column& column, int max_bins);
+
+  int cardinality() const { return static_cast<int>(upper_edges_.size()); }
+  // Value -> bin code (values beyond the fitted support clamp to edge bins).
+  int Encode(double value) const;
+  // Inclusive bin interval intersecting [lo, hi]; {0, -1} when empty.
+  std::pair<int, int> BinRange(double lo, double hi) const;
+
+ private:
+  // Bin i covers (upper_edges_[i-1], upper_edges_[i]]; bin 0 is unbounded
+  // below. Edges are strictly increasing.
+  std::vector<double> upper_edges_;
+};
+
+// Whole-table discretizer used by the DARN and SPN models.
+class DiscreteEncoder {
+ public:
+  static DiscreteEncoder Fit(const storage::Table& base, int max_bins);
+
+  int num_columns() const { return static_cast<int>(columns_.size()); }
+  int cardinality(int col) const;
+  // Offset of column `col`'s one-hot block in the concatenated encoding.
+  int offset(int col) const;
+  int total_cardinality() const { return total_; }
+  const ColumnDiscretizer& discretizer(int col) const;
+
+  // codes[col][row]; table must have the fitted schema (column order).
+  std::vector<std::vector<int>> EncodeTable(const storage::Table& table) const;
+
+  // Per-column inclusive allowed-code interval implied by the query's
+  // conjunctive predicates; unconstrained columns get [0, K-1]; a column
+  // whose predicates are unsatisfiable gets {0, -1}.
+  std::vector<std::pair<int, int>> AllowedRanges(
+      const workload::Query& query) const;
+
+ private:
+  std::vector<ColumnDiscretizer> columns_;
+  std::vector<int> offsets_;
+  int total_ = 0;
+};
+
+// N x K one-hot matrix from integer codes.
+nn::Matrix OneHot(const std::vector<int>& codes, int cardinality);
+
+// Affine map of a numeric column to [-1, 1] (paper §5.1 normalizes the AQP
+// range attribute this way). Fit on base data; Encode clamps to the fitted
+// support.
+class MinMaxNormalizer {
+ public:
+  static MinMaxNormalizer Fit(const storage::Column& column);
+  double Encode(double value) const;
+  double Decode(double normalized) const;
+  // Derivative d(raw)/d(normalized) = (hi - lo) / 2; used to rescale
+  // integrals computed in normalized space.
+  double Scale() const { return (hi_ - lo_) / 2.0; }
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+
+ private:
+  double lo_ = 0.0;
+  double hi_ = 1.0;
+};
+
+// Z-score standardizer for TVAE numeric inputs.
+class Standardizer {
+ public:
+  static Standardizer Fit(const storage::Column& column);
+  double Encode(double value) const { return (value - mean_) / std_; }
+  double Decode(double encoded) const { return encoded * std_ + mean_; }
+  double mean() const { return mean_; }
+  double stddev() const { return std_; }
+
+ private:
+  double mean_ = 0.0;
+  double std_ = 1.0;
+};
+
+}  // namespace ddup::models
+
+#endif  // DDUP_MODELS_ENCODING_H_

@@ -1,0 +1,225 @@
+#include "models/gbdt.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/status.h"
+
+namespace ddup::models {
+
+Gbdt::Gbdt(GbdtConfig config) : config_(config) {}
+
+double Gbdt::Tree::Predict(const std::vector<double>& x) const {
+  DDUP_CHECK(!nodes.empty());
+  int i = 0;
+  while (nodes[static_cast<size_t>(i)].feature >= 0) {
+    const TreeNode& n = nodes[static_cast<size_t>(i)];
+    i = x[static_cast<size_t>(n.feature)] <= n.threshold ? n.left : n.right;
+  }
+  return nodes[static_cast<size_t>(i)].value;
+}
+
+std::vector<std::vector<double>> Gbdt::ExtractFeatures(
+    const storage::Table& data) const {
+  std::vector<std::vector<double>> rows(
+      static_cast<size_t>(data.num_rows()),
+      std::vector<double>(feature_columns_.size()));
+  for (size_t f = 0; f < feature_columns_.size(); ++f) {
+    const storage::Column& col = data.column(feature_columns_[f]);
+    for (int64_t r = 0; r < data.num_rows(); ++r) {
+      rows[static_cast<size_t>(r)][f] = col.AsDouble(r);
+    }
+  }
+  return rows;
+}
+
+int Gbdt::BuildTree(Tree* tree, const std::vector<std::vector<double>>& features,
+                    const std::vector<double>& grad,
+                    const std::vector<double>& hess, std::vector<int> rows,
+                    int depth) {
+  double g_total = 0.0, h_total = 0.0;
+  for (int r : rows) {
+    g_total += grad[static_cast<size_t>(r)];
+    h_total += hess[static_cast<size_t>(r)];
+  }
+  const double lambda = config_.l2_regularization;
+  auto make_leaf = [&]() {
+    TreeNode leaf;
+    leaf.value = -g_total / (h_total + lambda);
+    tree->nodes.push_back(leaf);
+    return static_cast<int>(tree->nodes.size()) - 1;
+  };
+  if (depth >= config_.max_depth ||
+      static_cast<int>(rows.size()) < 2 * config_.min_leaf_size) {
+    return make_leaf();
+  }
+
+  double parent_score = g_total * g_total / (h_total + lambda);
+  double best_gain = 1e-12;
+  int best_feature = -1;
+  double best_threshold = 0.0;
+  size_t num_features = feature_columns_.size();
+  std::vector<int> sorted = rows;
+  for (size_t f = 0; f < num_features; ++f) {
+    std::sort(sorted.begin(), sorted.end(), [&](int a, int b) {
+      return features[static_cast<size_t>(a)][f] <
+             features[static_cast<size_t>(b)][f];
+    });
+    double g_left = 0.0, h_left = 0.0;
+    for (size_t i = 0; i + 1 < sorted.size(); ++i) {
+      int r = sorted[i];
+      g_left += grad[static_cast<size_t>(r)];
+      h_left += hess[static_cast<size_t>(r)];
+      double v = features[static_cast<size_t>(r)][f];
+      double v_next = features[static_cast<size_t>(sorted[i + 1])][f];
+      if (v == v_next) continue;  // can only split between distinct values
+      int n_left = static_cast<int>(i) + 1;
+      int n_right = static_cast<int>(sorted.size()) - n_left;
+      if (n_left < config_.min_leaf_size || n_right < config_.min_leaf_size) {
+        continue;
+      }
+      double g_right = g_total - g_left;
+      double h_right = h_total - h_left;
+      double gain = g_left * g_left / (h_left + lambda) +
+                    g_right * g_right / (h_right + lambda) - parent_score;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = static_cast<int>(f);
+        best_threshold = (v + v_next) / 2.0;
+      }
+    }
+  }
+  if (best_feature < 0) return make_leaf();
+
+  std::vector<int> left_rows, right_rows;
+  for (int r : rows) {
+    if (features[static_cast<size_t>(r)][static_cast<size_t>(best_feature)] <=
+        best_threshold) {
+      left_rows.push_back(r);
+    } else {
+      right_rows.push_back(r);
+    }
+  }
+  TreeNode split;
+  split.feature = best_feature;
+  split.threshold = best_threshold;
+  tree->nodes.push_back(split);
+  int self = static_cast<int>(tree->nodes.size()) - 1;
+  int left = BuildTree(tree, features, grad, hess, std::move(left_rows),
+                       depth + 1);
+  int right = BuildTree(tree, features, grad, hess, std::move(right_rows),
+                        depth + 1);
+  tree->nodes[static_cast<size_t>(self)].left = left;
+  tree->nodes[static_cast<size_t>(self)].right = right;
+  return self;
+}
+
+void Gbdt::Train(const storage::Table& data, const std::string& target_column) {
+  int target = data.ColumnIndex(target_column);
+  DDUP_CHECK_MSG(target >= 0, "missing target column " + target_column);
+  const storage::Column& label_col = data.column(target);
+  DDUP_CHECK_MSG(!label_col.is_numeric(), "GBDT target must be categorical");
+  target_column_ = target_column;
+  num_classes_ = label_col.cardinality();
+  feature_columns_.clear();
+  for (int c = 0; c < data.num_columns(); ++c) {
+    if (c != target) feature_columns_.push_back(c);
+  }
+  DDUP_CHECK_MSG(!feature_columns_.empty(), "no feature columns");
+
+  auto features = ExtractFeatures(data);
+  int64_t n = data.num_rows();
+  std::vector<int> labels(static_cast<size_t>(n));
+  for (int64_t r = 0; r < n; ++r) labels[static_cast<size_t>(r)] = label_col.CodeAt(r);
+
+  std::vector<std::vector<double>> scores(
+      static_cast<size_t>(num_classes_),
+      std::vector<double>(static_cast<size_t>(n), 0.0));
+  rounds_.clear();
+
+  std::vector<int> all_rows(static_cast<size_t>(n));
+  std::iota(all_rows.begin(), all_rows.end(), 0);
+  std::vector<double> probs(static_cast<size_t>(num_classes_));
+
+  for (int round = 0; round < config_.num_rounds; ++round) {
+    std::vector<Tree> class_trees(static_cast<size_t>(num_classes_));
+    // Softmax gradients/hessians for every class from the current scores.
+    std::vector<std::vector<double>> grad(
+        static_cast<size_t>(num_classes_),
+        std::vector<double>(static_cast<size_t>(n)));
+    std::vector<std::vector<double>> hess = grad;
+    for (int64_t r = 0; r < n; ++r) {
+      double mx = -1e300;
+      for (int k = 0; k < num_classes_; ++k) {
+        mx = std::max(mx, scores[static_cast<size_t>(k)][static_cast<size_t>(r)]);
+      }
+      double sum = 0.0;
+      for (int k = 0; k < num_classes_; ++k) {
+        probs[static_cast<size_t>(k)] = std::exp(
+            scores[static_cast<size_t>(k)][static_cast<size_t>(r)] - mx);
+        sum += probs[static_cast<size_t>(k)];
+      }
+      for (int k = 0; k < num_classes_; ++k) {
+        double p = probs[static_cast<size_t>(k)] / sum;
+        double y = labels[static_cast<size_t>(r)] == k ? 1.0 : 0.0;
+        grad[static_cast<size_t>(k)][static_cast<size_t>(r)] = p - y;
+        hess[static_cast<size_t>(k)][static_cast<size_t>(r)] =
+            std::max(1e-6, p * (1.0 - p));
+      }
+    }
+    for (int k = 0; k < num_classes_; ++k) {
+      BuildTree(&class_trees[static_cast<size_t>(k)], features,
+                grad[static_cast<size_t>(k)], hess[static_cast<size_t>(k)],
+                all_rows, 0);
+      for (int64_t r = 0; r < n; ++r) {
+        scores[static_cast<size_t>(k)][static_cast<size_t>(r)] +=
+            config_.learning_rate *
+            class_trees[static_cast<size_t>(k)].Predict(
+                features[static_cast<size_t>(r)]);
+      }
+    }
+    rounds_.push_back(std::move(class_trees));
+  }
+}
+
+std::vector<int> Gbdt::Predict(const storage::Table& data) const {
+  DDUP_CHECK_MSG(!rounds_.empty(), "Predict before Train");
+  auto features = ExtractFeatures(data);
+  std::vector<int> preds(static_cast<size_t>(data.num_rows()));
+  for (int64_t r = 0; r < data.num_rows(); ++r) {
+    int best = 0;
+    double best_score = -1e300;
+    for (int k = 0; k < num_classes_; ++k) {
+      double s = 0.0;
+      for (const auto& round : rounds_) {
+        s += config_.learning_rate *
+             round[static_cast<size_t>(k)].Predict(
+                 features[static_cast<size_t>(r)]);
+      }
+      if (s > best_score) {
+        best_score = s;
+        best = k;
+      }
+    }
+    preds[static_cast<size_t>(r)] = best;
+  }
+  return preds;
+}
+
+double Gbdt::MicroF1(const storage::Table& test) const {
+  int target = test.ColumnIndex(target_column_);
+  DDUP_CHECK_MSG(target >= 0, "test table missing target column");
+  std::vector<int> preds = Predict(test);
+  const storage::Column& labels = test.column(target);
+  int64_t correct = 0;
+  for (int64_t r = 0; r < test.num_rows(); ++r) {
+    if (preds[static_cast<size_t>(r)] == labels.CodeAt(r)) ++correct;
+  }
+  // Micro-F1 over all classes == accuracy for single-label classification.
+  return test.num_rows() > 0
+             ? static_cast<double>(correct) / static_cast<double>(test.num_rows())
+             : 0.0;
+}
+
+}  // namespace ddup::models

@@ -1,0 +1,299 @@
+#include "models/mdn.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/stats.h"
+#include "common/status.h"
+#include "nn/ops.h"
+
+namespace ddup::models {
+
+namespace {
+
+constexpr double kHalfLog2Pi = 0.9189385332046727;  // 0.5 * log(2*pi)
+constexpr double kSigmaFloor = 1e-3;
+
+// Parameter layout: W1,b1,W2,b2, Wo,bo, Wm,bm, Ws,bs.
+struct MdnOutputs {
+  nn::Variable omega_logits;  // N x M
+  nn::Variable mu;            // N x M
+  nn::Variable sigma;         // N x M (softplus + floor)
+};
+
+MdnOutputs ForwardNet(const std::vector<nn::Variable>& p,
+                      const nn::Variable& x) {
+  using namespace nn;  // NOLINT: op-heavy function
+  Variable h = Relu(Add(MatMul(x, p[0]), p[1]));
+  h = Relu(Add(MatMul(h, p[2]), p[3]));
+  MdnOutputs out;
+  out.omega_logits = Add(MatMul(h, p[4]), p[5]);
+  out.mu = Add(MatMul(h, p[6]), p[7]);
+  out.sigma = AddScalar(Softplus(Add(MatMul(h, p[8]), p[9])), kSigmaFloor);
+  return out;
+}
+
+// -log p(y|x) per the Gaussian mixture, averaged over the batch.
+nn::Variable MixtureNllFromOutputs(const MdnOutputs& out,
+                                   const nn::Matrix& y_norm) {
+  using namespace nn;  // NOLINT
+  int m = out.mu.cols();
+  Variable y = BroadcastCol(Constant(y_norm), m);
+  Variable inv_sigma = Reciprocal(out.sigma);
+  Variable z = Mul(Sub(y, out.mu), inv_sigma);
+  // log N(y; mu_i, sigma_i) = -0.5*log(2pi) - log sigma_i - 0.5 z^2
+  Variable log_normal = Sub(Scale(Square(z), -0.5),
+                            AddScalar(Log(out.sigma), kHalfLog2Pi));
+  Variable log_w = LogSoftmax(out.omega_logits);
+  Variable loglik = LogSumExp(Add(log_w, log_normal));  // N x 1
+  return Neg(Mean(loglik));
+}
+
+}  // namespace
+
+Mdn::Mdn(const storage::Table& base_data, const std::string& categorical_column,
+         const std::string& numeric_column, MdnConfig config)
+    : config_(config),
+      cat_name_(categorical_column),
+      num_name_(numeric_column),
+      rng_(config.seed) {
+  cat_index_ = base_data.ColumnIndex(categorical_column);
+  num_index_ = base_data.ColumnIndex(numeric_column);
+  DDUP_CHECK_MSG(cat_index_ >= 0, "missing categorical column " +
+                                      categorical_column);
+  DDUP_CHECK_MSG(num_index_ >= 0, "missing numeric column " + numeric_column);
+  const storage::Column& cat = base_data.column(cat_index_);
+  DDUP_CHECK_MSG(!cat.is_numeric(), "MDN equality attribute must be categorical");
+  DDUP_CHECK_MSG(base_data.column(num_index_).is_numeric(),
+                 "MDN range attribute must be numeric");
+  cardinality_ = cat.cardinality();
+  normalizer_ = MinMaxNormalizer::Fit(base_data.column(num_index_));
+  RetrainFromScratch(base_data);
+}
+
+void Mdn::InitParams() {
+  using nn::Matrix;
+  auto xavier = [this](int in, int out) {
+    double s = std::sqrt(2.0 / static_cast<double>(in + out));
+    return nn::Parameter(Matrix::Randn(rng_, in, out, s));
+  };
+  auto zeros = [](int out) {
+    return nn::Parameter(nn::Matrix::Zeros(1, out));
+  };
+  int h = config_.hidden_width;
+  int m = config_.num_components;
+  params_ = {xavier(cardinality_, h), zeros(h), xavier(h, h), zeros(h),
+             xavier(h, m),            zeros(m), xavier(h, m), zeros(m),
+             xavier(h, m),            zeros(m)};
+}
+
+Mdn::Batch Mdn::MakeBatch(const storage::Table& data,
+                          const std::vector<int64_t>& rows) const {
+  Batch b;
+  b.codes.reserve(rows.size());
+  b.y = nn::Matrix(static_cast<int>(rows.size()), 1);
+  const storage::Column& cat = data.column(cat_index_);
+  const storage::Column& num = data.column(num_index_);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    b.codes.push_back(cat.CodeAt(rows[i]));
+    b.y.At(static_cast<int>(i), 0) = normalizer_.Encode(num.NumericAt(rows[i]));
+  }
+  return b;
+}
+
+nn::Variable Mdn::NllLoss(const std::vector<nn::Variable>& params,
+                          const Batch& batch) const {
+  nn::Variable x = nn::Constant(OneHot(batch.codes, cardinality_));
+  return MixtureNllFromOutputs(ForwardNet(params, x), batch.y);
+}
+
+void Mdn::TrainLoop(const storage::Table& data, double lr, int epochs) {
+  DDUP_CHECK(data.num_rows() > 0);
+  nn::Adam opt(params_, lr);
+  for (int e = 0; e < epochs; ++e) {
+    for (const auto& rows : MiniBatches(data.num_rows(), config_.batch_size,
+                                        rng_)) {
+      Batch batch = MakeBatch(data, rows);
+      opt.ZeroGrad();
+      nn::Variable loss = NllLoss(params_, batch);
+      nn::Backward(loss);
+      opt.Step();
+    }
+  }
+}
+
+void Mdn::RetrainFromScratch(const storage::Table& data) {
+  InitParams();
+  ResetMetadata();
+  AbsorbMetadata(data);
+  TrainLoop(data, config_.learning_rate, config_.epochs);
+}
+
+void Mdn::ResetMetadata() {
+  frequency_.assign(static_cast<size_t>(cardinality_), 0);
+}
+
+void Mdn::FineTune(const storage::Table& new_data, double learning_rate,
+                   int epochs) {
+  TrainLoop(new_data, learning_rate, epochs);
+}
+
+void Mdn::DistillUpdate(const storage::Table& transfer_set,
+                        const storage::Table& new_data,
+                        const core::DistillConfig& config) {
+  using namespace nn;  // NOLINT
+  // Sequential self-distillation: the frozen copy of the current parameters
+  // is the teacher; this model continues training as the student.
+  std::vector<Variable> teacher = AsConstants(params_);
+  double alpha =
+      core::ResolveAlpha(config, transfer_set.num_rows(), new_data.num_rows());
+
+  Adam opt(params_, config.learning_rate);
+  for (int e = 0; e < config.epochs; ++e) {
+    auto tr_batches =
+        MiniBatches(transfer_set.num_rows(), config.batch_size, rng_);
+    auto up_batches = MiniBatches(new_data.num_rows(), config.batch_size, rng_);
+    size_t steps = std::max(tr_batches.size(), up_batches.size());
+    for (size_t s = 0; s < steps; ++s) {
+      Batch tr = MakeBatch(transfer_set, tr_batches[s % tr_batches.size()]);
+      Batch up = MakeBatch(new_data, up_batches[s % up_batches.size()]);
+
+      Variable x_tr = Constant(OneHot(tr.codes, cardinality_));
+      MdnOutputs s_out = ForwardNet(params_, x_tr);
+      MdnOutputs t_out = ForwardNet(teacher, x_tr);
+      // Eq. 9: annealed CE on mixture weights + MSE on means and sigmas.
+      Variable distill = Add(
+          DistillCrossEntropy(s_out.omega_logits, t_out.omega_logits,
+                              config.temperature),
+          Add(MseLoss(s_out.mu, Detach(t_out.mu)),
+              MseLoss(s_out.sigma, Detach(t_out.sigma))));
+      Variable task_tr = MixtureNllFromOutputs(s_out, tr.y);
+      Variable tr_term = Add(Scale(distill, config.lambda),
+                             Scale(task_tr, 1.0 - config.lambda));
+      Variable up_term = NllLoss(params_, up);
+      // Eq. 5.
+      Variable loss =
+          Add(Scale(tr_term, alpha), Scale(up_term, 1.0 - alpha));
+      opt.ZeroGrad();
+      Backward(loss);
+      opt.Step();
+    }
+  }
+}
+
+void Mdn::AbsorbMetadata(const storage::Table& new_data) {
+  const storage::Column& cat = new_data.column(cat_index_);
+  for (int64_t r = 0; r < new_data.num_rows(); ++r) {
+    ++frequency_[static_cast<size_t>(cat.CodeAt(r))];
+  }
+}
+
+double Mdn::AverageLoss(const storage::Table& sample) const {
+  DDUP_CHECK(sample.num_rows() > 0);
+  std::vector<int64_t> rows(static_cast<size_t>(sample.num_rows()));
+  for (int64_t i = 0; i < sample.num_rows(); ++i) rows[static_cast<size_t>(i)] = i;
+  Batch b = MakeBatch(sample, rows);
+  // Forward over frozen parameters: no gradient graph is built.
+  std::vector<nn::Variable> frozen = nn::AsConstants(params_);
+  return NllLoss(frozen, b).value().At(0, 0);
+}
+
+double Mdn::AverageLogLikelihood(const storage::Table& sample) const {
+  return -AverageLoss(sample);
+}
+
+int64_t Mdn::frequency(int category) const {
+  DDUP_CHECK(category >= 0 && category < cardinality_);
+  return frequency_[static_cast<size_t>(category)];
+}
+
+Mdn::MixtureParams Mdn::MixtureFor(int category) const {
+  DDUP_CHECK(category >= 0 && category < cardinality_);
+  std::vector<nn::Variable> frozen = nn::AsConstants(params_);
+  nn::Variable x = nn::Constant(OneHot({category}, cardinality_));
+  MdnOutputs out = ForwardNet(frozen, x);
+  nn::Variable w = nn::Softmax(out.omega_logits);
+  MixtureParams mp;
+  for (int i = 0; i < config_.num_components; ++i) {
+    mp.weight.push_back(w.value().At(0, i));
+    mp.mean.push_back(out.mu.value().At(0, i));
+    mp.sigma.push_back(out.sigma.value().At(0, i));
+  }
+  return mp;
+}
+
+double Mdn::ConditionalDensity(int category, double y_raw) const {
+  MixtureParams mp = MixtureFor(category);
+  double y = normalizer_.Encode(y_raw);
+  double p = 0.0;
+  for (size_t i = 0; i < mp.weight.size(); ++i) {
+    p += mp.weight[i] * NormalPdf(y, mp.mean[i], mp.sigma[i]);
+  }
+  // Densities transform with the normalization Jacobian dy_norm/dy_raw.
+  return p / normalizer_.Scale();
+}
+
+std::optional<AqpQueryView> Mdn::ParseQuery(const workload::Query& query,
+                                            const storage::Table& schema) const {
+  AqpQueryView view;
+  view.agg = query.agg;
+  bool have_cat = false, have_lo = false, have_hi = false;
+  view.lo = normalizer_.lo();
+  view.hi = normalizer_.hi();
+  for (const auto& p : query.predicates) {
+    const std::string& col = schema.column(p.column).name();
+    if (col == cat_name_ && p.op == workload::CompareOp::kEq) {
+      view.category = static_cast<int>(std::llround(p.value));
+      have_cat = true;
+    } else if (col == num_name_ && p.op == workload::CompareOp::kGe) {
+      view.lo = p.value;
+      have_lo = true;
+    } else if (col == num_name_ && p.op == workload::CompareOp::kLe) {
+      view.hi = p.value;
+      have_hi = true;
+    } else {
+      return std::nullopt;
+    }
+  }
+  if (!have_cat || (!have_lo && !have_hi)) return std::nullopt;
+  return view;
+}
+
+double Mdn::EstimateAqp(const AqpQueryView& view) const {
+  DDUP_CHECK(view.category >= 0 && view.category < cardinality_);
+  MixtureParams mp = MixtureFor(view.category);
+  double lo_n = normalizer_.Encode(view.lo);
+  double hi_n = normalizer_.Encode(view.hi);
+  double mass = 0.0;          // P(lo <= y <= hi | x)
+  double partial_mean = 0.0;  // E[y_norm * 1{lo<=y<=hi} | x]
+  for (size_t i = 0; i < mp.weight.size(); ++i) {
+    mass += mp.weight[i] * (NormalCdf(hi_n, mp.mean[i], mp.sigma[i]) -
+                            NormalCdf(lo_n, mp.mean[i], mp.sigma[i]));
+    partial_mean += mp.weight[i] * TruncatedNormalPartialExpectation(
+                                       mp.mean[i], mp.sigma[i], lo_n, hi_n);
+  }
+  double freq = static_cast<double>(frequency_[static_cast<size_t>(view.category)]);
+  double count = freq * mass;
+  // y_raw = scale * y_norm + center.
+  double scale = normalizer_.Scale();
+  double center = (normalizer_.hi() + normalizer_.lo()) / 2.0;
+  double sum = freq * (scale * partial_mean + center * mass);
+  switch (view.agg) {
+    case workload::AggFunc::kCount:
+      return count;
+    case workload::AggFunc::kSum:
+      return sum;
+    case workload::AggFunc::kAvg:
+      return count > 1e-9 ? sum / count : center;
+  }
+  return count;
+}
+
+double Mdn::EstimateAqp(const workload::Query& query,
+                        const storage::Table& schema) const {
+  auto view = ParseQuery(query, schema);
+  DDUP_CHECK_MSG(view.has_value(), "query does not match the AQP template");
+  return EstimateAqp(*view);
+}
+
+}  // namespace ddup::models

@@ -1,0 +1,109 @@
+#ifndef DDUP_MODELS_MDN_H_
+#define DDUP_MODELS_MDN_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/interfaces.h"
+#include "models/encoding.h"
+#include "nn/layers.h"
+#include "nn/optim.h"
+#include "workload/query.h"
+
+namespace ddup::models {
+
+// DBEst++-style AQP engine (§4.3 "Mixture Density Networks"): a mixture
+// density network models the conditional density p(y | x) of a numeric
+// attribute y given a categorical attribute x, and a per-category frequency
+// table tracks group sizes. COUNT/SUM/AVG range aggregates are answered with
+// analytic Gaussian integrals — no data access at query time.
+struct MdnConfig {
+  int num_components = 8;
+  int hidden_width = 64;
+  int epochs = 25;
+  int batch_size = 128;
+  double learning_rate = 5e-3;
+  uint64_t seed = 7;
+};
+
+// View of a DBEst++-style query (one equality on the categorical column,
+// a [lo, hi] range on the numeric column).
+struct AqpQueryView {
+  int category = 0;
+  double lo = 0.0;
+  double hi = 0.0;
+  workload::AggFunc agg = workload::AggFunc::kCount;
+};
+
+class Mdn : public core::UpdatableModel {
+ public:
+  // Fits encoders on `base_data` and trains the base model M0 on it.
+  Mdn(const storage::Table& base_data, const std::string& categorical_column,
+      const std::string& numeric_column, MdnConfig config);
+
+  // core::UpdatableModel:
+  double AverageLoss(const storage::Table& sample) const override;
+  std::string name() const override { return "mdn"; }
+  void FineTune(const storage::Table& new_data, double learning_rate,
+                int epochs) override;
+  void DistillUpdate(const storage::Table& transfer_set,
+                     const storage::Table& new_data,
+                     const core::DistillConfig& config) override;
+  void RetrainFromScratch(const storage::Table& data) override;
+  void AbsorbMetadata(const storage::Table& new_data) override;
+  void ResetMetadata() override;
+
+  // Average log-likelihood (= -AverageLoss); the paper reports this signal.
+  double AverageLogLikelihood(const storage::Table& sample) const;
+
+  // Parses a workload query against this model's columns; nullopt if the
+  // query does not match the template.
+  std::optional<AqpQueryView> ParseQuery(const workload::Query& query,
+                                         const storage::Table& schema) const;
+  // COUNT/SUM/AVG estimate for a template query.
+  double EstimateAqp(const AqpQueryView& view) const;
+  // Convenience: parse + estimate (CHECKs that the query matches).
+  double EstimateAqp(const workload::Query& query,
+                     const storage::Table& schema) const;
+
+  // Conditional density of normalized y given a category (used by tests and
+  // the quickstart example).
+  double ConditionalDensity(int category, double y_raw) const;
+  const MinMaxNormalizer& normalizer() const { return normalizer_; }
+  int64_t frequency(int category) const;
+
+ private:
+  struct Batch {
+    std::vector<int> codes;
+    nn::Matrix y;  // N x 1 normalized targets
+  };
+
+  struct MixtureParams {
+    std::vector<double> weight, mean, sigma;
+  };
+
+  Batch MakeBatch(const storage::Table& data,
+                  const std::vector<int64_t>& rows) const;
+  nn::Variable NllLoss(const std::vector<nn::Variable>& params,
+                       const Batch& batch) const;
+  void InitParams();
+  void TrainLoop(const storage::Table& data, double lr, int epochs);
+  MixtureParams MixtureFor(int category) const;
+
+  MdnConfig config_;
+  std::string cat_name_, num_name_;
+  int cat_index_ = -1, num_index_ = -1;
+  int cardinality_ = 0;
+  MinMaxNormalizer normalizer_;
+  std::vector<nn::Variable> params_;
+  std::vector<int64_t> frequency_;
+  mutable Rng rng_;
+};
+
+}  // namespace ddup::models
+
+#endif  // DDUP_MODELS_MDN_H_

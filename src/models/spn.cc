@@ -1,0 +1,283 @@
+#include "models/spn.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/stats.h"
+#include "common/status.h"
+
+namespace ddup::models {
+
+namespace {
+constexpr double kLaplace = 0.1;  // histogram smoothing pseudo-count
+}
+
+Spn::Spn(const storage::Table& base_data, SpnConfig config)
+    : config_(config), rng_(config.seed) {
+  DDUP_CHECK(base_data.num_rows() > 0);
+  encoder_ = DiscreteEncoder::Fit(base_data, config_.max_bins);
+  Rebuild(base_data);
+}
+
+std::unique_ptr<Spn::Node> Spn::MakeLeaf(const CodeRows& codes,
+                                         const std::vector<int64_t>& rows,
+                                         int column) {
+  auto node = std::make_unique<Node>();
+  node->type = Node::Type::kLeaf;
+  node->column = column;
+  node->scope = {column};
+  node->bin_counts.assign(static_cast<size_t>(encoder_.cardinality(column)),
+                          0.0);
+  for (int64_t r : rows) {
+    node->bin_counts[static_cast<size_t>(
+        codes[static_cast<size_t>(column)][static_cast<size_t>(r)])] += 1.0;
+  }
+  node->leaf_total = static_cast<double>(rows.size());
+  return node;
+}
+
+std::unique_ptr<Spn::Node> Spn::MakeProductOfLeaves(
+    const CodeRows& codes, const std::vector<int64_t>& rows,
+    const std::vector<int>& scope) {
+  if (scope.size() == 1) return MakeLeaf(codes, rows, scope[0]);
+  auto node = std::make_unique<Node>();
+  node->type = Node::Type::kProduct;
+  node->scope = scope;
+  for (int col : scope) node->children.push_back(MakeLeaf(codes, rows, col));
+  return node;
+}
+
+std::unique_ptr<Spn::Node> Spn::Build(const CodeRows& codes,
+                                      const std::vector<int64_t>& rows,
+                                      std::vector<int> scope, int depth,
+                                      Rng& rng) {
+  if (scope.size() == 1) return MakeLeaf(codes, rows, scope[0]);
+  if (static_cast<int>(rows.size()) < config_.min_instances_slice ||
+      depth >= config_.max_depth) {
+    return MakeProductOfLeaves(codes, rows, scope);
+  }
+
+  // Try an independence split: connected components of the |pearson| >=
+  // threshold graph over the scope columns.
+  size_t m = scope.size();
+  std::vector<std::vector<double>> values(m);
+  for (size_t i = 0; i < m; ++i) {
+    values[i].reserve(rows.size());
+    for (int64_t r : rows) {
+      values[i].push_back(static_cast<double>(
+          codes[static_cast<size_t>(scope[i])][static_cast<size_t>(r)]));
+    }
+  }
+  std::vector<int> component(m, -1);
+  int num_components = 0;
+  for (size_t i = 0; i < m; ++i) {
+    if (component[i] >= 0) continue;
+    // BFS from i.
+    std::vector<size_t> frontier = {i};
+    component[i] = num_components;
+    while (!frontier.empty()) {
+      size_t a = frontier.back();
+      frontier.pop_back();
+      for (size_t b = 0; b < m; ++b) {
+        if (component[b] >= 0) continue;
+        if (std::fabs(PearsonCorrelation(values[a], values[b])) >=
+            config_.correlation_threshold) {
+          component[b] = num_components;
+          frontier.push_back(b);
+        }
+      }
+    }
+    ++num_components;
+  }
+  if (num_components > 1) {
+    auto node = std::make_unique<Node>();
+    node->type = Node::Type::kProduct;
+    node->scope = scope;
+    for (int comp = 0; comp < num_components; ++comp) {
+      std::vector<int> sub;
+      for (size_t i = 0; i < m; ++i) {
+        if (component[i] == comp) sub.push_back(scope[i]);
+      }
+      node->children.push_back(Build(codes, rows, sub, depth + 1, rng));
+    }
+    return node;
+  }
+
+  // Row clustering: 2-means over standardized encoded values of the scope.
+  std::vector<double> mean(m, 0.0), std(m, 1.0);
+  for (size_t i = 0; i < m; ++i) {
+    mean[i] = Mean(values[i]);
+    std[i] = std::max(1e-9, StdDev(values[i]));
+  }
+  size_t n = rows.size();
+  std::vector<std::vector<double>> centroid(2, std::vector<double>(m));
+  size_t seed_a = static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(n) - 1));
+  size_t seed_b = static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(n) - 1));
+  for (size_t i = 0; i < m; ++i) {
+    centroid[0][i] = (values[i][seed_a] - mean[i]) / std[i];
+    centroid[1][i] = (values[i][seed_b] - mean[i]) / std[i];
+  }
+  std::vector<int> assign(n, 0);
+  for (int iter = 0; iter < 8; ++iter) {
+    for (size_t r = 0; r < n; ++r) {
+      double d0 = 0.0, d1 = 0.0;
+      for (size_t i = 0; i < m; ++i) {
+        double v = (values[i][r] - mean[i]) / std[i];
+        d0 += (v - centroid[0][i]) * (v - centroid[0][i]);
+        d1 += (v - centroid[1][i]) * (v - centroid[1][i]);
+      }
+      assign[r] = d1 < d0 ? 1 : 0;
+    }
+    for (int k = 0; k < 2; ++k) {
+      double cnt = 0.0;
+      std::vector<double> acc(m, 0.0);
+      for (size_t r = 0; r < n; ++r) {
+        if (assign[r] != k) continue;
+        cnt += 1.0;
+        for (size_t i = 0; i < m; ++i) {
+          acc[i] += (values[i][r] - mean[i]) / std[i];
+        }
+      }
+      if (cnt > 0) {
+        for (size_t i = 0; i < m; ++i) centroid[static_cast<size_t>(k)][i] = acc[i] / cnt;
+      }
+    }
+  }
+  std::vector<int64_t> rows0, rows1;
+  for (size_t r = 0; r < n; ++r) {
+    (assign[r] == 0 ? rows0 : rows1).push_back(rows[r]);
+  }
+  if (rows0.empty() || rows1.empty()) {
+    // Degenerate clustering: model the slice as independent columns.
+    return MakeProductOfLeaves(codes, rows, scope);
+  }
+
+  auto node = std::make_unique<Node>();
+  node->type = Node::Type::kSum;
+  node->scope = scope;
+  node->child_counts = {static_cast<double>(rows0.size()),
+                        static_cast<double>(rows1.size())};
+  // Store de-standardized centroids for insert routing.
+  node->centroids.assign(2, std::vector<double>(m));
+  for (int k = 0; k < 2; ++k) {
+    for (size_t i = 0; i < m; ++i) {
+      node->centroids[static_cast<size_t>(k)][i] =
+          centroid[static_cast<size_t>(k)][i] * std[i] + mean[i];
+    }
+  }
+  node->children.push_back(Build(codes, rows0, scope, depth + 1, rng));
+  node->children.push_back(Build(codes, rows1, scope, depth + 1, rng));
+  return node;
+}
+
+void Spn::Rebuild(const storage::Table& all_data) {
+  CodeRows codes = encoder_.EncodeTable(all_data);
+  std::vector<int64_t> rows(static_cast<size_t>(all_data.num_rows()));
+  std::iota(rows.begin(), rows.end(), 0);
+  std::vector<int> scope(static_cast<size_t>(encoder_.num_columns()));
+  std::iota(scope.begin(), scope.end(), 0);
+  root_ = Build(codes, rows, scope, 0, rng_);
+  total_rows_ = all_data.num_rows();
+}
+
+double Spn::NodeProbability(
+    const Node& node, const std::vector<std::pair<int, int>>& ranges) const {
+  switch (node.type) {
+    case Node::Type::kLeaf: {
+      auto [lo, hi] = ranges[static_cast<size_t>(node.column)];
+      if (lo > hi) return 0.0;
+      int k = static_cast<int>(node.bin_counts.size());
+      double total = node.leaf_total + kLaplace * k;
+      double mass = 0.0;
+      for (int b = lo; b <= hi; ++b) {
+        mass += node.bin_counts[static_cast<size_t>(b)] + kLaplace;
+      }
+      return mass / total;
+    }
+    case Node::Type::kProduct: {
+      double p = 1.0;
+      for (const auto& child : node.children) {
+        p *= NodeProbability(*child, ranges);
+        if (p == 0.0) break;
+      }
+      return p;
+    }
+    case Node::Type::kSum: {
+      double total = 0.0;
+      for (double c : node.child_counts) total += c;
+      double p = 0.0;
+      for (size_t i = 0; i < node.children.size(); ++i) {
+        p += node.child_counts[i] / total *
+             NodeProbability(*node.children[i], ranges);
+      }
+      return p;
+    }
+  }
+  return 0.0;
+}
+
+double Spn::EstimateProbability(const workload::Query& query) const {
+  auto ranges = encoder_.AllowedRanges(query);
+  return NodeProbability(*root_, ranges);
+}
+
+double Spn::EstimateCardinality(const workload::Query& query) const {
+  return EstimateProbability(query) * static_cast<double>(total_rows_);
+}
+
+void Spn::RouteRow(Node* node, const std::vector<int>& row_codes) {
+  switch (node->type) {
+    case Node::Type::kLeaf:
+      node->bin_counts[static_cast<size_t>(
+          row_codes[static_cast<size_t>(node->column)])] += 1.0;
+      node->leaf_total += 1.0;
+      return;
+    case Node::Type::kProduct:
+      for (auto& child : node->children) RouteRow(child.get(), row_codes);
+      return;
+    case Node::Type::kSum: {
+      // Route toward the nearest stored centroid (DeepDB's cluster routing).
+      size_t best = 0;
+      double best_dist = 1e300;
+      for (size_t k = 0; k < node->centroids.size(); ++k) {
+        double d = 0.0;
+        for (size_t i = 0; i < node->scope.size(); ++i) {
+          double v = static_cast<double>(
+              row_codes[static_cast<size_t>(node->scope[i])]);
+          d += (v - node->centroids[k][i]) * (v - node->centroids[k][i]);
+        }
+        if (d < best_dist) {
+          best_dist = d;
+          best = k;
+        }
+      }
+      node->child_counts[best] += 1.0;
+      RouteRow(node->children[best].get(), row_codes);
+      return;
+    }
+  }
+}
+
+void Spn::Update(const storage::Table& new_data) {
+  CodeRows codes = encoder_.EncodeTable(new_data);
+  std::vector<int> row_codes(static_cast<size_t>(encoder_.num_columns()));
+  for (int64_t r = 0; r < new_data.num_rows(); ++r) {
+    for (int c = 0; c < encoder_.num_columns(); ++c) {
+      row_codes[static_cast<size_t>(c)] =
+          codes[static_cast<size_t>(c)][static_cast<size_t>(r)];
+    }
+    RouteRow(root_.get(), row_codes);
+  }
+  total_rows_ += new_data.num_rows();
+}
+
+int Spn::CountNodes(const Node& node) {
+  int n = 1;
+  for (const auto& c : node.children) n += CountNodes(*c);
+  return n;
+}
+
+int Spn::NodeCount() const { return root_ ? CountNodes(*root_) : 0; }
+
+}  // namespace ddup::models

@@ -1,0 +1,88 @@
+#ifndef DDUP_MODELS_SPN_H_
+#define DDUP_MODELS_SPN_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "models/encoding.h"
+#include "storage/table.h"
+#include "workload/query.h"
+
+namespace ddup::models {
+
+// DeepDB-style sum-product network (§5.7's non-NN reference point).
+// Structure learning alternates independence-based column splits (product
+// nodes) with k-means row clustering (sum nodes); leaves are histograms over
+// the shared DiscreteEncoder's bins. Insert-updates route each new row down
+// the network, adjusting sum weights and leaf histograms — cheap, but it
+// never restructures, which is exactly the degradation the paper observes.
+struct SpnConfig {
+  int min_instances_slice = 300;
+  double correlation_threshold = 0.3;
+  int max_bins = 32;
+  int max_depth = 12;
+  uint64_t seed = 17;
+};
+
+class Spn {
+ public:
+  Spn(const storage::Table& base_data, SpnConfig config);
+
+  // P(conjunctive predicates) under the learned joint.
+  double EstimateProbability(const workload::Query& query) const;
+  // P * total_rows.
+  double EstimateCardinality(const workload::Query& query) const;
+
+  // DeepDB-style incremental insert: routes rows down the existing
+  // structure (weights + histograms only).
+  void Update(const storage::Table& new_data);
+  // Full rebuild (retrain-from-scratch reference).
+  void Rebuild(const storage::Table& all_data);
+
+  int64_t total_rows() const { return total_rows_; }
+  int NodeCount() const;
+
+ private:
+  struct Node {
+    enum class Type { kSum, kProduct, kLeaf };
+    Type type = Type::kLeaf;
+    // All node types: columns this subtree models.
+    std::vector<int> scope;
+    std::vector<std::unique_ptr<Node>> children;
+    // Sum nodes: child pseudo-counts (weights) and per-child centroids over
+    // `scope` (encoded space) used to route inserted rows.
+    std::vector<double> child_counts;
+    std::vector<std::vector<double>> centroids;
+    // Leaf nodes.
+    int column = -1;
+    std::vector<double> bin_counts;
+    double leaf_total = 0.0;
+  };
+
+  using CodeRows = std::vector<std::vector<int>>;  // codes[col][row]
+
+  std::unique_ptr<Node> Build(const CodeRows& codes,
+                              const std::vector<int64_t>& rows,
+                              std::vector<int> scope, int depth, Rng& rng);
+  std::unique_ptr<Node> MakeLeaf(const CodeRows& codes,
+                                 const std::vector<int64_t>& rows, int column);
+  std::unique_ptr<Node> MakeProductOfLeaves(const CodeRows& codes,
+                                            const std::vector<int64_t>& rows,
+                                            const std::vector<int>& scope);
+  double NodeProbability(const Node& node,
+                         const std::vector<std::pair<int, int>>& ranges) const;
+  void RouteRow(Node* node, const std::vector<int>& row_codes);
+  static int CountNodes(const Node& node);
+
+  SpnConfig config_;
+  DiscreteEncoder encoder_;
+  std::unique_ptr<Node> root_;
+  int64_t total_rows_ = 0;
+  Rng rng_;
+};
+
+}  // namespace ddup::models
+
+#endif  // DDUP_MODELS_SPN_H_

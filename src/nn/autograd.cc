@@ -1,0 +1,97 @@
+#include "nn/autograd.h"
+
+#include <algorithm>
+#include <atomic>
+#include <unordered_set>
+
+#include "common/status.h"
+
+namespace ddup::nn {
+
+namespace {
+std::atomic<uint64_t> g_sequence{0};
+}  // namespace
+
+void Node::EnsureGrad() {
+  if (grad.rows() != value.rows() || grad.cols() != value.cols()) {
+    grad = Matrix::Zeros(value.rows(), value.cols());
+  }
+}
+
+Variable::Variable(Matrix value, bool requires_grad) {
+  node_ = std::make_shared<Node>();
+  node_->value = std::move(value);
+  node_->requires_grad = requires_grad;
+  node_->sequence = g_sequence.fetch_add(1, std::memory_order_relaxed);
+}
+
+const Matrix& Variable::value() const {
+  DDUP_CHECK(defined());
+  return node_->value;
+}
+
+Matrix& Variable::mutable_value() {
+  DDUP_CHECK(defined());
+  return node_->value;
+}
+
+const Matrix& Variable::grad() const {
+  DDUP_CHECK(defined());
+  return node_->grad;
+}
+
+bool Variable::requires_grad() const {
+  DDUP_CHECK(defined());
+  return node_->requires_grad;
+}
+
+void Variable::ZeroGrad() {
+  DDUP_CHECK(defined());
+  if (!node_->grad.empty()) node_->grad.Fill(0.0);
+}
+
+Variable Variable::Wrap(std::shared_ptr<Node> node) {
+  node->sequence = g_sequence.fetch_add(1, std::memory_order_relaxed);
+  Variable v;
+  v.node_ = std::move(node);
+  return v;
+}
+
+Variable Constant(Matrix value) { return Variable(std::move(value), false); }
+
+Variable ConstantScalar(double value) {
+  return Variable(Matrix::Constant(1, 1, value), false);
+}
+
+Variable Parameter(Matrix value) { return Variable(std::move(value), true); }
+
+void Backward(const Variable& root) {
+  DDUP_CHECK(root.defined());
+  DDUP_CHECK_MSG(root.rows() == 1 && root.cols() == 1,
+                 "Backward root must be a scalar");
+  // Collect the subgraph reachable from the root (iterative DFS; graphs can
+  // be thousands of nodes deep for long sequential losses).
+  std::vector<Node*> order;
+  std::unordered_set<Node*> visited;
+  std::vector<Node*> stack = {root.node().get()};
+  while (!stack.empty()) {
+    Node* n = stack.back();
+    stack.pop_back();
+    if (!visited.insert(n).second) continue;
+    order.push_back(n);
+    for (const auto& p : n->parents) stack.push_back(p.get());
+  }
+  // Creation order is a topological order for this DAG (parents are always
+  // created before children), so descending sequence is a valid reverse
+  // topological order for backprop.
+  std::sort(order.begin(), order.end(),
+            [](const Node* a, const Node* b) { return a->sequence > b->sequence; });
+
+  root.node()->EnsureGrad();
+  root.node()->grad.At(0, 0) += 1.0;
+  for (Node* n : order) {
+    if (n->backward && !n->grad.empty()) n->backward(*n);
+  }
+}
+
+}  // namespace ddup::nn

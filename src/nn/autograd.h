@@ -1,0 +1,69 @@
+#ifndef DDUP_NN_AUTOGRAD_H_
+#define DDUP_NN_AUTOGRAD_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "nn/matrix.h"
+
+namespace ddup::nn {
+
+// Reverse-mode automatic differentiation over a dynamically built DAG.
+// Each op in ops.h creates a Node whose `backward` closure scatters the
+// node's gradient into its parents. There is no global tape: the graph is
+// owned by shared_ptr edges (child -> parents) and freed when the last
+// Variable handle goes out of scope.
+struct Node {
+  Matrix value;
+  Matrix grad;  // Allocated lazily; same shape as value once used.
+  bool requires_grad = false;
+  std::vector<std::shared_ptr<Node>> parents;
+  // Accumulates into parents' grads given this node's grad. Null for leaves.
+  std::function<void(Node&)> backward;
+  // Monotonic creation index; gives a valid reverse-topological order.
+  uint64_t sequence = 0;
+
+  void EnsureGrad();
+};
+
+// Value-semantic handle to a Node. Copies alias the same node.
+class Variable {
+ public:
+  Variable() = default;
+  // Wraps `value`; `requires_grad` marks trainable leaves (parameters).
+  explicit Variable(Matrix value, bool requires_grad = false);
+
+  bool defined() const { return node_ != nullptr; }
+  const Matrix& value() const;
+  Matrix& mutable_value();
+  const Matrix& grad() const;
+  bool requires_grad() const;
+  int rows() const { return value().rows(); }
+  int cols() const { return value().cols(); }
+
+  void ZeroGrad();
+  const std::shared_ptr<Node>& node() const { return node_; }
+
+  // Internal: used by ops.cc to wrap freshly built nodes.
+  static Variable Wrap(std::shared_ptr<Node> node);
+
+ private:
+  std::shared_ptr<Node> node_;
+};
+
+// Convenience constructors.
+Variable Constant(Matrix value);
+Variable ConstantScalar(double value);
+Variable Parameter(Matrix value);
+
+// Runs backpropagation from `root`, which must be a 1x1 scalar. Seeds the
+// root gradient with 1 and applies each node's backward closure in reverse
+// topological order. Gradients of parameters accumulate across calls until
+// ZeroGrad.
+void Backward(const Variable& root);
+
+}  // namespace ddup::nn
+
+#endif  // DDUP_NN_AUTOGRAD_H_

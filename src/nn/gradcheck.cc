@@ -1,0 +1,41 @@
+#include "nn/gradcheck.h"
+
+#include <cmath>
+
+#include "common/status.h"
+
+namespace ddup::nn {
+
+double MaxGradientError(const std::function<Variable()>& loss_fn,
+                        std::vector<Variable>* params, double epsilon) {
+  // Analytic pass.
+  for (auto& p : *params) p.ZeroGrad();
+  Variable loss = loss_fn();
+  Backward(loss);
+  std::vector<Matrix> analytic;
+  analytic.reserve(params->size());
+  for (auto& p : *params) {
+    analytic.push_back(p.grad().empty()
+                           ? Matrix::Zeros(p.rows(), p.cols())
+                           : p.grad());
+  }
+
+  double max_err = 0.0;
+  for (size_t pi = 0; pi < params->size(); ++pi) {
+    Matrix& value = (*params)[pi].mutable_value();
+    for (int64_t j = 0; j < value.size(); ++j) {
+      double orig = value.data()[j];
+      value.data()[j] = orig + epsilon;
+      double up = loss_fn().value().At(0, 0);
+      value.data()[j] = orig - epsilon;
+      double down = loss_fn().value().At(0, 0);
+      value.data()[j] = orig;
+      double numeric = (up - down) / (2.0 * epsilon);
+      double err = std::fabs(numeric - analytic[pi].data()[j]);
+      max_err = std::max(max_err, err);
+    }
+  }
+  return max_err;
+}
+
+}  // namespace ddup::nn

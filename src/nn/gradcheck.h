@@ -1,0 +1,21 @@
+#ifndef DDUP_NN_GRADCHECK_H_
+#define DDUP_NN_GRADCHECK_H_
+
+#include <functional>
+#include <vector>
+
+#include "nn/autograd.h"
+
+namespace ddup::nn {
+
+// Verifies autodiff gradients against central finite differences.
+//
+// `loss_fn` must rebuild the graph from the current parameter values and
+// return a scalar Variable. Returns the maximum absolute difference between
+// the analytic and numeric gradient across all parameter entries.
+double MaxGradientError(const std::function<Variable()>& loss_fn,
+                        std::vector<Variable>* params, double epsilon = 1e-5);
+
+}  // namespace ddup::nn
+
+#endif  // DDUP_NN_GRADCHECK_H_

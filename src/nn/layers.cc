@@ -1,0 +1,96 @@
+#include "nn/layers.h"
+
+#include <cmath>
+
+#include "common/status.h"
+
+namespace ddup::nn {
+
+namespace {
+Matrix XavierInit(Rng& rng, int in, int out) {
+  double scale = std::sqrt(2.0 / static_cast<double>(in + out));
+  return Matrix::Randn(rng, in, out, scale);
+}
+}  // namespace
+
+Linear::Linear(int in_features, int out_features, Rng& rng)
+    : in_features_(in_features),
+      out_features_(out_features),
+      weight_(Parameter(XavierInit(rng, in_features, out_features))),
+      bias_(Parameter(Matrix::Zeros(1, out_features))) {}
+
+Variable Linear::Forward(const Variable& x) const {
+  DDUP_CHECK_MSG(x.cols() == in_features_, "Linear input width mismatch");
+  return Add(MatMul(x, weight_), bias_);
+}
+
+void Linear::CollectParameters(std::vector<Variable>* out) const {
+  out->push_back(weight_);
+  out->push_back(bias_);
+}
+
+MaskedLinear::MaskedLinear(int in_features, int out_features, Matrix mask,
+                           Rng& rng)
+    : weight_(Parameter(XavierInit(rng, in_features, out_features))),
+      bias_(Parameter(Matrix::Zeros(1, out_features))),
+      mask_(std::move(mask)) {
+  DDUP_CHECK(mask_.rows() == in_features && mask_.cols() == out_features);
+}
+
+Variable MaskedLinear::Forward(const Variable& x) const {
+  Variable masked_w = Mul(weight_, Constant(mask_));
+  return Add(MatMul(x, masked_w), bias_);
+}
+
+void MaskedLinear::CollectParameters(std::vector<Variable>* out) const {
+  out->push_back(weight_);
+  out->push_back(bias_);
+}
+
+Mlp::Mlp(const std::vector<int>& sizes, Rng& rng) {
+  DDUP_CHECK_MSG(sizes.size() >= 2, "Mlp needs at least input and output size");
+  for (size_t i = 0; i + 1 < sizes.size(); ++i) {
+    layers_.emplace_back(sizes[i], sizes[i + 1], rng);
+  }
+}
+
+Variable Mlp::Forward(const Variable& x) const {
+  DDUP_CHECK(!layers_.empty());
+  Variable h = x;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    h = layers_[i].Forward(h);
+    if (i + 1 < layers_.size()) h = Relu(h);
+  }
+  return h;
+}
+
+void Mlp::CollectParameters(std::vector<Variable>* out) const {
+  for (const auto& layer : layers_) layer.CollectParameters(out);
+}
+
+std::vector<Variable> AsConstants(const std::vector<Variable>& params) {
+  std::vector<Variable> out;
+  out.reserve(params.size());
+  for (const auto& p : params) out.push_back(Constant(p.value()));
+  return out;
+}
+
+std::vector<Matrix> SnapshotValues(const std::vector<Variable>& params) {
+  std::vector<Matrix> snap;
+  snap.reserve(params.size());
+  for (const auto& p : params) snap.push_back(p.value());
+  return snap;
+}
+
+void RestoreValues(const std::vector<Matrix>& snapshot,
+                   std::vector<Variable>* params) {
+  DDUP_CHECK(snapshot.size() == params->size());
+  for (size_t i = 0; i < snapshot.size(); ++i) {
+    Matrix& dst = (*params)[i].mutable_value();
+    DDUP_CHECK(dst.rows() == snapshot[i].rows() &&
+               dst.cols() == snapshot[i].cols());
+    dst = snapshot[i];
+  }
+}
+
+}  // namespace ddup::nn

@@ -1,0 +1,85 @@
+#ifndef DDUP_NN_LAYERS_H_
+#define DDUP_NN_LAYERS_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/ops.h"
+
+namespace ddup::nn {
+
+// Fully connected layer: y = x * W + b, with W of shape in x out and b 1 x out.
+// Weights use Xavier/Glorot initialization.
+class Linear {
+ public:
+  Linear() = default;
+  Linear(int in_features, int out_features, Rng& rng);
+
+  Variable Forward(const Variable& x) const;
+
+  // Appends this layer's parameters to `out` (for optimizers/serialization).
+  void CollectParameters(std::vector<Variable>* out) const;
+
+  const Variable& weight() const { return weight_; }
+  const Variable& bias() const { return bias_; }
+  int in_features() const { return in_features_; }
+  int out_features() const { return out_features_; }
+
+ private:
+  int in_features_ = 0;
+  int out_features_ = 0;
+  Variable weight_;
+  Variable bias_;
+};
+
+// MADE-style masked fully connected layer: y = x * (W .* M) + b where the
+// binary mask M (same shape as W) is fixed at construction and enforces the
+// autoregressive property of a DARN. The mask participates in the forward
+// pass only; gradients flow to W through the masked product.
+class MaskedLinear {
+ public:
+  MaskedLinear() = default;
+  MaskedLinear(int in_features, int out_features, Matrix mask, Rng& rng);
+
+  Variable Forward(const Variable& x) const;
+  void CollectParameters(std::vector<Variable>* out) const;
+
+  const Matrix& mask() const { return mask_; }
+  const Variable& weight() const { return weight_; }
+  const Variable& bias() const { return bias_; }
+
+ private:
+  Variable weight_;
+  Variable bias_;
+  Matrix mask_;
+};
+
+// Multi-layer perceptron with ReLU activations between Linear layers and a
+// linear output head. Layout: sizes = {in, h1, ..., out}.
+class Mlp {
+ public:
+  Mlp() = default;
+  Mlp(const std::vector<int>& sizes, Rng& rng);
+
+  Variable Forward(const Variable& x) const;
+  void CollectParameters(std::vector<Variable>* out) const;
+
+  const std::vector<Linear>& layers() const { return layers_; }
+
+ private:
+  std::vector<Linear> layers_;
+};
+
+// Deep copies of parameter tensors (used to snapshot a teacher or to clone a
+// model before self-distillation).
+std::vector<Matrix> SnapshotValues(const std::vector<Variable>& params);
+// Frozen copies of the parameters (requires_grad=false). A forward pass over
+// these is exactly the teacher network of the distillation update.
+std::vector<Variable> AsConstants(const std::vector<Variable>& params);
+// Restores values captured by SnapshotValues into `params` (shape-checked).
+void RestoreValues(const std::vector<Matrix>& snapshot,
+                   std::vector<Variable>* params);
+
+}  // namespace ddup::nn
+
+#endif  // DDUP_NN_LAYERS_H_

@@ -1,0 +1,107 @@
+#include "nn/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/status.h"
+
+namespace ddup::nn {
+
+Matrix::Matrix(int rows, int cols, double fill)
+    : rows_(rows), cols_(cols),
+      data_(static_cast<size_t>(rows) * static_cast<size_t>(cols), fill) {
+  DDUP_CHECK(rows >= 0 && cols >= 0);
+}
+
+Matrix Matrix::Identity(int n) {
+  Matrix m(n, n, 0.0);
+  for (int i = 0; i < n; ++i) m.At(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::FromVector(const std::vector<double>& values) {
+  Matrix m(static_cast<int>(values.size()), 1);
+  std::copy(values.begin(), values.end(), m.data());
+  return m;
+}
+
+Matrix Matrix::Randn(Rng& rng, int rows, int cols, double stddev) {
+  Matrix m(rows, cols);
+  for (int64_t i = 0; i < m.size(); ++i) m.data()[i] = rng.Normal(0.0, stddev);
+  return m;
+}
+
+Matrix Matrix::Rand(Rng& rng, int rows, int cols, double lo, double hi) {
+  Matrix m(rows, cols);
+  for (int64_t i = 0; i < m.size(); ++i) m.data()[i] = rng.Uniform(lo, hi);
+  return m;
+}
+
+double& Matrix::At(int r, int c) {
+  DDUP_CHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+  return data_[static_cast<size_t>(r) * cols_ + c];
+}
+
+double Matrix::At(int r, int c) const {
+  DDUP_CHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+  return data_[static_cast<size_t>(r) * cols_ + c];
+}
+
+void Matrix::Fill(double v) { std::fill(data_.begin(), data_.end(), v); }
+
+Matrix Matrix::Transpose() const {
+  Matrix t(cols_, rows_);
+  for (int r = 0; r < rows_; ++r) {
+    for (int c = 0; c < cols_; ++c) {
+      t.data()[static_cast<size_t>(c) * rows_ + r] =
+          data_[static_cast<size_t>(r) * cols_ + c];
+    }
+  }
+  return t;
+}
+
+double Matrix::Sum() const {
+  double s = 0.0;
+  for (double v : data_) s += v;
+  return s;
+}
+
+double Matrix::MaxAbs() const {
+  double m = 0.0;
+  for (double v : data_) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+bool Matrix::AllClose(const Matrix& other, double tol) const {
+  if (rows_ != other.rows_ || cols_ != other.cols_) return false;
+  for (size_t i = 0; i < data_.size(); ++i) {
+    if (std::fabs(data_[i] - other.data_[i]) > tol) return false;
+  }
+  return true;
+}
+
+std::string Matrix::ShapeString() const {
+  return "[" + std::to_string(rows_) + " x " + std::to_string(cols_) + "]";
+}
+
+Matrix MatMulValue(const Matrix& a, const Matrix& b) {
+  DDUP_CHECK_MSG(a.cols() == b.rows(),
+                 "matmul shape mismatch " + a.ShapeString() + " * " +
+                     b.ShapeString());
+  Matrix c(a.rows(), b.cols(), 0.0);
+  const int n = a.rows(), k = a.cols(), m = b.cols();
+  // i-k-j loop order keeps the inner loop streaming over contiguous rows.
+  for (int i = 0; i < n; ++i) {
+    const double* arow = a.data() + static_cast<size_t>(i) * k;
+    double* crow = c.data() + static_cast<size_t>(i) * m;
+    for (int kk = 0; kk < k; ++kk) {
+      const double av = arow[kk];
+      if (av == 0.0) continue;
+      const double* brow = b.data() + static_cast<size_t>(kk) * m;
+      for (int j = 0; j < m; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+}  // namespace ddup::nn

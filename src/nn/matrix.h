@@ -1,0 +1,66 @@
+#ifndef DDUP_NN_MATRIX_H_
+#define DDUP_NN_MATRIX_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace ddup::nn {
+
+// Dense row-major double matrix. This is the only numeric container the NN
+// stack uses; vectors are 1xN or Nx1 matrices. Sized for the small models in
+// this repo (hidden widths <= a few hundred), so the implementation favors
+// clarity over SIMD tuning.
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  Matrix(int rows, int cols, double fill = 0.0);
+
+  static Matrix Zeros(int rows, int cols) { return Matrix(rows, cols, 0.0); }
+  static Matrix Constant(int rows, int cols, double v) {
+    return Matrix(rows, cols, v);
+  }
+  static Matrix Identity(int n);
+  // Column vector (n x 1) from values.
+  static Matrix FromVector(const std::vector<double>& values);
+  // Entries i.i.d. Normal(0, stddev).
+  static Matrix Randn(Rng& rng, int rows, int cols, double stddev = 1.0);
+  // Entries i.i.d. Uniform[lo, hi).
+  static Matrix Rand(Rng& rng, int rows, int cols, double lo = 0.0,
+                     double hi = 1.0);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  int64_t size() const { return static_cast<int64_t>(rows_) * cols_; }
+  bool empty() const { return size() == 0; }
+
+  double& At(int r, int c);
+  double At(int r, int c) const;
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  void Fill(double v);
+  Matrix Transpose() const;
+  // Sum of all entries.
+  double Sum() const;
+  // Max absolute entry; 0 for empty.
+  double MaxAbs() const;
+  // True iff same shape and all entries within `tol`.
+  bool AllClose(const Matrix& other, double tol = 1e-9) const;
+
+  std::string ShapeString() const;
+
+ private:
+  int rows_;
+  int cols_;
+  std::vector<double> data_;
+};
+
+// C = A * B (shapes NxK, KxM -> NxM).
+Matrix MatMulValue(const Matrix& a, const Matrix& b);
+
+}  // namespace ddup::nn
+
+#endif  // DDUP_NN_MATRIX_H_

@@ -1,0 +1,522 @@
+#include "nn/ops.h"
+
+#include <cmath>
+#include <memory>
+#include <utility>
+
+#include "common/status.h"
+
+namespace ddup::nn {
+
+namespace {
+
+bool AnyRequiresGrad(const std::vector<std::shared_ptr<Node>>& parents) {
+  for (const auto& p : parents) {
+    if (p->requires_grad) return true;
+  }
+  return false;
+}
+
+// Builds a node for `value` with the given parents. `make_backward` is only
+// invoked when some parent participates in differentiation.
+template <typename BackwardFactory>
+Variable MakeNode(Matrix value, std::vector<std::shared_ptr<Node>> parents,
+                  BackwardFactory&& make_backward) {
+  auto node = std::make_shared<Node>();
+  node->value = std::move(value);
+  if (AnyRequiresGrad(parents)) {
+    node->requires_grad = true;
+    node->parents = std::move(parents);
+    node->backward = make_backward();
+  }
+  return Variable::Wrap(std::move(node));
+}
+
+// Broadcast helper shared by Add/Sub/Mul: b must match a, be a 1xC row, or a
+// 1x1 scalar.
+enum class BroadcastKind { kSame, kRow, kScalar };
+
+BroadcastKind CheckBroadcast(const Matrix& a, const Matrix& b) {
+  if (a.rows() == b.rows() && a.cols() == b.cols()) return BroadcastKind::kSame;
+  if (b.rows() == 1 && b.cols() == a.cols()) return BroadcastKind::kRow;
+  if (b.rows() == 1 && b.cols() == 1) return BroadcastKind::kScalar;
+  DDUP_CHECK_MSG(false, "incompatible broadcast shapes " + a.ShapeString() +
+                            " vs " + b.ShapeString());
+  return BroadcastKind::kSame;
+}
+
+double BroadcastGet(const Matrix& b, BroadcastKind kind, int r, int c) {
+  switch (kind) {
+    case BroadcastKind::kSame:
+      return b.At(r, c);
+    case BroadcastKind::kRow:
+      return b.At(0, c);
+    case BroadcastKind::kScalar:
+      return b.At(0, 0);
+  }
+  return 0.0;
+}
+
+void BroadcastAccumulate(Matrix* grad_b, BroadcastKind kind, int r, int c,
+                         double g) {
+  switch (kind) {
+    case BroadcastKind::kSame:
+      grad_b->At(r, c) += g;
+      break;
+    case BroadcastKind::kRow:
+      grad_b->At(0, c) += g;
+      break;
+    case BroadcastKind::kScalar:
+      grad_b->At(0, 0) += g;
+      break;
+  }
+}
+
+// Elementwise unary op: value[i] = f(a[i]); da[i] += grad[i] * dfda(a[i], out[i]).
+template <typename F, typename DF>
+Variable UnaryOp(const Variable& a, F f, DF dfda) {
+  const Matrix& av = a.value();
+  Matrix out(av.rows(), av.cols());
+  for (int64_t i = 0; i < av.size(); ++i) out.data()[i] = f(av.data()[i]);
+  auto pa = a.node();
+  return MakeNode(std::move(out), {pa}, [pa, dfda]() {
+    return [pa, dfda](Node& n) {
+      pa->EnsureGrad();
+      const Matrix& av = pa->value;
+      for (int64_t i = 0; i < av.size(); ++i) {
+        pa->grad.data()[i] +=
+            n.grad.data()[i] * dfda(av.data()[i], n.value.data()[i]);
+      }
+    };
+  });
+}
+
+}  // namespace
+
+Variable MatMul(const Variable& a, const Variable& b) {
+  Matrix out = MatMulValue(a.value(), b.value());
+  auto pa = a.node(), pb = b.node();
+  return MakeNode(std::move(out), {pa, pb}, [pa, pb]() {
+    return [pa, pb](Node& n) {
+      if (pa->requires_grad) {
+        pa->EnsureGrad();
+        // dA += dC * B^T
+        Matrix bt = pb->value.Transpose();
+        Matrix da = MatMulValue(n.grad, bt);
+        for (int64_t i = 0; i < da.size(); ++i) pa->grad.data()[i] += da.data()[i];
+      }
+      if (pb->requires_grad) {
+        pb->EnsureGrad();
+        // dB += A^T * dC
+        Matrix at = pa->value.Transpose();
+        Matrix db = MatMulValue(at, n.grad);
+        for (int64_t i = 0; i < db.size(); ++i) pb->grad.data()[i] += db.data()[i];
+      }
+    };
+  });
+}
+
+namespace {
+
+Variable BinaryBroadcastOp(const Variable& a, const Variable& b, bool is_mul,
+                           double b_sign) {
+  // is_mul=false implements a + b_sign * b; is_mul=true implements a .* b.
+  const Matrix& av = a.value();
+  const Matrix& bv = b.value();
+  BroadcastKind kind = CheckBroadcast(av, bv);
+  Matrix out(av.rows(), av.cols());
+  for (int r = 0; r < av.rows(); ++r) {
+    for (int c = 0; c < av.cols(); ++c) {
+      double x = av.At(r, c);
+      double y = BroadcastGet(bv, kind, r, c);
+      out.At(r, c) = is_mul ? x * y : x + b_sign * y;
+    }
+  }
+  auto pa = a.node(), pb = b.node();
+  return MakeNode(std::move(out), {pa, pb}, [pa, pb, kind, is_mul, b_sign]() {
+    return [pa, pb, kind, is_mul, b_sign](Node& n) {
+      const Matrix& av = pa->value;
+      const Matrix& bv = pb->value;
+      if (pa->requires_grad) pa->EnsureGrad();
+      if (pb->requires_grad) pb->EnsureGrad();
+      for (int r = 0; r < av.rows(); ++r) {
+        for (int c = 0; c < av.cols(); ++c) {
+          double g = n.grad.At(r, c);
+          if (pa->requires_grad) {
+            pa->grad.At(r, c) += is_mul ? g * BroadcastGet(bv, kind, r, c) : g;
+          }
+          if (pb->requires_grad) {
+            double gb = is_mul ? g * av.At(r, c) : g * b_sign;
+            BroadcastAccumulate(&pb->grad, kind, r, c, gb);
+          }
+        }
+      }
+    };
+  });
+}
+
+}  // namespace
+
+Variable Add(const Variable& a, const Variable& b) {
+  return BinaryBroadcastOp(a, b, /*is_mul=*/false, /*b_sign=*/1.0);
+}
+
+Variable Sub(const Variable& a, const Variable& b) {
+  return BinaryBroadcastOp(a, b, /*is_mul=*/false, /*b_sign=*/-1.0);
+}
+
+Variable Mul(const Variable& a, const Variable& b) {
+  return BinaryBroadcastOp(a, b, /*is_mul=*/true, /*b_sign=*/1.0);
+}
+
+Variable Neg(const Variable& a) { return Scale(a, -1.0); }
+
+Variable Scale(const Variable& a, double s) {
+  return UnaryOp(
+      a, [s](double x) { return s * x; },
+      [s](double, double) { return s; });
+}
+
+Variable AddScalar(const Variable& a, double s) {
+  return UnaryOp(
+      a, [s](double x) { return x + s; }, [](double, double) { return 1.0; });
+}
+
+Variable Relu(const Variable& a) {
+  return UnaryOp(
+      a, [](double x) { return x > 0.0 ? x : 0.0; },
+      [](double x, double) { return x > 0.0 ? 1.0 : 0.0; });
+}
+
+Variable Tanh(const Variable& a) {
+  return UnaryOp(
+      a, [](double x) { return std::tanh(x); },
+      [](double, double y) { return 1.0 - y * y; });
+}
+
+Variable Sigmoid(const Variable& a) {
+  return UnaryOp(
+      a, [](double x) { return 1.0 / (1.0 + std::exp(-x)); },
+      [](double, double y) { return y * (1.0 - y); });
+}
+
+Variable Exp(const Variable& a) {
+  return UnaryOp(
+      a, [](double x) { return std::exp(x); },
+      [](double, double y) { return y; });
+}
+
+Variable Log(const Variable& a) {
+  return UnaryOp(
+      a, [](double x) { return std::log(x); },
+      [](double x, double) { return 1.0 / x; });
+}
+
+Variable Softplus(const Variable& a) {
+  return UnaryOp(
+      a,
+      [](double x) {
+        // Stable: log(1+e^x) = max(x,0) + log1p(e^{-|x|}).
+        return std::max(x, 0.0) + std::log1p(std::exp(-std::fabs(x)));
+      },
+      [](double x, double) { return 1.0 / (1.0 + std::exp(-x)); });
+}
+
+Variable Square(const Variable& a) {
+  return UnaryOp(
+      a, [](double x) { return x * x; },
+      [](double x, double) { return 2.0 * x; });
+}
+
+Variable Reciprocal(const Variable& a) {
+  return UnaryOp(
+      a, [](double x) { return 1.0 / x; },
+      [](double, double y) { return -y * y; });
+}
+
+namespace {
+
+// Shared machinery for Softmax/LogSoftmax/LogSumExp: computes row-wise
+// softmax probabilities of `a` into `probs` and row LSE into `lse`.
+void RowSoftmax(const Matrix& a, Matrix* probs, std::vector<double>* lse) {
+  probs->Fill(0.0);
+  lse->assign(static_cast<size_t>(a.rows()), 0.0);
+  for (int r = 0; r < a.rows(); ++r) {
+    double mx = a.At(r, 0);
+    for (int c = 1; c < a.cols(); ++c) mx = std::max(mx, a.At(r, c));
+    double sum = 0.0;
+    for (int c = 0; c < a.cols(); ++c) sum += std::exp(a.At(r, c) - mx);
+    (*lse)[static_cast<size_t>(r)] = mx + std::log(sum);
+    for (int c = 0; c < a.cols(); ++c) {
+      probs->At(r, c) = std::exp(a.At(r, c) - mx) / sum;
+    }
+  }
+}
+
+}  // namespace
+
+Variable Softmax(const Variable& a) {
+  const Matrix& av = a.value();
+  DDUP_CHECK(av.cols() >= 1);
+  Matrix probs(av.rows(), av.cols());
+  std::vector<double> lse;
+  RowSoftmax(av, &probs, &lse);
+  auto pa = a.node();
+  return MakeNode(std::move(probs), {pa}, [pa]() {
+    return [pa](Node& n) {
+      pa->EnsureGrad();
+      const Matrix& y = n.value;
+      for (int r = 0; r < y.rows(); ++r) {
+        double dot = 0.0;
+        for (int c = 0; c < y.cols(); ++c) dot += n.grad.At(r, c) * y.At(r, c);
+        for (int c = 0; c < y.cols(); ++c) {
+          pa->grad.At(r, c) += y.At(r, c) * (n.grad.At(r, c) - dot);
+        }
+      }
+    };
+  });
+}
+
+Variable LogSoftmax(const Variable& a) {
+  const Matrix& av = a.value();
+  DDUP_CHECK(av.cols() >= 1);
+  Matrix probs(av.rows(), av.cols());
+  std::vector<double> lse;
+  RowSoftmax(av, &probs, &lse);
+  Matrix out(av.rows(), av.cols());
+  for (int r = 0; r < av.rows(); ++r) {
+    for (int c = 0; c < av.cols(); ++c) {
+      out.At(r, c) = av.At(r, c) - lse[static_cast<size_t>(r)];
+    }
+  }
+  auto pa = a.node();
+  return MakeNode(std::move(out), {pa}, [pa]() {
+    return [pa](Node& n) {
+      pa->EnsureGrad();
+      for (int r = 0; r < n.value.rows(); ++r) {
+        double gsum = 0.0;
+        for (int c = 0; c < n.value.cols(); ++c) gsum += n.grad.At(r, c);
+        for (int c = 0; c < n.value.cols(); ++c) {
+          double y = std::exp(n.value.At(r, c));  // softmax prob
+          pa->grad.At(r, c) += n.grad.At(r, c) - y * gsum;
+        }
+      }
+    };
+  });
+}
+
+Variable LogSumExp(const Variable& a) {
+  const Matrix& av = a.value();
+  DDUP_CHECK(av.cols() >= 1);
+  Matrix probs(av.rows(), av.cols());
+  std::vector<double> lse;
+  RowSoftmax(av, &probs, &lse);
+  Matrix out(av.rows(), 1);
+  for (int r = 0; r < av.rows(); ++r) out.At(r, 0) = lse[static_cast<size_t>(r)];
+  auto pa = a.node();
+  // The softmax probabilities are exactly d(lse)/d(a); cache them by value.
+  auto cached = std::make_shared<Matrix>(std::move(probs));
+  return MakeNode(std::move(out), {pa}, [pa, cached]() {
+    return [pa, cached](Node& n) {
+      pa->EnsureGrad();
+      for (int r = 0; r < cached->rows(); ++r) {
+        double g = n.grad.At(r, 0);
+        for (int c = 0; c < cached->cols(); ++c) {
+          pa->grad.At(r, c) += g * cached->At(r, c);
+        }
+      }
+    };
+  });
+}
+
+Variable Sum(const Variable& a) {
+  Matrix out(1, 1, a.value().Sum());
+  auto pa = a.node();
+  return MakeNode(std::move(out), {pa}, [pa]() {
+    return [pa](Node& n) {
+      pa->EnsureGrad();
+      double g = n.grad.At(0, 0);
+      for (int64_t i = 0; i < pa->grad.size(); ++i) pa->grad.data()[i] += g;
+    };
+  });
+}
+
+Variable Mean(const Variable& a) {
+  DDUP_CHECK(a.value().size() > 0);
+  double inv = 1.0 / static_cast<double>(a.value().size());
+  Matrix out(1, 1, a.value().Sum() * inv);
+  auto pa = a.node();
+  return MakeNode(std::move(out), {pa}, [pa, inv]() {
+    return [pa, inv](Node& n) {
+      pa->EnsureGrad();
+      double g = n.grad.At(0, 0) * inv;
+      for (int64_t i = 0; i < pa->grad.size(); ++i) pa->grad.data()[i] += g;
+    };
+  });
+}
+
+Variable RowSum(const Variable& a) {
+  const Matrix& av = a.value();
+  Matrix out(av.rows(), 1, 0.0);
+  for (int r = 0; r < av.rows(); ++r) {
+    for (int c = 0; c < av.cols(); ++c) out.At(r, 0) += av.At(r, c);
+  }
+  auto pa = a.node();
+  return MakeNode(std::move(out), {pa}, [pa]() {
+    return [pa](Node& n) {
+      pa->EnsureGrad();
+      for (int r = 0; r < pa->grad.rows(); ++r) {
+        double g = n.grad.At(r, 0);
+        for (int c = 0; c < pa->grad.cols(); ++c) pa->grad.At(r, c) += g;
+      }
+    };
+  });
+}
+
+Variable BroadcastCol(const Variable& a, int m) {
+  const Matrix& av = a.value();
+  DDUP_CHECK_MSG(av.cols() == 1, "BroadcastCol expects an Nx1 input");
+  Matrix out(av.rows(), m);
+  for (int r = 0; r < av.rows(); ++r) {
+    for (int c = 0; c < m; ++c) out.At(r, c) = av.At(r, 0);
+  }
+  auto pa = a.node();
+  return MakeNode(std::move(out), {pa}, [pa]() {
+    return [pa](Node& n) {
+      pa->EnsureGrad();
+      for (int r = 0; r < n.grad.rows(); ++r) {
+        double g = 0.0;
+        for (int c = 0; c < n.grad.cols(); ++c) g += n.grad.At(r, c);
+        pa->grad.At(r, 0) += g;
+      }
+    };
+  });
+}
+
+Variable ConcatCols(const std::vector<Variable>& parts) {
+  DDUP_CHECK(!parts.empty());
+  int rows = parts[0].rows();
+  int total = 0;
+  for (const auto& p : parts) {
+    DDUP_CHECK(p.rows() == rows);
+    total += p.cols();
+  }
+  Matrix out(rows, total);
+  std::vector<int> offsets;
+  int off = 0;
+  for (const auto& p : parts) {
+    offsets.push_back(off);
+    const Matrix& pv = p.value();
+    for (int r = 0; r < rows; ++r) {
+      for (int c = 0; c < pv.cols(); ++c) out.At(r, off + c) = pv.At(r, c);
+    }
+    off += pv.cols();
+  }
+  std::vector<std::shared_ptr<Node>> parents;
+  for (const auto& p : parts) parents.push_back(p.node());
+  return MakeNode(std::move(out), parents, [parents, offsets]() {
+    return [parents, offsets](Node& n) {
+      for (size_t i = 0; i < parents.size(); ++i) {
+        auto& p = parents[i];
+        if (!p->requires_grad) continue;
+        p->EnsureGrad();
+        int off = offsets[i];
+        for (int r = 0; r < p->grad.rows(); ++r) {
+          for (int c = 0; c < p->grad.cols(); ++c) {
+            p->grad.At(r, c) += n.grad.At(r, off + c);
+          }
+        }
+      }
+    };
+  });
+}
+
+Variable SliceCols(const Variable& a, int begin, int len) {
+  const Matrix& av = a.value();
+  DDUP_CHECK(begin >= 0 && len >= 0 && begin + len <= av.cols());
+  Matrix out(av.rows(), len);
+  for (int r = 0; r < av.rows(); ++r) {
+    for (int c = 0; c < len; ++c) out.At(r, c) = av.At(r, begin + c);
+  }
+  auto pa = a.node();
+  return MakeNode(std::move(out), {pa}, [pa, begin]() {
+    return [pa, begin](Node& n) {
+      pa->EnsureGrad();
+      for (int r = 0; r < n.grad.rows(); ++r) {
+        for (int c = 0; c < n.grad.cols(); ++c) {
+          pa->grad.At(r, begin + c) += n.grad.At(r, c);
+        }
+      }
+    };
+  });
+}
+
+Variable Rows(const Variable& table, const std::vector<int>& idx) {
+  const Matrix& tv = table.value();
+  Matrix out(static_cast<int>(idx.size()), tv.cols());
+  for (size_t i = 0; i < idx.size(); ++i) {
+    DDUP_CHECK(idx[i] >= 0 && idx[i] < tv.rows());
+    for (int c = 0; c < tv.cols(); ++c) {
+      out.At(static_cast<int>(i), c) = tv.At(idx[i], c);
+    }
+  }
+  auto pt = table.node();
+  return MakeNode(std::move(out), {pt}, [pt, idx]() {
+    return [pt, idx](Node& n) {
+      pt->EnsureGrad();
+      for (size_t i = 0; i < idx.size(); ++i) {
+        for (int c = 0; c < n.grad.cols(); ++c) {
+          pt->grad.At(idx[i], c) += n.grad.At(static_cast<int>(i), c);
+        }
+      }
+    };
+  });
+}
+
+Variable PickCols(const Variable& a, const std::vector<int>& idx) {
+  const Matrix& av = a.value();
+  DDUP_CHECK(static_cast<int>(idx.size()) == av.rows());
+  Matrix out(av.rows(), 1);
+  for (int r = 0; r < av.rows(); ++r) {
+    DDUP_CHECK(idx[static_cast<size_t>(r)] >= 0 &&
+               idx[static_cast<size_t>(r)] < av.cols());
+    out.At(r, 0) = av.At(r, idx[static_cast<size_t>(r)]);
+  }
+  auto pa = a.node();
+  return MakeNode(std::move(out), {pa}, [pa, idx]() {
+    return [pa, idx](Node& n) {
+      pa->EnsureGrad();
+      for (int r = 0; r < n.grad.rows(); ++r) {
+        pa->grad.At(r, idx[static_cast<size_t>(r)]) += n.grad.At(r, 0);
+      }
+    };
+  });
+}
+
+Variable Detach(const Variable& a) { return Constant(a.value()); }
+
+Variable SoftmaxCrossEntropy(const Variable& logits,
+                             const std::vector<int>& targets) {
+  Variable logp = LogSoftmax(logits);
+  Variable picked = PickCols(logp, targets);
+  return Neg(Mean(picked));
+}
+
+Variable MseLoss(const Variable& a, const Variable& b) {
+  DDUP_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
+  return Mean(Square(Sub(a, b)));
+}
+
+Variable DistillCrossEntropy(const Variable& student_logits,
+                             const Variable& teacher_logits,
+                             double temperature) {
+  DDUP_CHECK(temperature > 0.0);
+  DDUP_CHECK(student_logits.rows() == teacher_logits.rows() &&
+             student_logits.cols() == teacher_logits.cols());
+  Variable t_probs = Softmax(Scale(Detach(teacher_logits), 1.0 / temperature));
+  Variable s_logp = LogSoftmax(Scale(student_logits, 1.0 / temperature));
+  Variable per_row = Neg(RowSum(Mul(s_logp, Detach(t_probs))));
+  return Mean(per_row);
+}
+
+}  // namespace ddup::nn

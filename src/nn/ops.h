@@ -1,0 +1,85 @@
+#ifndef DDUP_NN_OPS_H_
+#define DDUP_NN_OPS_H_
+
+#include <vector>
+
+#include "nn/autograd.h"
+
+namespace ddup::nn {
+
+// Differentiable operations. All functions build graph nodes; gradients flow
+// to any input with requires_grad (directly or transitively). When no input
+// requires a gradient the node is created without a backward closure, so
+// inference-only paths pay no autodiff cost.
+
+// C = A * B  (NxK * KxM -> NxM).
+Variable MatMul(const Variable& a, const Variable& b);
+
+// Elementwise a + b. `b` may be 1xC (broadcast over rows) or 1x1 (scalar).
+Variable Add(const Variable& a, const Variable& b);
+// Elementwise a - b (same broadcast rules as Add).
+Variable Sub(const Variable& a, const Variable& b);
+// Elementwise a * b (same broadcast rules as Add).
+Variable Mul(const Variable& a, const Variable& b);
+
+Variable Neg(const Variable& a);
+Variable Scale(const Variable& a, double s);
+Variable AddScalar(const Variable& a, double s);
+
+Variable Relu(const Variable& a);
+Variable Tanh(const Variable& a);
+Variable Sigmoid(const Variable& a);
+Variable Exp(const Variable& a);
+// Natural log; inputs must be positive.
+Variable Log(const Variable& a);
+// log(1 + exp(a)), computed stably.
+Variable Softplus(const Variable& a);
+Variable Square(const Variable& a);
+// 1 / a; inputs must be nonzero.
+Variable Reciprocal(const Variable& a);
+
+// Row-wise softmax / log-softmax over columns.
+Variable Softmax(const Variable& a);
+Variable LogSoftmax(const Variable& a);
+// Row-wise log-sum-exp: NxC -> Nx1.
+Variable LogSumExp(const Variable& a);
+
+// Reductions.
+Variable Sum(const Variable& a);   // -> 1x1
+Variable Mean(const Variable& a);  // -> 1x1
+Variable RowSum(const Variable& a);  // NxC -> Nx1
+
+// Replicates an Nx1 column across `m` columns -> NxM.
+Variable BroadcastCol(const Variable& a, int m);
+
+// Column-wise concatenation; all inputs share the row count.
+Variable ConcatCols(const std::vector<Variable>& parts);
+// Columns [begin, begin+len) of a.
+Variable SliceCols(const Variable& a, int begin, int len);
+
+// Embedding gather: rows of `table` (VxD) selected by `idx` -> NxD.
+// Gradients scatter-add into the selected rows.
+Variable Rows(const Variable& table, const std::vector<int>& idx);
+
+// One entry per row: out[r,0] = a[r, idx[r]] -> Nx1.
+Variable PickCols(const Variable& a, const std::vector<int>& idx);
+
+// Identity value with the gradient path cut (teacher outputs, constants).
+Variable Detach(const Variable& a);
+
+// Convenience losses built from the ops above.
+// Mean over rows of -log softmax(logits)[target]: standard CE with integer
+// targets.
+Variable SoftmaxCrossEntropy(const Variable& logits,
+                             const std::vector<int>& targets);
+// Mean squared error between equally-shaped a and b (mean over all entries).
+Variable MseLoss(const Variable& a, const Variable& b);
+// Hinton-style distillation CE with temperature: mean over rows of
+// -sum_j softmax(teacher/T)_j * log_softmax(student/T)_j. The teacher side is
+// detached. (Paper Eq. 6.)
+Variable DistillCrossEntropy(const Variable& student_logits,
+                             const Variable& teacher_logits, double temperature);
+
+}  // namespace ddup::nn
+
+#endif  // DDUP_NN_OPS_H_

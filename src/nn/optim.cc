@@ -1,0 +1,77 @@
+#include "nn/optim.h"
+
+#include <cmath>
+
+#include "common/status.h"
+
+namespace ddup::nn {
+
+Optimizer::Optimizer(std::vector<Variable> params) : params_(std::move(params)) {
+  for (const auto& p : params_) {
+    DDUP_CHECK_MSG(p.defined() && p.requires_grad(),
+                   "optimizer parameters must require gradients");
+  }
+}
+
+void Optimizer::ZeroGrad() {
+  for (auto& p : params_) p.ZeroGrad();
+}
+
+Sgd::Sgd(std::vector<Variable> params, double lr, double momentum)
+    : Optimizer(std::move(params)), momentum_(momentum) {
+  lr_ = lr;
+  velocity_.reserve(params_.size());
+  for (const auto& p : params_) {
+    velocity_.push_back(Matrix::Zeros(p.rows(), p.cols()));
+  }
+}
+
+void Sgd::Step() {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Variable& p = params_[i];
+    if (p.grad().empty()) continue;  // never touched by a Backward pass
+    Matrix& value = p.mutable_value();
+    Matrix& vel = velocity_[i];
+    const Matrix& g = p.grad();
+    for (int64_t j = 0; j < value.size(); ++j) {
+      vel.data()[j] = momentum_ * vel.data()[j] - lr_ * g.data()[j];
+      value.data()[j] += vel.data()[j];
+    }
+  }
+}
+
+Adam::Adam(std::vector<Variable> params, double lr, double beta1, double beta2,
+           double eps)
+    : Optimizer(std::move(params)), beta1_(beta1), beta2_(beta2), eps_(eps) {
+  lr_ = lr;
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const auto& p : params_) {
+    m_.push_back(Matrix::Zeros(p.rows(), p.cols()));
+    v_.push_back(Matrix::Zeros(p.rows(), p.cols()));
+  }
+}
+
+void Adam::Step() {
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Variable& p = params_[i];
+    if (p.grad().empty()) continue;
+    Matrix& value = p.mutable_value();
+    const Matrix& g = p.grad();
+    Matrix& m = m_[i];
+    Matrix& v = v_[i];
+    for (int64_t j = 0; j < value.size(); ++j) {
+      double gj = g.data()[j];
+      m.data()[j] = beta1_ * m.data()[j] + (1.0 - beta1_) * gj;
+      v.data()[j] = beta2_ * v.data()[j] + (1.0 - beta2_) * gj * gj;
+      double mhat = m.data()[j] / bc1;
+      double vhat = v.data()[j] / bc2;
+      value.data()[j] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+  }
+}
+
+}  // namespace ddup::nn

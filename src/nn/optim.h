@@ -1,0 +1,62 @@
+#ifndef DDUP_NN_OPTIM_H_
+#define DDUP_NN_OPTIM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/autograd.h"
+
+namespace ddup::nn {
+
+// Base class for gradient-descent optimizers over a fixed parameter list.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Variable> params);
+  virtual ~Optimizer() = default;
+
+  Optimizer(const Optimizer&) = delete;
+  Optimizer& operator=(const Optimizer&) = delete;
+
+  // Applies one update using the gradients currently stored on the params.
+  virtual void Step() = 0;
+  // Clears all parameter gradients.
+  void ZeroGrad();
+
+  // Learning-rate accessors: DDUp's fine-tune policy rescales lr on the fly.
+  double learning_rate() const { return lr_; }
+  void set_learning_rate(double lr) { lr_ = lr; }
+
+ protected:
+  std::vector<Variable> params_;
+  double lr_ = 1e-3;
+};
+
+// Plain SGD with optional momentum.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Variable> params, double lr, double momentum = 0.0);
+  void Step() override;
+
+ private:
+  double momentum_;
+  std::vector<Matrix> velocity_;
+};
+
+// Adam (Kingma & Ba). Default hyperparameters match the usual
+// beta1=0.9, beta2=0.999, eps=1e-8.
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Variable> params, double lr, double beta1 = 0.9,
+       double beta2 = 0.999, double eps = 1e-8);
+  void Step() override;
+
+ private:
+  double beta1_, beta2_, eps_;
+  int64_t t_ = 0;
+  std::vector<Matrix> m_;
+  std::vector<Matrix> v_;
+};
+
+}  // namespace ddup::nn
+
+#endif  // DDUP_NN_OPTIM_H_

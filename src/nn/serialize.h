@@ -1,0 +1,23 @@
+#ifndef DDUP_NN_SERIALIZE_H_
+#define DDUP_NN_SERIALIZE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "nn/autograd.h"
+
+namespace ddup::nn {
+
+// Binary parameter checkpoint format: magic, count, then per-parameter
+// (rows, cols, row-major doubles). Values only; optimizer state is not saved.
+Status SaveParameters(const std::vector<Variable>& params,
+                      const std::string& path);
+
+// Loads a checkpoint produced by SaveParameters into `params`. Shapes must
+// match the checkpoint exactly.
+Status LoadParameters(const std::string& path, std::vector<Variable>* params);
+
+}  // namespace ddup::nn
+
+#endif  // DDUP_NN_SERIALIZE_H_

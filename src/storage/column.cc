@@ -1,0 +1,150 @@
+#include "storage/column.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/status.h"
+
+namespace ddup::storage {
+
+Column Column::Numeric(std::string name, std::vector<double> values) {
+  Column c;
+  c.name_ = std::move(name);
+  c.type_ = ColumnType::kNumeric;
+  c.numeric_ = std::move(values);
+  return c;
+}
+
+Column Column::Categorical(std::string name, std::vector<int32_t> codes,
+                           std::vector<std::string> dictionary) {
+  Column c;
+  c.name_ = std::move(name);
+  c.type_ = ColumnType::kCategorical;
+  c.codes_ = std::move(codes);
+  c.dictionary_ = std::move(dictionary);
+  for (int32_t code : c.codes_) {
+    DDUP_CHECK_MSG(code >= 0 && code < c.cardinality(),
+                   "categorical code out of dictionary range");
+  }
+  return c;
+}
+
+int64_t Column::size() const {
+  return is_numeric() ? static_cast<int64_t>(numeric_.size())
+                      : static_cast<int64_t>(codes_.size());
+}
+
+double Column::NumericAt(int64_t row) const {
+  DDUP_CHECK(is_numeric());
+  DDUP_CHECK(row >= 0 && row < size());
+  return numeric_[static_cast<size_t>(row)];
+}
+
+const std::vector<double>& Column::numeric_values() const {
+  DDUP_CHECK(is_numeric());
+  return numeric_;
+}
+
+std::vector<double>* Column::mutable_numeric_values() {
+  DDUP_CHECK(is_numeric());
+  return &numeric_;
+}
+
+int32_t Column::CodeAt(int64_t row) const {
+  DDUP_CHECK(!is_numeric());
+  DDUP_CHECK(row >= 0 && row < size());
+  return codes_[static_cast<size_t>(row)];
+}
+
+const std::vector<int32_t>& Column::codes() const {
+  DDUP_CHECK(!is_numeric());
+  return codes_;
+}
+
+std::vector<int32_t>* Column::mutable_codes() {
+  DDUP_CHECK(!is_numeric());
+  return &codes_;
+}
+
+const std::vector<std::string>& Column::dictionary() const {
+  DDUP_CHECK(!is_numeric());
+  return dictionary_;
+}
+
+double Column::AsDouble(int64_t row) const {
+  if (is_numeric()) return NumericAt(row);
+  return static_cast<double>(CodeAt(row));
+}
+
+void Column::SetFromDouble(int64_t row, double v) {
+  DDUP_CHECK(row >= 0 && row < size());
+  if (is_numeric()) {
+    numeric_[static_cast<size_t>(row)] = v;
+  } else {
+    auto code = static_cast<int32_t>(std::llround(v));
+    DDUP_CHECK(code >= 0 && code < cardinality());
+    codes_[static_cast<size_t>(row)] = code;
+  }
+}
+
+int64_t Column::CountDistinct() const {
+  if (is_numeric()) {
+    std::unordered_set<double> seen(numeric_.begin(), numeric_.end());
+    return static_cast<int64_t>(seen.size());
+  }
+  std::unordered_set<int32_t> seen(codes_.begin(), codes_.end());
+  return static_cast<int64_t>(seen.size());
+}
+
+double Column::MinAsDouble() const {
+  DDUP_CHECK(size() > 0);
+  double m = AsDouble(0);
+  for (int64_t i = 1; i < size(); ++i) m = std::min(m, AsDouble(i));
+  return m;
+}
+
+double Column::MaxAsDouble() const {
+  DDUP_CHECK(size() > 0);
+  double m = AsDouble(0);
+  for (int64_t i = 1; i < size(); ++i) m = std::max(m, AsDouble(i));
+  return m;
+}
+
+bool Column::SchemaEquals(const Column& other) const {
+  return name_ == other.name_ && type_ == other.type_ &&
+         dictionary_ == other.dictionary_;
+}
+
+Column Column::TakeRows(const std::vector<int64_t>& rows) const {
+  Column out;
+  out.name_ = name_;
+  out.type_ = type_;
+  out.dictionary_ = dictionary_;
+  if (is_numeric()) {
+    out.numeric_.reserve(rows.size());
+    for (int64_t r : rows) {
+      DDUP_CHECK(r >= 0 && r < size());
+      out.numeric_.push_back(numeric_[static_cast<size_t>(r)]);
+    }
+  } else {
+    out.codes_.reserve(rows.size());
+    for (int64_t r : rows) {
+      DDUP_CHECK(r >= 0 && r < size());
+      out.codes_.push_back(codes_[static_cast<size_t>(r)]);
+    }
+  }
+  return out;
+}
+
+void Column::Append(const Column& other) {
+  DDUP_CHECK_MSG(SchemaEquals(other), "appending schema-incompatible column");
+  if (is_numeric()) {
+    numeric_.insert(numeric_.end(), other.numeric_.begin(),
+                    other.numeric_.end());
+  } else {
+    codes_.insert(codes_.end(), other.codes_.begin(), other.codes_.end());
+  }
+}
+
+}  // namespace ddup::storage

@@ -1,0 +1,75 @@
+#ifndef DDUP_STORAGE_COLUMN_H_
+#define DDUP_STORAGE_COLUMN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ddup::storage {
+
+enum class ColumnType {
+  kNumeric,      // double values
+  kCategorical,  // int32 dictionary codes + string dictionary
+};
+
+// A single named column. Numeric columns store doubles; categorical columns
+// store dictionary codes with an attached dictionary (code -> label). The
+// dictionary is part of the column's schema: two columns are
+// schema-compatible iff name, type and dictionary agree.
+class Column {
+ public:
+  Column() = default;
+
+  static Column Numeric(std::string name, std::vector<double> values);
+  static Column Categorical(std::string name, std::vector<int32_t> codes,
+                            std::vector<std::string> dictionary);
+
+  const std::string& name() const { return name_; }
+  ColumnType type() const { return type_; }
+  bool is_numeric() const { return type_ == ColumnType::kNumeric; }
+
+  int64_t size() const;
+
+  // Numeric accessors (CHECK on type).
+  double NumericAt(int64_t row) const;
+  const std::vector<double>& numeric_values() const;
+  std::vector<double>* mutable_numeric_values();
+
+  // Categorical accessors (CHECK on type).
+  int32_t CodeAt(int64_t row) const;
+  const std::vector<int32_t>& codes() const;
+  std::vector<int32_t>* mutable_codes();
+  const std::vector<std::string>& dictionary() const;
+  int cardinality() const { return static_cast<int>(dictionary_.size()); }
+
+  // Value as double regardless of type (codes cast for categoricals); this
+  // is how the query executor and the permute transform see columns.
+  double AsDouble(int64_t row) const;
+  void SetFromDouble(int64_t row, double v);
+
+  // Distinct value count (numeric: exact distinct doubles).
+  int64_t CountDistinct() const;
+
+  // Min/max over AsDouble view; CHECKs non-empty.
+  double MinAsDouble() const;
+  double MaxAsDouble() const;
+
+  // Schema compatibility: same name/type/dictionary.
+  bool SchemaEquals(const Column& other) const;
+
+  // Returns a column with the same schema and the selected rows.
+  Column TakeRows(const std::vector<int64_t>& rows) const;
+  // Appends rows of `other` (schema-compatible) to this column.
+  void Append(const Column& other);
+
+ private:
+  std::string name_;
+  ColumnType type_ = ColumnType::kNumeric;
+  std::vector<double> numeric_;
+  std::vector<int32_t> codes_;
+  std::vector<std::string> dictionary_;
+};
+
+}  // namespace ddup::storage
+
+#endif  // DDUP_STORAGE_COLUMN_H_

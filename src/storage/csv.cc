@@ -1,0 +1,109 @@
+#include "storage/csv.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+namespace ddup::storage {
+
+namespace {
+std::vector<std::string> SplitCsvLine(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string cell;
+  std::stringstream ss(line);
+  while (std::getline(ss, cell, ',')) cells.push_back(cell);
+  if (!line.empty() && line.back() == ',') cells.emplace_back();
+  return cells;
+}
+
+bool ParseDouble(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  *out = std::strtod(s.c_str(), &end);
+  return end == s.c_str() + s.size();
+}
+}  // namespace
+
+Status WriteCsv(const Table& table, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open for write: " + path);
+  for (int c = 0; c < table.num_columns(); ++c) {
+    out << (c > 0 ? "," : "") << table.column(c).name();
+  }
+  out << "\n";
+  for (int64_t r = 0; r < table.num_rows(); ++r) {
+    for (int c = 0; c < table.num_columns(); ++c) {
+      if (c > 0) out << ",";
+      const Column& col = table.column(c);
+      if (col.is_numeric()) {
+        out << col.NumericAt(r);
+      } else {
+        out << col.dictionary()[static_cast<size_t>(col.CodeAt(r))];
+      }
+    }
+    out << "\n";
+  }
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+StatusOr<Table> ReadCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open for read: " + path);
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::InvalidArgument("empty CSV: " + path);
+  }
+  std::vector<std::string> header = SplitCsvLine(line);
+  if (header.empty()) return Status::InvalidArgument("no header: " + path);
+
+  std::vector<std::vector<std::string>> cells(header.size());
+  int64_t row_count = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::vector<std::string> row = SplitCsvLine(line);
+    if (row.size() != header.size()) {
+      return Status::InvalidArgument("ragged row " +
+                                     std::to_string(row_count + 1) + " in " +
+                                     path);
+    }
+    for (size_t c = 0; c < row.size(); ++c) cells[c].push_back(row[c]);
+    ++row_count;
+  }
+
+  Table table(path);
+  for (size_t c = 0; c < header.size(); ++c) {
+    bool all_numeric = true;
+    std::vector<double> nums;
+    nums.reserve(cells[c].size());
+    for (const auto& s : cells[c]) {
+      double v = 0.0;
+      if (!ParseDouble(s, &v)) {
+        all_numeric = false;
+        break;
+      }
+      nums.push_back(v);
+    }
+    if (all_numeric && !cells[c].empty()) {
+      table.AddColumn(Column::Numeric(header[c], std::move(nums)));
+    } else {
+      std::vector<int32_t> codes;
+      std::vector<std::string> dict;
+      std::unordered_map<std::string, int32_t> lookup;
+      codes.reserve(cells[c].size());
+      for (const auto& s : cells[c]) {
+        auto [it, inserted] =
+            lookup.emplace(s, static_cast<int32_t>(dict.size()));
+        if (inserted) dict.push_back(s);
+        codes.push_back(it->second);
+      }
+      table.AddColumn(
+          Column::Categorical(header[c], std::move(codes), std::move(dict)));
+    }
+  }
+  return table;
+}
+
+}  // namespace ddup::storage

@@ -1,0 +1,21 @@
+#ifndef DDUP_STORAGE_CSV_H_
+#define DDUP_STORAGE_CSV_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace ddup::storage {
+
+// Writes the table as a header-ed CSV (categoricals emit their labels).
+Status WriteCsv(const Table& table, const std::string& path);
+
+// Reads a header-ed CSV. A column becomes numeric if every non-empty cell
+// parses as a double, otherwise categorical with labels dictionary-encoded
+// in first-appearance order. Empty files and ragged rows are errors.
+StatusOr<Table> ReadCsv(const std::string& path);
+
+}  // namespace ddup::storage
+
+#endif  // DDUP_STORAGE_CSV_H_

@@ -1,0 +1,70 @@
+#include "storage/join.h"
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ddup::storage {
+
+namespace {
+// Join keys are compared via their int64 view: numeric keys are expected to
+// hold integral values (row ids); categorical keys join on codes.
+int64_t KeyAt(const Column& col, int64_t row) {
+  if (col.is_numeric()) return static_cast<int64_t>(col.NumericAt(row));
+  return col.CodeAt(row);
+}
+}  // namespace
+
+Table HashJoin(const Table& left, const std::string& left_key,
+               const Table& right, const std::string& right_key) {
+  int lk = left.ColumnIndex(left_key);
+  int rk = right.ColumnIndex(right_key);
+  DDUP_CHECK_MSG(lk >= 0, "left key not found: " + left_key);
+  DDUP_CHECK_MSG(rk >= 0, "right key not found: " + right_key);
+  const Column& lcol = left.column(lk);
+  const Column& rcol = right.column(rk);
+
+  // Build phase over the smaller logical side (dimension tables here), which
+  // is conventionally `right`.
+  std::unordered_multimap<int64_t, int64_t> index;
+  index.reserve(static_cast<size_t>(right.num_rows()));
+  for (int64_t r = 0; r < right.num_rows(); ++r) {
+    index.emplace(KeyAt(rcol, r), r);
+  }
+
+  std::vector<int64_t> left_rows;
+  std::vector<int64_t> right_rows;
+  for (int64_t l = 0; l < left.num_rows(); ++l) {
+    auto [lo, hi] = index.equal_range(KeyAt(lcol, l));
+    for (auto it = lo; it != hi; ++it) {
+      left_rows.push_back(l);
+      right_rows.push_back(it->second);
+    }
+  }
+
+  Table out(left.name() + "_join_" + right.name());
+  Table left_part = left.TakeRows(left_rows);
+  for (int i = 0; i < left_part.num_columns(); ++i) {
+    out.AddColumn(left_part.column(i));
+  }
+  Table right_part = right.TakeRows(right_rows);
+  for (int i = 0; i < right_part.num_columns(); ++i) {
+    if (i == rk) continue;  // drop duplicated key
+    Column c = right_part.column(i);
+    if (out.ColumnIndex(c.name()) >= 0) {
+      // Disambiguate collisions with the right table's name.
+      std::string renamed = right.name() + "." + c.name();
+      if (c.is_numeric()) {
+        c = Column::Numeric(renamed, c.numeric_values());
+      } else {
+        c = Column::Categorical(renamed, c.codes(), c.dictionary());
+      }
+    }
+    out.AddColumn(std::move(c));
+  }
+  return out;
+}
+
+}  // namespace ddup::storage

@@ -1,0 +1,20 @@
+#ifndef DDUP_STORAGE_JOIN_H_
+#define DDUP_STORAGE_JOIN_H_
+
+#include <string>
+
+#include "storage/table.h"
+
+namespace ddup::storage {
+
+// Inner hash equi-join of `left` and `right` on the named key columns (which
+// may be numeric or categorical; categorical keys join on dictionary codes
+// and require identical dictionaries). Output contains all left columns
+// followed by all right columns except the right key; name collisions on
+// non-key columns are disambiguated with a "<right-table-name>." prefix.
+Table HashJoin(const Table& left, const std::string& left_key,
+               const Table& right, const std::string& right_key);
+
+}  // namespace ddup::storage
+
+#endif  // DDUP_STORAGE_JOIN_H_

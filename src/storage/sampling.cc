@@ -1,0 +1,53 @@
+#include "storage/sampling.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/status.h"
+
+namespace ddup::storage {
+
+Table SampleRows(const Table& table, Rng& rng, int64_t n) {
+  DDUP_CHECK(n >= 0 && n <= table.num_rows());
+  return table.TakeRows(rng.SampleWithoutReplacement(table.num_rows(), n));
+}
+
+Table BootstrapRows(const Table& table, Rng& rng, int64_t n) {
+  DDUP_CHECK(table.num_rows() > 0);
+  return table.TakeRows(rng.SampleWithReplacement(table.num_rows(), n));
+}
+
+Table ShuffleRows(const Table& table, Rng& rng) {
+  std::vector<int64_t> rows(static_cast<size_t>(table.num_rows()));
+  std::iota(rows.begin(), rows.end(), 0);
+  rng.Shuffle(&rows);
+  return table.TakeRows(rows);
+}
+
+std::vector<Table> SplitIntoBatches(const Table& table, int parts) {
+  DDUP_CHECK(parts > 0);
+  std::vector<Table> out;
+  int64_t n = table.num_rows();
+  int64_t base = n / parts;
+  int64_t rem = n % parts;
+  int64_t start = 0;
+  for (int p = 0; p < parts; ++p) {
+    int64_t len = base + (p < rem ? 1 : 0);
+    std::vector<int64_t> rows(static_cast<size_t>(len));
+    std::iota(rows.begin(), rows.end(), start);
+    out.push_back(table.TakeRows(rows));
+    start += len;
+  }
+  return out;
+}
+
+Table SampleFraction(const Table& table, Rng& rng, double fraction) {
+  DDUP_CHECK(fraction > 0.0 && fraction <= 1.0);
+  auto n = static_cast<int64_t>(
+      std::llround(fraction * static_cast<double>(table.num_rows())));
+  n = std::clamp<int64_t>(n, 1, table.num_rows());
+  return SampleRows(table, rng, n);
+}
+
+}  // namespace ddup::storage

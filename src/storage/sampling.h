@@ -1,0 +1,28 @@
+#ifndef DDUP_STORAGE_SAMPLING_H_
+#define DDUP_STORAGE_SAMPLING_H_
+
+#include "common/rng.h"
+#include "storage/table.h"
+
+namespace ddup::storage {
+
+// n rows sampled uniformly without replacement (n <= num_rows).
+Table SampleRows(const Table& table, Rng& rng, int64_t n);
+
+// n rows sampled uniformly with replacement (bootstrap draw).
+Table BootstrapRows(const Table& table, Rng& rng, int64_t n);
+
+// Random row permutation of the whole table.
+Table ShuffleRows(const Table& table, Rng& rng);
+
+// Splits rows into `parts` contiguous chunks of (near-)equal size, in row
+// order — used to form time-ordered insertion batches.
+std::vector<Table> SplitIntoBatches(const Table& table, int parts);
+
+// fraction in (0,1]: random sample of round(fraction * num_rows) rows
+// without replacement.
+Table SampleFraction(const Table& table, Rng& rng, double fraction);
+
+}  // namespace ddup::storage
+
+#endif  // DDUP_STORAGE_SAMPLING_H_

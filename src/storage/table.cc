@@ -1,0 +1,85 @@
+#include "storage/table.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/status.h"
+
+namespace ddup::storage {
+
+int64_t Table::num_rows() const {
+  return columns_.empty() ? 0 : columns_[0].size();
+}
+
+void Table::AddColumn(Column column) {
+  if (!columns_.empty()) {
+    DDUP_CHECK_MSG(column.size() == num_rows(),
+                   "column length mismatch when adding '" + column.name() + "'");
+  }
+  DDUP_CHECK_MSG(ColumnIndex(column.name()) < 0,
+                 "duplicate column name '" + column.name() + "'");
+  columns_.push_back(std::move(column));
+}
+
+const Column& Table::column(int i) const {
+  DDUP_CHECK(i >= 0 && i < num_columns());
+  return columns_[static_cast<size_t>(i)];
+}
+
+Column* Table::mutable_column(int i) {
+  DDUP_CHECK(i >= 0 && i < num_columns());
+  return &columns_[static_cast<size_t>(i)];
+}
+
+const Column& Table::column(const std::string& name) const {
+  int i = ColumnIndex(name);
+  DDUP_CHECK_MSG(i >= 0, "no column named '" + name + "'");
+  return columns_[static_cast<size_t>(i)];
+}
+
+int Table::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name() == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::vector<std::string> Table::ColumnNames() const {
+  std::vector<std::string> names;
+  names.reserve(columns_.size());
+  for (const auto& c : columns_) names.push_back(c.name());
+  return names;
+}
+
+bool Table::SchemaEquals(const Table& other) const {
+  if (num_columns() != other.num_columns()) return false;
+  for (int i = 0; i < num_columns(); ++i) {
+    if (!columns_[static_cast<size_t>(i)].SchemaEquals(
+            other.columns_[static_cast<size_t>(i)])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Table Table::TakeRows(const std::vector<int64_t>& rows) const {
+  Table out(name_);
+  for (const auto& c : columns_) out.AddColumn(c.TakeRows(rows));
+  return out;
+}
+
+Table Table::Head(int64_t n) const {
+  n = std::min(n, num_rows());
+  std::vector<int64_t> rows(static_cast<size_t>(n));
+  std::iota(rows.begin(), rows.end(), 0);
+  return TakeRows(rows);
+}
+
+void Table::Append(const Table& other) {
+  DDUP_CHECK_MSG(SchemaEquals(other), "appending schema-incompatible table");
+  for (int i = 0; i < num_columns(); ++i) {
+    columns_[static_cast<size_t>(i)].Append(other.column(i));
+  }
+}
+
+}  // namespace ddup::storage

@@ -1,0 +1,48 @@
+#include "storage/transforms.h"
+
+#include <algorithm>
+
+#include "common/status.h"
+#include "storage/sampling.h"
+
+namespace ddup::storage {
+
+namespace {
+void SortColumnInPlace(Column* col) {
+  if (col->is_numeric()) {
+    std::sort(col->mutable_numeric_values()->begin(),
+              col->mutable_numeric_values()->end());
+  } else {
+    std::sort(col->mutable_codes()->begin(), col->mutable_codes()->end());
+  }
+}
+}  // namespace
+
+Table PermuteJointDistributionOfColumns(const Table& table,
+                                        const std::vector<int>& column_indices,
+                                        Rng& rng) {
+  Table copy = table;
+  for (int ci : column_indices) {
+    DDUP_CHECK(ci >= 0 && ci < copy.num_columns());
+    SortColumnInPlace(copy.mutable_column(ci));
+  }
+  return ShuffleRows(copy, rng);
+}
+
+Table PermuteJointDistribution(const Table& table, Rng& rng) {
+  std::vector<int> all;
+  all.reserve(static_cast<size_t>(table.num_columns()));
+  for (int i = 0; i < table.num_columns(); ++i) all.push_back(i);
+  return PermuteJointDistributionOfColumns(table, all, rng);
+}
+
+Table InDistributionSample(const Table& table, Rng& rng, double fraction) {
+  return SampleFraction(table, rng, fraction);
+}
+
+Table OutOfDistributionSample(const Table& table, Rng& rng, double fraction) {
+  Table permuted = PermuteJointDistribution(table, rng);
+  return SampleFraction(permuted, rng, fraction);
+}
+
+}  // namespace ddup::storage

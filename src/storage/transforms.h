@@ -1,0 +1,31 @@
+#ifndef DDUP_STORAGE_TRANSFORMS_H_
+#define DDUP_STORAGE_TRANSFORMS_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "storage/table.h"
+
+namespace ddup::storage {
+
+// The paper's OOD transform (§5.1): copy the table, sort every column
+// individually in place (this permutes the joint distribution while keeping
+// every marginal identical), then shuffle the rows. Passing a subset of
+// column indices sorts only those columns (used by the finer-grained
+// perturbations of §5.2.3).
+Table PermuteJointDistribution(const Table& table, Rng& rng);
+Table PermuteJointDistributionOfColumns(const Table& table,
+                                        const std::vector<int>& column_indices,
+                                        Rng& rng);
+
+// In-distribution "new data" (§5.1): a plain random sample of `fraction` of
+// the rows of a straight copy.
+Table InDistributionSample(const Table& table, Rng& rng, double fraction);
+
+// Out-of-distribution "new data" (§5.1): permute the joint distribution,
+// shuffle, then take `fraction` of rows.
+Table OutOfDistributionSample(const Table& table, Rng& rng, double fraction);
+
+}  // namespace ddup::storage
+
+#endif  // DDUP_STORAGE_TRANSFORMS_H_

@@ -1,0 +1,49 @@
+#include "workload/executor.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/status.h"
+
+namespace ddup::workload {
+
+QueryResult Execute(const storage::Table& table, const Query& query) {
+  if (query.agg != AggFunc::kCount) {
+    DDUP_CHECK_MSG(query.agg_column >= 0 &&
+                       query.agg_column < table.num_columns(),
+                   "SUM/AVG requires a valid agg_column");
+  }
+  QueryResult res;
+  double sum = 0.0;
+  for (int64_t r = 0; r < table.num_rows(); ++r) {
+    if (!RowMatches(table, query, r)) continue;
+    ++res.matching_rows;
+    if (query.agg != AggFunc::kCount) {
+      sum += table.column(query.agg_column).AsDouble(r);
+    }
+  }
+  switch (query.agg) {
+    case AggFunc::kCount:
+      res.value = static_cast<double>(res.matching_rows);
+      break;
+    case AggFunc::kSum:
+      res.value = sum;
+      break;
+    case AggFunc::kAvg:
+      res.value = res.matching_rows > 0
+                      ? sum / static_cast<double>(res.matching_rows)
+                      : std::numeric_limits<double>::quiet_NaN();
+      break;
+  }
+  return res;
+}
+
+std::vector<double> ExecuteAll(const storage::Table& table,
+                               const std::vector<Query>& queries) {
+  std::vector<double> out;
+  out.reserve(queries.size());
+  for (const auto& q : queries) out.push_back(Execute(table, q).value);
+  return out;
+}
+
+}  // namespace ddup::workload

@@ -1,0 +1,23 @@
+#ifndef DDUP_WORKLOAD_EXECUTOR_H_
+#define DDUP_WORKLOAD_EXECUTOR_H_
+
+#include "storage/table.h"
+#include "workload/query.h"
+
+namespace ddup::workload {
+
+struct QueryResult {
+  double value = 0.0;        // aggregate value; NaN for AVG over empty set
+  int64_t matching_rows = 0;
+};
+
+// Exact full-scan evaluation; the ground truth for every experiment.
+QueryResult Execute(const storage::Table& table, const Query& query);
+
+// Ground truths for a batch of queries (values only).
+std::vector<double> ExecuteAll(const storage::Table& table,
+                               const std::vector<Query>& queries);
+
+}  // namespace ddup::workload
+
+#endif  // DDUP_WORKLOAD_EXECUTOR_H_

@@ -1,0 +1,121 @@
+#include "workload/generator.h"
+
+#include <algorithm>
+
+#include "common/status.h"
+#include "workload/executor.h"
+
+namespace ddup::workload {
+
+Query GenerateNaruQuery(const storage::Table& table,
+                        const NaruWorkloadConfig& config, Rng& rng) {
+  DDUP_CHECK(table.num_rows() > 0);
+  int num_cols = table.num_columns();
+  int max_f = std::min(config.max_filters, num_cols);
+  int min_f = std::min(config.min_filters, max_f);
+  int num_filters = static_cast<int>(rng.UniformInt(min_f, max_f));
+
+  std::vector<int64_t> cols =
+      rng.SampleWithoutReplacement(num_cols, num_filters);
+  int64_t anchor = rng.UniformInt(0, table.num_rows() - 1);
+
+  Query q;
+  q.agg = AggFunc::kCount;
+  for (int64_t c : cols) {
+    const storage::Column& col = table.column(static_cast<int>(c));
+    Predicate p;
+    p.column = static_cast<int>(c);
+    p.value = col.AsDouble(anchor);
+    bool categorical_like =
+        col.CountDistinct() < config.categorical_domain_threshold;
+    if (categorical_like) {
+      p.op = CompareOp::kEq;
+    } else {
+      switch (rng.UniformInt(0, 2)) {
+        case 0:
+          p.op = CompareOp::kEq;
+          break;
+        case 1:
+          p.op = CompareOp::kGe;
+          break;
+        default:
+          p.op = CompareOp::kLe;
+          break;
+      }
+    }
+    q.predicates.push_back(p);
+  }
+  return q;
+}
+
+Query GenerateAqpQuery(const storage::Table& table,
+                       const AqpWorkloadConfig& config, Rng& rng) {
+  DDUP_CHECK(table.num_rows() > 0);
+  int cat_idx = table.ColumnIndex(config.categorical_column);
+  int num_idx = table.ColumnIndex(config.numeric_column);
+  DDUP_CHECK_MSG(cat_idx >= 0, "missing categorical column " +
+                                   config.categorical_column);
+  DDUP_CHECK_MSG(num_idx >= 0, "missing numeric column " +
+                                   config.numeric_column);
+  const storage::Column& cat = table.column(cat_idx);
+  const storage::Column& num = table.column(num_idx);
+
+  // Category observed in the data (uniform over rows, like the paper's
+  // uniform category selection restricted to non-empty groups).
+  int64_t row = rng.UniformInt(0, table.num_rows() - 1);
+  double cat_value = cat.AsDouble(row);
+
+  // Range endpoints anchored at two random rows.
+  double a = num.AsDouble(rng.UniformInt(0, table.num_rows() - 1));
+  double b = num.AsDouble(rng.UniformInt(0, table.num_rows() - 1));
+  if (a > b) std::swap(a, b);
+
+  Query q;
+  q.agg = config.agg;
+  q.agg_column = num_idx;
+  q.predicates.push_back({cat_idx, CompareOp::kEq, cat_value});
+  q.predicates.push_back({num_idx, CompareOp::kGe, a});
+  q.predicates.push_back({num_idx, CompareOp::kLe, b});
+  return q;
+}
+
+namespace {
+template <typename GenFn>
+std::vector<Query> GenerateNonEmpty(const storage::Table& table, int n,
+                                    GenFn gen) {
+  std::vector<Query> out;
+  out.reserve(static_cast<size_t>(n));
+  while (static_cast<int>(out.size()) < n) {
+    int attempts = 0;
+    for (;; ++attempts) {
+      DDUP_CHECK_MSG(attempts < 200,
+                     "could not generate a non-empty query in 200 attempts");
+      Query q = gen();
+      QueryResult res = Execute(table, q);
+      if (res.matching_rows > 0 && res.value != 0.0) {
+        out.push_back(std::move(q));
+        break;
+      }
+    }
+  }
+  return out;
+}
+}  // namespace
+
+std::vector<Query> GenerateNonEmptyNaruQueries(const storage::Table& table,
+                                               const NaruWorkloadConfig& config,
+                                               int n, Rng& rng) {
+  return GenerateNonEmpty(table, n, [&]() {
+    return GenerateNaruQuery(table, config, rng);
+  });
+}
+
+std::vector<Query> GenerateNonEmptyAqpQueries(const storage::Table& table,
+                                              const AqpWorkloadConfig& config,
+                                              int n, Rng& rng) {
+  return GenerateNonEmpty(table, n, [&]() {
+    return GenerateAqpQuery(table, config, rng);
+  });
+}
+
+}  // namespace ddup::workload

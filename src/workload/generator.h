@@ -1,0 +1,51 @@
+#ifndef DDUP_WORKLOAD_GENERATOR_H_
+#define DDUP_WORKLOAD_GENERATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "storage/table.h"
+#include "workload/query.h"
+
+namespace ddup::workload {
+
+// Naru-style generator (§5.1.2): draw the number of filters from
+// [min_filters, max_filters], pick that many distinct columns, anchor the
+// predicate values at a uniformly chosen row, and assign operators uniformly
+// from {=, >=, <=}; columns with domain < categorical_domain_threshold get
+// equality only.
+struct NaruWorkloadConfig {
+  int min_filters = 3;
+  int max_filters = 8;
+  int categorical_domain_threshold = 10;
+};
+
+Query GenerateNaruQuery(const storage::Table& table,
+                        const NaruWorkloadConfig& config, Rng& rng);
+
+// DBEst++-style generator (§5.1.2): one equality filter on a categorical
+// column and one [lower, upper] range on a numeric column; the aggregate
+// (COUNT/SUM/AVG) runs over the numeric column.
+struct AqpWorkloadConfig {
+  std::string categorical_column;
+  std::string numeric_column;
+  AggFunc agg = AggFunc::kCount;
+};
+
+Query GenerateAqpQuery(const storage::Table& table,
+                       const AqpWorkloadConfig& config, Rng& rng);
+
+// Generates `n` queries whose ground truth on `table` is non-zero (the paper
+// discards zero-answer queries). Gives up on a draw after 200 rejections and
+// CHECK-fails — that signals a degenerate workload configuration.
+std::vector<Query> GenerateNonEmptyNaruQueries(const storage::Table& table,
+                                               const NaruWorkloadConfig& config,
+                                               int n, Rng& rng);
+std::vector<Query> GenerateNonEmptyAqpQueries(const storage::Table& table,
+                                              const AqpWorkloadConfig& config,
+                                              int n, Rng& rng);
+
+}  // namespace ddup::workload
+
+#endif  // DDUP_WORKLOAD_GENERATOR_H_

@@ -1,0 +1,66 @@
+#include "workload/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/stats.h"
+#include "common/status.h"
+
+namespace ddup::workload {
+
+double QError(double predicted, double actual) {
+  double p = std::max(predicted, 1.0);
+  double a = std::max(actual, 1.0);
+  return std::max(p, a) / std::min(p, a);
+}
+
+double RelativeErrorPercent(double predicted, double actual) {
+  DDUP_CHECK_MSG(actual != 0.0, "relative error undefined for zero actual");
+  return std::fabs(predicted - actual) / std::fabs(actual) * 100.0;
+}
+
+ErrorSummary Summarize(const std::vector<double>& errors) {
+  ErrorSummary s;
+  if (errors.empty()) return s;
+  s.median = Percentile(errors, 50.0);
+  s.p95 = Percentile(errors, 95.0);
+  s.p99 = Percentile(errors, 99.0);
+  s.max = *std::max_element(errors.begin(), errors.end());
+  s.mean = Mean(errors);
+  return s;
+}
+
+std::string FormatSummary(const ErrorSummary& s) {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "%8.2f %9.2f %9.2f %10.2f", s.median, s.p95,
+                s.p99, s.max);
+  return buf;
+}
+
+FwtBwtSplit SplitByGroundTruthChange(const std::vector<double>& truth_before,
+                                     const std::vector<double>& truth_after) {
+  DDUP_CHECK(truth_before.size() == truth_after.size());
+  FwtBwtSplit split;
+  for (size_t i = 0; i < truth_before.size(); ++i) {
+    if (truth_before[i] == truth_after[i]) {
+      split.fixed.push_back(static_cast<int>(i));
+    } else {
+      split.changed.push_back(static_cast<int>(i));
+    }
+  }
+  return split;
+}
+
+std::vector<double> Select(const std::vector<double>& values,
+                           const std::vector<int>& indices) {
+  std::vector<double> out;
+  out.reserve(indices.size());
+  for (int i : indices) {
+    DDUP_CHECK(i >= 0 && i < static_cast<int>(values.size()));
+    out.push_back(values[static_cast<size_t>(i)]);
+  }
+  return out;
+}
+
+}  // namespace ddup::workload

@@ -1,0 +1,46 @@
+#ifndef DDUP_WORKLOAD_METRICS_H_
+#define DDUP_WORKLOAD_METRICS_H_
+
+#include <string>
+#include <vector>
+
+namespace ddup::workload {
+
+// Q-error (paper Eq. 12): max(pred, real) / min(pred, real). Both inputs are
+// clamped to >= 1 first (counts; matches how learned CE systems report it).
+double QError(double predicted, double actual);
+
+// Relative error in percent (paper Eq. 13): |pred - real| / |real| * 100.
+double RelativeErrorPercent(double predicted, double actual);
+
+struct ErrorSummary {
+  double median = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+};
+
+ErrorSummary Summarize(const std::vector<double>& errors);
+
+// Formats "median 95th 99th max" with sensible precision.
+std::string FormatSummary(const ErrorSummary& s);
+
+// FWT/BWT query grouping (§5.1.3): queries are generated once at time 0;
+// after inserting a batch, a query whose ground truth changed belongs to
+// G_changed (contributes to FWT), otherwise to G_fix (contributes to BWT).
+struct FwtBwtSplit {
+  std::vector<int> fixed;    // indices with unchanged ground truth
+  std::vector<int> changed;  // indices with changed ground truth
+};
+
+FwtBwtSplit SplitByGroundTruthChange(const std::vector<double>& truth_before,
+                                     const std::vector<double>& truth_after);
+
+// Extracts errors[i] for the given indices.
+std::vector<double> Select(const std::vector<double>& values,
+                           const std::vector<int>& indices);
+
+}  // namespace ddup::workload
+
+#endif  // DDUP_WORKLOAD_METRICS_H_

@@ -1,0 +1,67 @@
+#include "workload/query.h"
+
+#include "common/status.h"
+
+namespace ddup::workload {
+
+namespace {
+const char* OpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kGe:
+      return ">=";
+    case CompareOp::kLe:
+      return "<=";
+  }
+  return "?";
+}
+
+const char* AggName(AggFunc agg) {
+  switch (agg) {
+    case AggFunc::kCount:
+      return "COUNT";
+    case AggFunc::kSum:
+      return "SUM";
+    case AggFunc::kAvg:
+      return "AVG";
+  }
+  return "?";
+}
+}  // namespace
+
+std::string Query::ToString(const storage::Table& table) const {
+  std::string s = "SELECT ";
+  s += AggName(agg);
+  s += "(";
+  s += agg == AggFunc::kCount ? "*" : table.column(agg_column).name();
+  s += ") WHERE ";
+  for (size_t i = 0; i < predicates.size(); ++i) {
+    if (i > 0) s += " AND ";
+    const Predicate& p = predicates[i];
+    s += table.column(p.column).name();
+    s += OpName(p.op);
+    s += std::to_string(p.value);
+  }
+  return s;
+}
+
+bool RowMatches(const storage::Table& table, const Query& query, int64_t row) {
+  for (const Predicate& p : query.predicates) {
+    double v = table.column(p.column).AsDouble(row);
+    switch (p.op) {
+      case CompareOp::kEq:
+        if (v != p.value) return false;
+        break;
+      case CompareOp::kGe:
+        if (!(v >= p.value)) return false;
+        break;
+      case CompareOp::kLe:
+        if (!(v <= p.value)) return false;
+        break;
+    }
+  }
+  return true;
+}
+
+}  // namespace ddup::workload

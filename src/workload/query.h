@@ -1,0 +1,37 @@
+#ifndef DDUP_WORKLOAD_QUERY_H_
+#define DDUP_WORKLOAD_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "storage/table.h"
+
+namespace ddup::workload {
+
+enum class CompareOp { kEq, kGe, kLe };
+
+// One conjunct: column <op> value. For categorical columns the value is the
+// dictionary code (equality only in generated workloads, matching §5.1.2).
+struct Predicate {
+  int column = -1;
+  CompareOp op = CompareOp::kEq;
+  double value = 0.0;
+};
+
+enum class AggFunc { kCount, kSum, kAvg };
+
+// SELECT AGG(agg_column) FROM T WHERE pred_1 AND ... AND pred_d  (§5.1.2).
+struct Query {
+  std::vector<Predicate> predicates;
+  AggFunc agg = AggFunc::kCount;
+  int agg_column = -1;  // required for SUM/AVG
+
+  std::string ToString(const storage::Table& table) const;
+};
+
+// True iff row `row` of `table` satisfies every predicate.
+bool RowMatches(const storage::Table& table, const Query& query, int64_t row);
+
+}  // namespace ddup::workload
+
+#endif  // DDUP_WORKLOAD_QUERY_H_

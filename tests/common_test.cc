@@ -1,0 +1,190 @@
+#include <cmath>
+#include <set>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/status.h"
+#include "common/stopwatch.h"
+#include "gtest/gtest.h"
+
+namespace ddup {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, CarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad column");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.ToString(), "INVALID_ARGUMENT: bad column");
+}
+
+TEST(StatusTest, StatusOrHoldsValue) {
+  StatusOr<int> ok(7);
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 7);
+  StatusOr<int> err(Status::NotFound("x"));
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kNotFound);
+}
+
+TEST(RngTest, DeterministicBySeed) {
+  Rng a(123), b(123), c(124);
+  double va = a.Uniform(), vb = b.Uniform(), vc = c.Uniform();
+  EXPECT_EQ(va, vb);
+  EXPECT_NE(va, vc);
+}
+
+TEST(RngTest, UniformIntWithinBounds) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformInt(-3, 5);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, NormalHasExpectedMoments) {
+  Rng rng(2);
+  std::vector<double> xs;
+  for (int i = 0; i < 20000; ++i) xs.push_back(rng.Normal(3.0, 2.0));
+  EXPECT_NEAR(Mean(xs), 3.0, 0.1);
+  EXPECT_NEAR(StdDev(xs), 2.0, 0.1);
+}
+
+TEST(RngTest, CategoricalRespectsWeights) {
+  Rng rng(3);
+  std::vector<double> w = {1.0, 3.0};
+  int ones = 0;
+  constexpr int kTrials = 20000;
+  for (int i = 0; i < kTrials; ++i) ones += rng.Categorical(w);
+  EXPECT_NEAR(static_cast<double>(ones) / kTrials, 0.75, 0.02);
+}
+
+TEST(RngTest, ZipfFavorsLowRanks) {
+  Rng rng(4);
+  std::vector<int> counts(5, 0);
+  for (int i = 0; i < 10000; ++i) ++counts[static_cast<size_t>(rng.Zipf(5, 1.2))];
+  EXPECT_GT(counts[0], counts[4]);
+}
+
+TEST(RngTest, SampleWithoutReplacementIsDistinct) {
+  Rng rng(5);
+  auto idx = rng.SampleWithoutReplacement(100, 40);
+  std::set<int64_t> unique(idx.begin(), idx.end());
+  EXPECT_EQ(unique.size(), 40u);
+  for (int64_t i : idx) {
+    EXPECT_GE(i, 0);
+    EXPECT_LT(i, 100);
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacementFullPermutation) {
+  Rng rng(6);
+  auto idx = rng.SampleWithoutReplacement(10, 10);
+  std::set<int64_t> unique(idx.begin(), idx.end());
+  EXPECT_EQ(unique.size(), 10u);
+}
+
+TEST(RngTest, SampleWithReplacementCovers) {
+  Rng rng(7);
+  auto idx = rng.SampleWithReplacement(3, 1000);
+  EXPECT_EQ(idx.size(), 1000u);
+  for (int64_t i : idx) {
+    EXPECT_GE(i, 0);
+    EXPECT_LT(i, 3);
+  }
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(42);
+  Rng child = a.Fork();
+  // The fork consumed state; both streams still work and differ.
+  EXPECT_NE(a.Uniform(), child.Uniform());
+}
+
+TEST(StatsTest, MeanAndStdDev) {
+  std::vector<double> xs = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(Mean(xs), 2.5);
+  EXPECT_NEAR(StdDev(xs), std::sqrt(1.25), 1e-12);
+  EXPECT_EQ(Mean({}), 0.0);
+  EXPECT_EQ(StdDev({1.0}), 0.0);
+}
+
+TEST(StatsTest, PercentileInterpolates) {
+  std::vector<double> xs = {10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(Percentile(xs, 0), 10);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 100), 40);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 50), 25);
+  EXPECT_DOUBLE_EQ(Median(xs), 25);
+}
+
+TEST(StatsTest, PercentileSingleElement) {
+  EXPECT_DOUBLE_EQ(Percentile({5.0}, 99), 5.0);
+}
+
+TEST(StatsTest, NormalCdfKnownValues) {
+  EXPECT_NEAR(NormalCdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(NormalCdf(1.96), 0.975, 1e-3);
+  EXPECT_NEAR(NormalCdf(-1.96), 0.025, 1e-3);
+  EXPECT_NEAR(NormalCdf(5.0, 5.0, 2.0), 0.5, 1e-12);
+}
+
+TEST(StatsTest, NormalPdfPeak) {
+  EXPECT_NEAR(NormalPdf(0.0), 0.3989422804, 1e-9);
+  EXPECT_GT(NormalPdf(0.0), NormalPdf(1.0));
+}
+
+TEST(StatsTest, TruncatedExpectationFullRange) {
+  // Over (-inf, inf) the partial expectation is the mean.
+  double v = TruncatedNormalPartialExpectation(2.0, 1.0, -100, 100);
+  EXPECT_NEAR(v, 2.0, 1e-6);
+}
+
+TEST(StatsTest, TruncatedExpectationMatchesMonteCarlo) {
+  Rng rng(8);
+  double mean = 1.0, sd = 2.0, lo = 0.0, hi = 3.0;
+  double acc = 0.0;
+  constexpr int kTrials = 200000;
+  for (int i = 0; i < kTrials; ++i) {
+    double y = rng.Normal(mean, sd);
+    if (y >= lo && y <= hi) acc += y;
+  }
+  double mc = acc / kTrials;
+  double analytic = TruncatedNormalPartialExpectation(mean, sd, lo, hi);
+  EXPECT_NEAR(analytic, mc, 0.02);
+}
+
+TEST(StatsTest, LogSumExpStable) {
+  EXPECT_NEAR(LogSumExp({0.0, 0.0}), std::log(2.0), 1e-12);
+  // Would overflow naive exp.
+  EXPECT_NEAR(LogSumExp({1000.0, 1000.0}), 1000.0 + std::log(2.0), 1e-9);
+}
+
+TEST(StatsTest, PearsonCorrelation) {
+  std::vector<double> a = {1, 2, 3, 4, 5};
+  std::vector<double> b = {2, 4, 6, 8, 10};
+  std::vector<double> c = {5, 4, 3, 2, 1};
+  EXPECT_NEAR(PearsonCorrelation(a, b), 1.0, 1e-12);
+  EXPECT_NEAR(PearsonCorrelation(a, c), -1.0, 1e-12);
+  std::vector<double> flat = {1, 1, 1, 1, 1};
+  EXPECT_EQ(PearsonCorrelation(a, flat), 0.0);
+}
+
+TEST(StopwatchTest, MeasuresElapsed) {
+  Stopwatch sw;
+  double t0 = sw.ElapsedSeconds();
+  EXPECT_GE(t0, 0.0);
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink += std::sqrt(static_cast<double>(i));
+  EXPECT_GE(sw.ElapsedSeconds(), t0);
+  sw.Restart();
+  EXPECT_LT(sw.ElapsedSeconds(), 1.0);
+}
+
+}  // namespace
+}  // namespace ddup

@@ -1,0 +1,152 @@
+#include <cmath>
+
+#include "common/rng.h"
+#include "core/controller.h"
+#include "gtest/gtest.h"
+#include "models/mdn.h"
+#include "storage/sampling.h"
+#include "storage/transforms.h"
+
+namespace ddup::core {
+namespace {
+
+// Conditional toy data shared with the MDN tests: y | x=k clusters around
+// distinct means; swapping the conditional means creates honest OOD batches.
+storage::Table MakeConditional(double m0, double m1, int64_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<int32_t> codes;
+  std::vector<double> y;
+  for (int64_t i = 0; i < n; ++i) {
+    int k = rng.Bernoulli(0.5) ? 1 : 0;
+    codes.push_back(static_cast<int32_t>(k));
+    y.push_back(std::clamp(rng.Normal(k == 0 ? m0 : m1, 3.0), 0.0, 100.0));
+  }
+  storage::Table t("cond");
+  t.AddColumn(storage::Column::Categorical("x", codes, {"k0", "k1"}));
+  t.AddColumn(storage::Column::Numeric("y", y));
+  return t;
+}
+
+models::MdnConfig FastMdn() {
+  models::MdnConfig c;
+  c.num_components = 4;
+  c.hidden_width = 24;
+  c.epochs = 12;
+  c.learning_rate = 5e-3;
+  c.seed = 3;
+  return c;
+}
+
+ControllerConfig FastController() {
+  ControllerConfig c;
+  c.detector.bootstrap_iterations = 120;
+  c.detector.seed = 5;
+  c.policy.distill.epochs = 8;
+  c.policy.distill.learning_rate = 2e-3;
+  c.policy.finetune_epochs = 2;
+  c.seed = 7;
+  return c;
+}
+
+TEST(ControllerTest, InDistributionBatchTriggersFineTune) {
+  storage::Table base = MakeConditional(25, 75, 1200, 1);
+  models::Mdn model(base, "x", "y", FastMdn());
+  DdupController controller(&model, base, FastController());
+
+  storage::Table ind = MakeConditional(25, 75, 240, 2);
+  InsertionReport report = controller.HandleInsertion(ind);
+  EXPECT_FALSE(report.test.is_ood);
+  EXPECT_EQ(report.action, UpdateAction::kFineTune);
+  EXPECT_EQ(controller.data().num_rows(), 1440);
+  EXPECT_GE(report.detect_seconds, 0.0);
+  EXPECT_GE(report.update_seconds, 0.0);
+  EXPECT_GE(report.offline_refresh_seconds, 0.0);
+}
+
+TEST(ControllerTest, OodBatchTriggersDistillation) {
+  storage::Table base = MakeConditional(25, 75, 1200, 3);
+  models::Mdn model(base, "x", "y", FastMdn());
+  DdupController controller(&model, base, FastController());
+
+  storage::Table ood = MakeConditional(75, 25, 240, 4);  // swapped
+  InsertionReport report = controller.HandleInsertion(ood);
+  EXPECT_TRUE(report.test.is_ood);
+  EXPECT_EQ(report.action, UpdateAction::kDistill);
+  EXPECT_GT(report.test.statistic, report.test.threshold);
+}
+
+TEST(ControllerTest, StalePolicyWhenFineTuneDisabled) {
+  storage::Table base = MakeConditional(25, 75, 1000, 5);
+  models::Mdn model(base, "x", "y", FastMdn());
+  ControllerConfig config = FastController();
+  config.policy.finetune_on_ind = false;
+  DdupController controller(&model, base, config);
+
+  storage::Table ind = MakeConditional(25, 75, 200, 6);
+  InsertionReport report = controller.HandleInsertion(ind);
+  EXPECT_FALSE(report.test.is_ood);
+  EXPECT_EQ(report.action, UpdateAction::kKeepStale);
+}
+
+TEST(ControllerTest, MetadataAbsorbedOnEveryPath) {
+  storage::Table base = MakeConditional(25, 75, 1000, 7);
+  models::Mdn model(base, "x", "y", FastMdn());
+  ControllerConfig config = FastController();
+  config.policy.finetune_on_ind = false;
+  DdupController controller(&model, base, config);
+  int64_t before = model.frequency(0) + model.frequency(1);
+  storage::Table ind = MakeConditional(25, 75, 200, 8);
+  controller.HandleInsertion(ind);
+  int64_t after = model.frequency(0) + model.frequency(1);
+  EXPECT_EQ(after - before, 200);  // stale weights, fresh metadata
+}
+
+TEST(ControllerTest, SequentialInsertionsKeepModelUsable) {
+  // End-to-end: IND, then OOD, then IND-with-respect-to-updated-state. After
+  // the OOD distillation, the detector refits, so a batch drawn from the
+  // *new* distribution should no longer look wildly OOD.
+  storage::Table base = MakeConditional(25, 75, 1200, 9);
+  models::Mdn model(base, "x", "y", FastMdn());
+  DdupController controller(&model, base, FastController());
+
+  InsertionReport r1 =
+      controller.HandleInsertion(MakeConditional(25, 75, 240, 10));
+  EXPECT_FALSE(r1.test.is_ood);
+
+  InsertionReport r2 =
+      controller.HandleInsertion(MakeConditional(75, 25, 240, 11));
+  EXPECT_TRUE(r2.test.is_ood);
+
+  InsertionReport r3 =
+      controller.HandleInsertion(MakeConditional(75, 25, 240, 12));
+  // After distilling the swapped distribution into the model, a second batch
+  // of the same kind is much less surprising than the first one was.
+  EXPECT_LT(r3.test.statistic, r2.test.statistic);
+  EXPECT_EQ(controller.data().num_rows(), 1200 + 3 * 240);
+}
+
+TEST(PoliciesTest, ActionNames) {
+  EXPECT_STREQ(ActionName(UpdateAction::kKeepStale), "stale");
+  EXPECT_STREQ(ActionName(UpdateAction::kFineTune), "fine-tune");
+  EXPECT_STREQ(ActionName(UpdateAction::kDistill), "distill");
+  EXPECT_STREQ(ActionName(UpdateAction::kRetrain), "retrain");
+}
+
+TEST(PoliciesTest, ScaledFineTuneLr) {
+  PolicyConfig policy;
+  policy.finetune_base_lr = 1e-2;
+  EXPECT_DOUBLE_EQ(ScaledFineTuneLr(policy, 1000, 100), 1e-3);
+  EXPECT_DOUBLE_EQ(ScaledFineTuneLr(policy, 1000, 2000), 1e-2);  // capped
+}
+
+TEST(InterfacesTest, ResolveAlphaDefaultsToOldShare) {
+  DistillConfig config;  // alpha < 0 -> auto
+  EXPECT_DOUBLE_EQ(ResolveAlpha(config, 800, 200), 0.8);
+  config.alpha = 0.3;
+  EXPECT_DOUBLE_EQ(ResolveAlpha(config, 800, 200), 0.3);
+  DistillConfig degenerate;
+  EXPECT_DOUBLE_EQ(ResolveAlpha(degenerate, 0, 0), 0.5);
+}
+
+}  // namespace
+}  // namespace ddup::core

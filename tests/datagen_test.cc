@@ -1,0 +1,222 @@
+#include <cmath>
+#include <set>
+
+#include "common/stats.h"
+#include "datagen/datasets.h"
+#include "datagen/latent_class.h"
+#include "datagen/star_schema.h"
+#include "gtest/gtest.h"
+#include "storage/sampling.h"
+
+namespace ddup::datagen {
+namespace {
+
+TEST(LatentClassTest, GeneratesRequestedShape) {
+  LatentClassSpec spec;
+  spec.table_name = "toy";
+  spec.class_priors = {0.5, 0.5};
+  spec.columns = {
+      ColumnSpec::OfNumeric({"x", {0.0, 10.0}, {1.0, 1.0}, -5.0, 15.0, false}),
+      ColumnSpec::OfCategorical({"c", 3, {PeakedWeights(3, 0, 0.3),
+                                          PeakedWeights(3, 2, 0.3)}, "c"}),
+  };
+  Rng rng(1);
+  auto t = Generate(spec, 500, rng);
+  EXPECT_EQ(t.num_rows(), 500);
+  EXPECT_EQ(t.num_columns(), 2);
+  EXPECT_TRUE(t.column("x").is_numeric());
+  EXPECT_EQ(t.column("c").cardinality(), 3);
+}
+
+TEST(LatentClassTest, ColumnsAreCorrelatedThroughLatentClass) {
+  LatentClassSpec spec;
+  spec.table_name = "toy";
+  spec.class_priors = {0.5, 0.5};
+  spec.columns = {
+      ColumnSpec::OfNumeric({"x", {0.0, 10.0}, {0.5, 0.5}, -5.0, 15.0, false}),
+      ColumnSpec::OfNumeric({"y", {0.0, 10.0}, {0.5, 0.5}, -5.0, 15.0, false}),
+  };
+  Rng rng(2);
+  auto t = Generate(spec, 3000, rng);
+  double corr = PearsonCorrelation(t.column("x").numeric_values(),
+                                   t.column("y").numeric_values());
+  EXPECT_GT(corr, 0.8);  // shared latent class couples the columns
+}
+
+TEST(LatentClassTest, RespectsSupportBounds) {
+  LatentClassSpec spec;
+  spec.table_name = "toy";
+  spec.class_priors = {1.0};
+  spec.columns = {
+      ColumnSpec::OfNumeric({"x", {0.0}, {100.0}, -1.0, 1.0, false})};
+  Rng rng(3);
+  auto t = Generate(spec, 1000, rng);
+  EXPECT_GE(t.column("x").MinAsDouble(), -1.0);
+  EXPECT_LE(t.column("x").MaxAsDouble(), 1.0);
+}
+
+TEST(LatentClassTest, RoundToIntProducesIntegers) {
+  LatentClassSpec spec;
+  spec.table_name = "toy";
+  spec.class_priors = {1.0};
+  spec.columns = {
+      ColumnSpec::OfNumeric({"x", {5.0}, {2.0}, 0.0, 10.0, true})};
+  Rng rng(4);
+  auto t = Generate(spec, 100, rng);
+  for (int64_t r = 0; r < t.num_rows(); ++r) {
+    double v = t.column("x").NumericAt(r);
+    EXPECT_DOUBLE_EQ(v, std::round(v));
+  }
+}
+
+TEST(PeakedWeightsTest, PeakDominates) {
+  auto w = PeakedWeights(5, 2, 0.5);
+  ASSERT_EQ(w.size(), 5u);
+  for (size_t i = 0; i < w.size(); ++i) {
+    EXPECT_GT(w[i], 0.0);
+    if (i != 2) { EXPECT_GT(w[2], w[i]); }
+  }
+}
+
+// All four scaled dataset generators, checked uniformly.
+class DatasetShapeTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(DatasetShapeTest, ShapeMatchesPaperTable1) {
+  const std::string name = GetParam();
+  auto t = MakeDataset(name, 800, 42);
+  EXPECT_EQ(t.num_rows(), 800);
+  if (name == "census") { EXPECT_EQ(t.num_columns(), 13); }
+  if (name == "forest") { EXPECT_EQ(t.num_columns(), 10); }
+  if (name == "dmv") { EXPECT_EQ(t.num_columns(), 11); }
+  if (name == "tpcds") { EXPECT_EQ(t.num_columns(), 7); }
+}
+
+TEST_P(DatasetShapeTest, DeterministicInSeed) {
+  const std::string name = GetParam();
+  auto a = MakeDataset(name, 100, 7);
+  auto b = MakeDataset(name, 100, 7);
+  auto c = MakeDataset(name, 100, 8);
+  for (int col = 0; col < a.num_columns(); ++col) {
+    for (int64_t r = 0; r < a.num_rows(); ++r) {
+      EXPECT_DOUBLE_EQ(a.column(col).AsDouble(r), b.column(col).AsDouble(r));
+    }
+  }
+  bool any_diff = false;
+  for (int col = 0; col < a.num_columns() && !any_diff; ++col) {
+    for (int64_t r = 0; r < a.num_rows(); ++r) {
+      if (a.column(col).AsDouble(r) != c.column(col).AsDouble(r)) {
+        any_diff = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST_P(DatasetShapeTest, AqpColumnsExistWithRightTypes) {
+  const std::string name = GetParam();
+  auto t = MakeDataset(name, 200, 1);
+  AqpColumns cols = AqpColumnsFor(name);
+  int ci = t.ColumnIndex(cols.categorical);
+  int ni = t.ColumnIndex(cols.numeric);
+  ASSERT_GE(ci, 0);
+  ASSERT_GE(ni, 0);
+  EXPECT_FALSE(t.column(ci).is_numeric());
+  EXPECT_TRUE(t.column(ni).is_numeric());
+}
+
+TEST_P(DatasetShapeTest, ClassColumnIsCategorical) {
+  const std::string name = GetParam();
+  auto t = MakeDataset(name, 200, 1);
+  int idx = t.ColumnIndex(ClassColumnFor(name));
+  ASSERT_GE(idx, 0);
+  EXPECT_FALSE(t.column(idx).is_numeric());
+}
+
+TEST_P(DatasetShapeTest, LaterSampleStaysWithinBaseSupport) {
+  // The paper's support assumption: inserted batches never extend a
+  // column's support. Our "new data" is a sample of a permuted copy, so this
+  // holds by construction; verify on the generators anyway.
+  const std::string name = GetParam();
+  auto base = MakeDataset(name, 1000, 3);
+  Rng rng(4);
+  auto permuted = storage::ShuffleRows(base, rng);
+  for (int c = 0; c < base.num_columns(); ++c) {
+    EXPECT_GE(permuted.column(c).MinAsDouble(), base.column(c).MinAsDouble());
+    EXPECT_LE(permuted.column(c).MaxAsDouble(), base.column(c).MaxAsDouble());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDatasets, DatasetShapeTest,
+                         ::testing::ValuesIn(DatasetNames()),
+                         [](const auto& info) { return info.param; });
+
+TEST(StarSchemaTest, ImdbJoinShapeAndKeys) {
+  StarDataset ds = ImdbLike(2000, 5);
+  EXPECT_EQ(ds.fact.num_rows(), 2000);
+  ASSERT_EQ(ds.dims.size(), 2u);
+  storage::Table joined = ds.Join();
+  // Every fact row matches exactly one company and one info_type.
+  EXPECT_EQ(joined.num_rows(), 2000);
+  EXPECT_GE(joined.ColumnIndex("production_year"), 0);
+  EXPECT_GE(joined.ColumnIndex("country"), 0);
+  EXPECT_GE(joined.ColumnIndex("info_kind"), 0);
+}
+
+TEST(StarSchemaTest, ImdbFactDriftsOverTime) {
+  StarDataset ds = ImdbLike(4000, 6);
+  auto parts = storage::SplitIntoBatches(ds.fact, 5);
+  double first_mean = 0.0, last_mean = 0.0;
+  const auto& c0 = parts.front().column("production_year");
+  const auto& c4 = parts.back().column("production_year");
+  for (int64_t r = 0; r < c0.size(); ++r) first_mean += c0.NumericAt(r);
+  for (int64_t r = 0; r < c4.size(); ++r) last_mean += c4.NumericAt(r);
+  first_mean /= static_cast<double>(c0.size());
+  last_mean /= static_cast<double>(c4.size());
+  EXPECT_GT(last_mean - first_mean, 20.0);  // eras drift by decades
+}
+
+TEST(StarSchemaTest, TpchJoinChainWorks) {
+  StarDataset ds = TpchLike(1500, 7);
+  storage::Table joined = ds.Join();
+  EXPECT_EQ(joined.num_rows(), 1500);
+  EXPECT_GE(joined.ColumnIndex("c_mktsegment"), 0);
+  EXPECT_GE(joined.ColumnIndex("n_region"), 0);
+}
+
+TEST(StarSchemaTest, TpchAqpColumnsStationary) {
+  // The (o_orderdate, o_totalprice) view must NOT drift across partitions —
+  // the paper found DBEst++ saw no OOD on TPCH.
+  StarDataset ds = TpchLike(6000, 8);
+  auto parts = storage::SplitIntoBatches(ds.fact, 5);
+  auto price_mean = [](const storage::Table& t) {
+    double m = 0.0;
+    const auto& c = t.column("o_totalprice");
+    for (int64_t r = 0; r < c.size(); ++r) m += c.NumericAt(r);
+    return m / static_cast<double>(c.size());
+  };
+  double first = price_mean(parts.front());
+  double last = price_mean(parts.back());
+  EXPECT_NEAR(first, last, 60.0);  // no systematic drift
+}
+
+TEST(StarSchemaTest, JoinWithFactPartitionGivesNewData) {
+  StarDataset ds = ImdbLike(1000, 9);
+  auto parts = storage::SplitIntoBatches(ds.fact, 5);
+  storage::Table d1 = ds.JoinWithFact(parts[1]);
+  EXPECT_EQ(d1.num_rows(), parts[1].num_rows());
+  EXPECT_GE(d1.ColumnIndex("country"), 0);
+}
+
+TEST(StarSchemaTest, JoinAqpColumnsResolve) {
+  auto [cat, num] = JoinAqpColumnsFor("imdb");
+  StarDataset ds = ImdbLike(500, 10);
+  storage::Table joined = ds.Join();
+  EXPECT_GE(joined.ColumnIndex(cat), 0);
+  EXPECT_GE(joined.ColumnIndex(num), 0);
+  EXPECT_FALSE(joined.column(joined.ColumnIndex(cat)).is_numeric());
+  EXPECT_TRUE(joined.column(joined.ColumnIndex(num)).is_numeric());
+}
+
+}  // namespace
+}  // namespace ddup::datagen

@@ -1,0 +1,198 @@
+#include <cmath>
+
+#include "common/rng.h"
+#include "core/detector.h"
+#include "gtest/gtest.h"
+#include "storage/sampling.h"
+#include "storage/transforms.h"
+
+namespace ddup::core {
+namespace {
+
+// A deterministic stand-in for a trained model: the "training loss" is the
+// squared residual of the known functional dependency x1 = (x0 + 5) mod 10
+// present in the base data. Joint permutation (sorting columns
+// independently) destroys the pairing, so the loss jumps — exactly the
+// signal §3.2 relies on, without paying for NN training in these tests.
+class PairResidualLoss : public LossModel {
+ public:
+  double AverageLoss(const storage::Table& sample) const override {
+    const auto& x0 = sample.column(0);
+    const auto& x1 = sample.column(1);
+    double acc = 0.0;
+    for (int64_t r = 0; r < sample.num_rows(); ++r) {
+      double expected = std::fmod(x0.NumericAt(r) + 5.0, 10.0);
+      double d = x1.NumericAt(r) - expected;
+      acc += d * d;
+    }
+    return acc / static_cast<double>(sample.num_rows());
+  }
+  std::string name() const override { return "pair-residual"; }
+};
+
+storage::Table PairedTable(int64_t rows, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> x0, x1;
+  for (int64_t i = 0; i < rows; ++i) {
+    double v = std::floor(rng.Uniform(0, 10));
+    x0.push_back(v);
+    // Non-monotone dependency + small noise so bootstrap spread is nonzero.
+    x1.push_back(std::fmod(v + 5.0, 10.0) + rng.Normal(0.0, 0.05));
+  }
+  storage::Table t("paired");
+  t.AddColumn(storage::Column::Numeric("x0", x0));
+  t.AddColumn(storage::Column::Numeric("x1", x1));
+  return t;
+}
+
+TEST(DetectorTest, FitRequiredBeforeTest) {
+  OodDetector det;
+  EXPECT_FALSE(det.fitted());
+  PairResidualLoss model;
+  storage::Table t = PairedTable(100, 1);
+  EXPECT_DEATH(det.Test(model, t), "Test before Fit");
+}
+
+TEST(DetectorTest, FlagsPermutedDataAsOod) {
+  storage::Table base = PairedTable(5000, 2);
+  PairResidualLoss model;
+  OodDetector det;
+  det.Fit(model, base);
+
+  Rng rng(3);
+  storage::Table ind = storage::InDistributionSample(base, rng, 0.2);
+  storage::Table ood = storage::OutOfDistributionSample(base, rng, 0.2);
+
+  auto ind_res = det.Test(model, ind);
+  auto ood_res = det.Test(model, ood);
+  EXPECT_FALSE(ind_res.is_ood);
+  EXPECT_TRUE(ood_res.is_ood);
+  // The OOD statistic dwarfs the threshold (paper Table 3's pattern).
+  EXPECT_GT(ood_res.statistic, 10.0 * ood_res.threshold);
+  EXPECT_LT(ind_res.statistic, ind_res.threshold);
+}
+
+TEST(DetectorTest, ReportsBootstrapMoments) {
+  storage::Table base = PairedTable(3000, 4);
+  PairResidualLoss model;
+  OodDetector det;
+  det.Fit(model, base);
+  EXPECT_GT(det.bootstrap_std(), 0.0);
+  // Bootstrap mean approximates the base loss (residual noise variance).
+  EXPECT_NEAR(det.bootstrap_mean(), 0.05 * 0.05, 0.01);
+}
+
+// Property test over seeds: the type-1 error rate must be near the nominal
+// 5% level, and the power against full permutation must be 1.
+class DetectorErrorRateTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DetectorErrorRateTest, FprNearNominalAndFullPower) {
+  storage::Table base = PairedTable(6000, GetParam());
+  PairResidualLoss model;
+  DetectorConfig config;
+  config.bootstrap_iterations = 400;
+  config.seed = GetParam() + 100;
+  OodDetector det(config);
+  det.Fit(model, base);
+
+  Rng rng(GetParam() + 200);
+  int false_positives = 0;
+  constexpr int kIndTrials = 60;
+  for (int i = 0; i < kIndTrials; ++i) {
+    storage::Table ind = storage::SampleRows(base, rng, 500);
+    if (det.Test(model, ind).is_ood) ++false_positives;
+  }
+  // Nominal two-sided rate is ~5%; allow generous slack for small trials.
+  EXPECT_LE(false_positives, kIndTrials / 5);
+
+  int true_positives = 0;
+  constexpr int kOodTrials = 20;
+  for (int i = 0; i < kOodTrials; ++i) {
+    storage::Table ood = storage::OutOfDistributionSample(base, rng, 0.1);
+    if (det.Test(model, ood).is_ood) ++true_positives;
+  }
+  EXPECT_EQ(true_positives, kOodTrials);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DetectorErrorRateTest,
+                         ::testing::Values(10u, 20u, 30u));
+
+TEST(DetectorTest, ThresholdSigmasControlsStrictness) {
+  storage::Table base = PairedTable(4000, 5);
+  PairResidualLoss model;
+  DetectorConfig loose;
+  loose.threshold_sigmas = 10.0;
+  loose.seed = 6;
+  DetectorConfig strict;
+  strict.threshold_sigmas = 0.1;
+  strict.seed = 6;
+
+  OodDetector loose_det(loose), strict_det(strict);
+  loose_det.Fit(model, base);
+  strict_det.Fit(model, base);
+  Rng rng(7);
+  storage::Table ind = storage::SampleRows(base, rng, 400);
+  EXPECT_FALSE(loose_det.Test(model, ind).is_ood);
+  // With a 0.1-sigma threshold nearly any fluctuation trips the test.
+  auto res = strict_det.Test(model, ind);
+  EXPECT_GT(res.threshold, 0.0);
+  EXPECT_LT(res.threshold, loose_det.Test(model, ind).threshold);
+}
+
+TEST(DetectorTest, OneSidedIgnoresLossDrops) {
+  // Craft a "new batch" whose loss is *below* the bootstrap mean: with the
+  // one-sided test this is not OOD; with the two-sided test it is.
+  storage::Table base = PairedTable(4000, 8);
+  PairResidualLoss model;
+
+  // Perfect pairs (no noise): lower loss than the noisy base data.
+  std::vector<double> x0, x1;
+  for (int i = 0; i < 500; ++i) {
+    double v = static_cast<double>(i % 10);
+    x0.push_back(v);
+    x1.push_back(std::fmod(v + 5.0, 10.0));
+  }
+  storage::Table cleaner("cleaner");
+  cleaner.AddColumn(storage::Column::Numeric("x0", x0));
+  cleaner.AddColumn(storage::Column::Numeric("x1", x1));
+
+  DetectorConfig one_sided;
+  one_sided.two_sided = false;
+  one_sided.seed = 9;
+  OodDetector det1(one_sided);
+  det1.Fit(model, base);
+  EXPECT_FALSE(det1.Test(model, cleaner).is_ood);
+
+  DetectorConfig two_sided;
+  two_sided.two_sided = true;
+  two_sided.seed = 9;
+  OodDetector det2(two_sided);
+  det2.Fit(model, base);
+  EXPECT_TRUE(det2.Test(model, cleaner).is_ood);
+}
+
+TEST(DetectorTest, DeterministicAcrossIdenticalConfigs) {
+  storage::Table base = PairedTable(2000, 10);
+  PairResidualLoss model;
+  DetectorConfig config;
+  config.seed = 11;
+  OodDetector a(config), b(config);
+  a.Fit(model, base);
+  b.Fit(model, base);
+  EXPECT_DOUBLE_EQ(a.bootstrap_mean(), b.bootstrap_mean());
+  EXPECT_DOUBLE_EQ(a.bootstrap_std(), b.bootstrap_std());
+}
+
+TEST(DetectorTest, HandlesTinyBatches) {
+  storage::Table base = PairedTable(1000, 12);
+  PairResidualLoss model;
+  OodDetector det;
+  det.Fit(model, base);
+  // A single-row batch still produces a valid (if noisy) test.
+  storage::Table one = base.Head(1);
+  auto res = det.Test(model, one);
+  EXPECT_GE(res.statistic, 0.0);
+}
+
+}  // namespace
+}  // namespace ddup::core

@@ -1,0 +1,239 @@
+#include <cmath>
+#include <limits>
+#include <set>
+
+#include "common/rng.h"
+#include "datagen/datasets.h"
+#include "gtest/gtest.h"
+#include "models/encoding.h"
+#include "workload/query.h"
+
+namespace ddup::models {
+namespace {
+
+TEST(MiniBatchesTest, CoversEveryIndexExactlyOnce) {
+  Rng rng(1);
+  auto batches = MiniBatches(103, 16, rng);
+  std::set<int64_t> seen;
+  for (const auto& b : batches) {
+    EXPECT_LE(b.size(), 16u);
+    for (int64_t i : b) EXPECT_TRUE(seen.insert(i).second);
+  }
+  EXPECT_EQ(seen.size(), 103u);
+  EXPECT_EQ(*seen.rbegin(), 102);
+}
+
+TEST(MiniBatchesTest, ShuffledBetweenCalls) {
+  Rng rng(2);
+  auto a = MiniBatches(64, 64, rng);
+  auto b = MiniBatches(64, 64, rng);
+  EXPECT_NE(a[0], b[0]);  // overwhelmingly likely with 64! orderings
+}
+
+TEST(MiniBatchesTest, EmptyAndSingle) {
+  Rng rng(3);
+  EXPECT_TRUE(MiniBatches(0, 8, rng).empty());
+  auto one = MiniBatches(1, 8, rng);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0], std::vector<int64_t>{0});
+}
+
+TEST(ColumnDiscretizerTest, CategoricalPassThrough) {
+  auto col = storage::Column::Categorical("c", {0, 2, 1}, {"a", "b", "c"});
+  auto d = ColumnDiscretizer::Fit(col, 64);
+  EXPECT_EQ(d.cardinality(), 3);
+  EXPECT_EQ(d.Encode(0.0), 0);
+  EXPECT_EQ(d.Encode(2.0), 2);
+}
+
+TEST(ColumnDiscretizerTest, PerValueBinsWhenFewDistinct) {
+  auto col = storage::Column::Numeric("x", {5, 1, 3, 1, 5, 3});
+  auto d = ColumnDiscretizer::Fit(col, 10);
+  EXPECT_EQ(d.cardinality(), 3);  // distinct values 1, 3, 5
+  EXPECT_EQ(d.Encode(1.0), 0);
+  EXPECT_EQ(d.Encode(3.0), 1);
+  EXPECT_EQ(d.Encode(5.0), 2);
+  // Values between distinct points land in the upper bin ((lo, hi] bins).
+  EXPECT_EQ(d.Encode(2.0), 1);
+  // Clamping beyond the support.
+  EXPECT_EQ(d.Encode(-100.0), 0);
+  EXPECT_EQ(d.Encode(100.0), 2);
+}
+
+TEST(ColumnDiscretizerTest, QuantileBinsBalanceMass) {
+  Rng rng(4);
+  std::vector<double> values;
+  for (int i = 0; i < 10000; ++i) values.push_back(rng.Normal(0, 1));
+  auto col = storage::Column::Numeric("x", values);
+  auto d = ColumnDiscretizer::Fit(col, 16);
+  EXPECT_LE(d.cardinality(), 16);
+  // Equal-frequency property: every bin holds roughly 1/16 of the data.
+  std::vector<int64_t> counts(static_cast<size_t>(d.cardinality()), 0);
+  for (double v : values) ++counts[static_cast<size_t>(d.Encode(v))];
+  for (int64_t c : counts) {
+    EXPECT_GT(c, 10000 / 16 / 3);
+    EXPECT_LT(c, 10000 / 16 * 3);
+  }
+}
+
+TEST(ColumnDiscretizerTest, BinRangeSemantics) {
+  auto col = storage::Column::Numeric("x", {10, 20, 30, 40});
+  auto d = ColumnDiscretizer::Fit(col, 10);
+  // Bins follow (lower, upper] histogram semantics: [15, 35] intersects the
+  // bins of 20 and 30 fully, and the bin (30, 40] partially — boundary
+  // overlap is included (the usual histogram-estimator overcount; exact
+  // per-value pruning is a possible refinement, see DESIGN.md).
+  auto [lo, hi] = d.BinRange(15, 35);
+  EXPECT_EQ(d.Encode(20.0), lo);
+  EXPECT_EQ(d.Encode(40.0), hi);
+  // Range beyond the top edge is empty.
+  auto empty = d.BinRange(41, 100);
+  EXPECT_GT(empty.first, empty.second);
+  // Inverted range is empty.
+  auto inverted = d.BinRange(30, 20);
+  EXPECT_GT(inverted.first, inverted.second);
+  // Full-support range covers everything.
+  auto full = d.BinRange(-1e300, 1e300);
+  EXPECT_EQ(full.first, 0);
+  EXPECT_EQ(full.second, d.cardinality() - 1);
+}
+
+TEST(DiscreteEncoderTest, OffsetsPartitionTotal) {
+  auto t = datagen::CensusLike(500, 5);
+  auto enc = DiscreteEncoder::Fit(t, 32);
+  EXPECT_EQ(enc.num_columns(), t.num_columns());
+  int acc = 0;
+  for (int c = 0; c < enc.num_columns(); ++c) {
+    EXPECT_EQ(enc.offset(c), acc);
+    acc += enc.cardinality(c);
+  }
+  EXPECT_EQ(acc, enc.total_cardinality());
+}
+
+TEST(DiscreteEncoderTest, EncodeTableShapesAndRanges) {
+  auto t = datagen::ForestLike(300, 6);
+  auto enc = DiscreteEncoder::Fit(t, 16);
+  auto codes = enc.EncodeTable(t);
+  ASSERT_EQ(static_cast<int>(codes.size()), t.num_columns());
+  for (int c = 0; c < t.num_columns(); ++c) {
+    ASSERT_EQ(static_cast<int64_t>(codes[static_cast<size_t>(c)].size()),
+              t.num_rows());
+    for (int code : codes[static_cast<size_t>(c)]) {
+      EXPECT_GE(code, 0);
+      EXPECT_LT(code, enc.cardinality(c));
+    }
+  }
+}
+
+TEST(DiscreteEncoderTest, AllowedRangesIntersectsConjuncts) {
+  auto t = datagen::CensusLike(400, 7);
+  auto enc = DiscreteEncoder::Fit(t, 32);
+  workload::Query q;
+  int age = t.ColumnIndex("age");
+  q.predicates = {{age, workload::CompareOp::kGe, 30.0},
+                  {age, workload::CompareOp::kLe, 50.0}};
+  auto ranges = enc.AllowedRanges(q);
+  // Unconstrained columns cover their full domain.
+  for (int c = 0; c < enc.num_columns(); ++c) {
+    if (c == age) continue;
+    EXPECT_EQ(ranges[static_cast<size_t>(c)].first, 0);
+    EXPECT_EQ(ranges[static_cast<size_t>(c)].second, enc.cardinality(c) - 1);
+  }
+  // The age column is narrowed on both sides.
+  EXPECT_GT(ranges[static_cast<size_t>(age)].first, 0);
+  EXPECT_LT(ranges[static_cast<size_t>(age)].second,
+            enc.cardinality(age) - 1);
+}
+
+TEST(DiscreteEncoderTest, ContradictoryPredicatesYieldEmptyRange) {
+  auto t = datagen::CensusLike(400, 8);
+  auto enc = DiscreteEncoder::Fit(t, 32);
+  int age = t.ColumnIndex("age");
+  workload::Query q;
+  q.predicates = {{age, workload::CompareOp::kGe, 60.0},
+                  {age, workload::CompareOp::kLe, 30.0}};
+  auto ranges = enc.AllowedRanges(q);
+  EXPECT_GT(ranges[static_cast<size_t>(age)].first,
+            ranges[static_cast<size_t>(age)].second);
+}
+
+TEST(OneHotTest, ExactlyOneHotPerRow) {
+  nn::Matrix m = OneHot({2, 0, 1}, 4);
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.cols(), 4);
+  for (int r = 0; r < 3; ++r) {
+    double sum = 0;
+    for (int c = 0; c < 4; ++c) sum += m.At(r, c);
+    EXPECT_DOUBLE_EQ(sum, 1.0);
+  }
+  EXPECT_DOUBLE_EQ(m.At(0, 2), 1.0);
+  EXPECT_DOUBLE_EQ(m.At(1, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m.At(2, 1), 1.0);
+}
+
+TEST(MinMaxNormalizerTest, MapsSupportToUnitInterval) {
+  auto col = storage::Column::Numeric("x", {10, 20, 30});
+  auto n = MinMaxNormalizer::Fit(col);
+  EXPECT_DOUBLE_EQ(n.Encode(10), -1.0);
+  EXPECT_DOUBLE_EQ(n.Encode(30), 1.0);
+  EXPECT_DOUBLE_EQ(n.Encode(20), 0.0);
+  // Out-of-support values clamp (the paper's support assumption makes these
+  // possible only through queries, not data).
+  EXPECT_DOUBLE_EQ(n.Encode(0), -1.0);
+  EXPECT_DOUBLE_EQ(n.Encode(100), 1.0);
+  // Decode inverts over the support.
+  EXPECT_DOUBLE_EQ(n.Decode(n.Encode(17.5)), 17.5);
+  EXPECT_DOUBLE_EQ(n.Scale(), 10.0);
+}
+
+TEST(MinMaxNormalizerTest, DegenerateConstantColumn) {
+  auto col = storage::Column::Numeric("x", {5, 5, 5});
+  auto n = MinMaxNormalizer::Fit(col);
+  EXPECT_TRUE(std::isfinite(n.Encode(5)));
+  EXPECT_TRUE(std::isfinite(n.Scale()));
+  EXPECT_GT(n.Scale(), 0.0);
+}
+
+TEST(StandardizerTest, ZeroMeanUnitVariance) {
+  Rng rng(9);
+  std::vector<double> values;
+  for (int i = 0; i < 5000; ++i) values.push_back(rng.Normal(10, 3));
+  auto col = storage::Column::Numeric("x", values);
+  auto s = Standardizer::Fit(col);
+  EXPECT_NEAR(s.mean(), 10.0, 0.2);
+  EXPECT_NEAR(s.stddev(), 3.0, 0.2);
+  EXPECT_NEAR(s.Encode(10.0), 0.0, 0.1);
+  EXPECT_DOUBLE_EQ(s.Decode(s.Encode(12.34)), 12.34);
+}
+
+TEST(StandardizerTest, ConstantColumnSafe) {
+  auto col = storage::Column::Numeric("x", {2, 2, 2});
+  auto s = Standardizer::Fit(col);
+  EXPECT_DOUBLE_EQ(s.Encode(2.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 1.0);
+}
+
+// Property sweep: encoding must be stable between the base table and any
+// subsample (the fitted encoder is reused for every later batch).
+class EncoderStabilityTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(EncoderStabilityTest, SubsampleCodesAgreeWithBase) {
+  auto base = datagen::MakeDataset(GetParam(), 600, 11);
+  auto enc = DiscreteEncoder::Fit(base, 24);
+  auto base_codes = enc.EncodeTable(base);
+  auto head = base.Head(50);
+  auto head_codes = enc.EncodeTable(head);
+  for (int c = 0; c < base.num_columns(); ++c) {
+    for (int64_t r = 0; r < 50; ++r) {
+      EXPECT_EQ(head_codes[static_cast<size_t>(c)][static_cast<size_t>(r)],
+                base_codes[static_cast<size_t>(c)][static_cast<size_t>(r)]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDatasets, EncoderStabilityTest,
+                         ::testing::ValuesIn(datagen::DatasetNames()),
+                         [](const auto& info) { return info.param; });
+
+}  // namespace
+}  // namespace ddup::models

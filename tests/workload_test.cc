@@ -1,0 +1,209 @@
+#include <cmath>
+
+#include "common/rng.h"
+#include "datagen/datasets.h"
+#include "gtest/gtest.h"
+#include "workload/executor.h"
+#include "workload/generator.h"
+#include "workload/metrics.h"
+#include "workload/query.h"
+
+namespace ddup::workload {
+namespace {
+
+storage::Table TinyTable() {
+  storage::Table t("t");
+  t.AddColumn(storage::Column::Numeric("x", {1, 2, 3, 4, 5}));
+  t.AddColumn(storage::Column::Categorical("c", {0, 1, 0, 1, 0}, {"a", "b"}));
+  t.AddColumn(storage::Column::Numeric("y", {10, 20, 30, 40, 50}));
+  return t;
+}
+
+TEST(QueryTest, RowMatchesAllOps) {
+  storage::Table t = TinyTable();
+  Query q;
+  q.predicates = {{0, CompareOp::kGe, 2.0}, {0, CompareOp::kLe, 4.0},
+                  {1, CompareOp::kEq, 0.0}};
+  EXPECT_FALSE(RowMatches(t, q, 0));  // x=1 fails Ge
+  EXPECT_FALSE(RowMatches(t, q, 1));  // c=b fails Eq
+  EXPECT_TRUE(RowMatches(t, q, 2));   // x=3, c=a
+  EXPECT_FALSE(RowMatches(t, q, 4));  // x=5 fails Le
+}
+
+TEST(QueryTest, ToStringMentionsColumns) {
+  storage::Table t = TinyTable();
+  Query q;
+  q.agg = AggFunc::kSum;
+  q.agg_column = 2;
+  q.predicates = {{1, CompareOp::kEq, 1.0}};
+  std::string s = q.ToString(t);
+  EXPECT_NE(s.find("SUM(y)"), std::string::npos);
+  EXPECT_NE(s.find("c="), std::string::npos);
+}
+
+TEST(ExecutorTest, CountSumAvg) {
+  storage::Table t = TinyTable();
+  Query q;
+  q.predicates = {{1, CompareOp::kEq, 0.0}};  // rows 0, 2, 4
+  q.agg = AggFunc::kCount;
+  EXPECT_DOUBLE_EQ(Execute(t, q).value, 3.0);
+  q.agg = AggFunc::kSum;
+  q.agg_column = 2;
+  EXPECT_DOUBLE_EQ(Execute(t, q).value, 90.0);
+  q.agg = AggFunc::kAvg;
+  EXPECT_DOUBLE_EQ(Execute(t, q).value, 30.0);
+}
+
+TEST(ExecutorTest, EmptyResultSemantics) {
+  storage::Table t = TinyTable();
+  Query q;
+  q.predicates = {{0, CompareOp::kGe, 100.0}};
+  q.agg = AggFunc::kCount;
+  QueryResult r = Execute(t, q);
+  EXPECT_EQ(r.matching_rows, 0);
+  EXPECT_DOUBLE_EQ(r.value, 0.0);
+  q.agg = AggFunc::kAvg;
+  q.agg_column = 2;
+  EXPECT_TRUE(std::isnan(Execute(t, q).value));
+}
+
+TEST(ExecutorTest, NoPredicatesMatchesEverything) {
+  storage::Table t = TinyTable();
+  Query q;
+  q.agg = AggFunc::kCount;
+  EXPECT_DOUBLE_EQ(Execute(t, q).value, 5.0);
+}
+
+TEST(ExecutorTest, MatchesBruteForceOnRealisticData) {
+  auto t = datagen::CensusLike(2000, 11);
+  Rng rng(12);
+  NaruWorkloadConfig config;
+  config.min_filters = 2;
+  config.max_filters = 5;
+  for (int i = 0; i < 50; ++i) {
+    Query q = GenerateNaruQuery(t, config, rng);
+    // Brute force with an independent loop.
+    int64_t count = 0;
+    for (int64_t r = 0; r < t.num_rows(); ++r) {
+      bool ok = true;
+      for (const auto& p : q.predicates) {
+        double v = t.column(p.column).AsDouble(r);
+        if (p.op == CompareOp::kEq && v != p.value) ok = false;
+        if (p.op == CompareOp::kGe && v < p.value) ok = false;
+        if (p.op == CompareOp::kLe && v > p.value) ok = false;
+      }
+      if (ok) ++count;
+    }
+    EXPECT_DOUBLE_EQ(Execute(t, q).value, static_cast<double>(count));
+  }
+}
+
+TEST(GeneratorTest, NaruQueriesRespectConfig) {
+  auto t = datagen::ForestLike(500, 13);
+  Rng rng(14);
+  NaruWorkloadConfig config;
+  config.min_filters = 3;
+  config.max_filters = 8;
+  for (int i = 0; i < 30; ++i) {
+    Query q = GenerateNaruQuery(t, config, rng);
+    EXPECT_GE(static_cast<int>(q.predicates.size()), 3);
+    EXPECT_LE(static_cast<int>(q.predicates.size()), 8);
+    // Anchored at a real row => at least that row matches.
+    EXPECT_GE(Execute(t, q).matching_rows, 1);
+  }
+}
+
+TEST(GeneratorTest, LowDomainColumnsGetEqualityOnly) {
+  auto t = datagen::CensusLike(800, 15);
+  Rng rng(16);
+  NaruWorkloadConfig config;
+  config.min_filters = 13;
+  config.max_filters = 13;  // all columns
+  for (int i = 0; i < 20; ++i) {
+    Query q = GenerateNaruQuery(t, config, rng);
+    for (const auto& p : q.predicates) {
+      if (t.column(p.column).CountDistinct() <
+          config.categorical_domain_threshold) {
+        EXPECT_EQ(p.op, CompareOp::kEq);
+      }
+    }
+  }
+}
+
+TEST(GeneratorTest, AqpQueriesMatchTemplate) {
+  auto t = datagen::CensusLike(500, 17);
+  Rng rng(18);
+  auto cols = datagen::AqpColumnsFor("census");
+  AqpWorkloadConfig config;
+  config.categorical_column = cols.categorical;
+  config.numeric_column = cols.numeric;
+  config.agg = AggFunc::kSum;
+  for (int i = 0; i < 20; ++i) {
+    Query q = GenerateAqpQuery(t, config, rng);
+    ASSERT_EQ(q.predicates.size(), 3u);
+    EXPECT_EQ(q.agg, AggFunc::kSum);
+    EXPECT_EQ(q.predicates[0].op, CompareOp::kEq);
+    EXPECT_EQ(q.predicates[1].op, CompareOp::kGe);
+    EXPECT_EQ(q.predicates[2].op, CompareOp::kLe);
+    EXPECT_LE(q.predicates[1].value, q.predicates[2].value);
+  }
+}
+
+TEST(GeneratorTest, NonEmptyGeneratorsDiscardZeroAnswers) {
+  auto t = datagen::TpcdsLike(600, 19);
+  Rng rng(20);
+  NaruWorkloadConfig config;
+  auto queries = GenerateNonEmptyNaruQueries(t, config, 25, rng);
+  EXPECT_EQ(queries.size(), 25u);
+  for (const auto& q : queries) {
+    EXPECT_GT(Execute(t, q).matching_rows, 0);
+  }
+}
+
+TEST(MetricsTest, QErrorBasics) {
+  EXPECT_DOUBLE_EQ(QError(10, 10), 1.0);
+  EXPECT_DOUBLE_EQ(QError(5, 10), 2.0);
+  EXPECT_DOUBLE_EQ(QError(10, 5), 2.0);
+  // Clamped at 1 from below.
+  EXPECT_DOUBLE_EQ(QError(0.0, 10), 10.0);
+  EXPECT_DOUBLE_EQ(QError(0.0, 0.5), 1.0);
+}
+
+TEST(MetricsTest, QErrorSymmetricProperty) {
+  Rng rng(21);
+  for (int i = 0; i < 100; ++i) {
+    double a = rng.Uniform(1, 1000), b = rng.Uniform(1, 1000);
+    EXPECT_DOUBLE_EQ(QError(a, b), QError(b, a));
+    EXPECT_GE(QError(a, b), 1.0);
+  }
+}
+
+TEST(MetricsTest, RelativeError) {
+  EXPECT_DOUBLE_EQ(RelativeErrorPercent(110, 100), 10.0);
+  EXPECT_DOUBLE_EQ(RelativeErrorPercent(90, 100), 10.0);
+  EXPECT_DOUBLE_EQ(RelativeErrorPercent(-50, -100), 50.0);
+}
+
+TEST(MetricsTest, SummarizePercentiles) {
+  std::vector<double> errs;
+  for (int i = 1; i <= 100; ++i) errs.push_back(i);
+  ErrorSummary s = Summarize(errs);
+  EXPECT_NEAR(s.median, 50.5, 1e-9);
+  EXPECT_NEAR(s.p95, 95.05, 0.1);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+  EXPECT_DOUBLE_EQ(s.mean, 50.5);
+  EXPECT_EQ(Summarize({}).max, 0.0);
+}
+
+TEST(MetricsTest, FwtBwtSplit) {
+  std::vector<double> before = {1, 2, 3, 4};
+  std::vector<double> after = {1, 5, 3, 7};
+  FwtBwtSplit split = SplitByGroundTruthChange(before, after);
+  EXPECT_EQ(split.fixed, (std::vector<int>{0, 2}));
+  EXPECT_EQ(split.changed, (std::vector<int>{1, 3}));
+  std::vector<double> errs = {10, 20, 30, 40};
+  EXPECT_EQ(Select(errs, split.changed), (std::vector<double>{20, 40}));
+}
+
+}  // namespace
+}  // namespace ddup::workload
