@@ -39,7 +39,7 @@ InsertionReport DdupController::HandleInsertion(const storage::Table& batch) {
         storage::SampleFraction(data_, rng_, config_.policy.transfer_fraction);
     // Resolve the Eq. 5 weighting against the FULL old-data size here — the
     // model only sees the (much smaller) transfer set and would otherwise
-    // over-weight the new batch.
+    // over-weight the new batch (DESIGN.md §6.1).
     DistillConfig distill = config_.policy.distill;
     distill.alpha = ResolveAlpha(distill, report.old_rows, report.new_rows);
     model_->DistillUpdate(transfer_set, batch, distill);

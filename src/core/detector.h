@@ -23,7 +23,7 @@ struct DetectorConfig {
   // Significance threshold = threshold_sigmas * bootstrap std (2 ~= p 0.05).
   double threshold_sigmas = 2.0;
   // Two-sided tests also flag suspiciously *low* loss; the paper's test is
-  // effectively one-sided on loss increase.
+  // effectively one-sided on loss increase (see DESIGN.md §6.3).
   bool two_sided = true;
   uint64_t seed = 29;
 };

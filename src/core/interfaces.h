@@ -24,7 +24,7 @@ class LossModel {
 // Hyperparameters of the distillation update (Eq. 5-7).
 struct DistillConfig {
   // Weight of the transfer-set term in Eq. 5. Negative means "auto": the
-  // old-data share |D_old| / (|D_old| + |D_new|) (see DESIGN.md §6 on the
+  // old-data share |D_old| / (|D_old| + |D_new|) (see DESIGN.md §6.1 on the
   // paper's ambiguous prose here).
   double alpha = -1.0;
   // Distillation weight inside the transfer-set term (paper tunes over

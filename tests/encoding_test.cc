@@ -82,7 +82,7 @@ TEST(ColumnDiscretizerTest, BinRangeSemantics) {
   // Bins follow (lower, upper] histogram semantics: [15, 35] intersects the
   // bins of 20 and 30 fully, and the bin (30, 40] partially — boundary
   // overlap is included (the usual histogram-estimator overcount; exact
-  // per-value pruning is a possible refinement, see DESIGN.md).
+  // per-value pruning is a possible refinement, see DESIGN.md §6.2).
   auto [lo, hi] = d.BinRange(15, 35);
   EXPECT_EQ(d.Encode(20.0), lo);
   EXPECT_EQ(d.Encode(40.0), hi);
