@@ -1,12 +1,15 @@
 // Substrate microbenchmarks (google-benchmark): the tensor/autodiff kernels
 // every learned component sits on. Not a paper artifact; used to track the
-// cost model of the NN substrate.
+// cost model of the NN substrate. items_per_second on the matmul benches is
+// FLOP/s (2*n^3 per iteration); the 256 point is the ROADMAP reference.
 #include <benchmark/benchmark.h>
 
 #include "common/rng.h"
+#include "nn/kernels.h"
 #include "nn/layers.h"
 #include "nn/ops.h"
 #include "nn/optim.h"
+#include "nn/pool.h"
 
 namespace ddup::nn {
 namespace {
@@ -21,8 +24,50 @@ void BM_MatMulValue(benchmark::State& state) {
     benchmark::DoNotOptimize(c.data());
   }
   state.SetItemsProcessed(state.iterations() * int64_t{2} * n * n * n);
+  state.SetLabel(GemmKernelName());
 }
-BENCHMARK(BM_MatMulValue)->Arg(32)->Arg(64)->Arg(128);
+BENCHMARK(BM_MatMulValue)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+// The allocation-free path the ops actually use: GEMM into a caller buffer.
+void BM_GemmInto(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  Rng rng(1);
+  Matrix a = Matrix::Randn(rng, n, n);
+  Matrix b = Matrix::Randn(rng, n, n);
+  Matrix c(n, n);
+  for (auto _ : state) {
+    GemmInto(a, b, /*accumulate=*/false, &c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * int64_t{2} * n * n * n);
+  state.SetLabel(GemmKernelName());
+}
+BENCHMARK(BM_GemmInto)->Arg(64)->Arg(128)->Arg(256);
+
+// Fused relu(x*W + b) forward vs. the unfused three-node graph.
+void BM_AffineReluForward(benchmark::State& state) {
+  Rng rng(2);
+  Variable x = Constant(Matrix::Randn(rng, 128, 64));
+  Variable w = Parameter(Matrix::Randn(rng, 64, 64));
+  Variable b = Parameter(Matrix::Randn(rng, 1, 64));
+  for (auto _ : state) {
+    Variable y = AffineRelu(x, w, b);
+    benchmark::DoNotOptimize(y.value().data());
+  }
+}
+BENCHMARK(BM_AffineReluForward);
+
+void BM_UnfusedLinearReluForward(benchmark::State& state) {
+  Rng rng(2);
+  Variable x = Constant(Matrix::Randn(rng, 128, 64));
+  Variable w = Parameter(Matrix::Randn(rng, 64, 64));
+  Variable b = Parameter(Matrix::Randn(rng, 1, 64));
+  for (auto _ : state) {
+    Variable y = Relu(Add(MatMul(x, w), b));
+    benchmark::DoNotOptimize(y.value().data());
+  }
+}
+BENCHMARK(BM_UnfusedLinearReluForward);
 
 void BM_SoftmaxForward(benchmark::State& state) {
   Rng rng(2);
@@ -34,18 +79,27 @@ void BM_SoftmaxForward(benchmark::State& state) {
 }
 BENCHMARK(BM_SoftmaxForward);
 
+// Full training step over an MLP; reports the MatrixPool behavior per step
+// (heap_allocs_per_iter ~ 0 once the pool is warm).
 void BM_MlpForwardBackward(benchmark::State& state) {
   Rng rng(3);
   Mlp mlp({64, 64, 64, 8}, rng);
   std::vector<Variable> params;
   mlp.CollectParameters(&params);
   Variable x = Constant(Matrix::Randn(rng, 128, 64));
+  MatrixPool::Counters before = MatrixPool::AggregateCounters();
   for (auto _ : state) {
     for (auto& p : params) p.ZeroGrad();
     Variable loss = Mean(Square(mlp.Forward(x)));
     Backward(loss);
     benchmark::DoNotOptimize(params[0].grad().data());
   }
+  MatrixPool::Counters after = MatrixPool::AggregateCounters();
+  double iters = static_cast<double>(state.iterations());
+  state.counters["heap_allocs_per_iter"] = benchmark::Counter(
+      static_cast<double>(after.heap_allocs - before.heap_allocs) / iters);
+  state.counters["pool_acquires_per_iter"] = benchmark::Counter(
+      static_cast<double>(after.acquires - before.acquires) / iters);
 }
 BENCHMARK(BM_MlpForwardBackward);
 

@@ -6,6 +6,9 @@
 
 #include "common/status.h"
 #include "common/stopwatch.h"
+#include "common/thread_pool.h"
+#include "nn/kernels.h"
+#include "nn/pool.h"
 #include "storage/sampling.h"
 #include "storage/transforms.h"
 #include "workload/executor.h"
@@ -38,6 +41,45 @@ BenchParams BenchParams::FromEnv() {
 int BenchParams::ScaledEpochs(int epochs) const {
   int scaled = static_cast<int>(std::lround(epochs * epoch_scale));
   return scaled < 1 ? 1 : scaled;
+}
+
+KernelStats MeasureKernelStats() {
+  static const KernelStats cached = [] {
+    KernelStats s;
+    s.kernel = nn::GemmKernelName();
+    Rng rng(12345);
+    const int n = 256;
+    nn::Matrix a = nn::Matrix::Randn(rng, n, n);
+    nn::Matrix b = nn::Matrix::Randn(rng, n, n);
+    nn::Matrix c(n, n);
+    nn::GemmInto(a, b, /*accumulate=*/false, &c);  // warm-up
+    Stopwatch sw;
+    int reps = 0;
+    do {
+      nn::GemmInto(a, b, /*accumulate=*/false, &c);
+      ++reps;
+    } while (sw.ElapsedSeconds() < 0.05);
+    s.gemm256_gflops = 2.0 * n * n * n * reps / sw.ElapsedSeconds() / 1e9;
+    return s;
+  }();
+  return cached;
+}
+
+void PrintPoolCounters(const char* label) {
+  static nn::MatrixPool::Counters last;
+  nn::MatrixPool::Counters now = nn::MatrixPool::AggregateCounters();
+  uint64_t acquires = now.acquires - last.acquires;
+  uint64_t reuses = now.reuses - last.reuses;
+  uint64_t heap = now.heap_allocs - last.heap_allocs;
+  last = now;
+  double reuse_rate =
+      acquires > 0 ? 100.0 * static_cast<double>(reuses) /
+                         static_cast<double>(acquires)
+                   : 0.0;
+  std::printf(
+      "  [pool] %s: acquires=%llu reuse=%.1f%% heap_allocs=%llu\n", label,
+      static_cast<unsigned long long>(acquires), reuse_rate,
+      static_cast<unsigned long long>(heap));
 }
 
 DatasetBundle MakeBundle(const std::string& dataset,
@@ -210,6 +252,8 @@ void RunApproaches(const DatasetBundle& bundle, const storage::Table& batch,
   Stopwatch retrain_timer;
   (*retrain)->RetrainFromScratch(Union(bundle.base, batch));
   *retrain_seconds = retrain_timer.ElapsedSeconds();
+
+  PrintPoolCounters("train+update phases");
 }
 
 }  // namespace
@@ -266,6 +310,9 @@ void PrintBanner(const std::string& artifact, const std::string& description,
               static_cast<long long>(params.rows), params.num_queries,
               params.epoch_scale, params.bootstrap_iterations,
               static_cast<unsigned long long>(params.seed));
+  KernelStats ks = MeasureKernelStats();
+  std::printf("kernel=%s gemm256=%.1f GFLOP/s threads=%d\n", ks.kernel,
+              ks.gemm256_gflops, ThreadPool::Global().size());
   std::printf("==============================================================\n");
 }
 

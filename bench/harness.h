@@ -30,7 +30,9 @@ namespace ddup::bench {
 inline constexpr double kBaselineLrMultiplier = 2.0;
 
 // Environment overrides: DDUP_ROWS, DDUP_QUERIES, DDUP_EPOCH_SCALE (float
-// multiplier), DDUP_BOOTSTRAP, DDUP_SEED.
+// multiplier), DDUP_BOOTSTRAP, DDUP_SEED. DDUP_THREADS sizes the shared
+// ThreadPool::Global() (read by the pool itself); results are bit-identical
+// for any value.
 struct BenchParams {
   int64_t rows = 4000;
   int num_queries = 200;
@@ -41,6 +43,20 @@ struct BenchParams {
   static BenchParams FromEnv();
   int ScaledEpochs(int epochs) const;
 };
+
+// Kernel-layer throughput, measured once per process on the same GemmInto
+// path the models run on (256x256, the ISSUE/ROADMAP reference shape).
+struct KernelStats {
+  const char* kernel = "";      // compiled micro-kernel variant
+  double gemm256_gflops = 0.0;  // sustained GFLOP/s at 256x256
+};
+KernelStats MeasureKernelStats();
+
+// One-line MatrixPool counter delta since the last call (or process start):
+// total acquires, free-list reuse rate, and heap allocations. Printed by
+// RunApproaches after the update phases so every harness bench reports the
+// allocation behavior of the run it just timed.
+void PrintPoolCounters(const char* label);
 
 // A dataset plus the paper's update samples: "IND" is a 20% random sample of
 // a straight copy; "OOD" is a 20% sample of the independently-sorted

@@ -22,6 +22,14 @@ double StdDev(const std::vector<double>& xs) {
   return std::sqrt(ss / static_cast<double>(xs.size()));
 }
 
+double SampleStdDev(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  double mu = Mean(xs);
+  double ss = 0.0;
+  for (double x : xs) ss += (x - mu) * (x - mu);
+  return std::sqrt(ss / static_cast<double>(xs.size() - 1));
+}
+
 double Percentile(std::vector<double> xs, double p) {
   DDUP_CHECK(!xs.empty());
   DDUP_CHECK(p >= 0.0 && p <= 100.0);

@@ -12,6 +12,11 @@ double Mean(const std::vector<double>& xs);
 // Population standard deviation; 0.0 for fewer than two elements.
 double StdDev(const std::vector<double>& xs);
 
+// Unbiased sample standard deviation (n-1 denominator); 0.0 for fewer than
+// two elements. Preferred when the vector is a small bootstrap/replicate
+// sample rather than the full population.
+double SampleStdDev(const std::vector<double>& xs);
+
 // Linear-interpolated percentile, p in [0, 100]. Copies and sorts.
 double Percentile(std::vector<double> xs, double p);
 

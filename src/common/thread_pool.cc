@@ -1,0 +1,159 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+
+#include "common/status.h"
+
+namespace ddup {
+
+namespace {
+
+thread_local bool t_in_pool_work = false;
+
+int DefaultThreads() {
+  if (const char* env = std::getenv("DDUP_THREADS")) {
+    int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads) {
+  int n = num_threads > 0 ? num_threads : DefaultThreads();
+  workers_.reserve(static_cast<size_t>(n - 1));
+  for (int i = 0; i + 1 < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+    }
+    t_in_pool_work = true;
+    task();
+    t_in_pool_work = false;
+  }
+}
+
+void ThreadPool::ParallelFor(int64_t begin, int64_t end, int64_t chunk,
+                             const std::function<void(int64_t, int64_t)>& body) {
+  if (end <= begin) return;
+  DDUP_CHECK(chunk > 0);
+  const int64_t nchunks = (end - begin + chunk - 1) / chunk;
+  // Serial path: no workers, nested call from pool work, or a single chunk.
+  if (workers_.empty() || InWorker() || nchunks == 1) {
+    for (int64_t c = 0; c < nchunks; ++c) {
+      int64_t lo = begin + c * chunk;
+      body(lo, std::min(end, lo + chunk));
+    }
+    return;
+  }
+
+  // Shared claim state. `body` lives on the caller's stack; the caller blocks
+  // until every chunk is done, so the reference stays valid.
+  struct ForState {
+    std::atomic<int64_t> next{0};
+    int64_t begin = 0, end = 0, chunk = 0, nchunks = 0;
+    const std::function<void(int64_t, int64_t)>* body = nullptr;
+    std::mutex mu;
+    std::condition_variable done_cv;
+    int64_t done = 0;
+  };
+  auto state = std::make_shared<ForState>();
+  state->begin = begin;
+  state->end = end;
+  state->chunk = chunk;
+  state->nchunks = nchunks;
+  state->body = &body;
+
+  auto drain = [state]() {
+    int64_t completed = 0;
+    for (;;) {
+      int64_t c = state->next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= state->nchunks) break;
+      int64_t lo = state->begin + c * state->chunk;
+      (*state->body)(lo, std::min(state->end, lo + state->chunk));
+      ++completed;
+    }
+    if (completed > 0) {
+      std::lock_guard<std::mutex> lock(state->mu);
+      state->done += completed;
+      if (state->done == state->nchunks) state->done_cv.notify_all();
+    }
+  };
+
+  // One drain task per worker; each claims chunks until none remain.
+  size_t helpers = std::min(workers_.size(),
+                            static_cast<size_t>(nchunks - 1));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t i = 0; i < helpers; ++i) tasks_.emplace_back(drain);
+  }
+  cv_.notify_all();
+
+  // The caller participates too, then waits for stragglers.
+  t_in_pool_work = true;
+  drain();
+  t_in_pool_work = false;
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->done_cv.wait(lock, [&] { return state->done == state->nchunks; });
+}
+
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool pool(0);
+  return pool;
+}
+
+bool ThreadPool::InWorker() { return t_in_pool_work; }
+
+double ParallelChunkMean(ThreadPool& pool, int64_t n, int64_t chunk_rows,
+                         const std::function<double(int64_t, int64_t)>& chunk_mean) {
+  DDUP_CHECK(n > 0 && chunk_rows > 0);
+  const int64_t nchunks = (n + chunk_rows - 1) / chunk_rows;
+  std::vector<double> partial(static_cast<size_t>(nchunks), 0.0);
+  pool.ParallelFor(0, nchunks, 1, [&](int64_t lo, int64_t hi) {
+    for (int64_t c = lo; c < hi; ++c) {
+      int64_t row_lo = c * chunk_rows;
+      int64_t row_hi = std::min(n, row_lo + chunk_rows);
+      partial[static_cast<size_t>(c)] = chunk_mean(row_lo, row_hi);
+    }
+  });
+  // Weighted combine in chunk order: bit-identical for any pool size.
+  double total = 0.0;
+  for (int64_t c = 0; c < nchunks; ++c) {
+    int64_t row_lo = c * chunk_rows;
+    int64_t row_hi = std::min(n, row_lo + chunk_rows);
+    total += partial[static_cast<size_t>(c)] *
+             static_cast<double>(row_hi - row_lo);
+  }
+  return total / static_cast<double>(n);
+}
+
+double GlobalChunkMean(int64_t n,
+                       const std::function<double(int64_t, int64_t)>& chunk_mean) {
+  return ParallelChunkMean(ThreadPool::Global(), n, kLossChunkRows, chunk_mean);
+}
+
+}  // namespace ddup

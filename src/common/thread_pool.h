@@ -1,0 +1,83 @@
+#ifndef DDUP_COMMON_THREAD_POOL_H_
+#define DDUP_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ddup {
+
+// Small fixed-size thread pool used by the row-parallel loss paths and the
+// detector's bootstrap loop. Design constraints, in order:
+//   1. Determinism: ParallelFor never changes *what* is computed, only *who*
+//      computes it. Work is split into caller-specified chunks whose bounds
+//      depend only on (begin, end, chunk) — never on the pool size — so any
+//      caller that combines per-chunk results in chunk order gets bit-identical
+//      output for pool sizes 1 and N.
+//   2. No nested fan-out: a ParallelFor issued from inside a worker runs
+//      inline and serially (the detector parallelizes over bootstrap
+//      iterations; the per-iteration loss must not recursively fan out).
+//   3. The calling thread participates as a worker, so ThreadPool(1) spawns
+//      no threads at all and is exactly the serial code path.
+class ThreadPool {
+ public:
+  // num_threads <= 0 picks a default: $DDUP_THREADS if set, else
+  // std::thread::hardware_concurrency() (min 1). A pool of size k spawns
+  // k - 1 worker threads; the caller is the k-th.
+  explicit ThreadPool(int num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Total worker count including the calling thread.
+  int size() const { return static_cast<int>(workers_.size()) + 1; }
+
+  // Runs body(lo, hi) over [begin, end) split into chunks of `chunk`
+  // elements (the last chunk may be short). Blocks until every chunk has
+  // completed. Chunks are claimed dynamically but their bounds are a pure
+  // function of (begin, end, chunk).
+  void ParallelFor(int64_t begin, int64_t end, int64_t chunk,
+                   const std::function<void(int64_t, int64_t)>& body);
+
+  // Shared process-wide pool (size from $DDUP_THREADS or the hardware).
+  static ThreadPool& Global();
+
+  // True on a thread that is currently executing pool work (any pool).
+  static bool InWorker();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+// Deterministic parallel mean: splits [0, n) into fixed chunks of
+// `chunk_rows`, evaluates chunk_mean(lo, hi) for each (possibly in
+// parallel), and combines the per-chunk means weighted by chunk length *in
+// chunk order*. The result is bit-identical for any pool size because both
+// the chunk bounds and the combination order are independent of it.
+double ParallelChunkMean(ThreadPool& pool, int64_t n, int64_t chunk_rows,
+                         const std::function<double(int64_t, int64_t)>& chunk_mean);
+
+// The chunk size every model's AverageLoss shares. A pure constant — never
+// derived from the pool size — so chunk bounds, and therefore the FP
+// combine, are thread-count independent for all models at once.
+inline constexpr int64_t kLossChunkRows = 512;
+
+// ParallelChunkMean over ThreadPool::Global() with the standard loss
+// chunking: the one-liner the chunked AverageLoss paths call.
+double GlobalChunkMean(int64_t n,
+                       const std::function<double(int64_t, int64_t)>& chunk_mean);
+
+}  // namespace ddup
+
+#endif  // DDUP_COMMON_THREAD_POOL_H_

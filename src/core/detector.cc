@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "common/stats.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "storage/sampling.h"
 
 namespace ddup::core {
@@ -31,14 +33,34 @@ void OodDetector::Fit(const LossModel& model, const storage::Table& old_data) {
   int64_t sample_rows = SampleSize(old_data.num_rows(),
                                    config_.old_sample_fraction,
                                    config_.min_sample_rows);
-  std::vector<double> losses;
-  losses.reserve(static_cast<size_t>(config_.bootstrap_iterations));
-  for (int i = 0; i < config_.bootstrap_iterations; ++i) {
-    storage::Table sample = storage::BootstrapRows(old_data, rng_, sample_rows);
-    losses.push_back(model.AverageLoss(sample));
+  const int iters = config_.bootstrap_iterations;
+  // Every iteration draws from its own child generator, forked sequentially
+  // up front. losses[i] then depends only on iter_rngs[i], and the moment
+  // estimates below combine the vector in index order — so the result is
+  // bit-identical no matter how many threads execute the loop.
+  std::vector<Rng> iter_rngs;
+  iter_rngs.reserve(static_cast<size_t>(iters));
+  for (int i = 0; i < iters; ++i) iter_rngs.push_back(rng_.Fork());
+
+  std::vector<double> losses(static_cast<size_t>(iters), 0.0);
+  auto run_range = [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      storage::Table sample = storage::BootstrapRows(
+          old_data, iter_rngs[static_cast<size_t>(i)], sample_rows);
+      losses[static_cast<size_t>(i)] = model.AverageLoss(sample);
+    }
+  };
+  if (config_.num_threads > 0) {
+    ThreadPool pool(config_.num_threads);
+    pool.ParallelFor(0, iters, /*chunk=*/1, run_range);
+  } else {
+    ThreadPool::Global().ParallelFor(0, iters, /*chunk=*/1, run_range);
   }
+
   bootstrap_mean_ = Mean(losses);
-  bootstrap_std_ = StdDev(losses);
+  // Unbiased (n-1) estimator: bootstrap_iterations can legitimately be as
+  // small as 2, where the population estimator's bias is worst.
+  bootstrap_std_ = SampleStdDev(losses);
   // A perfectly deterministic model (or degenerate data) can yield zero
   // spread; keep a tiny floor so thresholds stay meaningful.
   bootstrap_std_ = std::max(bootstrap_std_, 1e-12);

@@ -26,6 +26,11 @@ struct DetectorConfig {
   // effectively one-sided on loss increase (see DESIGN.md §6.3).
   bool two_sided = true;
   uint64_t seed = 29;
+  // Threads for the bootstrap loop in Fit: 0 shares the process-wide
+  // ThreadPool::Global(); > 0 runs on a dedicated pool of that size. The
+  // fitted moments are bit-identical for every setting — each iteration owns
+  // a pre-forked child Rng and results combine in iteration order.
+  int num_threads = 0;
 };
 
 // The DDUp OOD detector. Offline (Fit): bootstrap samples of the old data

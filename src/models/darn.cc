@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numeric>
 
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "nn/optim.h"
 #include "nn/ops.h"
+
 
 namespace ddup::models {
 
@@ -103,8 +106,10 @@ nn::Variable Darn::ForwardLogits(
     h = (col == 0) ? g : Add(h, g);
   }
   h = Relu(Add(h, p[1]));
-  Variable h2 = Relu(Add(MatMul(h, Mul(p[2], Constant(mask2_))), p[3]));
-  return Add(MatMul(h2, Mul(p[4], Constant(mask3_))), p[5]);
+  // Fused affine kernels over the masked weights; the Mul node routes the
+  // accumulated weight gradient through the mask.
+  Variable h2 = AffineRelu(h, Mul(p[2], Constant(mask2_)), p[3]);
+  return Affine(h2, Mul(p[4], Constant(mask3_)), p[5]);
 }
 
 nn::Variable Darn::NllLoss(const std::vector<nn::Variable>& p,
@@ -211,7 +216,14 @@ double Darn::AverageLoss(const storage::Table& sample) const {
   DDUP_CHECK(sample.num_rows() > 0);
   auto codes = encoder_.EncodeTable(sample);
   std::vector<nn::Variable> frozen = nn::AsConstants(params_);
-  return NllLoss(frozen, codes).value().At(0, 0);
+  // Chunked (and possibly thread-pool parallel) scoring; bit-identical for
+  // any pool size because chunk bounds and the combine order are fixed.
+  return GlobalChunkMean(
+      sample.num_rows(), [&](int64_t lo, int64_t hi) {
+        std::vector<int64_t> rows(static_cast<size_t>(hi - lo));
+        std::iota(rows.begin(), rows.end(), lo);
+        return NllLoss(frozen, GatherCodes(codes, rows)).value().At(0, 0);
+      });
 }
 
 Darn::FrozenNet Darn::Freeze() const {

@@ -152,14 +152,6 @@ std::vector<std::pair<int, int>> DiscreteEncoder::AllowedRanges(
   return ranges;
 }
 
-nn::Matrix OneHot(const std::vector<int>& codes, int cardinality) {
-  nn::Matrix m(static_cast<int>(codes.size()), cardinality, 0.0);
-  for (size_t r = 0; r < codes.size(); ++r) {
-    DDUP_CHECK(codes[r] >= 0 && codes[r] < cardinality);
-    m.At(static_cast<int>(r), codes[r]) = 1.0;
-  }
-  return m;
-}
 
 MinMaxNormalizer MinMaxNormalizer::Fit(const storage::Column& column) {
   MinMaxNormalizer n;

@@ -63,8 +63,6 @@ class DiscreteEncoder {
   int total_ = 0;
 };
 
-// N x K one-hot matrix from integer codes.
-nn::Matrix OneHot(const std::vector<int>& codes, int cardinality);
 
 // Affine map of a numeric column to [-1, 1] (paper §5.1 normalizes the AQP
 // range attribute this way). Fit on base data; Encode clamps to the fitted

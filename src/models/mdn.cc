@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numeric>
 
 #include "common/stats.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "nn/ops.h"
 
 namespace ddup::models {
@@ -22,14 +24,18 @@ struct MdnOutputs {
 };
 
 MdnOutputs ForwardNet(const std::vector<nn::Variable>& p,
-                      const nn::Variable& x) {
+                      const std::vector<int>& codes) {
   using namespace nn;  // NOLINT: op-heavy function
-  Variable h = Relu(Add(MatMul(x, p[0]), p[1]));
-  h = Relu(Add(MatMul(h, p[2]), p[3]));
+  // Layer 1: the one-hot input would select exactly one row of W1 per
+  // example, so x * W1 is an embedding gather — O(N*h) instead of
+  // O(N*cardinality*h) — with the scatter-add backward of Rows. The
+  // remaining layers use the fused affine kernels.
+  Variable h = Relu(Add(Rows(p[0], codes), p[1]));
+  h = AffineRelu(h, p[2], p[3]);
   MdnOutputs out;
-  out.omega_logits = Add(MatMul(h, p[4]), p[5]);
-  out.mu = Add(MatMul(h, p[6]), p[7]);
-  out.sigma = AddScalar(Softplus(Add(MatMul(h, p[8]), p[9])), kSigmaFloor);
+  out.omega_logits = Affine(h, p[4], p[5]);
+  out.mu = Affine(h, p[6], p[7]);
+  out.sigma = AddScalar(Softplus(Affine(h, p[8], p[9])), kSigmaFloor);
   return out;
 }
 
@@ -103,8 +109,7 @@ Mdn::Batch Mdn::MakeBatch(const storage::Table& data,
 
 nn::Variable Mdn::NllLoss(const std::vector<nn::Variable>& params,
                           const Batch& batch) const {
-  nn::Variable x = nn::Constant(OneHot(batch.codes, cardinality_));
-  return MixtureNllFromOutputs(ForwardNet(params, x), batch.y);
+  return MixtureNllFromOutputs(ForwardNet(params, batch.codes), batch.y);
 }
 
 void Mdn::TrainLoop(const storage::Table& data, double lr, int epochs) {
@@ -158,9 +163,8 @@ void Mdn::DistillUpdate(const storage::Table& transfer_set,
       Batch tr = MakeBatch(transfer_set, tr_batches[s % tr_batches.size()]);
       Batch up = MakeBatch(new_data, up_batches[s % up_batches.size()]);
 
-      Variable x_tr = Constant(OneHot(tr.codes, cardinality_));
-      MdnOutputs s_out = ForwardNet(params_, x_tr);
-      MdnOutputs t_out = ForwardNet(teacher, x_tr);
+      MdnOutputs s_out = ForwardNet(params_, tr.codes);
+      MdnOutputs t_out = ForwardNet(teacher, tr.codes);
       // Eq. 9: annealed CE on mixture weights + MSE on means and sigmas.
       Variable distill = Add(
           DistillCrossEntropy(s_out.omega_logits, t_out.omega_logits,
@@ -190,12 +194,17 @@ void Mdn::AbsorbMetadata(const storage::Table& new_data) {
 
 double Mdn::AverageLoss(const storage::Table& sample) const {
   DDUP_CHECK(sample.num_rows() > 0);
-  std::vector<int64_t> rows(static_cast<size_t>(sample.num_rows()));
-  for (int64_t i = 0; i < sample.num_rows(); ++i) rows[static_cast<size_t>(i)] = i;
-  Batch b = MakeBatch(sample, rows);
-  // Forward over frozen parameters: no gradient graph is built.
+  // Forward over frozen parameters: no gradient graph is built. Rows are
+  // scored in fixed-size chunks (possibly across the shared thread pool);
+  // the chunked combine is bit-identical for any pool size.
   std::vector<nn::Variable> frozen = nn::AsConstants(params_);
-  return NllLoss(frozen, b).value().At(0, 0);
+  return GlobalChunkMean(
+      sample.num_rows(), [&](int64_t lo, int64_t hi) {
+        std::vector<int64_t> rows(static_cast<size_t>(hi - lo));
+        std::iota(rows.begin(), rows.end(), lo);
+        Batch b = MakeBatch(sample, rows);
+        return NllLoss(frozen, b).value().At(0, 0);
+      });
 }
 
 double Mdn::AverageLogLikelihood(const storage::Table& sample) const {
@@ -210,8 +219,7 @@ int64_t Mdn::frequency(int category) const {
 Mdn::MixtureParams Mdn::MixtureFor(int category) const {
   DDUP_CHECK(category >= 0 && category < cardinality_);
   std::vector<nn::Variable> frozen = nn::AsConstants(params_);
-  nn::Variable x = nn::Constant(OneHot({category}, cardinality_));
-  MdnOutputs out = ForwardNet(frozen, x);
+  MdnOutputs out = ForwardNet(frozen, {category});
   nn::Variable w = nn::Softmax(out.omega_logits);
   MixtureParams mp;
   for (int i = 0; i < config_.num_components; ++i) {

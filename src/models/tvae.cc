@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numeric>
 
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "nn/optim.h"
 #include "nn/ops.h"
 
@@ -97,15 +99,15 @@ Tvae::VaeGraph Tvae::ForwardGraph(const std::vector<nn::Variable>& p,
                                   const nn::Matrix& eps) const {
   using namespace nn;  // NOLINT: op-heavy function
   Variable xin = Constant(x);
-  Variable h = Relu(Add(MatMul(xin, p[0]), p[1]));
+  Variable h = AffineRelu(xin, p[0], p[1]);
   VaeGraph g;
-  g.mu = Add(MatMul(h, p[2]), p[3]);
+  g.mu = Affine(h, p[2], p[3]);
   // Bounded log-variance keeps the KL term numerically tame.
-  g.logvar = Scale(Tanh(Add(MatMul(h, p[4]), p[5])), 4.0);
+  g.logvar = Scale(Tanh(Affine(h, p[4], p[5])), 4.0);
   Variable std = Exp(Scale(g.logvar, 0.5));
   g.z = Add(g.mu, Mul(std, Constant(eps)));
-  Variable hd = Relu(Add(MatMul(g.z, p[6]), p[7]));
-  g.out = Add(MatMul(hd, p[8]), p[9]);
+  Variable hd = AffineRelu(g.z, p[6], p[7]);
+  g.out = Affine(hd, p[8], p[9]);
   return g;
 }
 
@@ -235,22 +237,27 @@ void Tvae::DistillUpdate(const storage::Table& transfer_set,
 
 double Tvae::AverageLoss(const storage::Table& sample) const {
   DDUP_CHECK(sample.num_rows() > 0);
-  std::vector<int64_t> rows(static_cast<size_t>(sample.num_rows()));
-  for (int64_t i = 0; i < sample.num_rows(); ++i) rows[static_cast<size_t>(i)] = i;
-  EncodedBatch batch = Encode(sample, rows);
   std::vector<nn::Variable> frozen = nn::AsConstants(params_);
   // Deterministic ELBO evaluation (z = mu): reproducible detection signal.
-  nn::Matrix eps0(batch.x.rows(), config_.latent_dim, 0.0);
-  VaeGraph g = ForwardGraph(frozen, batch.x, eps0);
-  return ElboLoss(frozen, g, batch).value().At(0, 0);
+  // Chunked (and possibly thread-pool parallel) scoring; bit-identical for
+  // any pool size because chunk bounds and the combine order are fixed.
+  return GlobalChunkMean(
+      sample.num_rows(), [&](int64_t lo, int64_t hi) {
+        std::vector<int64_t> rows(static_cast<size_t>(hi - lo));
+        std::iota(rows.begin(), rows.end(), lo);
+        EncodedBatch batch = Encode(sample, rows);
+        nn::Matrix eps0(batch.x.rows(), config_.latent_dim, 0.0);
+        VaeGraph g = ForwardGraph(frozen, batch.x, eps0);
+        return ElboLoss(frozen, g, batch).value().At(0, 0);
+      });
 }
 
 storage::Table Tvae::Sample(int64_t n, Rng& rng) const {
   using namespace nn;  // NOLINT
   std::vector<Variable> frozen = AsConstants(params_);
   Matrix z = Matrix::Randn(rng, static_cast<int>(n), config_.latent_dim, 1.0);
-  Variable hd = Relu(Add(MatMul(Constant(z), frozen[6]), frozen[7]));
-  Variable out_v = Add(MatMul(hd, frozen[8]), frozen[9]);
+  Variable hd = AffineRelu(Constant(z), frozen[6], frozen[7]);
+  Variable out_v = Affine(hd, frozen[8], frozen[9]);
   const Matrix& out = out_v.value();
   const Matrix& log_sigma = frozen[kLogSigmaIdx].value();
 

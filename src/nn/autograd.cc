@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "common/status.h"
+#include "nn/pool.h"
 
 namespace ddup::nn {
 
@@ -12,9 +13,17 @@ namespace {
 std::atomic<uint64_t> g_sequence{0};
 }  // namespace
 
+Node::~Node() {
+  // Recycle both buffers; whoever tears the graph down feeds the next step.
+  MatrixPool& pool = MatrixPool::Local();
+  if (!value.empty()) pool.Release(std::move(value));
+  if (!grad.empty()) pool.Release(std::move(grad));
+}
+
 void Node::EnsureGrad() {
   if (grad.rows() != value.rows() || grad.cols() != value.cols()) {
-    grad = Matrix::Zeros(value.rows(), value.cols());
+    if (!grad.empty()) MatrixPool::Local().Release(std::move(grad));
+    grad = MatrixPool::Local().AcquireZeroed(value.rows(), value.cols());
   }
 }
 
@@ -90,7 +99,14 @@ void Backward(const Variable& root) {
   root.node()->EnsureGrad();
   root.node()->grad.At(0, 0) += 1.0;
   for (Node* n : order) {
-    if (n->backward && !n->grad.empty()) n->backward(*n);
+    if (n->backward && !n->grad.empty()) {
+      n->backward(*n);
+      // Children precede parents in this order, so n's gradient is complete
+      // and has just been consumed — retire the buffer immediately instead
+      // of waiting for graph teardown. Leaf (parameter) gradients have no
+      // backward closure and are kept for the optimizer.
+      MatrixPool::Local().Release(std::move(n->grad));
+    }
   }
 }
 

@@ -15,6 +15,12 @@ namespace ddup::nn {
 // node's gradient into its parents. There is no global tape: the graph is
 // owned by shared_ptr edges (child -> parents) and freed when the last
 // Variable handle goes out of scope.
+//
+// Buffer lifecycle: value and grad storage is drawn from the thread-local
+// MatrixPool (pool.h). EnsureGrad acquires a zeroed pool buffer, Backward
+// returns each interior node's gradient to the pool as soon as that node has
+// propagated, and ~Node returns both buffers — so a steady-state training
+// step allocates (almost) nothing.
 struct Node {
   Matrix value;
   Matrix grad;  // Allocated lazily; same shape as value once used.
@@ -24,6 +30,11 @@ struct Node {
   std::function<void(Node&)> backward;
   // Monotonic creation index; gives a valid reverse-topological order.
   uint64_t sequence = 0;
+
+  Node() = default;
+  ~Node();
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
 
   void EnsureGrad();
 };

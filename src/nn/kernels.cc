@@ -1,0 +1,369 @@
+#include "nn/kernels.h"
+
+#include <algorithm>
+
+#include "common/status.h"
+
+#if defined(__AVX512F__) || (defined(__AVX2__) && defined(__FMA__))
+#include <immintrin.h>
+#endif
+
+namespace ddup::nn {
+
+namespace {
+
+// All variants implement the same contract:
+//   C[i][j] = (accumulate ? C[i][j] : 0) + sum_k A[i][k] * B[k][j]
+//             (+ bias[j] if bias) ; relu clamps at 0 last.
+// A: n x k, B: k x m, C: n x m, bias: 1 x m or null. Row-major, no aliasing.
+//
+// The epilogue semantics live in exactly two scalar helpers shared by every
+// ISA variant; the tiled main loop reimplements them only in vector form.
+
+// Columns [j0, m) of `nrows` row pairs (arow[r], crow[r]): strided dot per
+// element. Used for the j tail of the register-tiled panels.
+inline void ScalarColumnTail(const double* const* arow, double* const* crow,
+                             int nrows, const double* B, int j0, int k, int m,
+                             bool accumulate, const double* bias, bool relu) {
+  for (int j = j0; j < m; ++j) {
+    const double* bp = B + j;
+    for (int r = 0; r < nrows; ++r) {
+      double s = accumulate ? crow[r][j] : 0.0;
+      const double* a = arow[r];
+      for (int kk = 0; kk < k; ++kk) s += a[kk] * bp[static_cast<size_t>(kk) * m];
+      if (bias != nullptr) s += bias[j];
+      if (relu) s = std::max(0.0, s);
+      crow[r][j] = s;
+    }
+  }
+}
+
+// Full-width rows [i0, n): SAXPY per row with the bias folded into the row
+// initialization. Used for the n % 4 row tail (and the generic fallback's).
+inline void ScalarRowTail(const double* A, const double* B, double* C, int i0,
+                          int n, int k, int m, bool accumulate,
+                          const double* bias, bool relu) {
+  for (int i = i0; i < n; ++i) {
+    const double* arow = A + static_cast<size_t>(i) * k;
+    double* crow = C + static_cast<size_t>(i) * m;
+    if (!accumulate) {
+      if (bias != nullptr) {
+        std::copy(bias, bias + m, crow);
+      } else {
+        std::fill(crow, crow + m, 0.0);
+      }
+    } else if (bias != nullptr) {
+      for (int j = 0; j < m; ++j) crow[j] += bias[j];
+    }
+    for (int kk = 0; kk < k; ++kk) {
+      const double av = arow[kk];
+      const double* brow = B + static_cast<size_t>(kk) * m;
+      for (int j = 0; j < m; ++j) crow[j] += av * brow[j];
+    }
+    if (relu) {
+      for (int j = 0; j < m; ++j) crow[j] = std::max(0.0, crow[j]);
+    }
+  }
+}
+
+#if defined(__AVX512F__) || (defined(__AVX2__) && defined(__FMA__))
+
+// One intrinsic wrapper per vector ISA; the tiled GemmImpl below is written
+// once against it, so the AVX-512 and AVX2 kernels cannot diverge.
+#if defined(__AVX512F__)
+
+constexpr const char kGemmKernelName[] = "avx512";
+
+struct Simd {
+  using V = __m512d;
+  static constexpr int kLanes = 8;
+  static V Zero() { return _mm512_setzero_pd(); }
+  static V Load(const double* p) { return _mm512_loadu_pd(p); }
+  static void Store(double* p, V v) { _mm512_storeu_pd(p, v); }
+  static V Set1(double x) { return _mm512_set1_pd(x); }
+  static V Fmadd(V a, V b, V c) { return _mm512_fmadd_pd(a, b, c); }
+  static V Add(V a, V b) { return _mm512_add_pd(a, b); }
+  static V Max(V a, V b) { return _mm512_max_pd(a, b); }
+};
+
+#else
+
+constexpr const char kGemmKernelName[] = "avx2";
+
+struct Simd {
+  using V = __m256d;
+  static constexpr int kLanes = 4;
+  static V Zero() { return _mm256_setzero_pd(); }
+  static V Load(const double* p) { return _mm256_loadu_pd(p); }
+  static void Store(double* p, V v) { _mm256_storeu_pd(p, v); }
+  static V Set1(double x) { return _mm256_set1_pd(x); }
+  static V Fmadd(V a, V b, V c) { return _mm256_fmadd_pd(a, b, c); }
+  static V Add(V a, V b) { return _mm256_add_pd(a, b); }
+  static V Max(V a, V b) { return _mm256_max_pd(a, b); }
+};
+
+#endif
+
+// GCC's _mm512_set1_pd expands through _mm512_undefined_pd, which trips
+// -Wmaybe-uninitialized under -O2+; the value is fully overwritten.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+
+// Register-tiled kernel: a 4 x 2L C tile (L = vector lanes) lives in
+// registers across the whole K loop; then a 4 x L tile for medium tails,
+// then the shared scalar tails.
+void GemmImpl(const double* A, const double* B, double* C, int n, int k,
+              int m, bool accumulate, const double* bias, bool relu) {
+  using V = Simd::V;
+  constexpr int L = Simd::kLanes;
+  const int n4 = n - n % 4;
+  const int m2l = m - m % (2 * L);
+  const int ml = m - m % L;
+  const V vzero = Simd::Zero();
+  for (int i = 0; i < n4; i += 4) {
+    const double* a0 = A + static_cast<size_t>(i) * k;
+    const double* a1 = a0 + k;
+    const double* a2 = a1 + k;
+    const double* a3 = a2 + k;
+    double* c0 = C + static_cast<size_t>(i) * m;
+    double* c1 = c0 + m;
+    double* c2 = c1 + m;
+    double* c3 = c2 + m;
+    int j = 0;
+    for (; j < m2l; j += 2 * L) {
+      V s00, s01, s10, s11, s20, s21, s30, s31;
+      if (accumulate) {
+        s00 = Simd::Load(c0 + j);
+        s01 = Simd::Load(c0 + j + L);
+        s10 = Simd::Load(c1 + j);
+        s11 = Simd::Load(c1 + j + L);
+        s20 = Simd::Load(c2 + j);
+        s21 = Simd::Load(c2 + j + L);
+        s30 = Simd::Load(c3 + j);
+        s31 = Simd::Load(c3 + j + L);
+      } else {
+        s00 = s01 = s10 = s11 = s20 = s21 = s30 = s31 = vzero;
+      }
+      const double* bp = B + j;
+      for (int kk = 0; kk < k; ++kk) {
+        const double* brow = bp + static_cast<size_t>(kk) * m;
+        const V b0 = Simd::Load(brow);
+        const V b1 = Simd::Load(brow + L);
+        V av = Simd::Set1(a0[kk]);
+        s00 = Simd::Fmadd(av, b0, s00);
+        s01 = Simd::Fmadd(av, b1, s01);
+        av = Simd::Set1(a1[kk]);
+        s10 = Simd::Fmadd(av, b0, s10);
+        s11 = Simd::Fmadd(av, b1, s11);
+        av = Simd::Set1(a2[kk]);
+        s20 = Simd::Fmadd(av, b0, s20);
+        s21 = Simd::Fmadd(av, b1, s21);
+        av = Simd::Set1(a3[kk]);
+        s30 = Simd::Fmadd(av, b0, s30);
+        s31 = Simd::Fmadd(av, b1, s31);
+      }
+      if (bias != nullptr) {
+        const V bb0 = Simd::Load(bias + j);
+        const V bb1 = Simd::Load(bias + j + L);
+        s00 = Simd::Add(s00, bb0);
+        s01 = Simd::Add(s01, bb1);
+        s10 = Simd::Add(s10, bb0);
+        s11 = Simd::Add(s11, bb1);
+        s20 = Simd::Add(s20, bb0);
+        s21 = Simd::Add(s21, bb1);
+        s30 = Simd::Add(s30, bb0);
+        s31 = Simd::Add(s31, bb1);
+      }
+      if (relu) {
+        s00 = Simd::Max(s00, vzero);
+        s01 = Simd::Max(s01, vzero);
+        s10 = Simd::Max(s10, vzero);
+        s11 = Simd::Max(s11, vzero);
+        s20 = Simd::Max(s20, vzero);
+        s21 = Simd::Max(s21, vzero);
+        s30 = Simd::Max(s30, vzero);
+        s31 = Simd::Max(s31, vzero);
+      }
+      Simd::Store(c0 + j, s00);
+      Simd::Store(c0 + j + L, s01);
+      Simd::Store(c1 + j, s10);
+      Simd::Store(c1 + j + L, s11);
+      Simd::Store(c2 + j, s20);
+      Simd::Store(c2 + j + L, s21);
+      Simd::Store(c3 + j, s30);
+      Simd::Store(c3 + j + L, s31);
+    }
+    // 4 x L tile for medium tails (covers whole heads like M = 8 mixtures).
+    for (; j < ml; j += L) {
+      V s0, s1, s2, s3;
+      if (accumulate) {
+        s0 = Simd::Load(c0 + j);
+        s1 = Simd::Load(c1 + j);
+        s2 = Simd::Load(c2 + j);
+        s3 = Simd::Load(c3 + j);
+      } else {
+        s0 = s1 = s2 = s3 = vzero;
+      }
+      const double* bp = B + j;
+      for (int kk = 0; kk < k; ++kk) {
+        const V b0 = Simd::Load(bp + static_cast<size_t>(kk) * m);
+        s0 = Simd::Fmadd(Simd::Set1(a0[kk]), b0, s0);
+        s1 = Simd::Fmadd(Simd::Set1(a1[kk]), b0, s1);
+        s2 = Simd::Fmadd(Simd::Set1(a2[kk]), b0, s2);
+        s3 = Simd::Fmadd(Simd::Set1(a3[kk]), b0, s3);
+      }
+      if (bias != nullptr) {
+        const V bb = Simd::Load(bias + j);
+        s0 = Simd::Add(s0, bb);
+        s1 = Simd::Add(s1, bb);
+        s2 = Simd::Add(s2, bb);
+        s3 = Simd::Add(s3, bb);
+      }
+      if (relu) {
+        s0 = Simd::Max(s0, vzero);
+        s1 = Simd::Max(s1, vzero);
+        s2 = Simd::Max(s2, vzero);
+        s3 = Simd::Max(s3, vzero);
+      }
+      Simd::Store(c0 + j, s0);
+      Simd::Store(c1 + j, s1);
+      Simd::Store(c2 + j, s2);
+      Simd::Store(c3 + j, s3);
+    }
+    if (j < m) {
+      const double* ar[4] = {a0, a1, a2, a3};
+      double* cr[4] = {c0, c1, c2, c3};
+      ScalarColumnTail(ar, cr, 4, B, j, k, m, accumulate, bias, relu);
+    }
+  }
+  ScalarRowTail(A, B, C, n4, n, k, m, accumulate, bias, relu);
+}
+
+#pragma GCC diagnostic pop
+
+#else
+
+constexpr const char kGemmKernelName[] = "generic";
+
+// Portable fallback: 4-row SAXPY panels under a K-cache block; the inner
+// j loop is a contiguous stream the autovectorizer handles.
+void GemmImpl(const double* A, const double* B, double* C, int n, int k,
+              int m, bool accumulate, const double* bias, bool relu) {
+  const int n4 = n - n % 4;
+  // Initialize the panel rows once (bias folds into the initialization);
+  // ScalarRowTail below does the same for the n % 4 tail rows.
+  for (int i = 0; i < n4; ++i) {
+    double* crow = C + static_cast<size_t>(i) * m;
+    if (!accumulate) {
+      if (bias != nullptr) {
+        std::copy(bias, bias + m, crow);
+      } else {
+        std::fill(crow, crow + m, 0.0);
+      }
+    } else if (bias != nullptr) {
+      for (int j = 0; j < m; ++j) crow[j] += bias[j];
+    }
+  }
+  constexpr int kKc = 240;  // K block: keeps the active B slice in cache.
+  for (int k0 = 0; k0 < k; k0 += kKc) {
+    const int k1 = std::min(k0 + kKc, k);
+    for (int i = 0; i < n4; i += 4) {
+      const double* a0 = A + static_cast<size_t>(i) * k;
+      const double* a1 = a0 + k;
+      const double* a2 = a1 + k;
+      const double* a3 = a2 + k;
+      double* c0 = C + static_cast<size_t>(i) * m;
+      double* c1 = c0 + m;
+      double* c2 = c1 + m;
+      double* c3 = c2 + m;
+      for (int kk = k0; kk < k1; ++kk) {
+        const double* brow = B + static_cast<size_t>(kk) * m;
+        const double v0 = a0[kk], v1 = a1[kk], v2 = a2[kk], v3 = a3[kk];
+        for (int j = 0; j < m; ++j) {
+          const double bv = brow[j];
+          c0[j] += v0 * bv;
+          c1[j] += v1 * bv;
+          c2[j] += v2 * bv;
+          c3[j] += v3 * bv;
+        }
+      }
+    }
+  }
+  if (relu) {
+    for (int64_t i = 0; i < static_cast<int64_t>(n4) * m; ++i) {
+      C[i] = std::max(0.0, C[i]);
+    }
+  }
+  ScalarRowTail(A, B, C, n4, n, k, m, accumulate, bias, relu);
+}
+
+#endif
+
+}  // namespace
+
+void GemmInto(const Matrix& a, const Matrix& b, bool accumulate, Matrix* c) {
+  DDUP_CHECK_MSG(a.cols() == b.rows(),
+                 "gemm shape mismatch " + a.ShapeString() + " * " +
+                     b.ShapeString());
+  DDUP_CHECK(c->rows() == a.rows() && c->cols() == b.cols());
+  GemmImpl(a.data(), b.data(), c->data(), a.rows(), a.cols(), b.cols(),
+           accumulate, /*bias=*/nullptr, /*relu=*/false);
+}
+
+void AffineInto(const Matrix& x, const Matrix& w, const Matrix& bias,
+                bool relu, Matrix* out) {
+  DDUP_CHECK_MSG(x.cols() == w.rows(),
+                 "affine shape mismatch " + x.ShapeString() + " * " +
+                     w.ShapeString());
+  DDUP_CHECK(bias.rows() == 1 && bias.cols() == w.cols());
+  DDUP_CHECK(out->rows() == x.rows() && out->cols() == w.cols());
+  GemmImpl(x.data(), w.data(), out->data(), x.rows(), x.cols(), w.cols(),
+           /*accumulate=*/false, bias.data(), relu);
+}
+
+void TransposeInto(const Matrix& src, Matrix* dst) {
+  DDUP_CHECK(dst->rows() == src.cols() && dst->cols() == src.rows());
+  const int rows = src.rows(), cols = src.cols();
+  constexpr int kBlock = 32;
+  for (int r0 = 0; r0 < rows; r0 += kBlock) {
+    const int r1 = std::min(r0 + kBlock, rows);
+    for (int c0 = 0; c0 < cols; c0 += kBlock) {
+      const int c1 = std::min(c0 + kBlock, cols);
+      for (int r = r0; r < r1; ++r) {
+        const double* srow = src.data() + static_cast<size_t>(r) * cols;
+        for (int c = c0; c < c1; ++c) {
+          dst->data()[static_cast<size_t>(c) * rows + r] = srow[c];
+        }
+      }
+    }
+  }
+}
+
+void AddInto(const Matrix& src, Matrix* dst) {
+  DDUP_CHECK(src.rows() == dst->rows() && src.cols() == dst->cols());
+  double* d = dst->data();
+  const double* s = src.data();
+  for (int64_t i = 0; i < src.size(); ++i) d[i] += s[i];
+}
+
+void AxpyInto(double alpha, const Matrix& x, Matrix* y) {
+  DDUP_CHECK(x.rows() == y->rows() && x.cols() == y->cols());
+  double* d = y->data();
+  const double* s = x.data();
+  for (int64_t i = 0; i < x.size(); ++i) d[i] += alpha * s[i];
+}
+
+void ColSumInto(const Matrix& src, bool accumulate, Matrix* out) {
+  DDUP_CHECK(out->rows() == 1 && out->cols() == src.cols());
+  double* o = out->data();
+  if (!accumulate) std::fill(o, o + src.cols(), 0.0);
+  const int cols = src.cols();
+  for (int r = 0; r < src.rows(); ++r) {
+    const double* srow = src.data() + static_cast<size_t>(r) * cols;
+    for (int j = 0; j < cols; ++j) o[j] += srow[j];
+  }
+}
+
+const char* GemmKernelName() { return kGemmKernelName; }
+
+}  // namespace ddup::nn

@@ -1,0 +1,44 @@
+#ifndef DDUP_NN_KERNELS_H_
+#define DDUP_NN_KERNELS_H_
+
+#include "nn/matrix.h"
+
+namespace ddup::nn {
+
+// Dense kernels behind the autograd ops. All of them write into
+// caller-provided buffers (no allocation), are single-threaded and
+// deterministic (output depends only on the inputs, never on thread count),
+// and pick a register-tiled micro-kernel at compile time:
+//   - AVX-512: 4x16 C tile resident in registers across the K loop,
+//   - AVX2+FMA: 4x8 C tile,
+//   - otherwise: a 4-row panel SAXPY kernel the autovectorizer handles well.
+// Shapes are CHECKed; row-major layout throughout.
+
+// c = a * b, or c += a * b when `accumulate` (shapes NxK * KxM -> NxM).
+void GemmInto(const Matrix& a, const Matrix& b, bool accumulate, Matrix* c);
+
+// out = x * w + bias with bias broadcast over rows (bias is 1xM), optionally
+// followed by ReLU. The fused forward path of Linear / the model nets.
+void AffineInto(const Matrix& x, const Matrix& w, const Matrix& bias,
+                bool relu, Matrix* out);
+
+// dst = src^T. dst must be src.cols() x src.rows() and distinct from src.
+void TransposeInto(const Matrix& src, Matrix* dst);
+
+// dst += src (same shape).
+void AddInto(const Matrix& src, Matrix* dst);
+
+// y += alpha * x (same shape).
+void AxpyInto(double alpha, const Matrix& x, Matrix* y);
+
+// out(0, j) = [accumulate ? out(0, j) : 0] + sum_r src(r, j); out is 1xM.
+// The bias-gradient reduction of the fused affine backward.
+void ColSumInto(const Matrix& src, bool accumulate, Matrix* out);
+
+// Name of the compiled micro-kernel variant ("avx512" / "avx2" / "generic");
+// surfaced by the bench harness so recorded numbers are attributable.
+const char* GemmKernelName();
+
+}  // namespace ddup::nn
+
+#endif  // DDUP_NN_KERNELS_H_

@@ -21,7 +21,7 @@ Linear::Linear(int in_features, int out_features, Rng& rng)
 
 Variable Linear::Forward(const Variable& x) const {
   DDUP_CHECK_MSG(x.cols() == in_features_, "Linear input width mismatch");
-  return Add(MatMul(x, weight_), bias_);
+  return Affine(x, weight_, bias_);
 }
 
 void Linear::CollectParameters(std::vector<Variable>* out) const {
@@ -39,7 +39,7 @@ MaskedLinear::MaskedLinear(int in_features, int out_features, Matrix mask,
 
 Variable MaskedLinear::Forward(const Variable& x) const {
   Variable masked_w = Mul(weight_, Constant(mask_));
-  return Add(MatMul(x, masked_w), bias_);
+  return Affine(x, masked_w, bias_);
 }
 
 void MaskedLinear::CollectParameters(std::vector<Variable>* out) const {
@@ -58,8 +58,10 @@ Variable Mlp::Forward(const Variable& x) const {
   DDUP_CHECK(!layers_.empty());
   Variable h = x;
   for (size_t i = 0; i < layers_.size(); ++i) {
-    h = layers_[i].Forward(h);
-    if (i + 1 < layers_.size()) h = Relu(h);
+    const Linear& l = layers_[i];
+    DDUP_CHECK_MSG(h.cols() == l.in_features(), "Mlp layer width mismatch");
+    h = (i + 1 < layers_.size()) ? AffineRelu(h, l.weight(), l.bias())
+                                 : l.Forward(h);
   }
   return h;
 }

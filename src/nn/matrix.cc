@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/status.h"
+#include "nn/kernels.h"
 
 namespace ddup::nn {
 
@@ -37,26 +38,27 @@ Matrix Matrix::Rand(Rng& rng, int rows, int cols, double lo, double hi) {
   return m;
 }
 
-double& Matrix::At(int r, int c) {
-  DDUP_CHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
-  return data_[static_cast<size_t>(r) * cols_ + c];
+Matrix Matrix::FromBuffer(std::vector<double>&& buffer, int rows, int cols) {
+  DDUP_CHECK(rows >= 0 && cols >= 0);
+  Matrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.data_ = std::move(buffer);
+  m.data_.resize(static_cast<size_t>(rows) * static_cast<size_t>(cols));
+  return m;
 }
 
-double Matrix::At(int r, int c) const {
-  DDUP_CHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
-  return data_[static_cast<size_t>(r) * cols_ + c];
+std::vector<double> Matrix::TakeBuffer() {
+  rows_ = 0;
+  cols_ = 0;
+  return std::move(data_);
 }
 
 void Matrix::Fill(double v) { std::fill(data_.begin(), data_.end(), v); }
 
 Matrix Matrix::Transpose() const {
   Matrix t(cols_, rows_);
-  for (int r = 0; r < rows_; ++r) {
-    for (int c = 0; c < cols_; ++c) {
-      t.data()[static_cast<size_t>(c) * rows_ + r] =
-          data_[static_cast<size_t>(r) * cols_ + c];
-    }
-  }
+  TransposeInto(*this, &t);
   return t;
 }
 
@@ -88,19 +90,8 @@ Matrix MatMulValue(const Matrix& a, const Matrix& b) {
   DDUP_CHECK_MSG(a.cols() == b.rows(),
                  "matmul shape mismatch " + a.ShapeString() + " * " +
                      b.ShapeString());
-  Matrix c(a.rows(), b.cols(), 0.0);
-  const int n = a.rows(), k = a.cols(), m = b.cols();
-  // i-k-j loop order keeps the inner loop streaming over contiguous rows.
-  for (int i = 0; i < n; ++i) {
-    const double* arow = a.data() + static_cast<size_t>(i) * k;
-    double* crow = c.data() + static_cast<size_t>(i) * m;
-    for (int kk = 0; kk < k; ++kk) {
-      const double av = arow[kk];
-      if (av == 0.0) continue;
-      const double* brow = b.data() + static_cast<size_t>(kk) * m;
-      for (int j = 0; j < m; ++j) crow[j] += av * brow[j];
-    }
-  }
+  Matrix c(a.rows(), b.cols());
+  GemmInto(a, b, /*accumulate=*/false, &c);
   return c;
 }
 

@@ -3,20 +3,41 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/rng.h"
+#include "common/status.h"
 
 namespace ddup::nn {
 
 // Dense row-major double matrix. This is the only numeric container the NN
-// stack uses; vectors are 1xN or Nx1 matrices. Sized for the small models in
-// this repo (hidden widths <= a few hundred), so the implementation favors
-// clarity over SIMD tuning.
+// stack uses; vectors are 1xN or Nx1 matrices. Element access through At()
+// is bounds-checked in debug builds only; kernels use the raw operator() /
+// data() paths. Heavy arithmetic lives in kernels.h (register-tiled GEMM and
+// fused affine paths), not here.
 class Matrix {
  public:
   Matrix() : rows_(0), cols_(0) {}
   Matrix(int rows, int cols, double fill = 0.0);
+
+  Matrix(const Matrix&) = default;
+  Matrix& operator=(const Matrix&) = default;
+  // Moves leave the source empty (0 x 0) so pooled buffers can be handed
+  // around without stale shape metadata.
+  Matrix(Matrix&& other) noexcept
+      : rows_(other.rows_), cols_(other.cols_), data_(std::move(other.data_)) {
+    other.rows_ = 0;
+    other.cols_ = 0;
+  }
+  Matrix& operator=(Matrix&& other) noexcept {
+    rows_ = other.rows_;
+    cols_ = other.cols_;
+    data_ = std::move(other.data_);
+    other.rows_ = 0;
+    other.cols_ = 0;
+    return *this;
+  }
 
   static Matrix Zeros(int rows, int cols) { return Matrix(rows, cols, 0.0); }
   static Matrix Constant(int rows, int cols, double v) {
@@ -30,16 +51,44 @@ class Matrix {
   // Entries i.i.d. Uniform[lo, hi).
   static Matrix Rand(Rng& rng, int rows, int cols, double lo = 0.0,
                      double hi = 1.0);
+  // Adopts `buffer` as backing storage (resized to rows*cols; existing
+  // capacity is reused). Contents are whatever the buffer held — the
+  // MatrixPool fast path.
+  static Matrix FromBuffer(std::vector<double>&& buffer, int rows, int cols);
 
   int rows() const { return rows_; }
   int cols() const { return cols_; }
   int64_t size() const { return static_cast<int64_t>(rows_) * cols_; }
   bool empty() const { return size() == 0; }
 
-  double& At(int r, int c);
-  double At(int r, int c) const;
+  // Checked in debug builds (NDEBUG off); a plain load/store in release —
+  // this is the hot path of every op backward closure.
+  double& At(int r, int c) {
+#ifndef NDEBUG
+    DDUP_CHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+#endif
+    return data_[static_cast<size_t>(r) * cols_ + c];
+  }
+  double At(int r, int c) const {
+#ifndef NDEBUG
+    DDUP_CHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+#endif
+    return data_[static_cast<size_t>(r) * cols_ + c];
+  }
+  // Never-checked raw access for kernel code that has already validated its
+  // index arithmetic.
+  double& operator()(int r, int c) {
+    return data_[static_cast<size_t>(r) * cols_ + c];
+  }
+  double operator()(int r, int c) const {
+    return data_[static_cast<size_t>(r) * cols_ + c];
+  }
   double* data() { return data_.data(); }
   const double* data() const { return data_.data(); }
+
+  // Relinquishes the backing storage (the matrix becomes 0 x 0). Used by the
+  // MatrixPool to recycle buffers without freeing them.
+  std::vector<double> TakeBuffer();
 
   void Fill(double v);
   Matrix Transpose() const;
@@ -58,7 +107,8 @@ class Matrix {
   std::vector<double> data_;
 };
 
-// C = A * B (shapes NxK, KxM -> NxM).
+// C = A * B (shapes NxK, KxM -> NxM). Implemented on the register-tiled
+// kernel in kernels.h.
 Matrix MatMulValue(const Matrix& a, const Matrix& b);
 
 }  // namespace ddup::nn

@@ -5,6 +5,8 @@
 #include <utility>
 
 #include "common/status.h"
+#include "nn/kernels.h"
+#include "nn/pool.h"
 
 namespace ddup::nn {
 
@@ -76,7 +78,7 @@ void BroadcastAccumulate(Matrix* grad_b, BroadcastKind kind, int r, int c,
 template <typename F, typename DF>
 Variable UnaryOp(const Variable& a, F f, DF dfda) {
   const Matrix& av = a.value();
-  Matrix out(av.rows(), av.cols());
+  Matrix out = MatrixPool::Local().Acquire(av.rows(), av.cols());
   for (int64_t i = 0; i < av.size(); ++i) out.data()[i] = f(av.data()[i]);
   auto pa = a.node();
   return MakeNode(std::move(out), {pa}, [pa, dfda]() {
@@ -93,27 +95,88 @@ Variable UnaryOp(const Variable& a, F f, DF dfda) {
 
 }  // namespace
 
+namespace {
+
+// Shared backward of MatMul / Affine / AffineRelu. `dout` is the gradient
+// w.r.t. the pre-bias product x*w (already relu-masked by the caller when
+// applicable); accumulates into whichever of x / w / bias require gradients.
+// The transposes go through pooled scratch buffers so the backward pass, like
+// the forward, performs no heap allocation in steady state.
+void MatMulBackward(const std::shared_ptr<Node>& px,
+                    const std::shared_ptr<Node>& pw,
+                    const std::shared_ptr<Node>& pbias, const Matrix& dout) {
+  MatrixPool& pool = MatrixPool::Local();
+  if (px->requires_grad) {
+    px->EnsureGrad();
+    // dX += dOut * W^T
+    Matrix wt = pool.Acquire(pw->value.cols(), pw->value.rows());
+    TransposeInto(pw->value, &wt);
+    GemmInto(dout, wt, /*accumulate=*/true, &px->grad);
+    pool.Release(std::move(wt));
+  }
+  if (pw->requires_grad) {
+    pw->EnsureGrad();
+    // dW += X^T * dOut
+    Matrix xt = pool.Acquire(px->value.cols(), px->value.rows());
+    TransposeInto(px->value, &xt);
+    GemmInto(xt, dout, /*accumulate=*/true, &pw->grad);
+    pool.Release(std::move(xt));
+  }
+  if (pbias != nullptr && pbias->requires_grad) {
+    pbias->EnsureGrad();
+    // dB += column sums of dOut (the row broadcast's adjoint).
+    ColSumInto(dout, /*accumulate=*/true, &pbias->grad);
+  }
+}
+
+Variable AffineImpl(const Variable& x, const Variable& w, const Variable& b,
+                    bool relu) {
+  const Matrix& bv = b.value();
+  DDUP_CHECK_MSG(bv.rows() == 1 && bv.cols() == w.value().cols(),
+                 "affine bias must be 1 x out_features");
+  Matrix out = MatrixPool::Local().Acquire(x.rows(), w.cols());
+  AffineInto(x.value(), w.value(), bv, relu, &out);
+  auto px = x.node(), pw = w.node(), pb = b.node();
+  return MakeNode(std::move(out), {px, pw, pb}, [px, pw, pb, relu]() {
+    return [px, pw, pb, relu](Node& n) {
+      if (!relu) {
+        MatMulBackward(px, pw, pb, n.grad);
+        return;
+      }
+      // Mask the incoming gradient by the post-relu activation sign.
+      MatrixPool& pool = MatrixPool::Local();
+      Matrix masked = pool.Acquire(n.grad.rows(), n.grad.cols());
+      const double* g = n.grad.data();
+      const double* y = n.value.data();
+      double* o = masked.data();
+      for (int64_t i = 0; i < n.grad.size(); ++i) {
+        o[i] = y[i] > 0.0 ? g[i] : 0.0;
+      }
+      MatMulBackward(px, pw, pb, masked);
+      pool.Release(std::move(masked));
+    };
+  });
+}
+
+}  // namespace
+
 Variable MatMul(const Variable& a, const Variable& b) {
-  Matrix out = MatMulValue(a.value(), b.value());
+  Matrix out = MatrixPool::Local().Acquire(a.rows(), b.cols());
+  GemmInto(a.value(), b.value(), /*accumulate=*/false, &out);
   auto pa = a.node(), pb = b.node();
   return MakeNode(std::move(out), {pa, pb}, [pa, pb]() {
     return [pa, pb](Node& n) {
-      if (pa->requires_grad) {
-        pa->EnsureGrad();
-        // dA += dC * B^T
-        Matrix bt = pb->value.Transpose();
-        Matrix da = MatMulValue(n.grad, bt);
-        for (int64_t i = 0; i < da.size(); ++i) pa->grad.data()[i] += da.data()[i];
-      }
-      if (pb->requires_grad) {
-        pb->EnsureGrad();
-        // dB += A^T * dC
-        Matrix at = pa->value.Transpose();
-        Matrix db = MatMulValue(at, n.grad);
-        for (int64_t i = 0; i < db.size(); ++i) pb->grad.data()[i] += db.data()[i];
-      }
+      MatMulBackward(pa, pb, /*pbias=*/nullptr, n.grad);
     };
   });
+}
+
+Variable Affine(const Variable& x, const Variable& w, const Variable& b) {
+  return AffineImpl(x, w, b, /*relu=*/false);
+}
+
+Variable AffineRelu(const Variable& x, const Variable& w, const Variable& b) {
+  return AffineImpl(x, w, b, /*relu=*/true);
 }
 
 namespace {
@@ -124,7 +187,7 @@ Variable BinaryBroadcastOp(const Variable& a, const Variable& b, bool is_mul,
   const Matrix& av = a.value();
   const Matrix& bv = b.value();
   BroadcastKind kind = CheckBroadcast(av, bv);
-  Matrix out(av.rows(), av.cols());
+  Matrix out = MatrixPool::Local().Acquire(av.rows(), av.cols());
   for (int r = 0; r < av.rows(); ++r) {
     for (int c = 0; c < av.cols(); ++c) {
       double x = av.At(r, c);
@@ -236,19 +299,27 @@ Variable Reciprocal(const Variable& a) {
 
 namespace {
 
-// Shared machinery for Softmax/LogSoftmax/LogSumExp: computes row-wise
-// softmax probabilities of `a` into `probs` and row LSE into `lse`.
-void RowSoftmax(const Matrix& a, Matrix* probs, std::vector<double>* lse) {
-  probs->Fill(0.0);
-  lse->assign(static_cast<size_t>(a.rows()), 0.0);
+// Row-wise log-sum-exp, computed stably: lse[r] = max + log sum exp(a - max).
+// Shared by LogSoftmax/LogSumExp (Softmax computes the probabilities too).
+void RowLse(const Matrix& a, std::vector<double>* lse) {
+  lse->resize(static_cast<size_t>(a.rows()));
   for (int r = 0; r < a.rows(); ++r) {
     double mx = a.At(r, 0);
     for (int c = 1; c < a.cols(); ++c) mx = std::max(mx, a.At(r, c));
     double sum = 0.0;
     for (int c = 0; c < a.cols(); ++c) sum += std::exp(a.At(r, c) - mx);
     (*lse)[static_cast<size_t>(r)] = mx + std::log(sum);
+  }
+}
+
+// Row-wise softmax probabilities of `a` into `probs`, expressed on the same
+// stable core as RowLse: probs[r][c] = exp(a[r][c] - lse[r]).
+void RowSoftmax(const Matrix& a, Matrix* probs) {
+  std::vector<double> lse;
+  RowLse(a, &lse);
+  for (int r = 0; r < a.rows(); ++r) {
     for (int c = 0; c < a.cols(); ++c) {
-      probs->At(r, c) = std::exp(a.At(r, c) - mx) / sum;
+      probs->At(r, c) = std::exp(a.At(r, c) - lse[static_cast<size_t>(r)]);
     }
   }
 }
@@ -258,9 +329,8 @@ void RowSoftmax(const Matrix& a, Matrix* probs, std::vector<double>* lse) {
 Variable Softmax(const Variable& a) {
   const Matrix& av = a.value();
   DDUP_CHECK(av.cols() >= 1);
-  Matrix probs(av.rows(), av.cols());
-  std::vector<double> lse;
-  RowSoftmax(av, &probs, &lse);
+  Matrix probs = MatrixPool::Local().Acquire(av.rows(), av.cols());
+  RowSoftmax(av, &probs);
   auto pa = a.node();
   return MakeNode(std::move(probs), {pa}, [pa]() {
     return [pa](Node& n) {
@@ -280,10 +350,9 @@ Variable Softmax(const Variable& a) {
 Variable LogSoftmax(const Variable& a) {
   const Matrix& av = a.value();
   DDUP_CHECK(av.cols() >= 1);
-  Matrix probs(av.rows(), av.cols());
   std::vector<double> lse;
-  RowSoftmax(av, &probs, &lse);
-  Matrix out(av.rows(), av.cols());
+  RowLse(av, &lse);
+  Matrix out = MatrixPool::Local().Acquire(av.rows(), av.cols());
   for (int r = 0; r < av.rows(); ++r) {
     for (int c = 0; c < av.cols(); ++c) {
       out.At(r, c) = av.At(r, c) - lse[static_cast<size_t>(r)];
@@ -308,21 +377,23 @@ Variable LogSoftmax(const Variable& a) {
 Variable LogSumExp(const Variable& a) {
   const Matrix& av = a.value();
   DDUP_CHECK(av.cols() >= 1);
-  Matrix probs(av.rows(), av.cols());
   std::vector<double> lse;
-  RowSoftmax(av, &probs, &lse);
-  Matrix out(av.rows(), 1);
+  RowLse(av, &lse);
+  Matrix out = MatrixPool::Local().Acquire(av.rows(), 1);
   for (int r = 0; r < av.rows(); ++r) out.At(r, 0) = lse[static_cast<size_t>(r)];
   auto pa = a.node();
-  // The softmax probabilities are exactly d(lse)/d(a); cache them by value.
-  auto cached = std::make_shared<Matrix>(std::move(probs));
-  return MakeNode(std::move(out), {pa}, [pa, cached]() {
-    return [pa, cached](Node& n) {
+  return MakeNode(std::move(out), {pa}, [pa]() {
+    return [pa](Node& n) {
       pa->EnsureGrad();
-      for (int r = 0; r < cached->rows(); ++r) {
+      // d(lse)/d(a) is the softmax probability exp(a - lse); recompute it
+      // from the input and this node's value instead of caching a buffer
+      // across the forward/backward gap (which would pin pool memory).
+      const Matrix& av = pa->value;
+      for (int r = 0; r < av.rows(); ++r) {
         double g = n.grad.At(r, 0);
-        for (int c = 0; c < cached->cols(); ++c) {
-          pa->grad.At(r, c) += g * cached->At(r, c);
+        double row_lse = n.value.At(r, 0);
+        for (int c = 0; c < av.cols(); ++c) {
+          pa->grad.At(r, c) += g * std::exp(av.At(r, c) - row_lse);
         }
       }
     };
@@ -357,7 +428,7 @@ Variable Mean(const Variable& a) {
 
 Variable RowSum(const Variable& a) {
   const Matrix& av = a.value();
-  Matrix out(av.rows(), 1, 0.0);
+  Matrix out = MatrixPool::Local().AcquireZeroed(av.rows(), 1);
   for (int r = 0; r < av.rows(); ++r) {
     for (int c = 0; c < av.cols(); ++c) out.At(r, 0) += av.At(r, c);
   }
@@ -376,7 +447,7 @@ Variable RowSum(const Variable& a) {
 Variable BroadcastCol(const Variable& a, int m) {
   const Matrix& av = a.value();
   DDUP_CHECK_MSG(av.cols() == 1, "BroadcastCol expects an Nx1 input");
-  Matrix out(av.rows(), m);
+  Matrix out = MatrixPool::Local().Acquire(av.rows(), m);
   for (int r = 0; r < av.rows(); ++r) {
     for (int c = 0; c < m; ++c) out.At(r, c) = av.At(r, 0);
   }
@@ -401,7 +472,7 @@ Variable ConcatCols(const std::vector<Variable>& parts) {
     DDUP_CHECK(p.rows() == rows);
     total += p.cols();
   }
-  Matrix out(rows, total);
+  Matrix out = MatrixPool::Local().Acquire(rows, total);
   std::vector<int> offsets;
   int off = 0;
   for (const auto& p : parts) {
@@ -434,7 +505,7 @@ Variable ConcatCols(const std::vector<Variable>& parts) {
 Variable SliceCols(const Variable& a, int begin, int len) {
   const Matrix& av = a.value();
   DDUP_CHECK(begin >= 0 && len >= 0 && begin + len <= av.cols());
-  Matrix out(av.rows(), len);
+  Matrix out = MatrixPool::Local().Acquire(av.rows(), len);
   for (int r = 0; r < av.rows(); ++r) {
     for (int c = 0; c < len; ++c) out.At(r, c) = av.At(r, begin + c);
   }
@@ -453,7 +524,7 @@ Variable SliceCols(const Variable& a, int begin, int len) {
 
 Variable Rows(const Variable& table, const std::vector<int>& idx) {
   const Matrix& tv = table.value();
-  Matrix out(static_cast<int>(idx.size()), tv.cols());
+  Matrix out = MatrixPool::Local().Acquire(static_cast<int>(idx.size()), tv.cols());
   for (size_t i = 0; i < idx.size(); ++i) {
     DDUP_CHECK(idx[i] >= 0 && idx[i] < tv.rows());
     for (int c = 0; c < tv.cols(); ++c) {
@@ -476,7 +547,7 @@ Variable Rows(const Variable& table, const std::vector<int>& idx) {
 Variable PickCols(const Variable& a, const std::vector<int>& idx) {
   const Matrix& av = a.value();
   DDUP_CHECK(static_cast<int>(idx.size()) == av.rows());
-  Matrix out(av.rows(), 1);
+  Matrix out = MatrixPool::Local().Acquire(av.rows(), 1);
   for (int r = 0; r < av.rows(); ++r) {
     DDUP_CHECK(idx[static_cast<size_t>(r)] >= 0 &&
                idx[static_cast<size_t>(r)] < av.cols());

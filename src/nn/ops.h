@@ -15,6 +15,13 @@ namespace ddup::nn {
 // C = A * B  (NxK * KxM -> NxM).
 Variable MatMul(const Variable& a, const Variable& b);
 
+// Fused y = x * w + b with b a 1xM row broadcast over rows. One kernel call
+// in the forward pass (kernels.h) instead of a MatMul node plus an Add node;
+// the backward accumulates dX, dW and db directly with the same kernels.
+Variable Affine(const Variable& x, const Variable& w, const Variable& b);
+// Fused relu(x * w + b): the hidden-layer step of the MDN/DARN/TVAE nets.
+Variable AffineRelu(const Variable& x, const Variable& w, const Variable& b);
+
 // Elementwise a + b. `b` may be 1xC (broadcast over rows) or 1x1 (scalar).
 Variable Add(const Variable& a, const Variable& b);
 // Elementwise a - b (same broadcast rules as Add).

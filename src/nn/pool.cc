@@ -1,0 +1,134 @@
+#include "nn/pool.h"
+
+#include <algorithm>
+#include <mutex>
+
+#include "common/status.h"
+
+namespace ddup::nn {
+
+namespace {
+
+// Registry of live pools for cross-thread counter aggregation. Deliberately
+// leaked: worker threads of the (static) global ThreadPool unregister their
+// thread-local pools during static destruction, which must not race with the
+// registry's own teardown.
+struct PoolRegistry {
+  std::mutex mu;
+  std::vector<const MatrixPool*> live;
+  MatrixPool::Counters retired;  // counters of pools whose threads exited
+};
+
+PoolRegistry& Registry() {
+  static PoolRegistry* registry = new PoolRegistry();
+  return *registry;
+}
+
+void Accumulate(MatrixPool::Counters* into, const MatrixPool::Counters& c) {
+  into->acquires += c.acquires;
+  into->reuses += c.reuses;
+  into->heap_allocs += c.heap_allocs;
+  into->releases += c.releases;
+}
+
+}  // namespace
+
+MatrixPool::MatrixPool() {
+  PoolRegistry& reg = Registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  reg.live.push_back(this);
+}
+
+MatrixPool::~MatrixPool() {
+  PoolRegistry& reg = Registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  reg.live.erase(std::remove(reg.live.begin(), reg.live.end(), this),
+                 reg.live.end());
+  Accumulate(&reg.retired, counters());
+}
+
+MatrixPool& MatrixPool::Local() {
+  thread_local MatrixPool pool;
+  return pool;
+}
+
+Matrix MatrixPool::Acquire(int rows, int cols) {
+  DDUP_CHECK(rows >= 0 && cols >= 0);
+  const int64_t n = static_cast<int64_t>(rows) * cols;
+  if (n == 0) return Matrix(rows, cols);
+  acquires_.fetch_add(1, std::memory_order_relaxed);
+  auto it = free_.find(n);
+  if (it != free_.end() && !it->second.empty()) {
+    std::vector<double> buf = std::move(it->second.back());
+    it->second.pop_back();
+    --cached_buffers_;
+    cached_doubles_ -= n;
+    reuses_.fetch_add(1, std::memory_order_relaxed);
+    return Matrix::FromBuffer(std::move(buf), rows, cols);
+  }
+  heap_allocs_.fetch_add(1, std::memory_order_relaxed);
+  return Matrix(rows, cols);
+}
+
+Matrix MatrixPool::AcquireZeroed(int rows, int cols) {
+  Matrix m = Acquire(rows, cols);
+  m.Fill(0.0);
+  return m;
+}
+
+void MatrixPool::Release(Matrix&& m) {
+  const int64_t n = m.size();
+  if (n == 0) return;
+  releases_.fetch_add(1, std::memory_order_relaxed);
+  // Always consume the matrix, whether the buffer is cached or dropped —
+  // callers (and ~Node) rely on a released matrix being empty, and a buffer
+  // must never be counted as released twice.
+  std::vector<double> buf = std::move(m).TakeBuffer();
+  if (cached_doubles_ + n > kMaxCachedDoubles) return;  // freed with `buf`
+  auto& bucket = free_[n];
+  if (bucket.size() >= kMaxBuffersPerSize) return;  // freed with `buf`
+  bucket.push_back(std::move(buf));
+  ++cached_buffers_;
+  cached_doubles_ += n;
+}
+
+void MatrixPool::Clear() {
+  free_.clear();
+  cached_buffers_ = 0;
+  cached_doubles_ = 0;
+}
+
+MatrixPool::Counters MatrixPool::counters() const {
+  Counters c;
+  c.acquires = acquires_.load(std::memory_order_relaxed);
+  c.reuses = reuses_.load(std::memory_order_relaxed);
+  c.heap_allocs = heap_allocs_.load(std::memory_order_relaxed);
+  c.releases = releases_.load(std::memory_order_relaxed);
+  return c;
+}
+
+void MatrixPool::ResetCounters() {
+  acquires_.store(0, std::memory_order_relaxed);
+  reuses_.store(0, std::memory_order_relaxed);
+  heap_allocs_.store(0, std::memory_order_relaxed);
+  releases_.store(0, std::memory_order_relaxed);
+}
+
+MatrixPool::Counters MatrixPool::AggregateCounters() {
+  PoolRegistry& reg = Registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  Counters total = reg.retired;
+  for (const MatrixPool* p : reg.live) Accumulate(&total, p->counters());
+  return total;
+}
+
+void MatrixPool::ResetAggregateCounters() {
+  PoolRegistry& reg = Registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  reg.retired = Counters();
+  for (const MatrixPool* p : reg.live) {
+    const_cast<MatrixPool*>(p)->ResetCounters();
+  }
+}
+
+}  // namespace ddup::nn

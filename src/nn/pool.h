@@ -1,0 +1,82 @@
+#ifndef DDUP_NN_POOL_H_
+#define DDUP_NN_POOL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "nn/matrix.h"
+
+namespace ddup::nn {
+
+// Thread-local free list of Matrix backing buffers, keyed by element count.
+// Training loops build and tear down the same graph shapes every step, so
+// after warm-up virtually every op output and gradient buffer is a reuse
+// instead of a heap allocation. Node teardown (autograd.cc) returns both the
+// value and gradient buffers here; Backward returns interior gradients as
+// soon as their node has propagated.
+//
+// Thread safety: Local() hands each thread its own pool, so the free list
+// needs no locking. Buffers released on a different thread than they were
+// acquired on simply migrate pools. Counters are relaxed atomics so
+// AggregateCounters() can sum them race-free from any thread while owners
+// keep incrementing.
+class MatrixPool {
+ public:
+  // Snapshot of the counters (plain values, safe to copy and diff).
+  struct Counters {
+    uint64_t acquires = 0;     // Acquire/AcquireZeroed calls
+    uint64_t reuses = 0;       // served from the free list
+    uint64_t heap_allocs = 0;  // fell through to operator new
+    uint64_t releases = 0;     // buffers returned (cached or dropped)
+  };
+
+  MatrixPool();
+  ~MatrixPool();
+  MatrixPool(const MatrixPool&) = delete;
+  MatrixPool& operator=(const MatrixPool&) = delete;
+
+  // The calling thread's pool.
+  static MatrixPool& Local();
+
+  // A rows x cols matrix with unspecified contents. Callers must write every
+  // entry (or use AcquireZeroed) — reused buffers carry old values.
+  Matrix Acquire(int rows, int cols);
+  // A rows x cols matrix with every entry 0.
+  Matrix AcquireZeroed(int rows, int cols);
+  // Consumes the matrix (it becomes 0 x 0): the buffer is cached for reuse,
+  // or freed immediately when the caps below are hit.
+  void Release(Matrix&& m);
+
+  Counters counters() const;
+  void ResetCounters();
+  // Drops all cached buffers (memory pressure valve; tests).
+  void Clear();
+  // Number of cached buffers.
+  size_t cached_buffers() const { return cached_buffers_; }
+
+  // Sum of counters across all pools ever created in the process.
+  static Counters AggregateCounters();
+  // Resets the counters of every live pool and the retired tally.
+  static void ResetAggregateCounters();
+
+ private:
+  // Caps bound each pool's cache memory (a shape-diverse workload can
+  // otherwise pin arbitrarily many large buffers). Both are per thread-local
+  // pool, so the process-wide worst case scales with the thread count.
+  static constexpr size_t kMaxBuffersPerSize = 64;
+  static constexpr int64_t kMaxCachedDoubles = int64_t{1} << 24;  // 128 MiB
+
+  std::unordered_map<int64_t, std::vector<std::vector<double>>> free_;
+  size_t cached_buffers_ = 0;
+  int64_t cached_doubles_ = 0;
+  std::atomic<uint64_t> acquires_{0};
+  std::atomic<uint64_t> reuses_{0};
+  std::atomic<uint64_t> heap_allocs_{0};
+  std::atomic<uint64_t> releases_{0};
+};
+
+}  // namespace ddup::nn
+
+#endif  // DDUP_NN_POOL_H_

@@ -1,3 +1,4 @@
+#include <atomic>
 #include <cmath>
 #include <set>
 
@@ -5,6 +6,7 @@
 #include "common/stats.h"
 #include "common/status.h"
 #include "common/stopwatch.h"
+#include "common/thread_pool.h"
 #include "gtest/gtest.h"
 
 namespace ddup {
@@ -187,4 +189,81 @@ TEST(StopwatchTest, MeasuresElapsed) {
 }
 
 }  // namespace
+
+TEST(StatsTest, SampleStdDevUsesUnbiasedDenominator) {
+  std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  // Population: sqrt(5/4); sample: sqrt(5/3).
+  EXPECT_DOUBLE_EQ(StdDev(xs), std::sqrt(5.0 / 4.0));
+  EXPECT_DOUBLE_EQ(SampleStdDev(xs), std::sqrt(5.0 / 3.0));
+  EXPECT_DOUBLE_EQ(SampleStdDev({1.0, 3.0}), std::sqrt(2.0));
+  EXPECT_DOUBLE_EQ(SampleStdDev({5.0}), 0.0);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr int64_t kN = 10000;
+  std::vector<std::atomic<int>> hits(kN);
+  for (auto& h : hits) h.store(0);
+  pool.ParallelFor(0, kN, 37, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) hits[static_cast<size_t>(i)]++;
+  });
+  for (int64_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[static_cast<size_t>(i)].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, SinglethreadPoolSpawnsNoWorkers) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.size(), 1);
+  int calls = 0;
+  pool.ParallelFor(0, 10, 3, [&](int64_t lo, int64_t hi) {
+    calls += static_cast<int>(hi - lo);
+  });
+  EXPECT_EQ(calls, 10);
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsInline) {
+  ThreadPool pool(3);
+  std::atomic<int> total{0};
+  pool.ParallelFor(0, 4, 1, [&](int64_t, int64_t) {
+    // Nested fan-out must degrade to a serial loop, not deadlock.
+    pool.ParallelFor(0, 8, 2, [&](int64_t lo, int64_t hi) {
+      total += static_cast<int>(hi - lo);
+    });
+  });
+  EXPECT_EQ(total.load(), 32);
+}
+
+TEST(ThreadPoolTest, ParallelChunkMeanMatchesSerialMean) {
+  ThreadPool pool(4);
+  constexpr int64_t kN = 1000;
+  double expect = 0.0;
+  for (int64_t i = 0; i < kN; ++i) expect += std::sin(static_cast<double>(i));
+  expect /= static_cast<double>(kN);
+  double got = ParallelChunkMean(pool, kN, 128, [](int64_t lo, int64_t hi) {
+    double acc = 0.0;
+    for (int64_t i = lo; i < hi; ++i) acc += std::sin(static_cast<double>(i));
+    return acc / static_cast<double>(hi - lo);
+  });
+  EXPECT_NEAR(got, expect, 1e-12);
+}
+
+TEST(ThreadPoolTest, ParallelChunkMeanBitIdenticalAcrossPoolSizes) {
+  // The determinism contract the models' AverageLoss paths rely on: chunk
+  // bounds and the weighted combine are independent of the pool size.
+  auto chunk_mean = [](int64_t lo, int64_t hi) {
+    double acc = 0.0;
+    for (int64_t i = lo; i < hi; ++i) {
+      acc += std::sin(static_cast<double>(i)) * 1e-3 + 1.0 / (1.0 + i);
+    }
+    return acc / static_cast<double>(hi - lo);
+  };
+  ThreadPool p1(1), p3(3), p7(7);
+  double r1 = ParallelChunkMean(p1, 5000, 256, chunk_mean);
+  double r3 = ParallelChunkMean(p3, 5000, 256, chunk_mean);
+  double r7 = ParallelChunkMean(p7, 5000, 256, chunk_mean);
+  EXPECT_DOUBLE_EQ(r1, r3);
+  EXPECT_DOUBLE_EQ(r1, r7);
+}
+
 }  // namespace ddup

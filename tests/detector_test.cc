@@ -1,8 +1,12 @@
+#include <algorithm>
 #include <cmath>
 
 #include "common/rng.h"
+#include "common/stats.h"
 #include "core/detector.h"
+#include "datagen/datasets.h"
 #include "gtest/gtest.h"
+#include "models/mdn.h"
 #include "storage/sampling.h"
 #include "storage/transforms.h"
 
@@ -169,6 +173,110 @@ TEST(DetectorTest, OneSidedIgnoresLossDrops) {
   OodDetector det2(two_sided);
   det2.Fit(model, base);
   EXPECT_TRUE(det2.Test(model, cleaner).is_ood);
+}
+
+TEST(DetectorTest, BootstrapMomentsRegression) {
+  // Pins the bootstrap moments for a fixed seed by replaying the documented
+  // construction: one forked child Rng per iteration, losses combined in
+  // iteration order, unbiased (n-1) std. Any change to the fork stream, the
+  // estimator, or the combine order shows up here as a bit-level diff.
+  // (Replay rather than literal constants: the exact doubles depend on the
+  // standard library's distribution algorithms and are not portable.)
+  storage::Table base = PairedTable(2000, 77);
+  PairResidualLoss model;
+  DetectorConfig config;
+  config.bootstrap_iterations = 64;
+  config.seed = 123;
+  OodDetector det(config);
+  det.Fit(model, base);
+
+  Rng rng(123);
+  int64_t sample_rows = std::max<int64_t>(
+      std::llround(0.01 * static_cast<double>(base.num_rows())), 32);
+  std::vector<double> losses;
+  for (int i = 0; i < 64; ++i) {
+    Rng child = rng.Fork();
+    losses.push_back(
+        model.AverageLoss(storage::BootstrapRows(base, child, sample_rows)));
+  }
+  EXPECT_DOUBLE_EQ(det.bootstrap_mean(), Mean(losses));
+  EXPECT_DOUBLE_EQ(det.bootstrap_std(), SampleStdDev(losses));
+  // Sanity-anchor the magnitude so the replay can't drift silently.
+  EXPECT_NEAR(det.bootstrap_mean(), 0.0025, 5e-4);
+  EXPECT_NEAR(det.bootstrap_std(), 0.00052, 3e-4);
+}
+
+TEST(DetectorTest, UnbiasedStdWithTwoIterations) {
+  // With only 2 bootstrap iterations the (n-1) estimator is simply
+  // |l0 - l1| / sqrt(2); the population estimator would report half that.
+  storage::Table base = PairedTable(1000, 13);
+  PairResidualLoss model;
+  DetectorConfig config;
+  config.bootstrap_iterations = 2;
+  config.seed = 31;
+  OodDetector det(config);
+  det.Fit(model, base);
+
+  // Replay the two bootstrap losses with the same fork stream.
+  Rng rng(31);
+  Rng r0 = rng.Fork();
+  Rng r1 = rng.Fork();
+  int64_t sample_rows = std::max<int64_t>(
+      std::llround(0.01 * static_cast<double>(base.num_rows())), 32);
+  double l0 = model.AverageLoss(storage::BootstrapRows(base, r0, sample_rows));
+  double l1 = model.AverageLoss(storage::BootstrapRows(base, r1, sample_rows));
+  EXPECT_DOUBLE_EQ(det.bootstrap_mean(), (l0 + l1) / 2.0);
+  EXPECT_DOUBLE_EQ(det.bootstrap_std(),
+                   std::fabs(l0 - l1) / std::sqrt(2.0));
+}
+
+TEST(DetectorTest, BitIdenticalAcrossThreadCounts) {
+  // The acceptance bar of the kernel/pool/thread-pool refactor: the fitted
+  // moments must not depend on how many threads ran the bootstrap loop.
+  storage::Table base = PairedTable(3000, 21);
+  PairResidualLoss model;
+  DetectorConfig one;
+  one.seed = 17;
+  one.num_threads = 1;
+  DetectorConfig many = one;
+  many.num_threads = 4;
+
+  OodDetector det1(one), detN(many);
+  det1.Fit(model, base);
+  detN.Fit(model, base);
+  EXPECT_DOUBLE_EQ(det1.bootstrap_mean(), detN.bootstrap_mean());
+  EXPECT_DOUBLE_EQ(det1.bootstrap_std(), detN.bootstrap_std());
+
+  auto r1 = det1.Test(model, base.Head(400));
+  auto rN = detN.Test(model, base.Head(400));
+  EXPECT_DOUBLE_EQ(r1.new_loss, rN.new_loss);
+  EXPECT_EQ(r1.is_ood, rN.is_ood);
+}
+
+TEST(DetectorTest, NnModelBitIdenticalAcrossThreadCounts) {
+  // Same bar, but through a real neural model: the MDN's chunked
+  // AverageLoss runs inside the bootstrap workers and must stay bit-exact.
+  storage::Table base = datagen::MakeDataset("census", 700, 5);
+  datagen::AqpColumns aqp = datagen::AqpColumnsFor("census");
+  models::MdnConfig mdn_config;
+  mdn_config.hidden_width = 16;
+  mdn_config.num_components = 4;
+  mdn_config.epochs = 2;
+  mdn_config.seed = 3;
+  models::Mdn model(base, aqp.categorical, aqp.numeric, mdn_config);
+
+  DetectorConfig one;
+  one.seed = 41;
+  one.bootstrap_iterations = 16;
+  one.num_threads = 1;
+  DetectorConfig many = one;
+  many.num_threads = 4;
+
+  OodDetector det1(one), detN(many);
+  det1.Fit(model, base);
+  detN.Fit(model, base);
+  EXPECT_DOUBLE_EQ(det1.bootstrap_mean(), detN.bootstrap_mean());
+  EXPECT_DOUBLE_EQ(det1.bootstrap_std(), detN.bootstrap_std());
 }
 
 TEST(DetectorTest, DeterministicAcrossIdenticalConfigs) {

@@ -157,19 +157,6 @@ TEST(DiscreteEncoderTest, ContradictoryPredicatesYieldEmptyRange) {
             ranges[static_cast<size_t>(age)].second);
 }
 
-TEST(OneHotTest, ExactlyOneHotPerRow) {
-  nn::Matrix m = OneHot({2, 0, 1}, 4);
-  EXPECT_EQ(m.rows(), 3);
-  EXPECT_EQ(m.cols(), 4);
-  for (int r = 0; r < 3; ++r) {
-    double sum = 0;
-    for (int c = 0; c < 4; ++c) sum += m.At(r, c);
-    EXPECT_DOUBLE_EQ(sum, 1.0);
-  }
-  EXPECT_DOUBLE_EQ(m.At(0, 2), 1.0);
-  EXPECT_DOUBLE_EQ(m.At(1, 0), 1.0);
-  EXPECT_DOUBLE_EQ(m.At(2, 1), 1.0);
-}
 
 TEST(MinMaxNormalizerTest, MapsSupportToUnitInterval) {
   auto col = storage::Column::Numeric("x", {10, 20, 30});

@@ -6,9 +6,11 @@
 #include "common/rng.h"
 #include "gtest/gtest.h"
 #include "nn/gradcheck.h"
+#include "nn/kernels.h"
 #include "nn/layers.h"
 #include "nn/ops.h"
 #include "nn/optim.h"
+#include "nn/pool.h"
 #include "nn/serialize.h"
 
 namespace ddup::nn {
@@ -278,6 +280,148 @@ INSTANTIATE_TEST_SUITE_P(
     [](const ::testing::TestParamInfo<OpCase>& info) {
       return info.param.name;
     });
+
+// ---------------------------------------------------------------------------
+// Fused affine kernels (Affine / AffineRelu) and the MatrixPool.
+// ---------------------------------------------------------------------------
+
+TEST(FusedOpsTest, AffineMatchesUnfusedGraph) {
+  Rng rng(40);
+  Matrix xm = Matrix::Randn(rng, 5, 3);
+  Matrix wm = Matrix::Randn(rng, 3, 7);
+  Matrix bm = Matrix::Randn(rng, 1, 7);
+  Variable fused = Affine(Constant(xm), Constant(wm), Constant(bm));
+  Variable unfused = Add(MatMul(Constant(xm), Constant(wm)), Constant(bm));
+  EXPECT_TRUE(fused.value().AllClose(unfused.value(), 1e-12));
+}
+
+TEST(FusedOpsTest, AffineReluMatchesUnfusedGraph) {
+  Rng rng(41);
+  Matrix xm = Matrix::Randn(rng, 6, 4);
+  Matrix wm = Matrix::Randn(rng, 4, 9);
+  Matrix bm = Matrix::Randn(rng, 1, 9);
+  Variable fused = AffineRelu(Constant(xm), Constant(wm), Constant(bm));
+  Variable unfused =
+      Relu(Add(MatMul(Constant(xm), Constant(wm)), Constant(bm)));
+  EXPECT_TRUE(fused.value().AllClose(unfused.value(), 1e-12));
+  for (int64_t i = 0; i < fused.value().size(); ++i) {
+    EXPECT_GE(fused.value().data()[i], 0.0);
+  }
+}
+
+TEST(FusedOpsTest, AffineGradcheck) {
+  Rng rng(42);
+  std::vector<Variable> params = {Parameter(Matrix::Randn(rng, 3, 4, 0.5)),
+                                  Parameter(Matrix::Randn(rng, 4, 5, 0.5)),
+                                  Parameter(Matrix::Randn(rng, 1, 5, 0.5))};
+  auto loss_fn = [&]() {
+    return Mean(Square(Affine(params[0], params[1], params[2])));
+  };
+  EXPECT_LT(MaxGradientError(loss_fn, &params, 1e-5), 1e-6);
+}
+
+TEST(FusedOpsTest, AffineReluGradcheck) {
+  Rng rng(43);
+  std::vector<Variable> params = {Parameter(Matrix::Randn(rng, 3, 4, 0.5)),
+                                  Parameter(Matrix::Randn(rng, 4, 5, 0.5)),
+                                  Parameter(Matrix::Randn(rng, 1, 5, 0.5))};
+  auto loss_fn = [&]() {
+    return Mean(Square(AffineRelu(params[0], params[1], params[2])));
+  };
+  EXPECT_LT(MaxGradientError(loss_fn, &params, 1e-5), 1e-6);
+}
+
+TEST(FusedOpsTest, AffineGradientsMatchUnfusedGraph) {
+  Rng rng(44);
+  Matrix xm = Matrix::Randn(rng, 5, 3);
+  Matrix wm = Matrix::Randn(rng, 3, 6);
+  Matrix bm = Matrix::Randn(rng, 1, 6);
+
+  Variable x1 = Parameter(xm), w1 = Parameter(wm), b1 = Parameter(bm);
+  Backward(Mean(Square(AffineRelu(x1, w1, b1))));
+  Variable x2 = Parameter(xm), w2 = Parameter(wm), b2 = Parameter(bm);
+  Backward(Mean(Square(Relu(Add(MatMul(x2, w2), b2)))));
+
+  EXPECT_TRUE(x1.grad().AllClose(x2.grad(), 1e-12));
+  EXPECT_TRUE(w1.grad().AllClose(w2.grad(), 1e-12));
+  EXPECT_TRUE(b1.grad().AllClose(b2.grad(), 1e-12));
+}
+
+TEST(KernelsTest, GemmAccumulateAddsIntoOutput) {
+  Rng rng(45);
+  Matrix a = Matrix::Randn(rng, 5, 6);
+  Matrix b = Matrix::Randn(rng, 6, 7);
+  Matrix expect = MatMulValue(a, b);
+  for (int64_t i = 0; i < expect.size(); ++i) expect.data()[i] *= 2.0;
+  Matrix c(5, 7);
+  GemmInto(a, b, /*accumulate=*/false, &c);
+  GemmInto(a, b, /*accumulate=*/true, &c);
+  EXPECT_TRUE(c.AllClose(expect, 1e-9));
+}
+
+TEST(KernelsTest, OddShapesHitEveryEdgePath) {
+  // Shapes straddling the 16/8/4-wide tile boundaries of every variant.
+  Rng rng(46);
+  for (int n : {1, 2, 3, 5, 17}) {
+    for (int m : {1, 3, 7, 9, 19, 33}) {
+      Matrix a = Matrix::Randn(rng, n, 11);
+      Matrix b = Matrix::Randn(rng, 11, m);
+      Matrix naive(n, m, 0.0);
+      for (int i = 0; i < n; ++i) {
+        for (int j = 0; j < m; ++j) {
+          for (int k = 0; k < 11; ++k) naive.At(i, j) += a.At(i, k) * b.At(k, j);
+        }
+      }
+      EXPECT_TRUE(MatMulValue(a, b).AllClose(naive, 1e-9))
+          << n << "x11x" << m;
+    }
+  }
+}
+
+TEST(MatrixPoolTest, ReusesReleasedBuffers) {
+  MatrixPool& pool = MatrixPool::Local();
+  Matrix m = pool.Acquire(13, 17);
+  const double* raw = m.data();
+  pool.Release(std::move(m));
+  Matrix n = pool.Acquire(13, 17);
+  EXPECT_EQ(n.data(), raw);  // same backing buffer came back
+  EXPECT_EQ(n.rows(), 13);
+  EXPECT_EQ(n.cols(), 17);
+  pool.Release(std::move(n));
+}
+
+TEST(MatrixPoolTest, AcquireZeroedClearsRecycledContents) {
+  MatrixPool& pool = MatrixPool::Local();
+  Matrix m = pool.Acquire(4, 4);
+  m.Fill(7.0);
+  pool.Release(std::move(m));
+  Matrix z = pool.AcquireZeroed(4, 4);
+  EXPECT_DOUBLE_EQ(z.MaxAbs(), 0.0);
+  pool.Release(std::move(z));
+}
+
+TEST(MatrixPoolTest, TrainingStepsStopAllocatingOnceWarm) {
+  Rng rng(47);
+  Mlp mlp({8, 16, 4}, rng);
+  std::vector<Variable> params;
+  mlp.CollectParameters(&params);
+  Variable x = Constant(Matrix::Randn(rng, 32, 8));
+  auto step = [&]() {
+    for (auto& p : params) p.ZeroGrad();
+    Variable loss = Mean(Square(mlp.Forward(x)));
+    Backward(loss);
+  };
+  // Two warm-up steps: the first populates the pool, the second raises the
+  // cache to the steady-state peak (backward scratch overlaps differently
+  // once the forward runs from recycled buffers).
+  step();
+  step();
+  MatrixPool::Counters before = MatrixPool::Local().counters();
+  step();
+  MatrixPool::Counters after = MatrixPool::Local().counters();
+  EXPECT_GT(after.acquires, before.acquires);
+  EXPECT_EQ(after.heap_allocs, before.heap_allocs);  // all reuse, no malloc
+}
 
 TEST(OpsTest, SoftmaxRowsSumToOne) {
   Rng rng(3);
