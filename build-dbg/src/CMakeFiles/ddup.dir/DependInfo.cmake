@@ -1,0 +1,54 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/ddup.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/ddup.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/CMakeFiles/ddup.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/ddup.dir/common/stats.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/ddup.dir/common/status.cc.o" "gcc" "src/CMakeFiles/ddup.dir/common/status.cc.o.d"
+  "/root/repo/src/common/stopwatch.cc" "src/CMakeFiles/ddup.dir/common/stopwatch.cc.o" "gcc" "src/CMakeFiles/ddup.dir/common/stopwatch.cc.o.d"
+  "/root/repo/src/common/thread_pool.cc" "src/CMakeFiles/ddup.dir/common/thread_pool.cc.o" "gcc" "src/CMakeFiles/ddup.dir/common/thread_pool.cc.o.d"
+  "/root/repo/src/core/controller.cc" "src/CMakeFiles/ddup.dir/core/controller.cc.o" "gcc" "src/CMakeFiles/ddup.dir/core/controller.cc.o.d"
+  "/root/repo/src/core/detector.cc" "src/CMakeFiles/ddup.dir/core/detector.cc.o" "gcc" "src/CMakeFiles/ddup.dir/core/detector.cc.o.d"
+  "/root/repo/src/core/policies.cc" "src/CMakeFiles/ddup.dir/core/policies.cc.o" "gcc" "src/CMakeFiles/ddup.dir/core/policies.cc.o.d"
+  "/root/repo/src/datagen/datasets.cc" "src/CMakeFiles/ddup.dir/datagen/datasets.cc.o" "gcc" "src/CMakeFiles/ddup.dir/datagen/datasets.cc.o.d"
+  "/root/repo/src/datagen/latent_class.cc" "src/CMakeFiles/ddup.dir/datagen/latent_class.cc.o" "gcc" "src/CMakeFiles/ddup.dir/datagen/latent_class.cc.o.d"
+  "/root/repo/src/datagen/star_schema.cc" "src/CMakeFiles/ddup.dir/datagen/star_schema.cc.o" "gcc" "src/CMakeFiles/ddup.dir/datagen/star_schema.cc.o.d"
+  "/root/repo/src/models/darn.cc" "src/CMakeFiles/ddup.dir/models/darn.cc.o" "gcc" "src/CMakeFiles/ddup.dir/models/darn.cc.o.d"
+  "/root/repo/src/models/encoding.cc" "src/CMakeFiles/ddup.dir/models/encoding.cc.o" "gcc" "src/CMakeFiles/ddup.dir/models/encoding.cc.o.d"
+  "/root/repo/src/models/gbdt.cc" "src/CMakeFiles/ddup.dir/models/gbdt.cc.o" "gcc" "src/CMakeFiles/ddup.dir/models/gbdt.cc.o.d"
+  "/root/repo/src/models/mdn.cc" "src/CMakeFiles/ddup.dir/models/mdn.cc.o" "gcc" "src/CMakeFiles/ddup.dir/models/mdn.cc.o.d"
+  "/root/repo/src/models/spn.cc" "src/CMakeFiles/ddup.dir/models/spn.cc.o" "gcc" "src/CMakeFiles/ddup.dir/models/spn.cc.o.d"
+  "/root/repo/src/models/tvae.cc" "src/CMakeFiles/ddup.dir/models/tvae.cc.o" "gcc" "src/CMakeFiles/ddup.dir/models/tvae.cc.o.d"
+  "/root/repo/src/nn/autograd.cc" "src/CMakeFiles/ddup.dir/nn/autograd.cc.o" "gcc" "src/CMakeFiles/ddup.dir/nn/autograd.cc.o.d"
+  "/root/repo/src/nn/gradcheck.cc" "src/CMakeFiles/ddup.dir/nn/gradcheck.cc.o" "gcc" "src/CMakeFiles/ddup.dir/nn/gradcheck.cc.o.d"
+  "/root/repo/src/nn/kernels.cc" "src/CMakeFiles/ddup.dir/nn/kernels.cc.o" "gcc" "src/CMakeFiles/ddup.dir/nn/kernels.cc.o.d"
+  "/root/repo/src/nn/layers.cc" "src/CMakeFiles/ddup.dir/nn/layers.cc.o" "gcc" "src/CMakeFiles/ddup.dir/nn/layers.cc.o.d"
+  "/root/repo/src/nn/matrix.cc" "src/CMakeFiles/ddup.dir/nn/matrix.cc.o" "gcc" "src/CMakeFiles/ddup.dir/nn/matrix.cc.o.d"
+  "/root/repo/src/nn/ops.cc" "src/CMakeFiles/ddup.dir/nn/ops.cc.o" "gcc" "src/CMakeFiles/ddup.dir/nn/ops.cc.o.d"
+  "/root/repo/src/nn/optim.cc" "src/CMakeFiles/ddup.dir/nn/optim.cc.o" "gcc" "src/CMakeFiles/ddup.dir/nn/optim.cc.o.d"
+  "/root/repo/src/nn/pool.cc" "src/CMakeFiles/ddup.dir/nn/pool.cc.o" "gcc" "src/CMakeFiles/ddup.dir/nn/pool.cc.o.d"
+  "/root/repo/src/nn/serialize.cc" "src/CMakeFiles/ddup.dir/nn/serialize.cc.o" "gcc" "src/CMakeFiles/ddup.dir/nn/serialize.cc.o.d"
+  "/root/repo/src/storage/column.cc" "src/CMakeFiles/ddup.dir/storage/column.cc.o" "gcc" "src/CMakeFiles/ddup.dir/storage/column.cc.o.d"
+  "/root/repo/src/storage/csv.cc" "src/CMakeFiles/ddup.dir/storage/csv.cc.o" "gcc" "src/CMakeFiles/ddup.dir/storage/csv.cc.o.d"
+  "/root/repo/src/storage/join.cc" "src/CMakeFiles/ddup.dir/storage/join.cc.o" "gcc" "src/CMakeFiles/ddup.dir/storage/join.cc.o.d"
+  "/root/repo/src/storage/sampling.cc" "src/CMakeFiles/ddup.dir/storage/sampling.cc.o" "gcc" "src/CMakeFiles/ddup.dir/storage/sampling.cc.o.d"
+  "/root/repo/src/storage/table.cc" "src/CMakeFiles/ddup.dir/storage/table.cc.o" "gcc" "src/CMakeFiles/ddup.dir/storage/table.cc.o.d"
+  "/root/repo/src/storage/transforms.cc" "src/CMakeFiles/ddup.dir/storage/transforms.cc.o" "gcc" "src/CMakeFiles/ddup.dir/storage/transforms.cc.o.d"
+  "/root/repo/src/workload/executor.cc" "src/CMakeFiles/ddup.dir/workload/executor.cc.o" "gcc" "src/CMakeFiles/ddup.dir/workload/executor.cc.o.d"
+  "/root/repo/src/workload/generator.cc" "src/CMakeFiles/ddup.dir/workload/generator.cc.o" "gcc" "src/CMakeFiles/ddup.dir/workload/generator.cc.o.d"
+  "/root/repo/src/workload/metrics.cc" "src/CMakeFiles/ddup.dir/workload/metrics.cc.o" "gcc" "src/CMakeFiles/ddup.dir/workload/metrics.cc.o.d"
+  "/root/repo/src/workload/query.cc" "src/CMakeFiles/ddup.dir/workload/query.cc.o" "gcc" "src/CMakeFiles/ddup.dir/workload/query.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

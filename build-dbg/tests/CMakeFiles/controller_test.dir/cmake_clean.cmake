@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/controller_test.dir/controller_test.cc.o"
+  "CMakeFiles/controller_test.dir/controller_test.cc.o.d"
+  "controller_test"
+  "controller_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/controller_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

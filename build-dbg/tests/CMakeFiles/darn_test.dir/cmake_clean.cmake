@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/darn_test.dir/darn_test.cc.o"
+  "CMakeFiles/darn_test.dir/darn_test.cc.o.d"
+  "darn_test"
+  "darn_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/darn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datagen_test.dir/datagen_test.cc.o"
+  "CMakeFiles/datagen_test.dir/datagen_test.cc.o.d"
+  "datagen_test"
+  "datagen_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datagen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

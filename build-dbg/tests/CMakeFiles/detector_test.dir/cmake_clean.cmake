@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detector_test.dir/detector_test.cc.o"
+  "CMakeFiles/detector_test.dir/detector_test.cc.o.d"
+  "detector_test"
+  "detector_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/encoding_test.dir/encoding_test.cc.o"
+  "CMakeFiles/encoding_test.dir/encoding_test.cc.o.d"
+  "encoding_test"
+  "encoding_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/encoding_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

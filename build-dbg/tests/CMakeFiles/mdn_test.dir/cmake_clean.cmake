@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdn_test.dir/mdn_test.cc.o"
+  "CMakeFiles/mdn_test.dir/mdn_test.cc.o.d"
+  "mdn_test"
+  "mdn_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spn_test.dir/spn_test.cc.o"
+  "CMakeFiles/spn_test.dir/spn_test.cc.o.d"
+  "spn_test"
+  "spn_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

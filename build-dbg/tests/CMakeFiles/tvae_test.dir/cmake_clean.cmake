@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tvae_test.dir/tvae_test.cc.o"
+  "CMakeFiles/tvae_test.dir/tvae_test.cc.o.d"
+  "tvae_test"
+  "tvae_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tvae_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
