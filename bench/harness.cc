@@ -1,5 +1,7 @@
 #include "bench/harness.h"
 
+#include <sys/stat.h>
+
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -7,6 +9,8 @@
 #include "common/status.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
+#include "io/checkpoint.h"
+#include "io/serializer.h"
 #include "nn/kernels.h"
 #include "nn/pool.h"
 #include "storage/sampling.h"
@@ -24,6 +28,73 @@ int64_t EnvInt(const char* name, int64_t fallback) {
 double EnvDouble(const char* name, double fallback) {
   const char* v = std::getenv(name);
   return v != nullptr ? std::atof(v) : fallback;
+}
+
+// ---------------------------------------------------------------------------
+// DDUP_CHECKPOINT_DIR warm-start cache (see harness.h).
+// ---------------------------------------------------------------------------
+
+// Creates `dir` if missing (single level); false if it cannot be used.
+bool EnsureDir(const std::string& dir) {
+  struct stat st;
+  if (::stat(dir.c_str(), &st) == 0) return S_ISDIR(st.st_mode);
+  return ::mkdir(dir.c_str(), 0755) == 0;
+}
+
+// Every config field participates in the cache key: any knob change (or a
+// DDUP_ROWS/DDUP_SEED/DDUP_EPOCH_SCALE override, which feeds the epochs
+// below) lands in a different file instead of silently reusing a stale model.
+void WriteConfigKey(io::Serializer* key, const models::MdnConfig& c) {
+  key->WriteI32(c.num_components);
+  key->WriteI32(c.hidden_width);
+  key->WriteI32(c.epochs);
+  key->WriteI32(c.batch_size);
+  key->WriteDouble(c.learning_rate);
+  key->WriteU64(c.seed);
+}
+
+void WriteConfigKey(io::Serializer* key, const models::DarnConfig& c) {
+  key->WriteI32(c.hidden_width);
+  key->WriteI32(c.max_bins);
+  key->WriteI32(c.epochs);
+  key->WriteI32(c.batch_size);
+  key->WriteDouble(c.learning_rate);
+  key->WriteI32(c.progressive_samples);
+  key->WriteU64(c.seed);
+}
+
+void WriteConfigKey(io::Serializer* key, const models::TvaeConfig& c) {
+  key->WriteI32(c.latent_dim);
+  key->WriteI32(c.hidden_width);
+  key->WriteI32(c.epochs);
+  key->WriteI32(c.batch_size);
+  key->WriteDouble(c.learning_rate);
+  key->WriteU64(c.seed);
+}
+
+// Cache file for the base model of (kind, dataset, bench params, config);
+// "" when the cache is disabled or the directory is unusable.
+template <typename ConfigT>
+std::string BaseModelCachePath(const char* kind, const std::string& dataset,
+                               const BenchParams& params,
+                               const ConfigT& config) {
+  const char* dir = std::getenv("DDUP_CHECKPOINT_DIR");
+  if (dir == nullptr || dir[0] == '\0') return "";
+  if (!EnsureDir(dir)) {
+    std::printf("  [ckpt] cannot use DDUP_CHECKPOINT_DIR=%s, training cold\n",
+                dir);
+    return "";
+  }
+  io::Serializer key;
+  key.WriteString(kind);
+  key.WriteString(dataset);
+  key.WriteI64(params.rows);
+  key.WriteU64(params.seed);
+  WriteConfigKey(&key, config);
+  char hex[17];
+  std::snprintf(hex, sizeof(hex), "%016llx",
+                static_cast<unsigned long long>(io::Fnv1a64(key.buffer())));
+  return std::string(dir) + "/" + kind + "_" + dataset + "_" + hex + ".ckpt";
 }
 }  // namespace
 
@@ -215,17 +286,44 @@ std::vector<double> RelErrors(const std::vector<double>& estimates,
 namespace {
 
 // Applies the four update approaches to model copies. ModelT must be
-// constructible identically from (bundle, config) via `make`.
+// constructible identically from (bundle, config) via `make`. When
+// `cache_path` is non-empty, the trained base model is loaded from /saved to
+// that checkpoint instead of retraining for every approach: a load restores
+// weights, metadata and the RNG stream, so each instance is bit-identical to
+// a freshly trained one and all downstream updates reproduce cold-run
+// results exactly.
 template <typename ModelT, typename MakeFn>
 void RunApproaches(const DatasetBundle& bundle, const storage::Table& batch,
                    const BenchParams& params, MakeFn make,
+                   const std::string& cache_path,
                    std::unique_ptr<ModelT>* m0, std::unique_ptr<ModelT>* ddup,
                    std::unique_ptr<ModelT>* baseline,
                    std::unique_ptr<ModelT>* stale,
                    std::unique_ptr<ModelT>* retrain, double* ddup_seconds,
                    double* baseline_seconds, double* retrain_seconds) {
-  *m0 = make();
-  *stale = make();
+  int cache_hits = 0;
+  int cold_trainings = 0;
+  auto cached_make = [&]() -> std::unique_ptr<ModelT> {
+    if (cache_path.empty()) {
+      ++cold_trainings;
+      return make();
+    }
+    StatusOr<std::unique_ptr<ModelT>> loaded = ModelT::LoadFromFile(cache_path);
+    if (loaded.ok()) {
+      ++cache_hits;
+      return std::move(loaded).value();
+    }
+    ++cold_trainings;
+    std::unique_ptr<ModelT> model = make();
+    Status saved = model->SaveToFile(cache_path);
+    if (!saved.ok()) {
+      std::printf("  [ckpt] save failed: %s\n", saved.ToString().c_str());
+    }
+    return model;
+  };
+
+  *m0 = cached_make();
+  *stale = cached_make();
 
   Rng rng(params.seed + 31);
   storage::Table transfer = storage::SampleFraction(bundle.base, rng, 0.10);
@@ -234,13 +332,13 @@ void RunApproaches(const DatasetBundle& bundle, const storage::Table& batch,
   distill.alpha =
       core::ResolveAlpha(distill, bundle.base.num_rows(), batch.num_rows());
 
-  *ddup = make();
+  *ddup = cached_make();
   Stopwatch ddup_timer;
   (*ddup)->AbsorbMetadata(batch);
   (*ddup)->DistillUpdate(transfer, batch, distill);
   *ddup_seconds = ddup_timer.ElapsedSeconds();
 
-  *baseline = make();
+  *baseline = cached_make();
   Stopwatch baseline_timer;
   (*baseline)->AbsorbMetadata(batch);
   // Paper baseline: SGD on the new data with a smaller learning rate.
@@ -248,11 +346,15 @@ void RunApproaches(const DatasetBundle& bundle, const storage::Table& batch,
                         distill.epochs);
   *baseline_seconds = baseline_timer.ElapsedSeconds();
 
-  *retrain = make();
+  *retrain = cached_make();
   Stopwatch retrain_timer;
   (*retrain)->RetrainFromScratch(Union(bundle.base, batch));
   *retrain_seconds = retrain_timer.ElapsedSeconds();
 
+  if (!cache_path.empty()) {
+    std::printf("  [ckpt] base-model cache %s: %d warm load(s), %d training(s)\n",
+                cache_path.c_str(), cache_hits, cold_trainings);
+  }
   PrintPoolCounters("train+update phases");
 }
 
@@ -267,8 +369,11 @@ MdnApproaches RunMdnApproaches(const DatasetBundle& bundle,
                                          bundle.aqp.numeric,
                                          MdnConfigFor(params));
   };
-  RunApproaches<models::Mdn>(bundle, batch, params, make, &out.m0, &out.ddup,
-                             &out.baseline, &out.stale, &out.retrain,
+  std::string cache = BaseModelCachePath(models::Mdn::kCheckpointKind,
+                                         bundle.name, params,
+                                         MdnConfigFor(params));
+  RunApproaches<models::Mdn>(bundle, batch, params, make, cache, &out.m0,
+                             &out.ddup, &out.baseline, &out.stale, &out.retrain,
                              &out.ddup_seconds, &out.baseline_seconds,
                              &out.retrain_seconds);
   return out;
@@ -281,10 +386,13 @@ DarnApproaches RunDarnApproaches(const DatasetBundle& bundle,
   auto make = [&]() {
     return std::make_unique<models::Darn>(bundle.base, DarnConfigFor(params));
   };
-  RunApproaches<models::Darn>(bundle, batch, params, make, &out.m0, &out.ddup,
-                              &out.baseline, &out.stale, &out.retrain,
-                              &out.ddup_seconds, &out.baseline_seconds,
-                              &out.retrain_seconds);
+  std::string cache = BaseModelCachePath(models::Darn::kCheckpointKind,
+                                         bundle.name, params,
+                                         DarnConfigFor(params));
+  RunApproaches<models::Darn>(bundle, batch, params, make, cache, &out.m0,
+                              &out.ddup, &out.baseline, &out.stale,
+                              &out.retrain, &out.ddup_seconds,
+                              &out.baseline_seconds, &out.retrain_seconds);
   return out;
 }
 
@@ -295,10 +403,13 @@ TvaeApproaches RunTvaeApproaches(const DatasetBundle& bundle,
   auto make = [&]() {
     return std::make_unique<models::Tvae>(bundle.base, TvaeConfigFor(params));
   };
-  RunApproaches<models::Tvae>(bundle, batch, params, make, &out.m0, &out.ddup,
-                              &out.baseline, &out.stale, &out.retrain,
-                              &out.ddup_seconds, &out.baseline_seconds,
-                              &out.retrain_seconds);
+  std::string cache = BaseModelCachePath(models::Tvae::kCheckpointKind,
+                                         bundle.name, params,
+                                         TvaeConfigFor(params));
+  RunApproaches<models::Tvae>(bundle, batch, params, make, cache, &out.m0,
+                              &out.ddup, &out.baseline, &out.stale,
+                              &out.retrain, &out.ddup_seconds,
+                              &out.baseline_seconds, &out.retrain_seconds);
   return out;
 }
 

@@ -33,6 +33,14 @@ inline constexpr double kBaselineLrMultiplier = 2.0;
 // multiplier), DDUP_BOOTSTRAP, DDUP_SEED. DDUP_THREADS sizes the shared
 // ThreadPool::Global() (read by the pool itself); results are bit-identical
 // for any value.
+//
+// DDUP_CHECKPOINT_DIR points at a warm-start cache directory: the trained
+// base model M0 of each (model kind, dataset, config) combination is saved
+// there on first use and reloaded on every later use, skipping bootstrap
+// training entirely. Because a checkpoint restores weights, metadata AND the
+// RNG stream, warm-started runs produce bit-identical tables to cold runs —
+// the cache only removes wall time. Delete the directory (or change any
+// config knob; the file name is keyed on a config hash) to retrain.
 struct BenchParams {
   int64_t rows = 4000;
   int num_queries = 200;

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Bench smoke: the kernel micro benches at a few iterations apiece plus one
+# end-to-end harness bench at tiny parameters. This is the single source of
+# truth for the smoke configuration — CI and developers both run this script,
+# so the knobs cannot drift between the workflow file and local runs.
+#
+# Usage:  scripts/bench_smoke.sh [build_dir]          (default: build)
+#
+# Knobs (override via environment):
+#   DDUP_ROWS / DDUP_QUERIES / DDUP_EPOCH_SCALE / DDUP_BOOTSTRAP — harness size
+#   DDUP_CHECKPOINT_DIR — warm-start cache; set it to skip base-model training
+#     on repeat runs (results are bit-identical either way, see bench/harness.h)
+set -euo pipefail
+
+BUILD_DIR=${1:-build}
+if [[ ! -d "${BUILD_DIR}/bench" ]]; then
+  echo "bench_smoke: ${BUILD_DIR}/bench not found (build with benchmarks on)" >&2
+  exit 1
+fi
+
+export DDUP_ROWS=${DDUP_ROWS:-400}
+export DDUP_QUERIES=${DDUP_QUERIES:-10}
+export DDUP_EPOCH_SCALE=${DDUP_EPOCH_SCALE:-0.1}
+export DDUP_BOOTSTRAP=${DDUP_BOOTSTRAP:-20}
+
+# Kernel-layer smoke (needs google-benchmark; skipped when the micro benches
+# were not built, e.g. offline configures).
+if [[ -x "${BUILD_DIR}/bench/bench_micro_tensor" ]]; then
+  "${BUILD_DIR}/bench/bench_micro_tensor" \
+    --benchmark_filter='MatMulValue|GemmInto|AffineRelu'
+else
+  echo "bench_smoke: bench_micro_tensor not built, skipping kernel smoke"
+fi
+
+# End-to-end harness smoke: trains, detects, distills and prints the q-error
+# table at tiny size. Exercises the full model/detector/update stack.
+"${BUILD_DIR}/bench/bench_table5_update_qerror"
+echo "bench_smoke: OK"

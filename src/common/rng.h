@@ -46,6 +46,9 @@ class Rng {
   Rng Fork();
 
   std::mt19937_64& engine() { return engine_; }
+  // Const view of the engine; the io layer serializes the exact generator
+  // state so a restored component continues the identical random stream.
+  const std::mt19937_64& engine() const { return engine_; }
 
  private:
   std::mt19937_64 engine_;

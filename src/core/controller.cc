@@ -2,9 +2,15 @@
 
 #include "common/status.h"
 #include "common/stopwatch.h"
+#include "io/checkpoint.h"
+#include "io/serializer.h"
 #include "storage/sampling.h"
 
 namespace ddup::core {
+
+namespace {
+constexpr uint32_t kControllerStateVersion = 1;
+}
 
 DdupController::DdupController(UpdatableModel* model, storage::Table base_data,
                                ControllerConfig config)
@@ -16,6 +22,48 @@ DdupController::DdupController(UpdatableModel* model, storage::Table base_data,
   DDUP_CHECK(model_ != nullptr);
   DDUP_CHECK(data_.num_rows() > 0);
   detector_.Fit(*model_, data_);
+}
+
+DdupController::DdupController(UpdatableModel* model, ControllerConfig config,
+                               ResumeTag)
+    : model_(model),
+      config_(config),
+      detector_(config.detector),
+      rng_(config.seed) {
+  DDUP_CHECK(model_ != nullptr);
+}
+
+Status DdupController::SaveSnapshot(const std::string& path) const {
+  io::Serializer state;
+  state.WriteU32(kControllerStateVersion);
+  DDUP_RETURN_IF_ERROR(detector_.SaveState(&state));
+  state.WriteRng(rng_);
+  state.WriteTable(data_);
+  return io::WriteSectionFile(path, kCheckpointKind, state.Take());
+}
+
+StatusOr<std::unique_ptr<DdupController>> DdupController::Resume(
+    UpdatableModel* model, ControllerConfig config, const std::string& path) {
+  StatusOr<std::string> payload = io::ReadSectionFile(path, kCheckpointKind);
+  if (!payload.ok()) return payload.status();
+  io::Deserializer in(std::move(payload).value());
+  uint32_t version = in.ReadU32();
+  if (in.ok() && version != kControllerStateVersion) {
+    return Status::InvalidArgument("unsupported controller state version " +
+                                   std::to_string(version));
+  }
+  std::unique_ptr<DdupController> controller(
+      new DdupController(model, config, ResumeTag{}));
+  Status st = controller->detector_.LoadState(&in);
+  if (!st.ok()) return st;
+  in.ReadRng(&controller->rng_);
+  controller->data_ = in.ReadTable();
+  st = in.Finish();
+  if (!st.ok()) return st;
+  if (!controller->detector_.fitted() || controller->data_.num_rows() <= 0) {
+    return Status::InvalidArgument("controller snapshot is not resumable");
+  }
+  return controller;
 }
 
 InsertionReport DdupController::HandleInsertion(const storage::Table& batch) {

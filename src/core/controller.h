@@ -2,6 +2,8 @@
 #define DDUP_CORE_CONTROLLER_H_
 
 #include <cstdint>
+#include <memory>
+#include <string>
 
 #include "common/rng.h"
 #include "core/detector.h"
@@ -48,7 +50,25 @@ class DdupController {
   const OodDetector& detector() const { return detector_; }
   UpdatableModel* model() { return model_; }
 
+  // Persists the resumable loop state — detector snapshot (fitted moments +
+  // online RNG), controller RNG, and the accumulated data table — so a
+  // detect→update cycle can continue mid-stream after a restart. The model
+  // itself is checkpointed separately (its own SaveToFile); pair the two
+  // writes to capture a consistent system state.
+  Status SaveSnapshot(const std::string& path) const;
+  // Rebuilds a controller from a snapshot without re-running the offline
+  // bootstrap phase. `model` must be the restored counterpart of the model
+  // that was live when the snapshot was taken. `config.policy` applies as
+  // given; the detector's config and moments come from the snapshot.
+  static StatusOr<std::unique_ptr<DdupController>> Resume(
+      UpdatableModel* model, ControllerConfig config, const std::string& path);
+  static constexpr const char* kCheckpointKind = "controller";
+
  private:
+  // Resume path: adopts the snapshot state instead of running Fit.
+  struct ResumeTag {};
+  DdupController(UpdatableModel* model, ControllerConfig config, ResumeTag);
+
   UpdatableModel* model_;
   storage::Table data_;
   ControllerConfig config_;

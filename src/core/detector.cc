@@ -7,11 +7,15 @@
 #include "common/stats.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
+#include "io/checkpoint.h"
+#include "io/serializer.h"
 #include "storage/sampling.h"
 
 namespace ddup::core {
 
 namespace {
+constexpr uint32_t kDetectorStateVersion = 1;
+
 int64_t SampleSize(int64_t available, double fraction, int64_t floor_rows) {
   auto n = static_cast<int64_t>(
       std::llround(fraction * static_cast<double>(available)));
@@ -86,6 +90,62 @@ OodDetector::TestResult OodDetector::Test(
   res.is_ood = config_.two_sided ? res.statistic > res.threshold
                                  : res.signed_statistic > res.threshold;
   return res;
+}
+
+Status OodDetector::SaveState(io::Serializer* out) const {
+  out->WriteU32(kDetectorStateVersion);
+  out->WriteI32(config_.bootstrap_iterations);
+  out->WriteDouble(config_.old_sample_fraction);
+  out->WriteI64(config_.min_sample_rows);
+  out->WriteDouble(config_.new_sample_fraction);
+  out->WriteDouble(config_.threshold_sigmas);
+  out->WriteBool(config_.two_sided);
+  out->WriteU64(config_.seed);
+  out->WriteI32(config_.num_threads);
+  out->WriteDouble(bootstrap_mean_);
+  out->WriteDouble(bootstrap_std_);
+  out->WriteBool(fitted_);
+  out->WriteRng(rng_);
+  return Status::OK();
+}
+
+Status OodDetector::LoadState(io::Deserializer* in) {
+  uint32_t version = in->ReadU32();
+  if (in->ok() && version != kDetectorStateVersion) {
+    return Status::InvalidArgument("unsupported detector state version " +
+                                   std::to_string(version));
+  }
+  config_.bootstrap_iterations = in->ReadI32();
+  config_.old_sample_fraction = in->ReadDouble();
+  config_.min_sample_rows = in->ReadI64();
+  config_.new_sample_fraction = in->ReadDouble();
+  config_.threshold_sigmas = in->ReadDouble();
+  config_.two_sided = in->ReadBool();
+  config_.seed = in->ReadU64();
+  config_.num_threads = in->ReadI32();
+  bootstrap_mean_ = in->ReadDouble();
+  bootstrap_std_ = in->ReadDouble();
+  fitted_ = in->ReadBool();
+  in->ReadRng(&rng_);
+  return in->status();
+}
+
+Status OodDetector::SaveToFile(const std::string& path) const {
+  io::Serializer state;
+  DDUP_RETURN_IF_ERROR(SaveState(&state));
+  return io::WriteSectionFile(path, kCheckpointKind, state.Take());
+}
+
+StatusOr<OodDetector> OodDetector::LoadFromFile(const std::string& path) {
+  StatusOr<std::string> payload = io::ReadSectionFile(path, kCheckpointKind);
+  if (!payload.ok()) return payload.status();
+  io::Deserializer in(std::move(payload).value());
+  OodDetector detector;
+  Status st = detector.LoadState(&in);
+  if (!st.ok()) return st;
+  st = in.Finish();
+  if (!st.ok()) return st;
+  return detector;
 }
 
 }  // namespace ddup::core

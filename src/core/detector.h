@@ -64,6 +64,16 @@ class OodDetector {
   double bootstrap_std() const { return bootstrap_std_; }
   const DetectorConfig& config() const { return config_; }
 
+  // Snapshot hooks (src/io): the fitted bootstrap moments, the full config
+  // and the online RNG stream round-trip exactly, so a restored detector
+  // issues the identical sequence of Test decisions without re-running the
+  // offline bootstrap phase.
+  Status SaveState(io::Serializer* out) const;
+  Status LoadState(io::Deserializer* in);
+  Status SaveToFile(const std::string& path) const;
+  static StatusOr<OodDetector> LoadFromFile(const std::string& path);
+  static constexpr const char* kCheckpointKind = "detector";
+
  private:
   DetectorConfig config_;
   double bootstrap_mean_ = 0.0;

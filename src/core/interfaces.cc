@@ -1,0 +1,17 @@
+#include "core/interfaces.h"
+
+namespace ddup::core {
+
+Status LossModel::SaveState(io::Serializer* out) const {
+  (void)out;
+  return Status::FailedPrecondition("model '" + name() +
+                                    "' does not support checkpointing");
+}
+
+Status LossModel::LoadState(io::Deserializer* in) {
+  (void)in;
+  return Status::FailedPrecondition("model '" + name() +
+                                    "' does not support checkpointing");
+}
+
+}  // namespace ddup::core

@@ -3,7 +3,13 @@
 
 #include <string>
 
+#include "common/status.h"
 #include "storage/table.h"
+
+namespace ddup::io {
+class Serializer;
+class Deserializer;
+}  // namespace ddup::io
 
 namespace ddup::core {
 
@@ -19,6 +25,14 @@ class LossModel {
   virtual double AverageLoss(const storage::Table& sample) const = 0;
 
   virtual std::string name() const = 0;
+
+  // Checkpoint hooks (src/io, DESIGN.md §9): serialize / restore the model's
+  // full mutable state — weights, fitted encoders, task metadata, and the
+  // RNG stream — so a reloaded model reproduces predictions bit-for-bit and
+  // continues training exactly where the saved one stopped. The default
+  // implementations report the model as non-checkpointable.
+  virtual Status SaveState(io::Serializer* out) const;
+  virtual Status LoadState(io::Deserializer* in);
 };
 
 // Hyperparameters of the distillation update (Eq. 5-7).

@@ -1,0 +1,153 @@
+#include "io/checkpoint.h"
+
+#include <cstdio>
+#include <memory>
+
+#include "io/serializer.h"
+
+namespace ddup::io {
+
+namespace {
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+StatusOr<std::string> ReadWholeFile(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) return Status::IoError("cannot open for read: " + path);
+  std::string data;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f.get())) > 0) {
+    data.append(buf, n);
+  }
+  if (std::ferror(f.get())) return Status::IoError("read failed: " + path);
+  return data;
+}
+
+}  // namespace
+
+void CheckpointWriter::AddSection(std::string name, std::string payload) {
+  sections_.emplace_back(std::move(name), std::move(payload));
+}
+
+std::string CheckpointWriter::Encode() const {
+  Serializer out;
+  out.WriteU64(kCheckpointMagic);
+  out.WriteU32(kCheckpointFormatVersion);
+  out.WriteU32(static_cast<uint32_t>(sections_.size()));
+  for (const auto& [name, payload] : sections_) {
+    out.WriteString(name);
+    out.WriteU64(payload.size());
+    out.WriteU32(Crc32(payload));
+    out.WriteRaw(payload);
+  }
+  return out.Take();
+}
+
+Status CheckpointWriter::WriteToFile(const std::string& path) const {
+  std::string image = Encode();
+  std::string tmp = path + ".tmp";
+  {
+    FilePtr f(std::fopen(tmp.c_str(), "wb"));
+    if (!f) return Status::IoError("cannot open for write: " + tmp);
+    if (!image.empty() &&
+        std::fwrite(image.data(), 1, image.size(), f.get()) != image.size()) {
+      f.reset();
+      std::remove(tmp.c_str());
+      return Status::IoError("short write: " + tmp);
+    }
+    if (std::fflush(f.get()) != 0) {
+      f.reset();
+      std::remove(tmp.c_str());
+      return Status::IoError("flush failed: " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IoError("rename failed: " + path);
+  }
+  return Status::OK();
+}
+
+StatusOr<CheckpointReader> CheckpointReader::FromBuffer(std::string buffer) {
+  Deserializer in(std::move(buffer));
+  uint64_t magic = in.ReadU64();
+  if (!in.ok() || magic != kCheckpointMagic) {
+    return Status::InvalidArgument("bad checkpoint magic");
+  }
+  uint32_t version = in.ReadU32();
+  if (!in.ok() || version != kCheckpointFormatVersion) {
+    return Status::InvalidArgument(
+        "unsupported checkpoint format version " + std::to_string(version) +
+        " (expected " + std::to_string(kCheckpointFormatVersion) + ")");
+  }
+  uint32_t count = in.ReadU32();
+  CheckpointReader reader;
+  for (uint32_t i = 0; i < count; ++i) {
+    std::string name = in.ReadString();
+    uint64_t length = in.ReadU64();
+    uint32_t crc = in.ReadU32();
+    if (!in.ok() || length > in.remaining()) {
+      return Status::InvalidArgument("truncated checkpoint section");
+    }
+    std::string payload = in.ReadRaw(length);
+    if (!in.ok()) return Status::InvalidArgument("truncated checkpoint section");
+    if (Crc32(payload) != crc) {
+      return Status::InvalidArgument("checkpoint section CRC mismatch: " + name);
+    }
+    reader.sections_.emplace_back(std::move(name), std::move(payload));
+  }
+  if (in.remaining() != 0) {
+    return Status::InvalidArgument("trailing bytes after checkpoint sections");
+  }
+  return reader;
+}
+
+StatusOr<CheckpointReader> CheckpointReader::FromFile(const std::string& path) {
+  StatusOr<std::string> data = ReadWholeFile(path);
+  if (!data.ok()) return data.status();
+  return FromBuffer(std::move(data).value());
+}
+
+bool CheckpointReader::Has(const std::string& name) const {
+  for (const auto& [n, p] : sections_) {
+    if (n == name) return true;
+  }
+  return false;
+}
+
+StatusOr<std::string> CheckpointReader::Section(const std::string& name) const {
+  for (const auto& [n, p] : sections_) {
+    if (n == name) return p;
+  }
+  return Status::NotFound("checkpoint section not found: " + name);
+}
+
+Status WriteSectionFile(const std::string& path, const std::string& kind,
+                        std::string payload) {
+  CheckpointWriter writer;
+  writer.AddSection(kind, std::move(payload));
+  return writer.WriteToFile(path);
+}
+
+StatusOr<std::string> ReadSectionFile(const std::string& path,
+                                      const std::string& kind) {
+  StatusOr<CheckpointReader> reader = CheckpointReader::FromFile(path);
+  if (!reader.ok()) return reader.status();
+  StatusOr<std::string> payload = reader.value().Section(kind);
+  if (!payload.ok()) {
+    if (reader.value().num_sections() == 1) {
+      return Status::InvalidArgument(
+          "checkpoint kind mismatch: expected '" + kind + "'");
+    }
+    return payload.status();
+  }
+  return payload;
+}
+
+}  // namespace ddup::io

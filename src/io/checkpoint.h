@@ -1,0 +1,71 @@
+#ifndef DDUP_IO_CHECKPOINT_H_
+#define DDUP_IO_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ddup::io {
+
+// Versioned checkpoint container (DESIGN.md §9). Layout, all little-endian:
+//
+//   u64  magic      "DDUPCKP1"
+//   u32  format version
+//   u32  section count
+//   per section:
+//     string  name      (u64 length + bytes)
+//     u64     payload length
+//     u32     CRC-32 of the payload bytes
+//     bytes   payload
+//
+// Sections are opaque byte strings produced by io::Serializer; each model
+// family owns its payload schema and versions it independently with a
+// leading u32 (see the model Save/Load implementations). The container
+// rejects bad magic, unknown format versions, truncation, and per-section
+// CRC mismatches before any payload is interpreted.
+inline constexpr uint64_t kCheckpointMagic = 0x31504B4350554444ULL;  // "DDUPCKP1"
+inline constexpr uint32_t kCheckpointFormatVersion = 1;
+
+class CheckpointWriter {
+ public:
+  void AddSection(std::string name, std::string payload);
+
+  // The full container image.
+  std::string Encode() const;
+  // Writes Encode() to `path` via a same-directory temp file + rename, so a
+  // concurrent reader never observes a half-written checkpoint.
+  Status WriteToFile(const std::string& path) const;
+
+ private:
+  std::vector<std::pair<std::string, std::string>> sections_;
+};
+
+class CheckpointReader {
+ public:
+  // By value: pass an rvalue (as FromFile does) to avoid copying the image.
+  static StatusOr<CheckpointReader> FromBuffer(std::string buffer);
+  static StatusOr<CheckpointReader> FromFile(const std::string& path);
+
+  bool Has(const std::string& name) const;
+  // The named section's payload; NotFound if absent.
+  StatusOr<std::string> Section(const std::string& name) const;
+  int num_sections() const { return static_cast<int>(sections_.size()); }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> sections_;
+};
+
+// Single-section conveniences used by the model Save/Load paths: the section
+// name doubles as the model-kind tag, so loading a checkpoint of the wrong
+// family fails with a clear error instead of misinterpreting bytes.
+Status WriteSectionFile(const std::string& path, const std::string& kind,
+                        std::string payload);
+StatusOr<std::string> ReadSectionFile(const std::string& path,
+                                      const std::string& kind);
+
+}  // namespace ddup::io
+
+#endif  // DDUP_IO_CHECKPOINT_H_

@@ -1,0 +1,382 @@
+#include "io/serializer.h"
+
+#include <cstring>
+#include <sstream>
+
+namespace ddup::io {
+
+uint32_t Crc32(const void* data, size_t n, uint32_t seed) {
+  static uint32_t table[256];
+  static const bool init = [] {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      table[i] = c;
+    }
+    return true;
+  }();
+  (void)init;
+  uint32_t crc = seed ^ 0xFFFFFFFFu;
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < n; ++i) {
+    crc = table[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+uint32_t Crc32(const std::string& data) {
+  return Crc32(data.data(), data.size());
+}
+
+uint64_t Fnv1a64(const std::string& data) {
+  uint64_t h = 0xCBF29CE484222325ULL;
+  for (unsigned char c : data) {
+    h ^= c;
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+// ---------------------------------------------------------------------------
+// Serializer
+// ---------------------------------------------------------------------------
+
+void Serializer::WriteU8(uint8_t v) {
+  buffer_.push_back(static_cast<char>(v));
+}
+
+void Serializer::WriteU32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    buffer_.push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+void Serializer::WriteU64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    buffer_.push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+void Serializer::WriteI32(int32_t v) { WriteU32(static_cast<uint32_t>(v)); }
+
+void Serializer::WriteI64(int64_t v) { WriteU64(static_cast<uint64_t>(v)); }
+
+void Serializer::WriteBool(bool v) { WriteU8(v ? 1 : 0); }
+
+void Serializer::WriteDouble(double v) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v), "double must be 64-bit");
+  std::memcpy(&bits, &v, sizeof(bits));
+  WriteU64(bits);
+}
+
+void Serializer::WriteString(const std::string& s) {
+  WriteU64(s.size());
+  buffer_.append(s);
+}
+
+void Serializer::WriteRaw(const std::string& bytes) { buffer_.append(bytes); }
+
+void Serializer::WriteDoubleVec(const std::vector<double>& v) {
+  WriteU64(v.size());
+  for (double x : v) WriteDouble(x);
+}
+
+void Serializer::WriteI64Vec(const std::vector<int64_t>& v) {
+  WriteU64(v.size());
+  for (int64_t x : v) WriteI64(x);
+}
+
+void Serializer::WriteI32Vec(const std::vector<int32_t>& v) {
+  WriteU64(v.size());
+  for (int32_t x : v) WriteI32(x);
+}
+
+void Serializer::WriteIntVec(const std::vector<int>& v) {
+  WriteU64(v.size());
+  for (int x : v) WriteI32(x);
+}
+
+void Serializer::WriteStringVec(const std::vector<std::string>& v) {
+  WriteU64(v.size());
+  for (const auto& s : v) WriteString(s);
+}
+
+void Serializer::WriteMatrix(const nn::Matrix& m) {
+  WriteI32(m.rows());
+  WriteI32(m.cols());
+  const double* p = m.data();
+  for (int64_t i = 0; i < m.size(); ++i) WriteDouble(p[i]);
+}
+
+void Serializer::WriteRng(const Rng& rng) {
+  std::ostringstream os;
+  os << rng.engine();
+  WriteString(os.str());
+}
+
+void Serializer::WriteColumn(const storage::Column& c) {
+  WriteString(c.name());
+  WriteU8(c.is_numeric() ? 0 : 1);
+  if (c.is_numeric()) {
+    WriteDoubleVec(c.numeric_values());
+  } else {
+    WriteI32Vec(c.codes());
+    WriteStringVec(c.dictionary());
+  }
+}
+
+void Serializer::WriteTable(const storage::Table& t) {
+  WriteString(t.name());
+  WriteU32(static_cast<uint32_t>(t.num_columns()));
+  for (int c = 0; c < t.num_columns(); ++c) WriteColumn(t.column(c));
+}
+
+// ---------------------------------------------------------------------------
+// Deserializer
+// ---------------------------------------------------------------------------
+
+void Deserializer::Fail(const std::string& message) {
+  if (status_.ok()) status_ = Status::InvalidArgument(message);
+}
+
+bool Deserializer::Need(size_t n) {
+  if (!status_.ok()) return false;
+  if (buffer_.size() - pos_ < n) {
+    Fail("truncated checkpoint payload");
+    return false;
+  }
+  return true;
+}
+
+bool Deserializer::CheckCount(uint64_t count, size_t elem_size) {
+  if (!status_.ok()) return false;
+  // Overflow-safe count * elem_size <= remaining; rejects corrupt lengths
+  // before any allocation happens.
+  if (count > remaining() / elem_size) {
+    Fail("element count exceeds checkpoint payload");
+    return false;
+  }
+  return true;
+}
+
+uint8_t Deserializer::ReadU8() {
+  if (!Need(1)) return 0;
+  return static_cast<uint8_t>(buffer_[pos_++]);
+}
+
+uint32_t Deserializer::ReadU32() {
+  if (!Need(4)) return 0;
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<unsigned char>(buffer_[pos_++]))
+         << (8 * i);
+  }
+  return v;
+}
+
+uint64_t Deserializer::ReadU64() {
+  if (!Need(8)) return 0;
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<unsigned char>(buffer_[pos_++]))
+         << (8 * i);
+  }
+  return v;
+}
+
+int32_t Deserializer::ReadI32() { return static_cast<int32_t>(ReadU32()); }
+
+int64_t Deserializer::ReadI64() { return static_cast<int64_t>(ReadU64()); }
+
+bool Deserializer::ReadBool() { return ReadU8() != 0; }
+
+double Deserializer::ReadDouble() {
+  uint64_t bits = ReadU64();
+  double v = 0.0;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::string Deserializer::ReadString() {
+  uint64_t n = ReadU64();
+  if (!CheckCount(n, 1)) return {};
+  std::string s = buffer_.substr(pos_, n);
+  pos_ += n;
+  return s;
+}
+
+std::string Deserializer::ReadRaw(size_t n) {
+  if (!Need(n)) return {};
+  std::string s = buffer_.substr(pos_, n);
+  pos_ += n;
+  return s;
+}
+
+std::vector<double> Deserializer::ReadDoubleVec() {
+  uint64_t n = ReadU64();
+  if (!CheckCount(n, 8)) return {};
+  std::vector<double> v;
+  v.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) v.push_back(ReadDouble());
+  return v;
+}
+
+std::vector<int64_t> Deserializer::ReadI64Vec() {
+  uint64_t n = ReadU64();
+  if (!CheckCount(n, 8)) return {};
+  std::vector<int64_t> v;
+  v.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) v.push_back(ReadI64());
+  return v;
+}
+
+std::vector<int32_t> Deserializer::ReadI32Vec() {
+  uint64_t n = ReadU64();
+  if (!CheckCount(n, 4)) return {};
+  std::vector<int32_t> v;
+  v.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) v.push_back(ReadI32());
+  return v;
+}
+
+std::vector<int> Deserializer::ReadIntVec() {
+  uint64_t n = ReadU64();
+  if (!CheckCount(n, 4)) return {};
+  std::vector<int> v;
+  v.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) v.push_back(ReadI32());
+  return v;
+}
+
+std::vector<std::string> Deserializer::ReadStringVec() {
+  uint64_t n = ReadU64();
+  if (!CheckCount(n, 8)) return {};  // each entry carries at least a length
+  std::vector<std::string> v;
+  v.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) v.push_back(ReadString());
+  return v;
+}
+
+nn::Matrix Deserializer::ReadMatrix() {
+  int32_t rows = ReadI32();
+  int32_t cols = ReadI32();
+  if (rows < 0 || cols < 0) {
+    Fail("negative matrix shape in checkpoint");
+    return {};
+  }
+  uint64_t n = static_cast<uint64_t>(rows) * static_cast<uint64_t>(cols);
+  if (!CheckCount(n, 8)) return {};
+  nn::Matrix m(rows, cols);
+  double* p = m.data();
+  for (uint64_t i = 0; i < n; ++i) p[i] = ReadDouble();
+  return m;
+}
+
+void Deserializer::ReadRng(Rng* rng) {
+  std::string state = ReadString();
+  if (!ok()) return;
+  std::istringstream is(state);
+  is >> rng->engine();
+  if (is.fail()) Fail("malformed RNG state in checkpoint");
+}
+
+storage::Column Deserializer::ReadColumn() {
+  std::string name = ReadString();
+  uint8_t type = ReadU8();
+  if (type == 0) {
+    return storage::Column::Numeric(std::move(name), ReadDoubleVec());
+  }
+  if (type != 1) {
+    Fail("unknown column type in checkpoint");
+    return {};
+  }
+  std::vector<int32_t> codes = ReadI32Vec();
+  std::vector<std::string> dict = ReadStringVec();
+  if (!ok()) return {};
+  // Column::Categorical DDUP_CHECKs code range (process abort); corrupt
+  // payloads must surface as a Status instead.
+  auto k = static_cast<int32_t>(dict.size());
+  for (int32_t code : codes) {
+    if (code < 0 || code >= k) {
+      Fail("categorical code out of dictionary range in checkpoint");
+      return {};
+    }
+  }
+  return storage::Column::Categorical(std::move(name), std::move(codes),
+                                      std::move(dict));
+}
+
+storage::Table Deserializer::ReadTable() {
+  std::string name = ReadString();
+  uint32_t cols = ReadU32();
+  storage::Table t(std::move(name));
+  for (uint32_t c = 0; c < cols && ok(); ++c) {
+    storage::Column column = ReadColumn();
+    if (!ok()) break;
+    // Pre-validate what Table::AddColumn would DDUP_CHECK (process abort).
+    if (t.num_columns() > 0 && column.size() != t.num_rows()) {
+      Fail("column length mismatch in checkpoint table");
+      break;
+    }
+    if (t.ColumnIndex(column.name()) >= 0) {
+      Fail("duplicate column name in checkpoint table");
+      break;
+    }
+    t.AddColumn(std::move(column));
+  }
+  return t;
+}
+
+void WriteParameters(Serializer* out, const std::vector<nn::Variable>& params) {
+  out->WriteU32(static_cast<uint32_t>(params.size()));
+  for (const auto& p : params) out->WriteMatrix(p.value());
+}
+
+Status ReadParameters(Deserializer* in, size_t expected_count,
+                      std::vector<nn::Variable>* params) {
+  uint32_t n = in->ReadU32();
+  if (!in->ok()) return in->status();
+  if (n != expected_count) {
+    return Status::InvalidArgument(
+        "checkpoint parameter count mismatch: got " + std::to_string(n) +
+        ", expected " + std::to_string(expected_count));
+  }
+  params->clear();
+  params->reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    nn::Matrix m = in->ReadMatrix();
+    if (!in->ok()) return in->status();
+    params->push_back(nn::Parameter(std::move(m)));
+  }
+  return Status::OK();
+}
+
+Status CheckParameterShapes(const std::vector<nn::Variable>& params,
+                            const std::vector<std::pair<int, int>>& shapes) {
+  if (params.size() != shapes.size()) {
+    return Status::InvalidArgument("checkpoint parameter count mismatch");
+  }
+  for (size_t i = 0; i < params.size(); ++i) {
+    const auto& [rows, cols] = shapes[i];
+    if (params[i].rows() != rows || params[i].cols() != cols) {
+      return Status::InvalidArgument(
+          "checkpoint parameter " + std::to_string(i) + " has shape " +
+          params[i].value().ShapeString() + ", expected " +
+          std::to_string(rows) + "x" + std::to_string(cols));
+    }
+  }
+  return Status::OK();
+}
+
+Status Deserializer::Finish() const {
+  if (!status_.ok()) return status_;
+  if (pos_ != buffer_.size()) {
+    return Status::InvalidArgument("trailing bytes in checkpoint payload");
+  }
+  return Status::OK();
+}
+
+}  // namespace ddup::io

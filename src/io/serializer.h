@@ -1,0 +1,139 @@
+#ifndef DDUP_IO_SERIALIZER_H_
+#define DDUP_IO_SERIALIZER_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "nn/autograd.h"
+#include "nn/matrix.h"
+#include "storage/table.h"
+
+namespace ddup::io {
+
+// CRC-32 (IEEE 802.3 polynomial, reflected). `seed` chains incremental
+// updates: Crc32(b, Crc32(a)) == Crc32(a + b).
+uint32_t Crc32(const void* data, size_t n, uint32_t seed = 0);
+uint32_t Crc32(const std::string& data);
+
+// FNV-1a 64-bit hash; used for checkpoint cache keys, not integrity.
+uint64_t Fnv1a64(const std::string& data);
+
+// Byte-level encoder for the checkpoint format (see DESIGN.md §9). All
+// multi-byte values are written little-endian byte by byte, so the encoding
+// is identical on every host regardless of native endianness. Doubles are
+// written as their IEEE-754 bit pattern (bit-exact round trips, including
+// NaN payloads and signed zeros).
+class Serializer {
+ public:
+  void WriteU8(uint8_t v);
+  void WriteU32(uint32_t v);
+  void WriteU64(uint64_t v);
+  void WriteI32(int32_t v);
+  void WriteI64(int64_t v);
+  void WriteBool(bool v);
+  void WriteDouble(double v);
+  // u64 byte length + raw bytes.
+  void WriteString(const std::string& s);
+  // Raw bytes, no length prefix (the checkpoint container records lengths
+  // itself).
+  void WriteRaw(const std::string& bytes);
+
+  // u64 element count + elements.
+  void WriteDoubleVec(const std::vector<double>& v);
+  void WriteI64Vec(const std::vector<int64_t>& v);
+  void WriteI32Vec(const std::vector<int32_t>& v);
+  void WriteIntVec(const std::vector<int>& v);  // stored as i32
+  void WriteStringVec(const std::vector<std::string>& v);
+
+  // i32 rows, i32 cols, row-major doubles.
+  void WriteMatrix(const nn::Matrix& m);
+  // The mt19937_64 engine state via its standard text serialization — exact
+  // (all state words are integers printed in decimal).
+  void WriteRng(const Rng& rng);
+  // Full column: name, type, payload (values or codes + dictionary).
+  void WriteColumn(const storage::Column& c);
+  // Name, column count, columns.
+  void WriteTable(const storage::Table& t);
+
+  const std::string& buffer() const { return buffer_; }
+  std::string Take() { return std::move(buffer_); }
+
+ private:
+  std::string buffer_;
+};
+
+// Decoder with sticky-error semantics: the first malformed read records a
+// Status and every later read returns a default value, so Load code can be
+// written as a straight-line mirror of Save and check `status()` once at the
+// end. Length prefixes are validated against the remaining bytes before any
+// allocation, so corrupt lengths fail cleanly instead of over-allocating.
+class Deserializer {
+ public:
+  explicit Deserializer(std::string buffer) : buffer_(std::move(buffer)) {}
+
+  uint8_t ReadU8();
+  uint32_t ReadU32();
+  uint64_t ReadU64();
+  int32_t ReadI32();
+  int64_t ReadI64();
+  bool ReadBool();
+  double ReadDouble();
+  std::string ReadString();
+  // n raw bytes, no length prefix.
+  std::string ReadRaw(size_t n);
+
+  std::vector<double> ReadDoubleVec();
+  std::vector<int64_t> ReadI64Vec();
+  std::vector<int32_t> ReadI32Vec();
+  std::vector<int> ReadIntVec();
+  std::vector<std::string> ReadStringVec();
+
+  nn::Matrix ReadMatrix();
+  void ReadRng(Rng* rng);
+  storage::Column ReadColumn();
+  storage::Table ReadTable();
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+  size_t remaining() const { return buffer_.size() - pos_; }
+  // OK iff no read failed and every byte was consumed.
+  Status Finish() const;
+  // Lets Restore-style callers record a semantic validation failure with the
+  // same sticky-error semantics as a malformed read.
+  void FailInvalid(const std::string& message) { Fail(message); }
+
+ private:
+  // Records the first failure; later reads are no-ops.
+  void Fail(const std::string& message);
+  // True iff n more bytes are available (records a failure otherwise).
+  bool Need(size_t n);
+  // True iff count elements of elem_size bytes fit in the remaining buffer;
+  // overflow-safe, records a failure otherwise.
+  bool CheckCount(uint64_t count, size_t elem_size);
+
+  std::string buffer_;
+  size_t pos_ = 0;
+  Status status_;
+};
+
+// Trainable-parameter vectors (u32 count + matrices). ReadParameters
+// replaces `*params` with fresh Parameter leaves; `expected_count` guards
+// against loading a checkpoint of a different architecture.
+void WriteParameters(Serializer* out, const std::vector<nn::Variable>& params);
+Status ReadParameters(Deserializer* in, size_t expected_count,
+                      std::vector<nn::Variable>* params);
+
+// Verifies loaded parameters against the architecture implied by the loaded
+// config: Matrix access is unchecked in Release builds, so a CRC-valid but
+// internally inconsistent checkpoint must be rejected at load time, not
+// crash at inference time. `shapes` is (rows, cols) per parameter.
+Status CheckParameterShapes(const std::vector<nn::Variable>& params,
+                            const std::vector<std::pair<int, int>>& shapes);
+
+}  // namespace ddup::io
+
+#endif  // DDUP_IO_SERIALIZER_H_

@@ -6,11 +6,18 @@
 
 #include "common/status.h"
 #include "common/thread_pool.h"
+#include "io/checkpoint.h"
+#include "io/serializer.h"
 #include "nn/optim.h"
 #include "nn/ops.h"
 
 
 namespace ddup::models {
+
+namespace {
+constexpr uint32_t kDarnStateVersion = 1;
+constexpr size_t kDarnParamCount = 6;  // W1,b1,W2,b2,W3,b3
+}  // namespace
 
 Darn::Darn(const storage::Table& base_data, DarnConfig config)
     : config_(config), rng_(config.seed) {
@@ -347,6 +354,76 @@ double Darn::EstimateSelectivity(const workload::Query& query) const {
 
 double Darn::EstimateCardinality(const workload::Query& query) const {
   return EstimateSelectivity(query) * static_cast<double>(total_rows_);
+}
+
+Status Darn::SaveState(io::Serializer* out) const {
+  out->WriteU32(kDarnStateVersion);
+  out->WriteI32(config_.hidden_width);
+  out->WriteI32(config_.max_bins);
+  out->WriteI32(config_.epochs);
+  out->WriteI32(config_.batch_size);
+  out->WriteDouble(config_.learning_rate);
+  out->WriteI32(config_.progressive_samples);
+  out->WriteU64(config_.seed);
+  encoder_.SaveState(out);
+  out->WriteI32(num_columns_);
+  io::WriteParameters(out, params_);
+  out->WriteI64(total_rows_);
+  out->WriteRng(rng_);
+  return Status::OK();
+}
+
+Status Darn::LoadState(io::Deserializer* in) {
+  uint32_t version = in->ReadU32();
+  if (in->ok() && version != kDarnStateVersion) {
+    return Status::InvalidArgument("unsupported darn state version " +
+                                   std::to_string(version));
+  }
+  config_.hidden_width = in->ReadI32();
+  config_.max_bins = in->ReadI32();
+  config_.epochs = in->ReadI32();
+  config_.batch_size = in->ReadI32();
+  config_.learning_rate = in->ReadDouble();
+  config_.progressive_samples = in->ReadI32();
+  config_.seed = in->ReadU64();
+  encoder_ = DiscreteEncoder::Restore(in);
+  num_columns_ = in->ReadI32();
+  DDUP_RETURN_IF_ERROR(io::ReadParameters(in, kDarnParamCount, &params_));
+  total_rows_ = in->ReadI64();
+  in->ReadRng(&rng_);
+  DDUP_RETURN_IF_ERROR(in->status());
+  if (num_columns_ != encoder_.num_columns()) {
+    return Status::InvalidArgument("darn encoder column count mismatch");
+  }
+  int h = config_.hidden_width;
+  int total = encoder_.total_cardinality();
+  if (h < 1 || num_columns_ < 1 || config_.batch_size < 1 ||
+      config_.progressive_samples < 1) {
+    return Status::InvalidArgument("darn checkpoint config is inconsistent");
+  }
+  DDUP_RETURN_IF_ERROR(io::CheckParameterShapes(
+      params_,
+      {{total, h}, {1, h}, {h, h}, {1, h}, {h, total}, {1, total}}));
+  BuildMasks(num_columns_);
+  return Status::OK();
+}
+
+Status Darn::SaveToFile(const std::string& path) const {
+  io::Serializer state;
+  DDUP_RETURN_IF_ERROR(SaveState(&state));
+  return io::WriteSectionFile(path, kCheckpointKind, state.Take());
+}
+
+StatusOr<std::unique_ptr<Darn>> Darn::LoadFromFile(const std::string& path) {
+  StatusOr<std::string> payload = io::ReadSectionFile(path, kCheckpointKind);
+  if (!payload.ok()) return payload.status();
+  io::Deserializer in(std::move(payload).value());
+  std::unique_ptr<Darn> model(new Darn());
+  Status st = model->LoadState(&in);
+  if (!st.ok()) return st;
+  st = in.Finish();
+  if (!st.ok()) return st;
+  return model;
 }
 
 double Darn::JointProbability(const std::vector<int>& encoded_row) const {

@@ -2,6 +2,7 @@
 #define DDUP_MODELS_DARN_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -46,6 +47,15 @@ class Darn : public core::UpdatableModel {
   void RetrainFromScratch(const storage::Table& data) override;
   void AbsorbMetadata(const storage::Table& new_data) override;
   void ResetMetadata() override { total_rows_ = 0; }
+  Status SaveState(io::Serializer* out) const override;
+  Status LoadState(io::Deserializer* in) override;
+
+  // One-file checkpoint (src/io, section kind "darn"). The MADE masks are
+  // not stored — they are a pure function of the encoder and config and are
+  // rebuilt on load.
+  Status SaveToFile(const std::string& path) const;
+  static StatusOr<std::unique_ptr<Darn>> LoadFromFile(const std::string& path);
+  static constexpr const char* kCheckpointKind = "darn";
 
   double AverageLogLikelihood(const storage::Table& sample) const {
     return -AverageLoss(sample);
@@ -63,6 +73,9 @@ class Darn : public core::UpdatableModel {
   const DiscreteEncoder& encoder() const { return encoder_; }
 
  private:
+  // Uninitialized shell for LoadFromFile; LoadState restores every field.
+  Darn() = default;
+
   struct FrozenNet {
     nn::Matrix mw1, b1, mw2, b2, mw3, b3;  // masked weights, biases
   };

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/status.h"
+#include "io/serializer.h"
 
 namespace ddup::models {
 
@@ -168,6 +169,64 @@ double MinMaxNormalizer::Encode(double value) const {
 
 double MinMaxNormalizer::Decode(double normalized) const {
   return (normalized + 1.0) / 2.0 * (hi_ - lo_) + lo_;
+}
+
+void ColumnDiscretizer::SaveState(io::Serializer* out) const {
+  out->WriteDoubleVec(upper_edges_);
+}
+
+ColumnDiscretizer ColumnDiscretizer::Restore(io::Deserializer* in) {
+  ColumnDiscretizer d;
+  d.upper_edges_ = in->ReadDoubleVec();
+  return d;
+}
+
+void DiscreteEncoder::SaveState(io::Serializer* out) const {
+  // Only the fitted edges are stored; offsets_ and total_ are derived and
+  // recomputed on restore so a payload can never make them inconsistent.
+  out->WriteU32(static_cast<uint32_t>(columns_.size()));
+  for (const auto& c : columns_) c.SaveState(out);
+}
+
+DiscreteEncoder DiscreteEncoder::Restore(io::Deserializer* in) {
+  DiscreteEncoder e;
+  uint32_t n = in->ReadU32();
+  int off = 0;
+  for (uint32_t i = 0; i < n && in->ok(); ++i) {
+    e.columns_.push_back(ColumnDiscretizer::Restore(in));
+    if (e.columns_.back().cardinality() < 1) {
+      in->FailInvalid("discretizer with no bins in checkpoint");
+      return {};
+    }
+    e.offsets_.push_back(off);
+    off += e.columns_.back().cardinality();
+  }
+  e.total_ = off;
+  return e;
+}
+
+void MinMaxNormalizer::SaveState(io::Serializer* out) const {
+  out->WriteDouble(lo_);
+  out->WriteDouble(hi_);
+}
+
+MinMaxNormalizer MinMaxNormalizer::Restore(io::Deserializer* in) {
+  MinMaxNormalizer n;
+  n.lo_ = in->ReadDouble();
+  n.hi_ = in->ReadDouble();
+  return n;
+}
+
+void Standardizer::SaveState(io::Serializer* out) const {
+  out->WriteDouble(mean_);
+  out->WriteDouble(std_);
+}
+
+Standardizer Standardizer::Restore(io::Deserializer* in) {
+  Standardizer s;
+  s.mean_ = in->ReadDouble();
+  s.std_ = in->ReadDouble();
+  return s;
 }
 
 Standardizer Standardizer::Fit(const storage::Column& column) {

@@ -10,6 +10,11 @@
 #include "storage/table.h"
 #include "workload/query.h"
 
+namespace ddup::io {
+class Serializer;
+class Deserializer;
+}  // namespace ddup::io
+
 namespace ddup::models {
 
 // Shuffled minibatch index lists covering [0, n).
@@ -29,6 +34,10 @@ class ColumnDiscretizer {
   int Encode(double value) const;
   // Inclusive bin interval intersecting [lo, hi]; {0, -1} when empty.
   std::pair<int, int> BinRange(double lo, double hi) const;
+
+  // Checkpoint support (src/io): the fitted edges round-trip bit-exactly.
+  void SaveState(io::Serializer* out) const;
+  static ColumnDiscretizer Restore(io::Deserializer* in);
 
  private:
   // Bin i covers (upper_edges_[i-1], upper_edges_[i]]; bin 0 is unbounded
@@ -57,6 +66,9 @@ class DiscreteEncoder {
   std::vector<std::pair<int, int>> AllowedRanges(
       const workload::Query& query) const;
 
+  void SaveState(io::Serializer* out) const;
+  static DiscreteEncoder Restore(io::Deserializer* in);
+
  private:
   std::vector<ColumnDiscretizer> columns_;
   std::vector<int> offsets_;
@@ -78,6 +90,9 @@ class MinMaxNormalizer {
   double lo() const { return lo_; }
   double hi() const { return hi_; }
 
+  void SaveState(io::Serializer* out) const;
+  static MinMaxNormalizer Restore(io::Deserializer* in);
+
  private:
   double lo_ = 0.0;
   double hi_ = 1.0;
@@ -91,6 +106,9 @@ class Standardizer {
   double Decode(double encoded) const { return encoded * std_ + mean_; }
   double mean() const { return mean_; }
   double stddev() const { return std_; }
+
+  void SaveState(io::Serializer* out) const;
+  static Standardizer Restore(io::Deserializer* in);
 
  private:
   double mean_ = 0.0;

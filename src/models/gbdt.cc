@@ -5,8 +5,14 @@
 #include <numeric>
 
 #include "common/status.h"
+#include "io/checkpoint.h"
+#include "io/serializer.h"
 
 namespace ddup::models {
+
+namespace {
+constexpr uint32_t kGbdtStateVersion = 1;
+}
 
 Gbdt::Gbdt(GbdtConfig config) : config_(config) {}
 
@@ -220,6 +226,115 @@ double Gbdt::MicroF1(const storage::Table& test) const {
   return test.num_rows() > 0
              ? static_cast<double>(correct) / static_cast<double>(test.num_rows())
              : 0.0;
+}
+
+Status Gbdt::SaveState(io::Serializer* out) const {
+  out->WriteU32(kGbdtStateVersion);
+  out->WriteI32(config_.num_rounds);
+  out->WriteI32(config_.max_depth);
+  out->WriteDouble(config_.learning_rate);
+  out->WriteI32(config_.min_leaf_size);
+  out->WriteDouble(config_.l2_regularization);
+  out->WriteString(target_column_);
+  out->WriteIntVec(feature_columns_);
+  out->WriteI32(num_classes_);
+  out->WriteU32(static_cast<uint32_t>(rounds_.size()));
+  for (const auto& round : rounds_) {
+    out->WriteU32(static_cast<uint32_t>(round.size()));
+    for (const auto& tree : round) {
+      out->WriteU32(static_cast<uint32_t>(tree.nodes.size()));
+      for (const auto& n : tree.nodes) {
+        out->WriteI32(n.feature);
+        out->WriteDouble(n.threshold);
+        out->WriteI32(n.left);
+        out->WriteI32(n.right);
+        out->WriteDouble(n.value);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status Gbdt::LoadState(io::Deserializer* in) {
+  uint32_t version = in->ReadU32();
+  if (in->ok() && version != kGbdtStateVersion) {
+    return Status::InvalidArgument("unsupported gbdt state version " +
+                                   std::to_string(version));
+  }
+  config_.num_rounds = in->ReadI32();
+  config_.max_depth = in->ReadI32();
+  config_.learning_rate = in->ReadDouble();
+  config_.min_leaf_size = in->ReadI32();
+  config_.l2_regularization = in->ReadDouble();
+  target_column_ = in->ReadString();
+  feature_columns_ = in->ReadIntVec();
+  num_classes_ = in->ReadI32();
+  rounds_.clear();
+  uint32_t num_rounds = in->ReadU32();
+  for (uint32_t r = 0; r < num_rounds && in->ok(); ++r) {
+    std::vector<Tree> round;
+    uint32_t num_trees = in->ReadU32();
+    for (uint32_t t = 0; t < num_trees && in->ok(); ++t) {
+      Tree tree;
+      uint32_t num_nodes = in->ReadU32();
+      for (uint32_t i = 0; i < num_nodes && in->ok(); ++i) {
+        TreeNode n;
+        n.feature = in->ReadI32();
+        n.threshold = in->ReadDouble();
+        n.left = in->ReadI32();
+        n.right = in->ReadI32();
+        n.value = in->ReadDouble();
+        tree.nodes.push_back(n);
+      }
+      round.push_back(std::move(tree));
+    }
+    rounds_.push_back(std::move(round));
+  }
+  DDUP_RETURN_IF_ERROR(in->status());
+  // Structural validation: Tree::Predict walks raw indices, so a CRC-valid
+  // but malformed payload must be rejected here, not crash/loop there.
+  // BuildTree appends children after their parent, so child indices strictly
+  // greater than the parent's are an invariant of genuine checkpoints — and
+  // guarantee termination of the Predict walk.
+  auto num_features = static_cast<int>(feature_columns_.size());
+  for (const auto& round : rounds_) {
+    if (static_cast<int>(round.size()) != num_classes_) {
+      return Status::InvalidArgument("gbdt round/class count mismatch");
+    }
+    for (const auto& tree : round) {
+      auto num_nodes = static_cast<int>(tree.nodes.size());
+      if (num_nodes == 0) {
+        return Status::InvalidArgument("gbdt checkpoint has an empty tree");
+      }
+      for (int i = 0; i < num_nodes; ++i) {
+        const TreeNode& n = tree.nodes[static_cast<size_t>(i)];
+        if (n.feature < 0) continue;  // leaf
+        if (n.feature >= num_features || n.left <= i || n.left >= num_nodes ||
+            n.right <= i || n.right >= num_nodes) {
+          return Status::InvalidArgument("gbdt checkpoint has a malformed tree");
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status Gbdt::SaveToFile(const std::string& path) const {
+  io::Serializer state;
+  DDUP_RETURN_IF_ERROR(SaveState(&state));
+  return io::WriteSectionFile(path, kCheckpointKind, state.Take());
+}
+
+StatusOr<std::unique_ptr<Gbdt>> Gbdt::LoadFromFile(const std::string& path) {
+  StatusOr<std::string> payload = io::ReadSectionFile(path, kCheckpointKind);
+  if (!payload.ok()) return payload.status();
+  io::Deserializer in(std::move(payload).value());
+  auto model = std::make_unique<Gbdt>();
+  Status st = model->LoadState(&in);
+  if (!st.ok()) return st;
+  st = in.Finish();
+  if (!st.ok()) return st;
+  return model;
 }
 
 }  // namespace ddup::models

@@ -2,11 +2,18 @@
 #define DDUP_MODELS_GBDT_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/rng.h"
+#include "common/status.h"
 #include "storage/table.h"
+
+namespace ddup::io {
+class Serializer;
+class Deserializer;
+}  // namespace ddup::io
 
 namespace ddup::models {
 
@@ -38,6 +45,14 @@ class Gbdt {
   double MicroF1(const storage::Table& test) const;
 
   int num_classes() const { return num_classes_; }
+
+  // One-file checkpoint (src/io, section kind "gbdt"): all boosted trees
+  // round-trip bit-exactly, so Predict/MicroF1 are identical after reload.
+  Status SaveState(io::Serializer* out) const;
+  Status LoadState(io::Deserializer* in);
+  Status SaveToFile(const std::string& path) const;
+  static StatusOr<std::unique_ptr<Gbdt>> LoadFromFile(const std::string& path);
+  static constexpr const char* kCheckpointKind = "gbdt";
 
  private:
   struct TreeNode {

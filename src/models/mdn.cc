@@ -7,6 +7,8 @@
 #include "common/stats.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
+#include "io/checkpoint.h"
+#include "io/serializer.h"
 #include "nn/ops.h"
 
 namespace ddup::models {
@@ -15,6 +17,8 @@ namespace {
 
 constexpr double kHalfLog2Pi = 0.9189385332046727;  // 0.5 * log(2*pi)
 constexpr double kSigmaFloor = 1e-3;
+constexpr uint32_t kMdnStateVersion = 1;
+constexpr size_t kMdnParamCount = 10;  // W1,b1,W2,b2,Wo,bo,Wm,bm,Ws,bs
 
 // Parameter layout: W1,b1,W2,b2, Wo,bo, Wm,bm, Ws,bs.
 struct MdnOutputs {
@@ -302,6 +306,80 @@ double Mdn::EstimateAqp(const workload::Query& query,
   auto view = ParseQuery(query, schema);
   DDUP_CHECK_MSG(view.has_value(), "query does not match the AQP template");
   return EstimateAqp(*view);
+}
+
+Status Mdn::SaveState(io::Serializer* out) const {
+  out->WriteU32(kMdnStateVersion);
+  out->WriteI32(config_.num_components);
+  out->WriteI32(config_.hidden_width);
+  out->WriteI32(config_.epochs);
+  out->WriteI32(config_.batch_size);
+  out->WriteDouble(config_.learning_rate);
+  out->WriteU64(config_.seed);
+  out->WriteString(cat_name_);
+  out->WriteString(num_name_);
+  out->WriteI32(cat_index_);
+  out->WriteI32(num_index_);
+  out->WriteI32(cardinality_);
+  normalizer_.SaveState(out);
+  io::WriteParameters(out, params_);
+  out->WriteI64Vec(frequency_);
+  out->WriteRng(rng_);
+  return Status::OK();
+}
+
+Status Mdn::LoadState(io::Deserializer* in) {
+  uint32_t version = in->ReadU32();
+  if (in->ok() && version != kMdnStateVersion) {
+    return Status::InvalidArgument("unsupported mdn state version " +
+                                   std::to_string(version));
+  }
+  config_.num_components = in->ReadI32();
+  config_.hidden_width = in->ReadI32();
+  config_.epochs = in->ReadI32();
+  config_.batch_size = in->ReadI32();
+  config_.learning_rate = in->ReadDouble();
+  config_.seed = in->ReadU64();
+  cat_name_ = in->ReadString();
+  num_name_ = in->ReadString();
+  cat_index_ = in->ReadI32();
+  num_index_ = in->ReadI32();
+  cardinality_ = in->ReadI32();
+  normalizer_ = MinMaxNormalizer::Restore(in);
+  DDUP_RETURN_IF_ERROR(io::ReadParameters(in, kMdnParamCount, &params_));
+  frequency_ = in->ReadI64Vec();
+  in->ReadRng(&rng_);
+  DDUP_RETURN_IF_ERROR(in->status());
+  if (static_cast<int>(frequency_.size()) != cardinality_) {
+    return Status::InvalidArgument("mdn frequency table size mismatch");
+  }
+  int h = config_.hidden_width;
+  int m = config_.num_components;
+  if (cardinality_ < 1 || h < 1 || m < 1 || config_.batch_size < 1 ||
+      cat_index_ < 0 || num_index_ < 0) {
+    return Status::InvalidArgument("mdn checkpoint config is inconsistent");
+  }
+  return io::CheckParameterShapes(
+      params_, {{cardinality_, h}, {1, h}, {h, h}, {1, h}, {h, m},
+                {1, m},           {h, m}, {1, m}, {h, m}, {1, m}});
+}
+
+Status Mdn::SaveToFile(const std::string& path) const {
+  io::Serializer state;
+  DDUP_RETURN_IF_ERROR(SaveState(&state));
+  return io::WriteSectionFile(path, kCheckpointKind, state.Take());
+}
+
+StatusOr<std::unique_ptr<Mdn>> Mdn::LoadFromFile(const std::string& path) {
+  StatusOr<std::string> payload = io::ReadSectionFile(path, kCheckpointKind);
+  if (!payload.ok()) return payload.status();
+  io::Deserializer in(std::move(payload).value());
+  std::unique_ptr<Mdn> model(new Mdn());
+  Status st = model->LoadState(&in);
+  if (!st.ok()) return st;
+  st = in.Finish();
+  if (!st.ok()) return st;
+  return model;
 }
 
 }  // namespace ddup::models

@@ -56,6 +56,15 @@ class Mdn : public core::UpdatableModel {
   void RetrainFromScratch(const storage::Table& data) override;
   void AbsorbMetadata(const storage::Table& new_data) override;
   void ResetMetadata() override;
+  Status SaveState(io::Serializer* out) const override;
+  Status LoadState(io::Deserializer* in) override;
+
+  // One-file checkpoint (src/io, section kind "mdn"): a loaded model
+  // reproduces the saved model's predictions bit-for-bit and continues
+  // training on the identical RNG stream.
+  Status SaveToFile(const std::string& path) const;
+  static StatusOr<std::unique_ptr<Mdn>> LoadFromFile(const std::string& path);
+  static constexpr const char* kCheckpointKind = "mdn";
 
   // Average log-likelihood (= -AverageLoss); the paper reports this signal.
   double AverageLogLikelihood(const storage::Table& sample) const;
@@ -77,6 +86,10 @@ class Mdn : public core::UpdatableModel {
   int64_t frequency(int category) const;
 
  private:
+  // Uninitialized shell for LoadFromFile; every field is restored by
+  // LoadState before the instance escapes.
+  Mdn() = default;
+
   struct Batch {
     std::vector<int> codes;
     nn::Matrix y;  // N x 1 normalized targets

@@ -6,11 +6,17 @@
 
 #include "common/stats.h"
 #include "common/status.h"
+#include "io/checkpoint.h"
+#include "io/serializer.h"
 
 namespace ddup::models {
 
 namespace {
 constexpr double kLaplace = 0.1;  // histogram smoothing pseudo-count
+constexpr uint32_t kSpnStateVersion = 1;
+// Restore recursion guard: far above any tree Build can produce (max_depth
+// caps structure learning), but bounds stack use on corrupt checkpoints.
+constexpr int kMaxRestoreDepth = 64;
 }
 
 Spn::Spn(const storage::Table& base_data, SpnConfig config)
@@ -279,5 +285,148 @@ int Spn::CountNodes(const Node& node) {
 }
 
 int Spn::NodeCount() const { return root_ ? CountNodes(*root_) : 0; }
+
+void Spn::SaveNode(const Node& node, io::Serializer* out) {
+  out->WriteU8(static_cast<uint8_t>(node.type));
+  out->WriteIntVec(node.scope);
+  out->WriteI32(node.column);
+  out->WriteDoubleVec(node.bin_counts);
+  out->WriteDouble(node.leaf_total);
+  out->WriteDoubleVec(node.child_counts);
+  out->WriteU32(static_cast<uint32_t>(node.centroids.size()));
+  for (const auto& c : node.centroids) out->WriteDoubleVec(c);
+  out->WriteU32(static_cast<uint32_t>(node.children.size()));
+  for (const auto& child : node.children) SaveNode(*child, out);
+}
+
+std::unique_ptr<Spn::Node> Spn::RestoreNode(io::Deserializer* in, int depth) {
+  if (depth > kMaxRestoreDepth) return nullptr;
+  auto node = std::make_unique<Node>();
+  uint8_t type = in->ReadU8();
+  if (type > static_cast<uint8_t>(Node::Type::kLeaf)) return nullptr;
+  node->type = static_cast<Node::Type>(type);
+  node->scope = in->ReadIntVec();
+  node->column = in->ReadI32();
+  node->bin_counts = in->ReadDoubleVec();
+  node->leaf_total = in->ReadDouble();
+  node->child_counts = in->ReadDoubleVec();
+  uint32_t num_centroids = in->ReadU32();
+  for (uint32_t i = 0; i < num_centroids && in->ok(); ++i) {
+    node->centroids.push_back(in->ReadDoubleVec());
+  }
+  uint32_t num_children = in->ReadU32();
+  for (uint32_t i = 0; i < num_children && in->ok(); ++i) {
+    auto child = RestoreNode(in, depth + 1);
+    if (child == nullptr) return nullptr;
+    node->children.push_back(std::move(child));
+  }
+  if (!in->ok()) return nullptr;
+  return node;
+}
+
+Status Spn::SaveState(io::Serializer* out) const {
+  out->WriteU32(kSpnStateVersion);
+  out->WriteI32(config_.min_instances_slice);
+  out->WriteDouble(config_.correlation_threshold);
+  out->WriteI32(config_.max_bins);
+  out->WriteI32(config_.max_depth);
+  out->WriteU64(config_.seed);
+  encoder_.SaveState(out);
+  out->WriteI64(total_rows_);
+  out->WriteRng(rng_);
+  out->WriteBool(root_ != nullptr);
+  if (root_ != nullptr) SaveNode(*root_, out);
+  return Status::OK();
+}
+
+// Structural validation of a restored tree against the restored encoder:
+// NodeProbability and RouteRow index bin_counts / child_counts / centroids /
+// row_codes without bounds checks, so a CRC-valid but malformed payload must
+// be rejected at load time, not crash at query time.
+bool Spn::ValidNode(const Node& node, const DiscreteEncoder& encoder) {
+  for (int col : node.scope) {
+    if (col < 0 || col >= encoder.num_columns()) return false;
+  }
+  switch (node.type) {
+    case Node::Type::kLeaf: {
+      if (!node.children.empty()) return false;
+      if (node.column < 0 || node.column >= encoder.num_columns()) return false;
+      return static_cast<int>(node.bin_counts.size()) ==
+             encoder.cardinality(node.column);
+    }
+    case Node::Type::kProduct: {
+      if (node.children.empty()) return false;
+      break;
+    }
+    case Node::Type::kSum: {
+      if (node.children.empty() ||
+          node.child_counts.size() != node.children.size() ||
+          node.centroids.size() != node.children.size()) {
+        return false;
+      }
+      double total = 0.0;
+      for (double c : node.child_counts) {
+        if (!(c >= 0.0)) return false;  // rejects negatives and NaN
+        total += c;
+      }
+      if (total <= 0.0) return false;
+      for (const auto& centroid : node.centroids) {
+        if (centroid.size() != node.scope.size()) return false;
+      }
+      break;
+    }
+  }
+  for (const auto& child : node.children) {
+    if (!ValidNode(*child, encoder)) return false;
+  }
+  return true;
+}
+
+Status Spn::LoadState(io::Deserializer* in) {
+  uint32_t version = in->ReadU32();
+  if (in->ok() && version != kSpnStateVersion) {
+    return Status::InvalidArgument("unsupported spn state version " +
+                                   std::to_string(version));
+  }
+  config_.min_instances_slice = in->ReadI32();
+  config_.correlation_threshold = in->ReadDouble();
+  config_.max_bins = in->ReadI32();
+  config_.max_depth = in->ReadI32();
+  config_.seed = in->ReadU64();
+  encoder_ = DiscreteEncoder::Restore(in);
+  total_rows_ = in->ReadI64();
+  in->ReadRng(&rng_);
+  bool has_root = in->ReadBool();
+  root_.reset();
+  if (in->ok() && has_root) {
+    root_ = RestoreNode(in, 0);
+    if (root_ == nullptr && in->ok()) {
+      return Status::InvalidArgument("malformed spn node tree in checkpoint");
+    }
+    if (root_ != nullptr && !ValidNode(*root_, encoder_)) {
+      root_.reset();
+      return Status::InvalidArgument("inconsistent spn node tree in checkpoint");
+    }
+  }
+  return in->status();
+}
+
+Status Spn::SaveToFile(const std::string& path) const {
+  io::Serializer state;
+  DDUP_RETURN_IF_ERROR(SaveState(&state));
+  return io::WriteSectionFile(path, kCheckpointKind, state.Take());
+}
+
+StatusOr<std::unique_ptr<Spn>> Spn::LoadFromFile(const std::string& path) {
+  StatusOr<std::string> payload = io::ReadSectionFile(path, kCheckpointKind);
+  if (!payload.ok()) return payload.status();
+  io::Deserializer in(std::move(payload).value());
+  std::unique_ptr<Spn> model(new Spn());
+  Status st = model->LoadState(&in);
+  if (!st.ok()) return st;
+  st = in.Finish();
+  if (!st.ok()) return st;
+  return model;
+}
 
 }  // namespace ddup::models

@@ -6,9 +6,15 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/status.h"
 #include "models/encoding.h"
 #include "storage/table.h"
 #include "workload/query.h"
+
+namespace ddup::io {
+class Serializer;
+class Deserializer;
+}  // namespace ddup::io
 
 namespace ddup::models {
 
@@ -44,7 +50,19 @@ class Spn {
   int64_t total_rows() const { return total_rows_; }
   int NodeCount() const;
 
+  // One-file checkpoint (src/io, section kind "spn"): the learned structure
+  // (sum/product/leaf tree, weights, centroids, histograms) round-trips
+  // bit-exactly, so estimates and incremental updates continue identically.
+  Status SaveState(io::Serializer* out) const;
+  Status LoadState(io::Deserializer* in);
+  Status SaveToFile(const std::string& path) const;
+  static StatusOr<std::unique_ptr<Spn>> LoadFromFile(const std::string& path);
+  static constexpr const char* kCheckpointKind = "spn";
+
  private:
+  // Uninitialized shell for LoadFromFile; LoadState restores every field.
+  Spn() = default;
+
   struct Node {
     enum class Type { kSum, kProduct, kLeaf };
     Type type = Type::kLeaf;
@@ -75,6 +93,9 @@ class Spn {
                          const std::vector<std::pair<int, int>>& ranges) const;
   void RouteRow(Node* node, const std::vector<int>& row_codes);
   static int CountNodes(const Node& node);
+  static void SaveNode(const Node& node, io::Serializer* out);
+  static std::unique_ptr<Node> RestoreNode(io::Deserializer* in, int depth);
+  static bool ValidNode(const Node& node, const DiscreteEncoder& encoder);
 
   SpnConfig config_;
   DiscreteEncoder encoder_;

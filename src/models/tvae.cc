@@ -6,6 +6,8 @@
 
 #include "common/status.h"
 #include "common/thread_pool.h"
+#include "io/checkpoint.h"
+#include "io/serializer.h"
 #include "nn/optim.h"
 #include "nn/ops.h"
 
@@ -13,6 +15,8 @@ namespace ddup::models {
 
 namespace {
 constexpr double kHalfLog2Pi = 0.9189385332046727;
+constexpr uint32_t kTvaeStateVersion = 1;
+constexpr size_t kTvaeParamCount = 11;  // encoder 6 + decoder 4 + log_sigma
 // Parameter layout:
 //   0 We, 1 be, 2 Wmu, 3 bmu, 4 Wlv, 5 blv   (encoder)
 //   6 Wd, 7 bd, 8 Wout, 9 bout               (decoder)
@@ -250,6 +254,120 @@ double Tvae::AverageLoss(const storage::Table& sample) const {
         VaeGraph g = ForwardGraph(frozen, batch.x, eps0);
         return ElboLoss(frozen, g, batch).value().At(0, 0);
       });
+}
+
+Status Tvae::SaveState(io::Serializer* out) const {
+  out->WriteU32(kTvaeStateVersion);
+  out->WriteI32(config_.latent_dim);
+  out->WriteI32(config_.hidden_width);
+  out->WriteI32(config_.epochs);
+  out->WriteI32(config_.batch_size);
+  out->WriteDouble(config_.learning_rate);
+  out->WriteU64(config_.seed);
+  out->WriteTable(schema_);
+  out->WriteU32(static_cast<uint32_t>(coding_.size()));
+  for (const auto& cc : coding_) {
+    out->WriteBool(cc.is_numeric);
+    out->WriteI32(cc.offset);
+    out->WriteI32(cc.cardinality);
+    cc.standardizer.SaveState(out);
+    out->WriteDouble(cc.raw_min);
+    out->WriteDouble(cc.raw_max);
+  }
+  out->WriteIntVec(categorical_columns_);
+  out->WriteI32(input_dim_);
+  io::WriteParameters(out, params_);
+  out->WriteRng(rng_);
+  return Status::OK();
+}
+
+Status Tvae::LoadState(io::Deserializer* in) {
+  uint32_t version = in->ReadU32();
+  if (in->ok() && version != kTvaeStateVersion) {
+    return Status::InvalidArgument("unsupported tvae state version " +
+                                   std::to_string(version));
+  }
+  config_.latent_dim = in->ReadI32();
+  config_.hidden_width = in->ReadI32();
+  config_.epochs = in->ReadI32();
+  config_.batch_size = in->ReadI32();
+  config_.learning_rate = in->ReadDouble();
+  config_.seed = in->ReadU64();
+  schema_ = in->ReadTable();
+  uint32_t num_codings = in->ReadU32();
+  coding_.clear();
+  for (uint32_t c = 0; c < num_codings && in->ok(); ++c) {
+    ColumnCoding cc;
+    cc.is_numeric = in->ReadBool();
+    cc.offset = in->ReadI32();
+    cc.cardinality = in->ReadI32();
+    cc.standardizer = Standardizer::Restore(in);
+    cc.raw_min = in->ReadDouble();
+    cc.raw_max = in->ReadDouble();
+    coding_.push_back(cc);
+  }
+  categorical_columns_ = in->ReadIntVec();
+  input_dim_ = in->ReadI32();
+  DDUP_RETURN_IF_ERROR(io::ReadParameters(in, kTvaeParamCount, &params_));
+  in->ReadRng(&rng_);
+  DDUP_RETURN_IF_ERROR(in->status());
+  if (static_cast<int>(coding_.size()) != schema_.num_columns()) {
+    return Status::InvalidArgument("tvae coding/schema column count mismatch");
+  }
+  // Cross-validate the codings against the flat layout: Encode/ElboLoss
+  // index batch.x and g.out by offset + cardinality with no bounds checks.
+  int off = 0;
+  int num_numeric = 0;
+  std::vector<int> expect_categorical;
+  for (int c = 0; c < static_cast<int>(coding_.size()); ++c) {
+    const ColumnCoding& cc = coding_[static_cast<size_t>(c)];
+    if (cc.offset != off || cc.cardinality < 1 ||
+        (cc.is_numeric && cc.cardinality != 1)) {
+      return Status::InvalidArgument("tvae checkpoint coding is inconsistent");
+    }
+    if (cc.is_numeric) {
+      ++num_numeric;
+    } else {
+      expect_categorical.push_back(c);
+    }
+    off += cc.cardinality;
+  }
+  int h = config_.hidden_width;
+  int l = config_.latent_dim;
+  if (off != input_dim_ || input_dim_ < 1 || h < 1 || l < 1 ||
+      config_.batch_size < 1 || categorical_columns_ != expect_categorical) {
+    return Status::InvalidArgument("tvae checkpoint config is inconsistent");
+  }
+  return io::CheckParameterShapes(
+      params_, {{input_dim_, h},
+                {1, h},
+                {h, l},
+                {1, l},
+                {h, l},
+                {1, l},
+                {l, h},
+                {1, h},
+                {h, input_dim_},
+                {1, input_dim_},
+                {1, std::max(1, num_numeric)}});
+}
+
+Status Tvae::SaveToFile(const std::string& path) const {
+  io::Serializer state;
+  DDUP_RETURN_IF_ERROR(SaveState(&state));
+  return io::WriteSectionFile(path, kCheckpointKind, state.Take());
+}
+
+StatusOr<std::unique_ptr<Tvae>> Tvae::LoadFromFile(const std::string& path) {
+  StatusOr<std::string> payload = io::ReadSectionFile(path, kCheckpointKind);
+  if (!payload.ok()) return payload.status();
+  io::Deserializer in(std::move(payload).value());
+  std::unique_ptr<Tvae> model(new Tvae());
+  Status st = model->LoadState(&in);
+  if (!st.ok()) return st;
+  st = in.Finish();
+  if (!st.ok()) return st;
+  return model;
 }
 
 storage::Table Tvae::Sample(int64_t n, Rng& rng) const {

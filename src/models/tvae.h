@@ -2,6 +2,7 @@
 #define DDUP_MODELS_TVAE_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -45,6 +46,14 @@ class Tvae : public core::UpdatableModel {
     (void)new_data;  // the generator keeps no query-time metadata
   }
   void ResetMetadata() override {}
+  Status SaveState(io::Serializer* out) const override;
+  Status LoadState(io::Deserializer* in) override;
+
+  // One-file checkpoint (src/io, section kind "tvae"), including the
+  // zero-row schema table (dictionaries) and per-column codings.
+  Status SaveToFile(const std::string& path) const;
+  static StatusOr<std::unique_ptr<Tvae>> LoadFromFile(const std::string& path);
+  static constexpr const char* kCheckpointKind = "tvae";
 
   double Elbo(const storage::Table& sample) const { return AverageLoss(sample); }
 
@@ -55,6 +64,9 @@ class Tvae : public core::UpdatableModel {
   int latent_dim() const { return config_.latent_dim; }
 
  private:
+  // Uninitialized shell for LoadFromFile; LoadState restores every field.
+  Tvae() = default;
+
   struct ColumnCoding {
     bool is_numeric = false;
     int offset = 0;       // offset in the flat input/output layout

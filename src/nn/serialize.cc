@@ -1,72 +1,39 @@
 #include "nn/serialize.h"
 
-#include <cstdint>
-#include <cstdio>
-#include <memory>
+#include "io/checkpoint.h"
+#include "io/serializer.h"
 
 namespace ddup::nn {
 
-namespace {
-constexpr uint64_t kMagic = 0x646475705F6E6E31ULL;  // "ddup_nn1"
-
-struct FileCloser {
-  void operator()(std::FILE* f) const {
-    if (f != nullptr) std::fclose(f);
-  }
-};
-using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
-}  // namespace
+// Since PR 3 this rides on the versioned io/ checkpoint container (magic +
+// format version + per-section CRC), section kind "nn_params". The public
+// contract is unchanged: values only, shapes must match on load.
 
 Status SaveParameters(const std::vector<Variable>& params,
                       const std::string& path) {
-  FilePtr f(std::fopen(path.c_str(), "wb"));
-  if (!f) return Status::IoError("cannot open for write: " + path);
-  uint64_t count = params.size();
-  if (std::fwrite(&kMagic, sizeof(kMagic), 1, f.get()) != 1 ||
-      std::fwrite(&count, sizeof(count), 1, f.get()) != 1) {
-    return Status::IoError("short write: " + path);
-  }
-  for (const auto& p : params) {
-    int64_t rows = p.rows(), cols = p.cols();
-    if (std::fwrite(&rows, sizeof(rows), 1, f.get()) != 1 ||
-        std::fwrite(&cols, sizeof(cols), 1, f.get()) != 1) {
-      return Status::IoError("short write: " + path);
-    }
-    size_t n = static_cast<size_t>(p.value().size());
-    if (n > 0 &&
-        std::fwrite(p.value().data(), sizeof(double), n, f.get()) != n) {
-      return Status::IoError("short write: " + path);
-    }
-  }
-  return Status::OK();
+  io::Serializer state;
+  io::WriteParameters(&state, params);
+  return io::WriteSectionFile(path, "nn_params", state.Take());
 }
 
 Status LoadParameters(const std::string& path, std::vector<Variable>* params) {
-  FilePtr f(std::fopen(path.c_str(), "rb"));
-  if (!f) return Status::IoError("cannot open for read: " + path);
-  uint64_t magic = 0, count = 0;
-  if (std::fread(&magic, sizeof(magic), 1, f.get()) != 1 || magic != kMagic) {
-    return Status::InvalidArgument("bad checkpoint magic in " + path);
-  }
-  if (std::fread(&count, sizeof(count), 1, f.get()) != 1 ||
-      count != params->size()) {
-    return Status::InvalidArgument("checkpoint parameter count mismatch in " +
-                                   path);
-  }
-  for (auto& p : *params) {
-    int64_t rows = 0, cols = 0;
-    if (std::fread(&rows, sizeof(rows), 1, f.get()) != 1 ||
-        std::fread(&cols, sizeof(cols), 1, f.get()) != 1) {
-      return Status::IoError("short read: " + path);
-    }
-    if (rows != p.rows() || cols != p.cols()) {
+  StatusOr<std::string> payload = io::ReadSectionFile(path, "nn_params");
+  if (!payload.ok()) return payload.status();
+  io::Deserializer in(std::move(payload).value());
+  std::vector<Variable> loaded;
+  DDUP_RETURN_IF_ERROR(io::ReadParameters(&in, params->size(), &loaded));
+  DDUP_RETURN_IF_ERROR(in.Finish());
+  for (size_t i = 0; i < params->size(); ++i) {
+    const Matrix& m = loaded[i].value();
+    Variable& p = (*params)[i];
+    if (m.rows() != p.rows() || m.cols() != p.cols()) {
       return Status::InvalidArgument("checkpoint shape mismatch in " + path);
     }
-    size_t n = static_cast<size_t>(p.value().size());
-    if (n > 0 &&
-        std::fread(p.mutable_value().data(), sizeof(double), n, f.get()) != n) {
-      return Status::IoError("short read: " + path);
-    }
+  }
+  // All shapes verified; install the values into the existing Variables so
+  // optimizer references and graph aliases keep pointing at the same nodes.
+  for (size_t i = 0; i < params->size(); ++i) {
+    (*params)[i].mutable_value() = std::move(loaded[i].mutable_value());
   }
   return Status::OK();
 }

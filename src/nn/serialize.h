@@ -9,8 +9,10 @@
 
 namespace ddup::nn {
 
-// Binary parameter checkpoint format: magic, count, then per-parameter
-// (rows, cols, row-major doubles). Values only; optimizer state is not saved.
+// Parameter-values-only checkpoint on the versioned io/ container (see
+// DESIGN.md §9): per-parameter (rows, cols, row-major doubles). Optimizer
+// state is not saved. For whole-model checkpoints (weights + encoders +
+// metadata + RNG) use the model-level SaveToFile/LoadFromFile instead.
 Status SaveParameters(const std::vector<Variable>& params,
                       const std::string& path);
 
