@@ -37,7 +37,7 @@ void RunSeries(const DatasetBundle& bundle, const BenchParams& params,
   }
   for (size_t step = 0; step < chunks.size(); ++step) {
     const storage::Table& chunk = chunks[step];
-    controller.HandleInsertion(chunk);
+    MustInsert(controller, chunk);
     baseline->AbsorbMetadata(chunk);
     baseline->FineTune(chunk, kBaselineLrMultiplier * distill.learning_rate,
                        distill.epochs);

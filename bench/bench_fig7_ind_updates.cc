@@ -40,7 +40,7 @@ void Run() {
               "baseline", "stale", "retrain");
   for (size_t step = 0; step < chunks.size(); ++step) {
     const storage::Table& chunk = chunks[step];
-    core::InsertionReport report = controller.HandleInsertion(chunk);
+    core::InsertionReport report = MustInsert(controller, chunk);
     baseline->AbsorbMetadata(chunk);
     baseline->FineTune(chunk, kBaselineLrMultiplier * distill.learning_rate,
                        distill.epochs);

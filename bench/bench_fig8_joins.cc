@@ -60,7 +60,7 @@ void RunJoinSeries(const JoinSetup& setup, const BenchParams& params,
               "finetune", "stale", "fast-retrain");
   for (size_t step = 0; step < setup.update_joins.size(); ++step) {
     const storage::Table& batch = setup.update_joins[step];
-    core::InsertionReport report = controller.HandleInsertion(batch);
+    core::InsertionReport report = MustInsert(controller, batch);
     baseline->AbsorbMetadata(batch);
     baseline->FineTune(batch, kBaselineLrMultiplier * distill.learning_rate,
                        distill.epochs);

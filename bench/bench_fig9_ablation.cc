@@ -29,7 +29,7 @@ void Run() {
       Rng qrng(params.seed + 131);
       auto queries = AqpCountQueries(bundle, params, qrng);
       auto truth_after = workload::ExecuteAll(after, queries);
-      MdnApproaches a = RunMdnApproaches(bundle, bundle.ood_batch, params);
+      Approaches<models::Mdn> a = RunApproaches<models::Mdn>(bundle, bundle.ood_batch, params);
       // AggTrain: same architecture/config, trained only on transfer ∪ new;
       // metadata still tracks the full table (it is cheap and exact).
       models::Mdn agg(agg_data, bundle.aqp.categorical, bundle.aqp.numeric,
@@ -51,7 +51,7 @@ void Run() {
       Rng qrng(params.seed + 137);
       auto queries = NaruCountQueries(bundle, params, qrng);
       auto truth_after = workload::ExecuteAll(after, queries);
-      DarnApproaches a = RunDarnApproaches(bundle, bundle.ood_batch, params);
+      Approaches<models::Darn> a = RunApproaches<models::Darn>(bundle, bundle.ood_batch, params);
       models::Darn agg(agg_data, DarnConfigFor(params));
       agg.ResetMetadata();
       agg.AbsorbMetadata(after);

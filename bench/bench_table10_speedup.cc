@@ -37,13 +37,13 @@ void Run() {
     DatasetBundle bundle = MakeBundle(name, params);
     Row(name, "mdn", bundle, params,
         [](const DatasetBundle& b, const storage::Table& batch,
-           const BenchParams& p) { return RunMdnApproaches(b, batch, p); });
+           const BenchParams& p) { return RunApproaches<models::Mdn>(b, batch, p); });
     Row(name, "darn", bundle, params,
         [](const DatasetBundle& b, const storage::Table& batch,
-           const BenchParams& p) { return RunDarnApproaches(b, batch, p); });
+           const BenchParams& p) { return RunApproaches<models::Darn>(b, batch, p); });
     Row(name, "tvae", bundle, params,
         [](const DatasetBundle& b, const storage::Table& batch,
-           const BenchParams& p) { return RunTvaeApproaches(b, batch, p); });
+           const BenchParams& p) { return RunApproaches<models::Tvae>(b, batch, p); });
   }
   std::printf(
       "\nshape check: every speed-up > 1x and sp2 (smaller update) gives a "

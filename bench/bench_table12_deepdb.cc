@@ -41,7 +41,7 @@ void Run() {
     spn_retrained.Rebuild(after);
     auto spn_retrain = SpnErrors(spn_retrained, queries, truth_after);
 
-    DarnApproaches a = RunDarnApproaches(bundle, bundle.ood_batch, params);
+    Approaches<models::Darn> a = RunApproaches<models::Darn>(bundle, bundle.ood_batch, params);
     auto darn_m0 = workload::Summarize(
         QErrors(EstimateAll(*a.m0, queries), truth_before));
     auto darn_ddup = workload::Summarize(

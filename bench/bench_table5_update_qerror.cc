@@ -49,7 +49,7 @@ void Run() {
       auto queries = AqpCountQueries(bundle, params, qrng);
       auto truth_before = workload::ExecuteAll(bundle.base, queries);
       auto truth_after = workload::ExecuteAll(after, queries);
-      MdnApproaches a = RunMdnApproaches(bundle, bundle.ood_batch, params);
+      Approaches<models::Mdn> a = RunApproaches<models::Mdn>(bundle, bundle.ood_batch, params);
       PrintBlock("MDN / DBEst++-style", truth_before, truth_after,
                  EstimateAll(*a.m0, queries, bundle.base),
                  EstimateAll(*a.ddup, queries, bundle.base),
@@ -62,7 +62,7 @@ void Run() {
       auto queries = NaruCountQueries(bundle, params, qrng);
       auto truth_before = workload::ExecuteAll(bundle.base, queries);
       auto truth_after = workload::ExecuteAll(after, queries);
-      DarnApproaches a = RunDarnApproaches(bundle, bundle.ood_batch, params);
+      Approaches<models::Darn> a = RunApproaches<models::Darn>(bundle, bundle.ood_batch, params);
       PrintBlock("DARN / Naru-style", truth_before, truth_after,
                  EstimateAll(*a.m0, queries), EstimateAll(*a.ddup, queries),
                  EstimateAll(*a.baseline, queries),

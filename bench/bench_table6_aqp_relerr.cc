@@ -35,7 +35,7 @@ void Run() {
     storage::Table after = Union(bundle.base, bundle.ood_batch);
     Rng qrng(params.seed + 47);
     auto base_queries = AqpCountQueries(bundle, params, qrng);
-    MdnApproaches a = RunMdnApproaches(bundle, bundle.ood_batch, params);
+    Approaches<models::Mdn> a = RunApproaches<models::Mdn>(bundle, bundle.ood_batch, params);
 
     for (auto agg : {workload::AggFunc::kSum, workload::AggFunc::kAvg}) {
       auto queries = WithAgg(base_queries, agg);

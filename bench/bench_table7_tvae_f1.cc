@@ -50,7 +50,7 @@ void Run() {
     }
     storage::Table train_real = shuffled.TakeRows(train_idx);
 
-    TvaeApproaches a = RunTvaeApproaches(bundle, bundle.ood_batch, params);
+    Approaches<models::Tvae> a = RunApproaches<models::Tvae>(bundle, bundle.ood_batch, params);
 
     Rng srng(params.seed + 73);
     double r_m0 = TrainAndScore(bundle.base, test, target);

@@ -41,7 +41,7 @@ void Run() {
           workload::SplitByGroundTruthChange(truth_before, truth_after);
       std::printf("  [MDN] changed=%zu fixed=%zu\n", split.changed.size(),
                   split.fixed.size());
-      MdnApproaches a = RunMdnApproaches(bundle, bundle.ood_batch, params);
+      Approaches<models::Mdn> a = RunApproaches<models::Mdn>(bundle, bundle.ood_batch, params);
       PrintFwtBwt("DDUp", EstimateAll(*a.ddup, queries, bundle.base),
                   truth_after, split);
       PrintFwtBwt("baseline", EstimateAll(*a.baseline, queries, bundle.base),
@@ -58,7 +58,7 @@ void Run() {
           workload::SplitByGroundTruthChange(truth_before, truth_after);
       std::printf("  [DARN] changed=%zu fixed=%zu\n", split.changed.size(),
                   split.fixed.size());
-      DarnApproaches a = RunDarnApproaches(bundle, bundle.ood_batch, params);
+      Approaches<models::Darn> a = RunApproaches<models::Darn>(bundle, bundle.ood_batch, params);
       PrintFwtBwt("DDUp", EstimateAll(*a.ddup, queries), truth_after, split);
       PrintFwtBwt("baseline", EstimateAll(*a.baseline, queries), truth_after,
                   split);

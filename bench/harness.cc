@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "api/model_factory.h"
 #include "common/status.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
@@ -41,43 +42,14 @@ bool EnsureDir(const std::string& dir) {
   return ::mkdir(dir.c_str(), 0755) == 0;
 }
 
-// Every config field participates in the cache key: any knob change (or a
-// DDUP_ROWS/DDUP_SEED/DDUP_EPOCH_SCALE override, which feeds the epochs
-// below) lands in a different file instead of silently reusing a stale model.
-void WriteConfigKey(io::Serializer* key, const models::MdnConfig& c) {
-  key->WriteI32(c.num_components);
-  key->WriteI32(c.hidden_width);
-  key->WriteI32(c.epochs);
-  key->WriteI32(c.batch_size);
-  key->WriteDouble(c.learning_rate);
-  key->WriteU64(c.seed);
-}
-
-void WriteConfigKey(io::Serializer* key, const models::DarnConfig& c) {
-  key->WriteI32(c.hidden_width);
-  key->WriteI32(c.max_bins);
-  key->WriteI32(c.epochs);
-  key->WriteI32(c.batch_size);
-  key->WriteDouble(c.learning_rate);
-  key->WriteI32(c.progressive_samples);
-  key->WriteU64(c.seed);
-}
-
-void WriteConfigKey(io::Serializer* key, const models::TvaeConfig& c) {
-  key->WriteI32(c.latent_dim);
-  key->WriteI32(c.hidden_width);
-  key->WriteI32(c.epochs);
-  key->WriteI32(c.batch_size);
-  key->WriteDouble(c.learning_rate);
-  key->WriteU64(c.seed);
-}
-
-// Cache file for the base model of (kind, dataset, bench params, config);
-// "" when the cache is disabled or the directory is unusable.
-template <typename ConfigT>
+// Cache file for the base model of (kind, dataset, bench params, options);
+// "" when the cache is disabled or the directory is unusable. Every factory
+// option participates in the cache key: any knob change (or a
+// DDUP_ROWS/DDUP_SEED/DDUP_EPOCH_SCALE override, which feeds the epochs)
+// lands in a different file instead of silently reusing a stale model.
 std::string BaseModelCachePath(const char* kind, const std::string& dataset,
                                const BenchParams& params,
-                               const ConfigT& config) {
+                               const api::ModelOptions& options) {
   const char* dir = std::getenv("DDUP_CHECKPOINT_DIR");
   if (dir == nullptr || dir[0] == '\0') return "";
   if (!EnsureDir(dir)) {
@@ -90,11 +62,22 @@ std::string BaseModelCachePath(const char* kind, const std::string& dataset,
   key.WriteString(dataset);
   key.WriteI64(params.rows);
   key.WriteU64(params.seed);
-  WriteConfigKey(&key, config);
+  for (const auto& [option, value] : options) {
+    key.WriteString(option);
+    key.WriteString(value);
+  }
   char hex[17];
   std::snprintf(hex, sizeof(hex), "%016llx",
                 static_cast<unsigned long long>(io::Fnv1a64(key.buffer())));
   return std::string(dir) + "/" + kind + "_" + dataset + "_" + hex + ".ckpt";
+}
+
+// Shortest decimal string that round-trips the exact double, so an option
+// map rebuilds bit-identical configs through the factory's strtod.
+std::string FormatDouble(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
 }
 }  // namespace
 
@@ -165,10 +148,18 @@ DatasetBundle MakeBundle(const std::string& dataset,
   return b;
 }
 
-storage::Table Union(const storage::Table& base, const storage::Table& batch) {
+StatusOr<storage::Table> TryUnion(const storage::Table& base,
+                                  const storage::Table& batch) {
+  DDUP_RETURN_IF_ERROR(storage::CheckSchemaCompatible(base, batch));
   storage::Table all = base;
   all.Append(batch);
   return all;
+}
+
+storage::Table Union(const storage::Table& base, const storage::Table& batch) {
+  StatusOr<storage::Table> all = TryUnion(base, batch);
+  DDUP_CHECK_MSG(all.ok(), all.status().ToString());
+  return std::move(all).value();
 }
 
 models::MdnConfig MdnConfigFor(const BenchParams& params) {
@@ -285,24 +276,94 @@ std::vector<double> RelErrors(const std::vector<double>& estimates,
 
 namespace {
 
-// Applies the four update approaches to model copies. ModelT must be
-// constructible identically from (bundle, config) via `make`. When
-// `cache_path` is non-empty, the trained base model is loaded from /saved to
-// that checkpoint instead of retraining for every approach: a load restores
-// weights, metadata and the RNG stream, so each instance is bit-identical to
-// a freshly trained one and all downstream updates reproduce cold-run
-// results exactly.
-template <typename ModelT, typename MakeFn>
-void RunApproaches(const DatasetBundle& bundle, const storage::Table& batch,
-                   const BenchParams& params, MakeFn make,
-                   const std::string& cache_path,
-                   std::unique_ptr<ModelT>* m0, std::unique_ptr<ModelT>* ddup,
-                   std::unique_ptr<ModelT>* baseline,
-                   std::unique_ptr<ModelT>* stale,
-                   std::unique_ptr<ModelT>* retrain, double* ddup_seconds,
-                   double* baseline_seconds, double* retrain_seconds) {
+// Bench-sized factory options per model family: the same bundle-derived
+// column bindings and BenchParams-scaled config the dedicated Run*Approaches
+// wrappers used to hard-code, expressed as api::ModelFactory options so one
+// templated protocol serves every registered kind.
+template <typename ModelT>
+struct FactoryTraits;
+
+template <>
+struct FactoryTraits<models::Mdn> {
+  static constexpr const char* kKind = models::Mdn::kCheckpointKind;
+  static api::ModelOptions Options(const DatasetBundle& bundle,
+                                   const BenchParams& params) {
+    models::MdnConfig c = MdnConfigFor(params);
+    return api::ModelOptions{
+        {"categorical", bundle.aqp.categorical},
+        {"numeric", bundle.aqp.numeric},
+        {"num_components", std::to_string(c.num_components)},
+        {"hidden_width", std::to_string(c.hidden_width)},
+        {"epochs", std::to_string(c.epochs)},
+        {"batch_size", std::to_string(c.batch_size)},
+        {"learning_rate", FormatDouble(c.learning_rate)},
+        {"seed", std::to_string(c.seed)}};
+  }
+};
+
+template <>
+struct FactoryTraits<models::Darn> {
+  static constexpr const char* kKind = models::Darn::kCheckpointKind;
+  static api::ModelOptions Options(const DatasetBundle& bundle,
+                                   const BenchParams& params) {
+    (void)bundle;
+    models::DarnConfig c = DarnConfigFor(params);
+    return api::ModelOptions{
+        {"hidden_width", std::to_string(c.hidden_width)},
+        {"max_bins", std::to_string(c.max_bins)},
+        {"epochs", std::to_string(c.epochs)},
+        {"batch_size", std::to_string(c.batch_size)},
+        {"learning_rate", FormatDouble(c.learning_rate)},
+        {"progressive_samples", std::to_string(c.progressive_samples)},
+        {"seed", std::to_string(c.seed)}};
+  }
+};
+
+template <>
+struct FactoryTraits<models::Tvae> {
+  static constexpr const char* kKind = models::Tvae::kCheckpointKind;
+  static api::ModelOptions Options(const DatasetBundle& bundle,
+                                   const BenchParams& params) {
+    (void)bundle;
+    models::TvaeConfig c = TvaeConfigFor(params);
+    return api::ModelOptions{
+        {"latent_dim", std::to_string(c.latent_dim)},
+        {"hidden_width", std::to_string(c.hidden_width)},
+        {"epochs", std::to_string(c.epochs)},
+        {"batch_size", std::to_string(c.batch_size)},
+        {"learning_rate", FormatDouble(c.learning_rate)},
+        {"seed", std::to_string(c.seed)}};
+  }
+};
+
+}  // namespace
+
+// Applies the four update approaches to factory-built model instances. When
+// the DDUP_CHECKPOINT_DIR cache is usable, the trained base model is loaded
+// from / saved to a checkpoint instead of retraining for every approach: a
+// load restores weights, metadata and the RNG stream, so each instance is
+// bit-identical to a freshly trained one and all downstream updates
+// reproduce cold-run results exactly.
+template <typename ModelT>
+Approaches<ModelT> RunApproaches(const DatasetBundle& bundle,
+                                 const storage::Table& batch,
+                                 const BenchParams& params) {
+  const api::ModelOptions options =
+      FactoryTraits<ModelT>::Options(bundle, params);
+  const std::string cache_path = BaseModelCachePath(
+      FactoryTraits<ModelT>::kKind, bundle.name, params, options);
+
   int cache_hits = 0;
   int cold_trainings = 0;
+  auto make = [&]() -> std::unique_ptr<ModelT> {
+    StatusOr<std::unique_ptr<core::UpdatableModel>> model =
+        api::ModelFactory::Global().Create(FactoryTraits<ModelT>::kKind,
+                                           bundle.base, options);
+    DDUP_CHECK_MSG(model.ok(), model.status().ToString());
+    // The registered creator for kKind constructs exactly a ModelT.
+    return std::unique_ptr<ModelT>(
+        static_cast<ModelT*>(model.value().release()));
+  };
   auto cached_make = [&]() -> std::unique_ptr<ModelT> {
     if (cache_path.empty()) {
       ++cold_trainings;
@@ -322,8 +383,9 @@ void RunApproaches(const DatasetBundle& bundle, const storage::Table& batch,
     return model;
   };
 
-  *m0 = cached_make();
-  *stale = cached_make();
+  Approaches<ModelT> out;
+  out.m0 = cached_make();
+  out.stale = cached_make();
 
   Rng rng(params.seed + 31);
   storage::Table transfer = storage::SampleFraction(bundle.base, rng, 0.10);
@@ -332,85 +394,45 @@ void RunApproaches(const DatasetBundle& bundle, const storage::Table& batch,
   distill.alpha =
       core::ResolveAlpha(distill, bundle.base.num_rows(), batch.num_rows());
 
-  *ddup = cached_make();
+  out.ddup = cached_make();
   Stopwatch ddup_timer;
-  (*ddup)->AbsorbMetadata(batch);
-  (*ddup)->DistillUpdate(transfer, batch, distill);
-  *ddup_seconds = ddup_timer.ElapsedSeconds();
+  out.ddup->AbsorbMetadata(batch);
+  out.ddup->DistillUpdate(transfer, batch, distill);
+  out.ddup_seconds = ddup_timer.ElapsedSeconds();
 
-  *baseline = cached_make();
+  out.baseline = cached_make();
   Stopwatch baseline_timer;
-  (*baseline)->AbsorbMetadata(batch);
+  out.baseline->AbsorbMetadata(batch);
   // Paper baseline: SGD on the new data with a smaller learning rate.
-  (*baseline)->FineTune(batch, kBaselineLrMultiplier * distill.learning_rate,
-                        distill.epochs);
-  *baseline_seconds = baseline_timer.ElapsedSeconds();
+  out.baseline->FineTune(batch, kBaselineLrMultiplier * distill.learning_rate,
+                         distill.epochs);
+  out.baseline_seconds = baseline_timer.ElapsedSeconds();
 
-  *retrain = cached_make();
+  out.retrain = cached_make();
   Stopwatch retrain_timer;
-  (*retrain)->RetrainFromScratch(Union(bundle.base, batch));
-  *retrain_seconds = retrain_timer.ElapsedSeconds();
+  out.retrain->RetrainFromScratch(Union(bundle.base, batch));
+  out.retrain_seconds = retrain_timer.ElapsedSeconds();
 
   if (!cache_path.empty()) {
     std::printf("  [ckpt] base-model cache %s: %d warm load(s), %d training(s)\n",
                 cache_path.c_str(), cache_hits, cold_trainings);
   }
   PrintPoolCounters("train+update phases");
-}
-
-}  // namespace
-
-MdnApproaches RunMdnApproaches(const DatasetBundle& bundle,
-                               const storage::Table& batch,
-                               const BenchParams& params) {
-  MdnApproaches out;
-  auto make = [&]() {
-    return std::make_unique<models::Mdn>(bundle.base, bundle.aqp.categorical,
-                                         bundle.aqp.numeric,
-                                         MdnConfigFor(params));
-  };
-  std::string cache = BaseModelCachePath(models::Mdn::kCheckpointKind,
-                                         bundle.name, params,
-                                         MdnConfigFor(params));
-  RunApproaches<models::Mdn>(bundle, batch, params, make, cache, &out.m0,
-                             &out.ddup, &out.baseline, &out.stale, &out.retrain,
-                             &out.ddup_seconds, &out.baseline_seconds,
-                             &out.retrain_seconds);
   return out;
 }
 
-DarnApproaches RunDarnApproaches(const DatasetBundle& bundle,
-                                 const storage::Table& batch,
-                                 const BenchParams& params) {
-  DarnApproaches out;
-  auto make = [&]() {
-    return std::make_unique<models::Darn>(bundle.base, DarnConfigFor(params));
-  };
-  std::string cache = BaseModelCachePath(models::Darn::kCheckpointKind,
-                                         bundle.name, params,
-                                         DarnConfigFor(params));
-  RunApproaches<models::Darn>(bundle, batch, params, make, cache, &out.m0,
-                              &out.ddup, &out.baseline, &out.stale,
-                              &out.retrain, &out.ddup_seconds,
-                              &out.baseline_seconds, &out.retrain_seconds);
-  return out;
-}
+template Approaches<models::Mdn> RunApproaches<models::Mdn>(
+    const DatasetBundle&, const storage::Table&, const BenchParams&);
+template Approaches<models::Darn> RunApproaches<models::Darn>(
+    const DatasetBundle&, const storage::Table&, const BenchParams&);
+template Approaches<models::Tvae> RunApproaches<models::Tvae>(
+    const DatasetBundle&, const storage::Table&, const BenchParams&);
 
-TvaeApproaches RunTvaeApproaches(const DatasetBundle& bundle,
-                                 const storage::Table& batch,
-                                 const BenchParams& params) {
-  TvaeApproaches out;
-  auto make = [&]() {
-    return std::make_unique<models::Tvae>(bundle.base, TvaeConfigFor(params));
-  };
-  std::string cache = BaseModelCachePath(models::Tvae::kCheckpointKind,
-                                         bundle.name, params,
-                                         TvaeConfigFor(params));
-  RunApproaches<models::Tvae>(bundle, batch, params, make, cache, &out.m0,
-                              &out.ddup, &out.baseline, &out.stale,
-                              &out.retrain, &out.ddup_seconds,
-                              &out.baseline_seconds, &out.retrain_seconds);
-  return out;
+core::InsertionReport MustInsert(core::DdupController& controller,
+                                 const storage::Table& batch) {
+  StatusOr<core::InsertionReport> report = controller.HandleInsertion(batch);
+  DDUP_CHECK_MSG(report.ok(), report.status().ToString());
+  return std::move(report).value();
 }
 
 void PrintBanner(const std::string& artifact, const std::string& description,

@@ -78,7 +78,11 @@ struct DatasetBundle {
 };
 
 DatasetBundle MakeBundle(const std::string& dataset, const BenchParams& params);
-// The union base + batch (the post-insertion table).
+// The union base + batch (the post-insertion table). Schema-checked: a
+// mismatched batch fails as StatusOr (TryUnion) or aborts with the detailed
+// mismatch message (Union, for bench code where the schemas are static).
+StatusOr<storage::Table> TryUnion(const storage::Table& base,
+                                  const storage::Table& batch);
 storage::Table Union(const storage::Table& base, const storage::Table& batch);
 
 // Bench-sized model configurations.
@@ -113,49 +117,40 @@ std::vector<double> RelErrors(const std::vector<double>& estimates,
 // ---------------------------------------------------------------------------
 // Five-approach protocol (Tables 5/6/8): given a bundle and an update batch,
 // produce the post-update models for every approach. The same seeds make the
-// base model identical across approaches.
+// base model identical across approaches. One templated path serves every
+// model family: instances are built through the api::ModelFactory registry
+// (with bench-sized options derived from BenchParams), so a kind registered
+// with the factory is automatically benchable.
 // ---------------------------------------------------------------------------
-struct MdnApproaches {
-  std::unique_ptr<models::Mdn> m0;        // untouched base model
-  std::unique_ptr<models::Mdn> ddup;      // distillation update
-  std::unique_ptr<models::Mdn> baseline;  // plain fine-tune on new data
-  std::unique_ptr<models::Mdn> stale;     // do nothing
-  std::unique_ptr<models::Mdn> retrain;   // retrain on base+batch
+template <typename ModelT>
+struct Approaches {
+  std::unique_ptr<ModelT> m0;        // untouched base model
+  std::unique_ptr<ModelT> ddup;      // distillation update
+  std::unique_ptr<ModelT> baseline;  // plain fine-tune on new data
+  std::unique_ptr<ModelT> stale;     // do nothing
+  std::unique_ptr<ModelT> retrain;   // retrain on base+batch
   double ddup_seconds = 0.0;
   double baseline_seconds = 0.0;
   double retrain_seconds = 0.0;
 };
-MdnApproaches RunMdnApproaches(const DatasetBundle& bundle,
-                               const storage::Table& batch,
-                               const BenchParams& params);
 
-struct DarnApproaches {
-  std::unique_ptr<models::Darn> m0;
-  std::unique_ptr<models::Darn> ddup;
-  std::unique_ptr<models::Darn> baseline;
-  std::unique_ptr<models::Darn> stale;
-  std::unique_ptr<models::Darn> retrain;
-  double ddup_seconds = 0.0;
-  double baseline_seconds = 0.0;
-  double retrain_seconds = 0.0;
-};
-DarnApproaches RunDarnApproaches(const DatasetBundle& bundle,
+// Explicitly instantiated in harness.cc for models::Mdn / Darn / Tvae.
+template <typename ModelT>
+Approaches<ModelT> RunApproaches(const DatasetBundle& bundle,
                                  const storage::Table& batch,
                                  const BenchParams& params);
 
-struct TvaeApproaches {
-  std::unique_ptr<models::Tvae> m0;
-  std::unique_ptr<models::Tvae> ddup;
-  std::unique_ptr<models::Tvae> baseline;
-  std::unique_ptr<models::Tvae> stale;
-  std::unique_ptr<models::Tvae> retrain;
-  double ddup_seconds = 0.0;
-  double baseline_seconds = 0.0;
-  double retrain_seconds = 0.0;
-};
-TvaeApproaches RunTvaeApproaches(const DatasetBundle& bundle,
-                                 const storage::Table& batch,
-                                 const BenchParams& params);
+extern template Approaches<models::Mdn> RunApproaches<models::Mdn>(
+    const DatasetBundle&, const storage::Table&, const BenchParams&);
+extern template Approaches<models::Darn> RunApproaches<models::Darn>(
+    const DatasetBundle&, const storage::Table&, const BenchParams&);
+extern template Approaches<models::Tvae> RunApproaches<models::Tvae>(
+    const DatasetBundle&, const storage::Table&, const BenchParams&);
+
+// HandleInsertion for bench streams whose batches are valid by
+// construction: aborts with the Status message instead of returning it.
+core::InsertionReport MustInsert(core::DdupController& controller,
+                                 const storage::Table& batch);
 
 // Output helpers.
 void PrintBanner(const std::string& artifact, const std::string& description,

@@ -86,7 +86,9 @@ int main() {
   std::printf("\n%-8s %-8s %-10s %10s %12s\n", "batch", "verdict", "action",
               "stat/thr", "median q-err");
   for (auto& [label, batch] : stream) {
-    auto report = controller.HandleInsertion(batch);
+    auto report_or = controller.HandleInsertion(batch);
+    DDUP_CHECK_MSG(report_or.ok(), report_or.status().ToString());
+    const auto& report = report_or.value();
     double med = MedianQError(model, base, queries, controller.data());
     std::printf("%-8s %-8s %-10s %10.2f %12.2f\n", label,
                 report.test.is_ood ? "OOD" : "in-dist",

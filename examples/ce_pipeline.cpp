@@ -62,7 +62,9 @@ int main() {
   core::ControllerConfig cc;
   cc.policy.distill.epochs = 12;
   core::DdupController controller(&ddup_model, base, cc);
-  auto report = controller.HandleInsertion(batch);
+  auto report_or = controller.HandleInsertion(batch);
+  DDUP_CHECK_MSG(report_or.ok(), report_or.status().ToString());
+  const auto& report = report_or.value();
   std::printf("\ninsert verdict: %s (statistic %.2f vs threshold %.2f) -> %s\n",
               report.test.is_ood ? "OOD" : "in-distribution",
               report.test.statistic, report.test.threshold,

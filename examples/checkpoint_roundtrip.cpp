@@ -133,7 +133,9 @@ int main(int argc, char** argv) {
 
   // 4. Drift arrives: an OOD batch from a different mixture.
   Table ood_batch = MogTable({85, 95}, 600, 3);
-  auto report = resumed.value()->HandleInsertion(ood_batch);
+  auto report_or = resumed.value()->HandleInsertion(ood_batch);
+  DDUP_CHECK_MSG(report_or.ok(), report_or.status().ToString());
+  const auto& report = report_or.value();
   std::printf(
       "drift   statistic %.4f vs threshold %.4f -> %s (%s, %.2fs update)\n",
       report.test.statistic, report.test.threshold,

@@ -61,7 +61,9 @@ int main() {
   Rng drift_rng(24);
   storage::Table batch =
       storage::OutOfDistributionSample(base, drift_rng, 0.2);
-  auto report = controller.HandleInsertion(batch);
+  auto report_or = controller.HandleInsertion(batch);
+  DDUP_CHECK_MSG(report_or.ok(), report_or.status().ToString());
+  const auto& report = report_or.value();
   std::printf("\ninsert verdict: %s -> %s (ELBO stat %.2f vs thr %.2f)\n",
               report.test.is_ood ? "OOD" : "in-distribution",
               core::ActionName(report.action), report.test.statistic,

@@ -50,7 +50,9 @@ int main() {
               "median q-err", "update (s)");
   for (size_t step = 1; step < parts.size(); ++step) {
     storage::Table new_data = star.JoinWithFact(parts[step]);
-    auto report = controller.HandleInsertion(new_data);
+    auto report_or = controller.HandleInsertion(new_data);
+    DDUP_CHECK_MSG(report_or.ok(), report_or.status().ToString());
+    const auto& report = report_or.value();
     accumulated.Append(new_data);
 
     std::vector<double> errs;

@@ -32,6 +32,15 @@ else
   echo "bench_smoke: bench_micro_tensor not built, skipping kernel smoke"
 fi
 
+# Public-API smoke: the multi-table Engine lifecycle (factory, micro-batched
+# ingestion, Status surface, Save->Load bit-identity). Also a ctest target;
+# running it here keeps the smoke script exercising the whole public surface.
+if [[ -x "${BUILD_DIR}/examples/engine_smoke" ]]; then
+  "${BUILD_DIR}/examples/engine_smoke" "${BUILD_DIR}/engine_smoke.ckpt"
+else
+  echo "bench_smoke: engine_smoke not built, skipping engine smoke"
+fi
+
 # End-to-end harness smoke: trains, detects, distills and prints the q-error
 # table at tiny size. Exercises the full model/detector/update stack.
 "${BUILD_DIR}/bench/bench_table5_update_qerror"

@@ -1,0 +1,390 @@
+#include "api/engine.h"
+
+#include <numeric>
+#include <utility>
+
+#include "io/checkpoint.h"
+#include "io/serializer.h"
+
+namespace ddup::api {
+
+namespace {
+
+constexpr uint32_t kManifestVersion = 1;
+constexpr const char* kManifestSection = "engine";
+
+// Section names for the per-table payloads. Table names may contain any
+// character except the separator we pick here; Save rejects offenders.
+std::string ModelSection(const std::string& table) { return "model:" + table; }
+std::string ControllerSection(const std::string& table) {
+  return "controller:" + table;
+}
+
+// Rows [begin, end) of `t`, preserving order.
+storage::Table Slice(const storage::Table& t, int64_t begin, int64_t end) {
+  std::vector<int64_t> rows(static_cast<size_t>(end - begin));
+  std::iota(rows.begin(), rows.end(), begin);
+  return t.TakeRows(rows);
+}
+
+}  // namespace
+
+Engine::Engine(EngineConfig config) : config_(std::move(config)) {
+  DDUP_CHECK_MSG(config_.micro_batch_rows > 0,
+                 "EngineConfig::micro_batch_rows must be positive");
+}
+
+StatusOr<Engine::TableState*> Engine::FindTable(const std::string& name) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("no table named '" + name + "'");
+  }
+  return &it->second;
+}
+
+StatusOr<const Engine::TableState*> Engine::FindTable(
+    const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("no table named '" + name + "'");
+  }
+  return &it->second;
+}
+
+Status Engine::CreateTable(const std::string& name,
+                           const storage::Table& base_data,
+                           const TableOptions& options) {
+  if (name.empty()) {
+    return Status::InvalidArgument("table name must be non-empty");
+  }
+  if (name.find(':') != std::string::npos) {
+    // ':' separates the checkpoint section namespace ("model:<table>");
+    // reject it here so an engine never becomes un-checkpointable later.
+    return Status::InvalidArgument("table name '" + name +
+                                   "' must not contain ':'");
+  }
+  if (tables_.count(name) > 0) {
+    return Status::FailedPrecondition("table '" + name + "' already exists");
+  }
+  if (base_data.num_columns() == 0) {
+    return Status::InvalidArgument("table '" + name +
+                                   "' needs at least one column");
+  }
+  if (options.micro_batch_rows < 0) {
+    return Status::InvalidArgument("micro_batch_rows must be >= 0");
+  }
+  TableState state;
+  state.micro_batch_rows = options.micro_batch_rows > 0
+                               ? options.micro_batch_rows
+                               : config_.micro_batch_rows;
+  state.base = base_data;
+  state.base.set_name(name);
+  state.pending = state.base.TakeRows({});  // zero rows, same schema
+  tables_[name] = std::move(state);
+  return Status::OK();
+}
+
+Status Engine::AttachModel(const std::string& name, const ModelSpec& spec) {
+  StatusOr<TableState*> found = FindTable(name);
+  if (!found.ok()) return found.status();
+  TableState* state = found.value();
+  if (state->model != nullptr) {
+    return Status::FailedPrecondition("table '" + name +
+                                      "' already has a model attached");
+  }
+  if (state->base.num_rows() <= 0) {
+    return Status::FailedPrecondition(
+        "table '" + name + "' has no rows to train the base model on");
+  }
+  StatusOr<std::unique_ptr<core::UpdatableModel>> model =
+      ModelFactory::Global().Create(spec.kind, state->base, spec.options);
+  if (!model.ok()) return model.status();
+  state->model = std::move(model).value();
+  state->controller = std::make_unique<core::DdupController>(
+      state->model.get(), state->base, config_.controller);
+  state->spec = spec;
+  // The controller owns the accumulated data from here on; keep only the
+  // schema for batch validation.
+  state->base = state->base.TakeRows({});
+  return Status::OK();
+}
+
+Status Engine::PushBatch(TableState* state, const storage::Table& batch,
+                         IngestResult* result) {
+  StatusOr<core::InsertionReport> report =
+      state->controller->HandleInsertion(batch);
+  if (!report.ok()) return report.status();
+  state->insertions += 1;
+  switch (report.value().action) {
+    case core::UpdateAction::kDistill:
+      state->ood_updates += 1;
+      break;
+    case core::UpdateAction::kFineTune:
+      state->finetunes += 1;
+      break;
+    default:
+      state->kept_stale += 1;
+      break;
+  }
+  state->detect_seconds += report.value().detect_seconds;
+  state->update_seconds += report.value().update_seconds;
+  result->rows_flushed += batch.num_rows();
+  result->reports.push_back(std::move(report).value());
+  return Status::OK();
+}
+
+Status Engine::Drain(TableState* state, bool all, IngestResult* result) {
+  // Single pass over the accumulator: each row is copied once into its
+  // micro-batch (plus once for the surviving remainder), never re-copied
+  // per iteration. On an error, the unconsumed suffix stays buffered.
+  const int64_t total = state->pending.num_rows();
+  int64_t offset = 0;
+  Status status;
+  while (status.ok() && total - offset >= state->micro_batch_rows) {
+    status = PushBatch(
+        state, Slice(state->pending, offset, offset + state->micro_batch_rows),
+        result);
+    if (status.ok()) offset += state->micro_batch_rows;
+  }
+  if (status.ok() && all && offset < total) {
+    status = PushBatch(state, Slice(state->pending, offset, total), result);
+    if (status.ok()) offset = total;
+  }
+  if (offset > 0) state->pending = Slice(state->pending, offset, total);
+  result->rows_buffered = state->pending.num_rows();
+  return status;
+}
+
+StatusOr<IngestResult> Engine::Ingest(const std::string& name,
+                                      const storage::Table& batch) {
+  StatusOr<TableState*> found = FindTable(name);
+  if (!found.ok()) return found.status();
+  TableState* state = found.value();
+  if (state->controller == nullptr) {
+    return Status::FailedPrecondition("table '" + name +
+                                      "' has no model attached yet");
+  }
+  IngestResult result;
+  if (batch.num_rows() > 0) {
+    DDUP_RETURN_IF_ERROR(storage::CheckSchemaCompatible(state->base, batch));
+    state->pending.Append(batch);
+  }
+  DDUP_RETURN_IF_ERROR(Drain(state, /*all=*/false, &result));
+  return result;
+}
+
+StatusOr<IngestResult> Engine::Flush(const std::string& name) {
+  StatusOr<TableState*> found = FindTable(name);
+  if (!found.ok()) return found.status();
+  TableState* state = found.value();
+  if (state->controller == nullptr) {
+    return Status::FailedPrecondition("table '" + name +
+                                      "' has no model attached yet");
+  }
+  IngestResult result;
+  DDUP_RETURN_IF_ERROR(Drain(state, /*all=*/true, &result));
+  return result;
+}
+
+Status Engine::FlushAll() {
+  for (auto& [name, state] : tables_) {
+    // A table without a model cannot have buffered rows (Ingest requires
+    // the controller), so there is nothing to flush — skip it rather than
+    // failing the whole sweep.
+    if (state.controller == nullptr) continue;
+    StatusOr<IngestResult> result = Flush(name);
+    if (!result.ok()) return result.status();
+  }
+  return Status::OK();
+}
+
+StatusOr<double> Engine::EstimateCardinality(
+    const std::string& name, const workload::Query& query) const {
+  StatusOr<const TableState*> found = FindTable(name);
+  if (!found.ok()) return found.status();
+  const TableState* state = found.value();
+  if (state->model == nullptr) {
+    return Status::FailedPrecondition("table '" + name +
+                                      "' has no model attached yet");
+  }
+  const auto* estimator =
+      dynamic_cast<const core::CardinalityEstimator*>(state->model.get());
+  if (estimator == nullptr) {
+    return Status::FailedPrecondition(
+        "model kind '" + state->spec.kind + "' on table '" + name +
+        "' does not serve cardinality estimates");
+  }
+  return estimator->TryEstimateCardinality(query);
+}
+
+StatusOr<double> Engine::EstimateAqp(const std::string& name,
+                                     const workload::Query& query) const {
+  StatusOr<const TableState*> found = FindTable(name);
+  if (!found.ok()) return found.status();
+  const TableState* state = found.value();
+  if (state->model == nullptr) {
+    return Status::FailedPrecondition("table '" + name +
+                                      "' has no model attached yet");
+  }
+  const auto* estimator =
+      dynamic_cast<const core::AqpEstimator*>(state->model.get());
+  if (estimator == nullptr) {
+    return Status::FailedPrecondition("model kind '" + state->spec.kind +
+                                      "' on table '" + name +
+                                      "' does not serve AQP estimates");
+  }
+  return estimator->TryEstimateAqp(query, state->base);
+}
+
+StatusOr<TableReport> Engine::Report(const std::string& name) const {
+  StatusOr<const TableState*> found = FindTable(name);
+  if (!found.ok()) return found.status();
+  const TableState* state = found.value();
+  TableReport report;
+  report.table = name;
+  report.model_kind = state->spec.kind;
+  report.rows = state->controller != nullptr
+                    ? state->controller->data().num_rows()
+                    : state->base.num_rows();
+  report.buffered_rows = state->pending.num_rows();
+  report.micro_batch_rows = state->micro_batch_rows;
+  report.insertions = state->insertions;
+  report.ood_updates = state->ood_updates;
+  report.finetunes = state->finetunes;
+  report.kept_stale = state->kept_stale;
+  report.detect_seconds = state->detect_seconds;
+  report.update_seconds = state->update_seconds;
+  if (state->controller != nullptr) {
+    report.bootstrap_mean = state->controller->detector().bootstrap_mean();
+    report.bootstrap_std = state->controller->detector().bootstrap_std();
+  }
+  return report;
+}
+
+std::vector<std::string> Engine::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, state] : tables_) {
+    (void)state;
+    names.push_back(name);
+  }
+  return names;
+}
+
+bool Engine::HasTable(const std::string& name) const {
+  return tables_.count(name) > 0;
+}
+
+core::UpdatableModel* Engine::model(const std::string& name) {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second.model.get();
+}
+
+Status Engine::Save(const std::string& path) const {
+  io::CheckpointWriter writer;
+  io::Serializer manifest;
+  manifest.WriteU32(kManifestVersion);
+  manifest.WriteU32(static_cast<uint32_t>(tables_.size()));
+  for (const auto& [name, state] : tables_) {
+    if (name.find(':') != std::string::npos) {
+      return Status::InvalidArgument("table name '" + name +
+                                     "' cannot be checkpointed (contains ':')");
+    }
+    manifest.WriteString(name);
+    manifest.WriteString(state.spec.kind);
+    manifest.WriteU32(static_cast<uint32_t>(state.spec.options.size()));
+    for (const auto& [key, value] : state.spec.options) {
+      manifest.WriteString(key);
+      manifest.WriteString(value);
+    }
+    manifest.WriteI64(state.micro_batch_rows);
+    manifest.WriteI64(state.insertions);
+    manifest.WriteI64(state.ood_updates);
+    manifest.WriteI64(state.finetunes);
+    manifest.WriteI64(state.kept_stale);
+    manifest.WriteDouble(state.detect_seconds);
+    manifest.WriteDouble(state.update_seconds);
+    manifest.WriteTable(state.base);
+    manifest.WriteTable(state.pending);
+    manifest.WriteBool(state.model != nullptr);
+    if (state.model != nullptr) {
+      io::Serializer model_state;
+      DDUP_RETURN_IF_ERROR(state.model->SaveState(&model_state));
+      writer.AddSection(ModelSection(name), model_state.Take());
+      io::Serializer controller_state;
+      DDUP_RETURN_IF_ERROR(state.controller->SaveState(&controller_state));
+      writer.AddSection(ControllerSection(name), controller_state.Take());
+    }
+  }
+  writer.AddSection(kManifestSection, manifest.Take());
+  return writer.WriteToFile(path);
+}
+
+StatusOr<std::unique_ptr<Engine>> Engine::Load(const std::string& path,
+                                               EngineConfig config) {
+  StatusOr<io::CheckpointReader> reader = io::CheckpointReader::FromFile(path);
+  if (!reader.ok()) return reader.status();
+  StatusOr<std::string> payload = reader.value().Section(kManifestSection);
+  if (!payload.ok()) return payload.status();
+  io::Deserializer manifest(std::move(payload).value());
+  uint32_t version = manifest.ReadU32();
+  if (manifest.ok() && version != kManifestVersion) {
+    return Status::InvalidArgument("unsupported engine manifest version " +
+                                   std::to_string(version));
+  }
+
+  auto engine = std::make_unique<Engine>(std::move(config));
+  uint32_t num_tables = manifest.ReadU32();
+  for (uint32_t i = 0; i < num_tables && manifest.ok(); ++i) {
+    std::string name = manifest.ReadString();
+    TableState state;
+    state.spec.kind = manifest.ReadString();
+    uint32_t num_options = manifest.ReadU32();
+    for (uint32_t k = 0; k < num_options && manifest.ok(); ++k) {
+      std::string key = manifest.ReadString();
+      state.spec.options[key] = manifest.ReadString();
+    }
+    state.micro_batch_rows = manifest.ReadI64();
+    state.insertions = manifest.ReadI64();
+    state.ood_updates = manifest.ReadI64();
+    state.finetunes = manifest.ReadI64();
+    state.kept_stale = manifest.ReadI64();
+    state.detect_seconds = manifest.ReadDouble();
+    state.update_seconds = manifest.ReadDouble();
+    state.base = manifest.ReadTable();
+    state.pending = manifest.ReadTable();
+    bool has_model = manifest.ReadBool();
+    if (!manifest.ok()) break;
+    if (state.micro_batch_rows <= 0) {
+      return Status::InvalidArgument("manifest for table '" + name +
+                                     "' has a non-positive micro-batch size");
+    }
+    if (has_model) {
+      StatusOr<std::string> model_payload =
+          reader.value().Section(ModelSection(name));
+      if (!model_payload.ok()) return model_payload.status();
+      io::Deserializer model_in(std::move(model_payload).value());
+      StatusOr<std::unique_ptr<core::UpdatableModel>> model =
+          ModelFactory::Global().Restore(state.spec.kind, &model_in);
+      if (!model.ok()) return model.status();
+      DDUP_RETURN_IF_ERROR(model_in.Finish());
+      state.model = std::move(model).value();
+
+      StatusOr<std::string> controller_payload =
+          reader.value().Section(ControllerSection(name));
+      if (!controller_payload.ok()) return controller_payload.status();
+      io::Deserializer controller_in(std::move(controller_payload).value());
+      StatusOr<std::unique_ptr<core::DdupController>> controller =
+          core::DdupController::ResumeFromState(
+              state.model.get(), engine->config_.controller, &controller_in);
+      if (!controller.ok()) return controller.status();
+      DDUP_RETURN_IF_ERROR(controller_in.Finish());
+      state.controller = std::move(controller).value();
+    }
+    engine->tables_[name] = std::move(state);
+  }
+  DDUP_RETURN_IF_ERROR(manifest.Finish());
+  return engine;
+}
+
+}  // namespace ddup::api

@@ -1,0 +1,166 @@
+#ifndef DDUP_API_ENGINE_H_
+#define DDUP_API_ENGINE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/model_factory.h"
+#include "common/status.h"
+#include "core/controller.h"
+#include "storage/table.h"
+#include "workload/query.h"
+
+namespace ddup::api {
+
+// Engine-wide defaults. The controller config (detector + update policies)
+// applies to every attached model; micro_batch_rows is the default flush
+// threshold, overridable per table at CreateTable.
+struct EngineConfig {
+  core::ControllerConfig controller;
+  int64_t micro_batch_rows = 512;
+};
+
+struct TableOptions {
+  // Per-table flush threshold; 0 uses the engine default.
+  int64_t micro_batch_rows = 0;
+};
+
+// What one Ingest/Flush call did: rows may sit in the accumulator
+// (buffered), and each flushed micro-batch produces one full DDUp loop
+// iteration (detect -> update -> offline refresh) reported per batch.
+struct IngestResult {
+  // Accumulator occupancy after the call.
+  int64_t rows_buffered = 0;
+  // Rows pushed through the DDUp loop by this call.
+  int64_t rows_flushed = 0;
+  // One entry per flushed micro-batch, in flush order.
+  std::vector<core::InsertionReport> reports;
+};
+
+// Cumulative per-table statistics (Report).
+struct TableReport {
+  std::string table;
+  // "" before AttachModel.
+  std::string model_kind;
+  // Rows the model has absorbed / rows awaiting a flush.
+  int64_t rows = 0;
+  int64_t buffered_rows = 0;
+  // Flush threshold.
+  int64_t micro_batch_rows = 0;
+  // Micro-batches through the loop, split by the action taken.
+  int64_t insertions = 0;
+  int64_t ood_updates = 0;
+  int64_t finetunes = 0;
+  int64_t kept_stale = 0;
+  double detect_seconds = 0.0;
+  double update_seconds = 0.0;
+  // Detector state after the last offline refresh.
+  double bootstrap_mean = 0.0;
+  double bootstrap_std = 0.0;
+};
+
+// The public multi-table facade over the DDUp loop: a registry of named
+// tables, each bound to a model built through the ModelFactory and driven
+// by its own DdupController. Every fallible call returns Status/StatusOr —
+// unknown tables, unregistered model kinds, schema-mismatched batches and
+// unsupported estimate types are recoverable errors, never crashes.
+//
+// Ingest accepts arbitrary-size row batches and decouples insertion
+// granularity from detection granularity: rows accumulate per table and
+// the DDUp loop runs once per full micro-batch (micro_batch_rows), plus
+// once for the remainder on an explicit Flush. Buffered rows are invisible
+// to the model (and to Estimate*) until flushed.
+//
+// Save writes the whole engine — registry, per-table accumulator, model
+// weights, detector moments and every RNG stream — as one manifest over
+// the src/io checkpoint container; Load restores it bit-identically, so a
+// restarted engine issues the same estimates and the same future detect
+// decisions as the original.
+class Engine {
+ public:
+  explicit Engine(EngineConfig config = {});
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  // Registers an empty-or-populated base table under `name`. The table
+  // needs at least one column; its schema becomes the contract every later
+  // batch is validated against.
+  Status CreateTable(const std::string& name, const storage::Table& base_data,
+                     const TableOptions& options = {});
+
+  // Builds spec.kind via the ModelFactory, trains it on the table's current
+  // rows (which must be non-empty) and starts the DDUp controller. One
+  // model per table.
+  Status AttachModel(const std::string& name, const ModelSpec& spec);
+
+  // Buffers `batch` (validated against the table schema; empty is a no-op)
+  // and runs the DDUp loop for every completed micro-batch.
+  StatusOr<IngestResult> Ingest(const std::string& name,
+                                const storage::Table& batch);
+
+  // Pushes any buffered remainder through the loop regardless of size.
+  StatusOr<IngestResult> Flush(const std::string& name);
+  // Flush for every table; stops at the first error.
+  Status FlushAll();
+
+  // Estimates over the flushed state. FailedPrecondition if no model is
+  // attached or the model kind does not serve the estimate type.
+  StatusOr<double> EstimateCardinality(const std::string& name,
+                                       const workload::Query& query) const;
+  StatusOr<double> EstimateAqp(const std::string& name,
+                               const workload::Query& query) const;
+
+  StatusOr<TableReport> Report(const std::string& name) const;
+  std::vector<std::string> TableNames() const;  // sorted
+  bool HasTable(const std::string& name) const;
+
+  // Direct model access for plotting/diagnostics (nullptr before
+  // AttachModel). The engine still owns the model.
+  core::UpdatableModel* model(const std::string& name);
+
+  // Whole-engine checkpoint: a manifest section describing the registry
+  // plus one model and one controller section per attached table, all in a
+  // single container file. Restores are bit-identical.
+  Status Save(const std::string& path) const;
+  // `config` supplies what the manifest deliberately does not persist: the
+  // policy/detector knobs for resumed controllers (matching the
+  // DdupController::Resume contract) and the micro-batch default for
+  // tables created after the restore.
+  static StatusOr<std::unique_ptr<Engine>> Load(const std::string& path,
+                                                EngineConfig config = {});
+
+ private:
+  struct TableState {
+    ModelSpec spec;
+    int64_t micro_batch_rows = 0;
+    storage::Table base;     // schema contract; rows only until AttachModel
+    storage::Table pending;  // micro-batch accumulator (base schema)
+    std::unique_ptr<core::UpdatableModel> model;
+    std::unique_ptr<core::DdupController> controller;
+    int64_t insertions = 0;
+    int64_t ood_updates = 0;
+    int64_t finetunes = 0;
+    int64_t kept_stale = 0;
+    double detect_seconds = 0.0;
+    double update_seconds = 0.0;
+  };
+
+  StatusOr<TableState*> FindTable(const std::string& name);
+  StatusOr<const TableState*> FindTable(const std::string& name) const;
+  // Runs the DDUp loop on `batch` and folds the report into the counters.
+  Status PushBatch(TableState* state, const storage::Table& batch,
+                   IngestResult* result);
+  // Drains every full micro-batch (and, if `all`, the remainder).
+  Status Drain(TableState* state, bool all, IngestResult* result);
+
+  EngineConfig config_;
+  std::map<std::string, TableState> tables_;  // sorted => deterministic Save
+};
+
+}  // namespace ddup::api
+
+#endif  // DDUP_API_ENGINE_H_

@@ -1,0 +1,167 @@
+#include "api/model_factory.h"
+
+#include <cerrno>
+#include <cstdlib>
+
+#include "models/registry.h"
+
+namespace ddup::api {
+
+// ---------------------------------------------------------------------------
+// OptionReader
+// ---------------------------------------------------------------------------
+
+const std::string* OptionReader::Raw(const std::string& key) {
+  consumed_.insert(key);
+  auto it = options_.find(key);
+  return it == options_.end() ? nullptr : &it->second;
+}
+
+void OptionReader::Fail(const std::string& key, const char* expected) {
+  if (status_.ok()) {
+    status_ = Status::InvalidArgument("option '" + key + "' is not " +
+                                      expected + ": '" + options_.at(key) +
+                                      "'");
+  }
+}
+
+std::string OptionReader::String(const std::string& key, std::string fallback) {
+  const std::string* raw = Raw(key);
+  return raw != nullptr ? *raw : fallback;
+}
+
+int64_t OptionReader::Int(const std::string& key, int64_t fallback,
+                          int64_t min_value, int64_t max_value) {
+  const std::string* raw = Raw(key);
+  if (raw == nullptr) return fallback;
+  errno = 0;
+  char* end = nullptr;
+  long long v = std::strtoll(raw->c_str(), &end, 10);
+  if (raw->empty() || errno != 0 || end != raw->c_str() + raw->size()) {
+    Fail(key, "an integer");
+    return fallback;
+  }
+  if (v < min_value || v > max_value) {
+    Fail(key, ("in [" + std::to_string(min_value) + ", " +
+               std::to_string(max_value) + "]")
+                  .c_str());
+    return fallback;
+  }
+  return static_cast<int64_t>(v);
+}
+
+int OptionReader::PositiveInt(const std::string& key, int fallback) {
+  return static_cast<int>(
+      Int(key, fallback, 1, std::numeric_limits<int>::max()));
+}
+
+double OptionReader::Double(const std::string& key, double fallback) {
+  const std::string* raw = Raw(key);
+  if (raw == nullptr) return fallback;
+  errno = 0;
+  char* end = nullptr;
+  double v = std::strtod(raw->c_str(), &end);
+  if (raw->empty() || errno != 0 || end != raw->c_str() + raw->size()) {
+    Fail(key, "a number");
+    return fallback;
+  }
+  return v;
+}
+
+uint64_t OptionReader::U64(const std::string& key, uint64_t fallback) {
+  const std::string* raw = Raw(key);
+  if (raw == nullptr) return fallback;
+  errno = 0;
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(raw->c_str(), &end, 10);
+  if (raw->empty() || errno != 0 || end != raw->c_str() + raw->size()) {
+    Fail(key, "an unsigned integer");
+    return fallback;
+  }
+  return static_cast<uint64_t>(v);
+}
+
+Status OptionReader::Finish(const std::string& kind) const {
+  if (!status_.ok()) return status_;
+  for (const auto& [key, value] : options_) {
+    (void)value;
+    if (consumed_.count(key) == 0) {
+      return Status::InvalidArgument("model kind '" + kind +
+                                     "' does not understand option '" + key +
+                                     "'");
+    }
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// ModelFactory
+// ---------------------------------------------------------------------------
+
+ModelFactory& ModelFactory::Global() {
+  static ModelFactory* factory = [] {
+    auto* f = new ModelFactory();
+    models::RegisterBuiltinModels(f);
+    return f;
+  }();
+  return *factory;
+}
+
+Status ModelFactory::Register(const std::string& kind, Creator creator,
+                              Restorer restorer) {
+  if (kind.empty()) {
+    return Status::InvalidArgument("model kind must be non-empty");
+  }
+  if (entries_.count(kind) > 0) {
+    return Status::FailedPrecondition("model kind '" + kind +
+                                      "' is already registered");
+  }
+  entries_[kind] = Entry{std::move(creator), std::move(restorer)};
+  return Status::OK();
+}
+
+bool ModelFactory::Has(const std::string& kind) const {
+  return entries_.count(kind) > 0;
+}
+
+std::vector<std::string> ModelFactory::Kinds() const {
+  std::vector<std::string> kinds;
+  kinds.reserve(entries_.size());
+  for (const auto& [kind, entry] : entries_) {
+    (void)entry;
+    kinds.push_back(kind);
+  }
+  return kinds;
+}
+
+StatusOr<const ModelFactory::Entry*> ModelFactory::Find(
+    const std::string& kind) const {
+  auto it = entries_.find(kind);
+  if (it == entries_.end()) {
+    std::string known;
+    for (const auto& k : Kinds()) {
+      if (!known.empty()) known += ", ";
+      known += k;
+    }
+    return Status::NotFound("unregistered model kind '" + kind +
+                            "' (registered: " + known + ")");
+  }
+  return &it->second;
+}
+
+StatusOr<std::unique_ptr<core::UpdatableModel>> ModelFactory::Create(
+    const std::string& kind, const storage::Table& base_data,
+    const ModelOptions& options) const {
+  StatusOr<const Entry*> entry = Find(kind);
+  if (!entry.ok()) return entry.status();
+  return entry.value()->creator(base_data, options);
+}
+
+StatusOr<std::unique_ptr<core::UpdatableModel>> ModelFactory::Restore(
+    const std::string& kind, io::Deserializer* in) const {
+  StatusOr<const Entry*> entry = Find(kind);
+  if (!entry.ok()) return entry.status();
+  return entry.value()->restorer(in);
+}
+
+}  // namespace ddup::api

@@ -1,0 +1,114 @@
+#ifndef DDUP_API_MODEL_FACTORY_H_
+#define DDUP_API_MODEL_FACTORY_H_
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/interfaces.h"
+#include "storage/table.h"
+
+namespace ddup::io {
+class Deserializer;
+}  // namespace ddup::io
+
+namespace ddup::api {
+
+// String-keyed model configuration, e.g. {{"epochs", "25"}, {"seed", "7"}}.
+// Each registered kind parses the keys it understands and rejects unknown
+// keys or malformed values with InvalidArgument, so a typo in a config knob
+// surfaces at AttachModel time instead of silently training with defaults.
+using ModelOptions = std::map<std::string, std::string>;
+
+// A model kind plus its configuration; the unit AttachModel consumes and
+// the engine manifest persists.
+struct ModelSpec {
+  std::string kind;  // "mdn" | "darn" | "tvae" | "spn" | "gbdt"
+  ModelOptions options;
+};
+
+// Helper for creator implementations: typed option lookups with defaults,
+// sticky parse errors, and unknown-key detection. Read every key the kind
+// supports, then call Finish() to convert the first problem (malformed
+// value or unconsumed key) into a Status.
+class OptionReader {
+ public:
+  explicit OptionReader(const ModelOptions& options) : options_(options) {}
+
+  std::string String(const std::string& key, std::string fallback);
+  // Values outside [min_value, max_value] fail like malformed ones, so a
+  // knob can never truncate silently when narrowed to the config's type.
+  int64_t Int(const std::string& key, int64_t fallback,
+              int64_t min_value = std::numeric_limits<int64_t>::min(),
+              int64_t max_value = std::numeric_limits<int64_t>::max());
+  // Int bounded to a positive int — the shape of every structural knob
+  // (epochs, widths, batch sizes, ...).
+  int PositiveInt(const std::string& key, int fallback);
+  double Double(const std::string& key, double fallback);
+  uint64_t U64(const std::string& key, uint64_t fallback);
+
+  // OK iff every provided key was read and every value parsed.
+  Status Finish(const std::string& kind) const;
+
+ private:
+  const std::string* Raw(const std::string& key);
+  void Fail(const std::string& key, const char* expected);
+
+  const ModelOptions& options_;
+  std::set<std::string> consumed_;
+  Status status_;
+};
+
+// Registry mapping model-kind names to constructors and checkpoint
+// restorers. The five in-tree families are registered on first use of
+// Global() (see models/registry.cc); embedders can register additional
+// kinds, which then work everywhere a builtin does — AttachModel, bench
+// traits, and engine Save/Load.
+class ModelFactory {
+ public:
+  using Creator =
+      std::function<StatusOr<std::unique_ptr<core::UpdatableModel>>(
+          const storage::Table& base_data, const ModelOptions& options)>;
+  using Restorer =
+      std::function<StatusOr<std::unique_ptr<core::UpdatableModel>>(
+          io::Deserializer* in)>;
+
+  // The process-wide registry with the builtin kinds pre-registered.
+  static ModelFactory& Global();
+
+  // FailedPrecondition if `kind` is already registered.
+  Status Register(const std::string& kind, Creator creator, Restorer restorer);
+  bool Has(const std::string& kind) const;
+  // Registered kinds, sorted.
+  std::vector<std::string> Kinds() const;
+
+  // Builds and trains a model of `kind` on `base_data`. NotFound for an
+  // unregistered kind (the message lists the registered ones).
+  StatusOr<std::unique_ptr<core::UpdatableModel>> Create(
+      const std::string& kind, const storage::Table& base_data,
+      const ModelOptions& options) const;
+
+  // Rebuilds a model of `kind` from a SaveState payload.
+  StatusOr<std::unique_ptr<core::UpdatableModel>> Restore(
+      const std::string& kind, io::Deserializer* in) const;
+
+ private:
+  struct Entry {
+    Creator creator;
+    Restorer restorer;
+  };
+
+  StatusOr<const Entry*> Find(const std::string& kind) const;
+
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace ddup::api
+
+#endif  // DDUP_API_MODEL_FACTORY_H_

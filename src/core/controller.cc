@@ -33,12 +33,37 @@ DdupController::DdupController(UpdatableModel* model, ControllerConfig config,
   DDUP_CHECK(model_ != nullptr);
 }
 
+Status DdupController::SaveState(io::Serializer* out) const {
+  out->WriteU32(kControllerStateVersion);
+  DDUP_RETURN_IF_ERROR(detector_.SaveState(out));
+  out->WriteRng(rng_);
+  out->WriteTable(data_);
+  return Status::OK();
+}
+
+StatusOr<std::unique_ptr<DdupController>> DdupController::ResumeFromState(
+    UpdatableModel* model, ControllerConfig config, io::Deserializer* in) {
+  uint32_t version = in->ReadU32();
+  if (in->ok() && version != kControllerStateVersion) {
+    return Status::InvalidArgument("unsupported controller state version " +
+                                   std::to_string(version));
+  }
+  std::unique_ptr<DdupController> controller(
+      new DdupController(model, config, ResumeTag{}));
+  Status st = controller->detector_.LoadState(in);
+  if (!st.ok()) return st;
+  in->ReadRng(&controller->rng_);
+  controller->data_ = in->ReadTable();
+  if (!in->ok()) return in->status();
+  if (!controller->detector_.fitted() || controller->data_.num_rows() <= 0) {
+    return Status::InvalidArgument("controller snapshot is not resumable");
+  }
+  return controller;
+}
+
 Status DdupController::SaveSnapshot(const std::string& path) const {
   io::Serializer state;
-  state.WriteU32(kControllerStateVersion);
-  DDUP_RETURN_IF_ERROR(detector_.SaveState(&state));
-  state.WriteRng(rng_);
-  state.WriteTable(data_);
+  DDUP_RETURN_IF_ERROR(SaveState(&state));
   return io::WriteSectionFile(path, kCheckpointKind, state.Take());
 }
 
@@ -47,27 +72,20 @@ StatusOr<std::unique_ptr<DdupController>> DdupController::Resume(
   StatusOr<std::string> payload = io::ReadSectionFile(path, kCheckpointKind);
   if (!payload.ok()) return payload.status();
   io::Deserializer in(std::move(payload).value());
-  uint32_t version = in.ReadU32();
-  if (in.ok() && version != kControllerStateVersion) {
-    return Status::InvalidArgument("unsupported controller state version " +
-                                   std::to_string(version));
-  }
-  std::unique_ptr<DdupController> controller(
-      new DdupController(model, config, ResumeTag{}));
-  Status st = controller->detector_.LoadState(&in);
+  StatusOr<std::unique_ptr<DdupController>> controller =
+      ResumeFromState(model, config, &in);
+  if (!controller.ok()) return controller;
+  Status st = in.Finish();
   if (!st.ok()) return st;
-  in.ReadRng(&controller->rng_);
-  controller->data_ = in.ReadTable();
-  st = in.Finish();
-  if (!st.ok()) return st;
-  if (!controller->detector_.fitted() || controller->data_.num_rows() <= 0) {
-    return Status::InvalidArgument("controller snapshot is not resumable");
-  }
   return controller;
 }
 
-InsertionReport DdupController::HandleInsertion(const storage::Table& batch) {
-  DDUP_CHECK(batch.num_rows() > 0);
+StatusOr<InsertionReport> DdupController::HandleInsertion(
+    const storage::Table& batch) {
+  if (batch.num_rows() <= 0) {
+    return Status::InvalidArgument("insertion batch is empty");
+  }
+  DDUP_RETURN_IF_ERROR(storage::CheckSchemaCompatible(data_, batch));
   InsertionReport report;
   report.old_rows = data_.num_rows();
   report.new_rows = batch.num_rows();

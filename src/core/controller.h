@@ -44,7 +44,12 @@ class DdupController {
   DdupController(UpdatableModel* model, storage::Table base_data,
                  ControllerConfig config);
 
-  InsertionReport HandleInsertion(const storage::Table& batch);
+  // Runs the full loop for one insertion batch. The batch is validated
+  // before it can corrupt any state: an empty batch or one whose schema
+  // differs from the accumulated table (column count/name/type/dictionary)
+  // returns InvalidArgument and leaves the model, detector and data
+  // untouched.
+  StatusOr<InsertionReport> HandleInsertion(const storage::Table& batch);
 
   const storage::Table& data() const { return data_; }
   const OodDetector& detector() const { return detector_; }
@@ -63,6 +68,14 @@ class DdupController {
   static StatusOr<std::unique_ptr<DdupController>> Resume(
       UpdatableModel* model, ControllerConfig config, const std::string& path);
   static constexpr const char* kCheckpointKind = "controller";
+
+  // In-memory counterparts of SaveSnapshot/Resume, used by the Engine
+  // (src/api) to embed controller state as one section of a multi-table
+  // manifest instead of a standalone file. SaveSnapshot/Resume are thin
+  // wrappers over these.
+  Status SaveState(io::Serializer* out) const;
+  static StatusOr<std::unique_ptr<DdupController>> ResumeFromState(
+      UpdatableModel* model, ControllerConfig config, io::Deserializer* in);
 
  private:
   // Resume path: adopts the snapshot state instead of running Fit.

@@ -5,6 +5,7 @@
 
 #include "common/status.h"
 #include "storage/table.h"
+#include "workload/query.h"
 
 namespace ddup::io {
 class Serializer;
@@ -60,8 +61,33 @@ inline double ResolveAlpha(const DistillConfig& config, int64_t old_rows,
          static_cast<double>(old_rows + new_rows);
 }
 
+// Optional query surfaces a learned component may implement alongside
+// UpdatableModel. The Engine facade (src/api) probes for these with
+// dynamic_cast and returns FailedPrecondition when a model kind does not
+// serve the requested estimate, so callers never need to know the concrete
+// model class behind a table.
+class CardinalityEstimator {
+ public:
+  virtual ~CardinalityEstimator() = default;
+  // Estimated number of rows matching the query's conjunctive predicates;
+  // InvalidArgument for a query the model cannot evaluate (e.g. predicates
+  // on out-of-range columns), never a crash.
+  virtual StatusOr<double> TryEstimateCardinality(
+      const workload::Query& query) const = 0;
+};
+
+class AqpEstimator {
+ public:
+  virtual ~AqpEstimator() = default;
+  // COUNT/SUM/AVG estimate for a DBEst++-style template query (`schema`
+  // resolves column names/dictionaries; any table with the base schema).
+  // InvalidArgument for a query outside the model's template.
+  virtual StatusOr<double> TryEstimateAqp(
+      const workload::Query& query, const storage::Table& schema) const = 0;
+};
+
 // A model supporting DDUp's update actions (§4). Implemented by the MDN,
-// DARN and TVAE components in models/.
+// DARN and TVAE components in models/ (plus the SPN and GBDT adapters).
 class UpdatableModel : public LossModel {
  public:
   // Plain SGD/Adam steps on `new_data` only, with the given learning rate.

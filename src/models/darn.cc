@@ -356,6 +356,17 @@ double Darn::EstimateCardinality(const workload::Query& query) const {
   return EstimateSelectivity(query) * static_cast<double>(total_rows_);
 }
 
+StatusOr<double> Darn::TryEstimateCardinality(
+    const workload::Query& query) const {
+  for (const auto& p : query.predicates) {
+    if (p.column < 0 || p.column >= num_columns_) {
+      return Status::InvalidArgument("predicate on out-of-range column " +
+                                     std::to_string(p.column));
+    }
+  }
+  return EstimateCardinality(query);
+}
+
 Status Darn::SaveState(io::Serializer* out) const {
   out->WriteU32(kDarnStateVersion);
   out->WriteI32(config_.hidden_width);
@@ -414,14 +425,19 @@ Status Darn::SaveToFile(const std::string& path) const {
   return io::WriteSectionFile(path, kCheckpointKind, state.Take());
 }
 
+StatusOr<std::unique_ptr<Darn>> Darn::Restore(io::Deserializer* in) {
+  std::unique_ptr<Darn> model(new Darn());
+  DDUP_RETURN_IF_ERROR(model->LoadState(in));
+  return model;
+}
+
 StatusOr<std::unique_ptr<Darn>> Darn::LoadFromFile(const std::string& path) {
   StatusOr<std::string> payload = io::ReadSectionFile(path, kCheckpointKind);
   if (!payload.ok()) return payload.status();
   io::Deserializer in(std::move(payload).value());
-  std::unique_ptr<Darn> model(new Darn());
-  Status st = model->LoadState(&in);
-  if (!st.ok()) return st;
-  st = in.Finish();
+  StatusOr<std::unique_ptr<Darn>> model = Restore(&in);
+  if (!model.ok()) return model;
+  Status st = in.Finish();
   if (!st.ok()) return st;
   return model;
 }

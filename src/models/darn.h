@@ -31,7 +31,7 @@ struct DarnConfig {
   uint64_t seed = 11;
 };
 
-class Darn : public core::UpdatableModel {
+class Darn : public core::UpdatableModel, public core::CardinalityEstimator {
  public:
   // Fits the discretizer on `base_data` and trains the base model M0.
   Darn(const storage::Table& base_data, DarnConfig config);
@@ -55,6 +55,9 @@ class Darn : public core::UpdatableModel {
   // rebuilt on load.
   Status SaveToFile(const std::string& path) const;
   static StatusOr<std::unique_ptr<Darn>> LoadFromFile(const std::string& path);
+  // Rebuilds a model from a raw SaveState payload (the ModelFactory /
+  // engine-manifest restore path; LoadFromFile wraps this).
+  static StatusOr<std::unique_ptr<Darn>> Restore(io::Deserializer* in);
   static constexpr const char* kCheckpointKind = "darn";
 
   double AverageLogLikelihood(const storage::Table& sample) const {
@@ -63,6 +66,10 @@ class Darn : public core::UpdatableModel {
 
   // Estimated number of rows matching the query's conjunctive predicates.
   double EstimateCardinality(const workload::Query& query) const;
+  // core::CardinalityEstimator (the surface the Engine dispatches to):
+  // validates the predicates before estimating.
+  StatusOr<double> TryEstimateCardinality(
+      const workload::Query& query) const override;
   // Selectivity in [0, 1] (EstimateCardinality / total_rows).
   double EstimateSelectivity(const workload::Query& query) const;
   // Exact joint probability of one fully specified encoded row (tests only;

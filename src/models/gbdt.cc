@@ -325,14 +325,19 @@ Status Gbdt::SaveToFile(const std::string& path) const {
   return io::WriteSectionFile(path, kCheckpointKind, state.Take());
 }
 
+StatusOr<std::unique_ptr<Gbdt>> Gbdt::Restore(io::Deserializer* in) {
+  auto model = std::make_unique<Gbdt>();
+  DDUP_RETURN_IF_ERROR(model->LoadState(in));
+  return model;
+}
+
 StatusOr<std::unique_ptr<Gbdt>> Gbdt::LoadFromFile(const std::string& path) {
   StatusOr<std::string> payload = io::ReadSectionFile(path, kCheckpointKind);
   if (!payload.ok()) return payload.status();
   io::Deserializer in(std::move(payload).value());
-  auto model = std::make_unique<Gbdt>();
-  Status st = model->LoadState(&in);
-  if (!st.ok()) return st;
-  st = in.Finish();
+  StatusOr<std::unique_ptr<Gbdt>> model = Restore(&in);
+  if (!model.ok()) return model;
+  Status st = in.Finish();
   if (!st.ok()) return st;
   return model;
 }

@@ -45,6 +45,8 @@ class Gbdt {
   double MicroF1(const storage::Table& test) const;
 
   int num_classes() const { return num_classes_; }
+  const std::string& target_column() const { return target_column_; }
+  const GbdtConfig& config() const { return config_; }
 
   // One-file checkpoint (src/io, section kind "gbdt"): all boosted trees
   // round-trip bit-exactly, so Predict/MicroF1 are identical after reload.
@@ -52,6 +54,9 @@ class Gbdt {
   Status LoadState(io::Deserializer* in);
   Status SaveToFile(const std::string& path) const;
   static StatusOr<std::unique_ptr<Gbdt>> LoadFromFile(const std::string& path);
+  // Rebuilds a model from a raw SaveState payload (the ModelFactory /
+  // engine-manifest restore path; LoadFromFile wraps this).
+  static StatusOr<std::unique_ptr<Gbdt>> Restore(io::Deserializer* in);
   static constexpr const char* kCheckpointKind = "gbdt";
 
  private:

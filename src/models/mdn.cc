@@ -308,6 +308,23 @@ double Mdn::EstimateAqp(const workload::Query& query,
   return EstimateAqp(*view);
 }
 
+StatusOr<double> Mdn::TryEstimateAqp(const workload::Query& query,
+                                     const storage::Table& schema) const {
+  for (const auto& p : query.predicates) {
+    if (p.column < 0 || p.column >= schema.num_columns()) {
+      return Status::InvalidArgument("predicate on out-of-range column " +
+                                     std::to_string(p.column));
+    }
+  }
+  auto view = ParseQuery(query, schema);
+  if (!view.has_value()) {
+    return Status::InvalidArgument(
+        "query does not match the DBEst++ template (one equality on '" +
+        cat_name_ + "', one range + aggregate on '" + num_name_ + "')");
+  }
+  return EstimateAqp(*view);
+}
+
 Status Mdn::SaveState(io::Serializer* out) const {
   out->WriteU32(kMdnStateVersion);
   out->WriteI32(config_.num_components);
@@ -370,14 +387,19 @@ Status Mdn::SaveToFile(const std::string& path) const {
   return io::WriteSectionFile(path, kCheckpointKind, state.Take());
 }
 
+StatusOr<std::unique_ptr<Mdn>> Mdn::Restore(io::Deserializer* in) {
+  std::unique_ptr<Mdn> model(new Mdn());
+  DDUP_RETURN_IF_ERROR(model->LoadState(in));
+  return model;
+}
+
 StatusOr<std::unique_ptr<Mdn>> Mdn::LoadFromFile(const std::string& path) {
   StatusOr<std::string> payload = io::ReadSectionFile(path, kCheckpointKind);
   if (!payload.ok()) return payload.status();
   io::Deserializer in(std::move(payload).value());
-  std::unique_ptr<Mdn> model(new Mdn());
-  Status st = model->LoadState(&in);
-  if (!st.ok()) return st;
-  st = in.Finish();
+  StatusOr<std::unique_ptr<Mdn>> model = Restore(&in);
+  if (!model.ok()) return model;
+  Status st = in.Finish();
   if (!st.ok()) return st;
   return model;
 }

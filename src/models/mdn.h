@@ -39,7 +39,7 @@ struct AqpQueryView {
   workload::AggFunc agg = workload::AggFunc::kCount;
 };
 
-class Mdn : public core::UpdatableModel {
+class Mdn : public core::UpdatableModel, public core::AqpEstimator {
  public:
   // Fits encoders on `base_data` and trains the base model M0 on it.
   Mdn(const storage::Table& base_data, const std::string& categorical_column,
@@ -64,6 +64,9 @@ class Mdn : public core::UpdatableModel {
   // training on the identical RNG stream.
   Status SaveToFile(const std::string& path) const;
   static StatusOr<std::unique_ptr<Mdn>> LoadFromFile(const std::string& path);
+  // Rebuilds a model from a raw SaveState payload (the ModelFactory /
+  // engine-manifest restore path; LoadFromFile wraps this).
+  static StatusOr<std::unique_ptr<Mdn>> Restore(io::Deserializer* in);
   static constexpr const char* kCheckpointKind = "mdn";
 
   // Average log-likelihood (= -AverageLoss); the paper reports this signal.
@@ -78,6 +81,11 @@ class Mdn : public core::UpdatableModel {
   // Convenience: parse + estimate (CHECKs that the query matches).
   double EstimateAqp(const workload::Query& query,
                      const storage::Table& schema) const;
+  // core::AqpEstimator (the surface the Engine dispatches to): like the
+  // convenience overload, but a query outside the template is an
+  // InvalidArgument instead of a CHECK failure.
+  StatusOr<double> TryEstimateAqp(const workload::Query& query,
+                                  const storage::Table& schema) const override;
 
   // Conditional density of normalized y given a category (used by tests and
   // the quickstart example).

@@ -1,0 +1,163 @@
+#include "models/registry.h"
+
+#include <memory>
+#include <string>
+
+#include "api/model_factory.h"
+#include "models/darn.h"
+#include "models/gbdt.h"
+#include "models/mdn.h"
+#include "models/spn.h"
+#include "models/tvae.h"
+#include "models/updatable_adapters.h"
+
+namespace ddup::models {
+
+namespace {
+
+using api::ModelOptions;
+using api::OptionReader;
+using ModelOr = StatusOr<std::unique_ptr<core::UpdatableModel>>;
+
+// First column of the given type, or "" if the table has none.
+std::string FirstColumnOfType(const storage::Table& base, bool numeric) {
+  for (int i = 0; i < base.num_columns(); ++i) {
+    if (base.column(i).is_numeric() == numeric) return base.column(i).name();
+  }
+  return "";
+}
+
+// Resolves a column-name option against the base schema, requiring the
+// given type; falls back to the first column of that type.
+StatusOr<std::string> ResolveColumn(const storage::Table& base,
+                                    OptionReader* reader,
+                                    const std::string& key, bool numeric) {
+  std::string name = reader->String(key, FirstColumnOfType(base, numeric));
+  if (name.empty()) {
+    return Status::InvalidArgument(
+        std::string("base table has no ") +
+        (numeric ? "numeric" : "categorical") + " column for option '" + key +
+        "'");
+  }
+  int index = base.ColumnIndex(name);
+  if (index < 0) {
+    return Status::InvalidArgument("option '" + key + "': no column named '" +
+                                   name + "'");
+  }
+  if (base.column(index).is_numeric() != numeric) {
+    return Status::InvalidArgument(
+        "option '" + key + "': column '" + name + "' is not " +
+        (numeric ? "numeric" : "categorical"));
+  }
+  return name;
+}
+
+ModelOr CreateMdn(const storage::Table& base, const ModelOptions& options) {
+  OptionReader reader(options);
+  MdnConfig config;
+  StatusOr<std::string> cat = ResolveColumn(base, &reader, "categorical",
+                                            /*numeric=*/false);
+  StatusOr<std::string> num = ResolveColumn(base, &reader, "numeric",
+                                            /*numeric=*/true);
+  config.num_components =
+      reader.PositiveInt("num_components", config.num_components);
+  config.hidden_width =
+      reader.PositiveInt("hidden_width", config.hidden_width);
+  config.epochs = reader.PositiveInt("epochs", config.epochs);
+  config.batch_size =
+      reader.PositiveInt("batch_size", config.batch_size);
+  config.learning_rate = reader.Double("learning_rate", config.learning_rate);
+  config.seed = reader.U64("seed", config.seed);
+  DDUP_RETURN_IF_ERROR(reader.Finish("mdn"));
+  if (!cat.ok()) return cat.status();
+  if (!num.ok()) return num.status();
+  return ModelOr(std::make_unique<Mdn>(base, cat.value(), num.value(), config));
+}
+
+ModelOr CreateDarn(const storage::Table& base, const ModelOptions& options) {
+  OptionReader reader(options);
+  DarnConfig config;
+  config.hidden_width =
+      reader.PositiveInt("hidden_width", config.hidden_width);
+  config.max_bins = reader.PositiveInt("max_bins", config.max_bins);
+  config.epochs = reader.PositiveInt("epochs", config.epochs);
+  config.batch_size =
+      reader.PositiveInt("batch_size", config.batch_size);
+  config.learning_rate = reader.Double("learning_rate", config.learning_rate);
+  config.progressive_samples =
+      reader.PositiveInt("progressive_samples", config.progressive_samples);
+  config.seed = reader.U64("seed", config.seed);
+  DDUP_RETURN_IF_ERROR(reader.Finish("darn"));
+  return ModelOr(std::make_unique<Darn>(base, config));
+}
+
+ModelOr CreateTvae(const storage::Table& base, const ModelOptions& options) {
+  OptionReader reader(options);
+  TvaeConfig config;
+  config.latent_dim =
+      reader.PositiveInt("latent_dim", config.latent_dim);
+  config.hidden_width =
+      reader.PositiveInt("hidden_width", config.hidden_width);
+  config.epochs = reader.PositiveInt("epochs", config.epochs);
+  config.batch_size =
+      reader.PositiveInt("batch_size", config.batch_size);
+  config.learning_rate = reader.Double("learning_rate", config.learning_rate);
+  config.seed = reader.U64("seed", config.seed);
+  DDUP_RETURN_IF_ERROR(reader.Finish("tvae"));
+  return ModelOr(std::make_unique<Tvae>(base, config));
+}
+
+ModelOr CreateSpn(const storage::Table& base, const ModelOptions& options) {
+  OptionReader reader(options);
+  SpnConfig config;
+  config.min_instances_slice =
+      reader.PositiveInt("min_instances_slice", config.min_instances_slice);
+  config.correlation_threshold =
+      reader.Double("correlation_threshold", config.correlation_threshold);
+  config.max_bins = reader.PositiveInt("max_bins", config.max_bins);
+  config.max_depth =
+      reader.PositiveInt("max_depth", config.max_depth);
+  config.seed = reader.U64("seed", config.seed);
+  DDUP_RETURN_IF_ERROR(reader.Finish("spn"));
+  return ModelOr(std::make_unique<SpnModel>(base, config));
+}
+
+ModelOr CreateGbdt(const storage::Table& base, const ModelOptions& options) {
+  OptionReader reader(options);
+  GbdtConfig config;
+  StatusOr<std::string> target = ResolveColumn(base, &reader, "target",
+                                               /*numeric=*/false);
+  config.num_rounds =
+      reader.PositiveInt("num_rounds", config.num_rounds);
+  config.max_depth =
+      reader.PositiveInt("max_depth", config.max_depth);
+  config.learning_rate = reader.Double("learning_rate", config.learning_rate);
+  config.min_leaf_size =
+      reader.PositiveInt("min_leaf_size", config.min_leaf_size);
+  config.l2_regularization =
+      reader.Double("l2_regularization", config.l2_regularization);
+  DDUP_RETURN_IF_ERROR(reader.Finish("gbdt"));
+  if (!target.ok()) return target.status();
+  return ModelOr(std::make_unique<GbdtModel>(base, target.value(), config));
+}
+
+// Adapts a concrete model's Restore into the factory's UpdatableModel
+// signature.
+template <typename ModelT>
+ModelOr RestoreAs(io::Deserializer* in) {
+  StatusOr<std::unique_ptr<ModelT>> model = ModelT::Restore(in);
+  if (!model.ok()) return model.status();
+  return ModelOr(std::move(model).value());
+}
+
+}  // namespace
+
+void RegisterBuiltinModels(api::ModelFactory* factory) {
+  DDUP_CHECK(factory->Register("mdn", CreateMdn, RestoreAs<Mdn>).ok());
+  DDUP_CHECK(factory->Register("darn", CreateDarn, RestoreAs<Darn>).ok());
+  DDUP_CHECK(factory->Register("tvae", CreateTvae, RestoreAs<Tvae>).ok());
+  DDUP_CHECK(factory->Register("spn", CreateSpn, RestoreAs<SpnModel>).ok());
+  DDUP_CHECK(factory->Register("gbdt", CreateGbdt, RestoreAs<GbdtModel>).ok());
+}
+
+}  // namespace ddup::models

@@ -1,0 +1,18 @@
+#ifndef DDUP_MODELS_REGISTRY_H_
+#define DDUP_MODELS_REGISTRY_H_
+
+namespace ddup::api {
+class ModelFactory;
+}  // namespace ddup::api
+
+namespace ddup::models {
+
+// Registers the five in-tree model families ("mdn", "darn", "tvae", "spn",
+// "gbdt") with `factory`, including their per-kind option parsing.
+// ModelFactory::Global() calls this once; tests may call it on a fresh
+// factory instance.
+void RegisterBuiltinModels(api::ModelFactory* factory);
+
+}  // namespace ddup::models
+
+#endif  // DDUP_MODELS_REGISTRY_H_

@@ -417,14 +417,19 @@ Status Spn::SaveToFile(const std::string& path) const {
   return io::WriteSectionFile(path, kCheckpointKind, state.Take());
 }
 
+StatusOr<std::unique_ptr<Spn>> Spn::Restore(io::Deserializer* in) {
+  std::unique_ptr<Spn> model(new Spn());
+  DDUP_RETURN_IF_ERROR(model->LoadState(in));
+  return model;
+}
+
 StatusOr<std::unique_ptr<Spn>> Spn::LoadFromFile(const std::string& path) {
   StatusOr<std::string> payload = io::ReadSectionFile(path, kCheckpointKind);
   if (!payload.ok()) return payload.status();
   io::Deserializer in(std::move(payload).value());
-  std::unique_ptr<Spn> model(new Spn());
-  Status st = model->LoadState(&in);
-  if (!st.ok()) return st;
-  st = in.Finish();
+  StatusOr<std::unique_ptr<Spn>> model = Restore(&in);
+  if (!model.ok()) return model;
+  Status st = in.Finish();
   if (!st.ok()) return st;
   return model;
 }

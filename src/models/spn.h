@@ -49,6 +49,7 @@ class Spn {
 
   int64_t total_rows() const { return total_rows_; }
   int NodeCount() const;
+  const DiscreteEncoder& encoder() const { return encoder_; }
 
   // One-file checkpoint (src/io, section kind "spn"): the learned structure
   // (sum/product/leaf tree, weights, centroids, histograms) round-trips
@@ -57,6 +58,9 @@ class Spn {
   Status LoadState(io::Deserializer* in);
   Status SaveToFile(const std::string& path) const;
   static StatusOr<std::unique_ptr<Spn>> LoadFromFile(const std::string& path);
+  // Rebuilds an SPN from a raw SaveState payload (the ModelFactory /
+  // engine-manifest restore path; LoadFromFile wraps this).
+  static StatusOr<std::unique_ptr<Spn>> Restore(io::Deserializer* in);
   static constexpr const char* kCheckpointKind = "spn";
 
  private:

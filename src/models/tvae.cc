@@ -358,14 +358,19 @@ Status Tvae::SaveToFile(const std::string& path) const {
   return io::WriteSectionFile(path, kCheckpointKind, state.Take());
 }
 
+StatusOr<std::unique_ptr<Tvae>> Tvae::Restore(io::Deserializer* in) {
+  std::unique_ptr<Tvae> model(new Tvae());
+  DDUP_RETURN_IF_ERROR(model->LoadState(in));
+  return model;
+}
+
 StatusOr<std::unique_ptr<Tvae>> Tvae::LoadFromFile(const std::string& path) {
   StatusOr<std::string> payload = io::ReadSectionFile(path, kCheckpointKind);
   if (!payload.ok()) return payload.status();
   io::Deserializer in(std::move(payload).value());
-  std::unique_ptr<Tvae> model(new Tvae());
-  Status st = model->LoadState(&in);
-  if (!st.ok()) return st;
-  st = in.Finish();
+  StatusOr<std::unique_ptr<Tvae>> model = Restore(&in);
+  if (!model.ok()) return model;
+  Status st = in.Finish();
   if (!st.ok()) return st;
   return model;
 }

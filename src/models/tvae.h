@@ -53,6 +53,9 @@ class Tvae : public core::UpdatableModel {
   // zero-row schema table (dictionaries) and per-column codings.
   Status SaveToFile(const std::string& path) const;
   static StatusOr<std::unique_ptr<Tvae>> LoadFromFile(const std::string& path);
+  // Rebuilds a model from a raw SaveState payload (the ModelFactory /
+  // engine-manifest restore path; LoadFromFile wraps this).
+  static StatusOr<std::unique_ptr<Tvae>> Restore(io::Deserializer* in);
   static constexpr const char* kCheckpointKind = "tvae";
 
   double Elbo(const storage::Table& sample) const { return AverageLoss(sample); }

@@ -76,10 +76,46 @@ Table Table::Head(int64_t n) const {
 }
 
 void Table::Append(const Table& other) {
-  DDUP_CHECK_MSG(SchemaEquals(other), "appending schema-incompatible table");
+  DDUP_CHECK_MSG(SchemaEquals(other),
+                 CheckSchemaCompatible(*this, other).message());
   for (int i = 0; i < num_columns(); ++i) {
     columns_[static_cast<size_t>(i)].Append(other.column(i));
   }
+}
+
+namespace {
+const char* TypeName(ColumnType type) {
+  return type == ColumnType::kNumeric ? "numeric" : "categorical";
+}
+}  // namespace
+
+Status CheckSchemaCompatible(const Table& expected, const Table& actual) {
+  if (expected.num_columns() != actual.num_columns()) {
+    return Status::InvalidArgument(
+        "schema mismatch: expected " + std::to_string(expected.num_columns()) +
+        " column(s), got " + std::to_string(actual.num_columns()));
+  }
+  for (int i = 0; i < expected.num_columns(); ++i) {
+    const Column& want = expected.column(i);
+    const Column& got = actual.column(i);
+    if (want.name() != got.name()) {
+      return Status::InvalidArgument(
+          "schema mismatch at column " + std::to_string(i) + ": expected '" +
+          want.name() + "', got '" + got.name() + "'");
+    }
+    if (want.type() != got.type()) {
+      return Status::InvalidArgument(
+          "schema mismatch at column '" + want.name() + "': expected " +
+          TypeName(want.type()) + ", got " + TypeName(got.type()));
+    }
+    if (!want.is_numeric() && want.dictionary() != got.dictionary()) {
+      return Status::InvalidArgument(
+          "schema mismatch at column '" + want.name() +
+          "': dictionaries differ (" + std::to_string(want.cardinality()) +
+          " vs " + std::to_string(got.cardinality()) + " entries)");
+    }
+  }
+  return Status::OK();
 }
 
 }  // namespace ddup::storage

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "storage/column.h"
 
 namespace ddup::storage {
@@ -46,6 +47,12 @@ class Table {
   std::string name_;
   std::vector<Column> columns_;
 };
+
+// Diagnostic counterpart of Table::SchemaEquals: OK iff `actual` is
+// schema-compatible with `expected`; otherwise an InvalidArgument naming the
+// first mismatch (column count, name, type, or dictionary) so ingestion
+// surfaces a recoverable error instead of aborting inside Append.
+Status CheckSchemaCompatible(const Table& expected, const Table& actual);
 
 }  // namespace ddup::storage
 

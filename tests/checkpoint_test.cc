@@ -414,9 +414,10 @@ TEST(SnapshotResumeTest, ControllerResumesMidStream) {
   storage::Table batch = datagen::CensusLike(150, 33);
   auto ra = controller.HandleInsertion(batch);
   auto rb = resumed.value()->HandleInsertion(batch);
-  EXPECT_TRUE(BitEqual(ra.test.statistic, rb.test.statistic));
-  EXPECT_EQ(ra.test.is_ood, rb.test.is_ood);
-  EXPECT_EQ(ra.action, rb.action);
+  ASSERT_TRUE(ra.ok() && rb.ok());
+  EXPECT_TRUE(BitEqual(ra.value().test.statistic, rb.value().test.statistic));
+  EXPECT_EQ(ra.value().test.is_ood, rb.value().test.is_ood);
+  EXPECT_EQ(ra.value().action, rb.value().action);
   EXPECT_TRUE(BitEqual(live.AverageLoss(base),
                        twin.value()->AverageLoss(base)));
   EXPECT_TRUE(BitEqual(controller.detector().bootstrap_mean(),

@@ -54,7 +54,9 @@ TEST(ControllerTest, InDistributionBatchTriggersFineTune) {
   DdupController controller(&model, base, FastController());
 
   storage::Table ind = MakeConditional(25, 75, 240, 2);
-  InsertionReport report = controller.HandleInsertion(ind);
+  StatusOr<InsertionReport> report_or = controller.HandleInsertion(ind);
+  ASSERT_TRUE(report_or.ok()) << report_or.status().ToString();
+  const InsertionReport& report = report_or.value();
   EXPECT_FALSE(report.test.is_ood);
   EXPECT_EQ(report.action, UpdateAction::kFineTune);
   EXPECT_EQ(controller.data().num_rows(), 1440);
@@ -69,7 +71,9 @@ TEST(ControllerTest, OodBatchTriggersDistillation) {
   DdupController controller(&model, base, FastController());
 
   storage::Table ood = MakeConditional(75, 25, 240, 4);  // swapped
-  InsertionReport report = controller.HandleInsertion(ood);
+  StatusOr<InsertionReport> report_or = controller.HandleInsertion(ood);
+  ASSERT_TRUE(report_or.ok()) << report_or.status().ToString();
+  const InsertionReport& report = report_or.value();
   EXPECT_TRUE(report.test.is_ood);
   EXPECT_EQ(report.action, UpdateAction::kDistill);
   EXPECT_GT(report.test.statistic, report.test.threshold);
@@ -83,7 +87,9 @@ TEST(ControllerTest, StalePolicyWhenFineTuneDisabled) {
   DdupController controller(&model, base, config);
 
   storage::Table ind = MakeConditional(25, 75, 200, 6);
-  InsertionReport report = controller.HandleInsertion(ind);
+  StatusOr<InsertionReport> report_or = controller.HandleInsertion(ind);
+  ASSERT_TRUE(report_or.ok()) << report_or.status().ToString();
+  const InsertionReport& report = report_or.value();
   EXPECT_FALSE(report.test.is_ood);
   EXPECT_EQ(report.action, UpdateAction::kKeepStale);
 }
@@ -96,7 +102,7 @@ TEST(ControllerTest, MetadataAbsorbedOnEveryPath) {
   DdupController controller(&model, base, config);
   int64_t before = model.frequency(0) + model.frequency(1);
   storage::Table ind = MakeConditional(25, 75, 200, 8);
-  controller.HandleInsertion(ind);
+  ASSERT_TRUE(controller.HandleInsertion(ind).ok());
   int64_t after = model.frequency(0) + model.frequency(1);
   EXPECT_EQ(after - before, 200);  // stale weights, fresh metadata
 }
@@ -109,20 +115,55 @@ TEST(ControllerTest, SequentialInsertionsKeepModelUsable) {
   models::Mdn model(base, "x", "y", FastMdn());
   DdupController controller(&model, base, FastController());
 
-  InsertionReport r1 =
+  StatusOr<InsertionReport> r1 =
       controller.HandleInsertion(MakeConditional(25, 75, 240, 10));
-  EXPECT_FALSE(r1.test.is_ood);
+  ASSERT_TRUE(r1.ok());
+  EXPECT_FALSE(r1.value().test.is_ood);
 
-  InsertionReport r2 =
+  StatusOr<InsertionReport> r2 =
       controller.HandleInsertion(MakeConditional(75, 25, 240, 11));
-  EXPECT_TRUE(r2.test.is_ood);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_TRUE(r2.value().test.is_ood);
 
-  InsertionReport r3 =
+  StatusOr<InsertionReport> r3 =
       controller.HandleInsertion(MakeConditional(75, 25, 240, 12));
+  ASSERT_TRUE(r3.ok());
   // After distilling the swapped distribution into the model, a second batch
   // of the same kind is much less surprising than the first one was.
-  EXPECT_LT(r3.test.statistic, r2.test.statistic);
+  EXPECT_LT(r3.value().test.statistic, r2.value().test.statistic);
   EXPECT_EQ(controller.data().num_rows(), 1200 + 3 * 240);
+}
+
+// Pinned regression for the crash class the Status surface closed: before
+// HandleInsertion returned StatusOr, an empty or schema-mismatched batch
+// aborted the process inside Table::Append.
+TEST(ControllerTest, RejectsInvalidBatchesWithoutStateChange) {
+  storage::Table base = MakeConditional(25, 75, 800, 13);
+  models::Mdn model(base, "x", "y", FastMdn());
+  DdupController controller(&model, base, FastController());
+
+  StatusOr<InsertionReport> empty =
+      controller.HandleInsertion(base.TakeRows({}));
+  EXPECT_FALSE(empty.ok());
+  EXPECT_EQ(empty.status().code(), StatusCode::kInvalidArgument);
+
+  storage::Table wrong_count("bad");
+  wrong_count.AddColumn(storage::Column::Numeric("z", {1.0}));
+  StatusOr<InsertionReport> r = controller.HandleInsertion(wrong_count);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find("schema mismatch"), std::string::npos);
+
+  storage::Table wrong_type("bad2");
+  wrong_type.AddColumn(storage::Column::Numeric("x", {1.0}));
+  wrong_type.AddColumn(storage::Column::Numeric("y", {2.0}));
+  r = controller.HandleInsertion(wrong_type);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find("'x'"), std::string::npos);
+
+  // Nothing was mutated by any rejected batch.
+  EXPECT_EQ(controller.data().num_rows(), 800);
 }
 
 TEST(PoliciesTest, ActionNames) {

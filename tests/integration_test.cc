@@ -59,8 +59,9 @@ TEST(IntegrationTest, ControllerWithDarnDetectsJoinDrift) {
 
   storage::Table d1 = star.JoinWithFact(parts[2]);  // far partition: drifted
   auto report = controller.HandleInsertion(d1);
-  EXPECT_TRUE(report.test.is_ood);
-  EXPECT_EQ(report.action, core::UpdateAction::kDistill);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report.value().test.is_ood);
+  EXPECT_EQ(report.value().action, core::UpdateAction::kDistill);
   EXPECT_EQ(controller.data().num_rows(),
             base_join.num_rows() + d1.num_rows());
 }

@@ -87,6 +87,40 @@ TEST(TableTest, HeadAndAppend) {
   EXPECT_EQ(t.Head(100).num_rows(), 4);
 }
 
+TEST(TableTest, CheckSchemaCompatibleNamesTheFirstMismatch) {
+  Table t = SmallTable();
+  EXPECT_TRUE(CheckSchemaCompatible(t, SmallTable()).ok());
+
+  Table fewer("f");
+  fewer.AddColumn(Column::Numeric("x", {1.0}));
+  Status st = CheckSchemaCompatible(t, fewer);
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(st.message().find("expected 2 column(s), got 1"),
+            std::string::npos);
+
+  Table renamed("r");
+  renamed.AddColumn(Column::Numeric("y", {1.0}));
+  renamed.AddColumn(Column::Categorical("c", {0}, {"a", "b", "c"}));
+  st = CheckSchemaCompatible(t, renamed);
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(st.message().find("expected 'x', got 'y'"), std::string::npos);
+
+  Table retyped("y");
+  retyped.AddColumn(Column::Categorical("x", {0}, {"a"}));
+  retyped.AddColumn(Column::Categorical("c", {0}, {"a", "b", "c"}));
+  st = CheckSchemaCompatible(t, retyped);
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(st.message().find("expected numeric, got categorical"),
+            std::string::npos);
+
+  Table redictionaried("d");
+  redictionaried.AddColumn(Column::Numeric("x", {1.0}));
+  redictionaried.AddColumn(Column::Categorical("c", {0}, {"a", "b"}));
+  st = CheckSchemaCompatible(t, redictionaried);
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(st.message().find("dictionaries differ"), std::string::npos);
+}
+
 TEST(SamplingTest, SampleRowsWithoutReplacement) {
   Rng rng(1);
   Table t = SmallTable();
