@@ -1,0 +1,327 @@
+// Engine concurrency baseline: N tables x M client threads of mixed
+// Ingest/Estimate traffic, once against the async engine (background DDUp
+// update workers, snapshot serving) and once against the synchronous
+// engine (updates inline in Ingest). Reports ingest latency percentiles
+// and estimate QPS — split into estimates served while the target table
+// had an update in flight vs idle — so the serving-while-updating claim
+// of DESIGN.md §11 is a measured number, and the next perf PR has a
+// concurrency baseline to beat.
+//
+// Environment knobs (defaults in parentheses):
+//   DDUP_BENCH_TABLES  (4)   tables, one model each
+//   DDUP_BENCH_CLIENTS (4)   client threads
+//   DDUP_BENCH_SECONDS (6)   measured wall time per engine mode
+//   DDUP_BENCH_WORKERS (2)   background update workers in async mode
+//   DDUP_ROWS          (4000 via BenchParams) base rows per table
+//   DDUP_EPOCH_SCALE / DDUP_BOOTSTRAP / DDUP_SEED — as in every bench
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/engine.h"
+#include "bench/harness.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/stopwatch.h"
+#include "workload/query.h"
+
+namespace {
+
+using ddup::Rng;
+using ddup::api::Engine;
+using ddup::api::EngineConfig;
+using ddup::api::ModelSpec;
+using ddup::api::TableServingState;
+
+int64_t EnvInt(const char* name, int64_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return fallback;
+  int64_t parsed = std::atoll(v);
+  return parsed > 0 ? parsed : fallback;
+}
+
+ddup::storage::Table MakeConditional(double m0, double m1, int64_t n,
+                                     uint64_t seed) {
+  Rng rng(seed);
+  std::vector<int32_t> codes;
+  std::vector<double> y;
+  for (int64_t i = 0; i < n; ++i) {
+    int k = rng.Bernoulli(0.5) ? 1 : 0;
+    codes.push_back(static_cast<int32_t>(k));
+    y.push_back(std::clamp(rng.Normal(k == 0 ? m0 : m1, 3.0), 0.0, 100.0));
+  }
+  ddup::storage::Table t("cond");
+  t.AddColumn(ddup::storage::Column::Categorical("x", codes, {"k0", "k1"}));
+  t.AddColumn(ddup::storage::Column::Numeric("y", y));
+  return t;
+}
+
+ddup::workload::Query AqpRangeQuery(double lo, double hi) {
+  ddup::workload::Query q;
+  ddup::workload::Predicate eq;
+  eq.column = 0;
+  eq.op = ddup::workload::CompareOp::kEq;
+  eq.value = 0.0;
+  ddup::workload::Predicate ge;
+  ge.column = 1;
+  ge.op = ddup::workload::CompareOp::kGe;
+  ge.value = lo;
+  ddup::workload::Predicate le;
+  le.column = 1;
+  le.op = ddup::workload::CompareOp::kLe;
+  le.value = hi;
+  q.predicates = {eq, ge, le};
+  return q;
+}
+
+struct ClientStats {
+  std::vector<double> ingest_ms;
+  std::vector<double> estimate_ms;
+  int64_t estimates_total = 0;
+  int64_t estimates_during_update = 0;
+  int64_t rows_ingested = 0;
+  int64_t ingests_throttled = 0;
+  int64_t errors = 0;
+};
+
+struct ModeResult {
+  double seconds = 0.0;
+  ClientStats merged;
+  int64_t updates_completed = 0;
+  int64_t snapshot_publishes = 0;
+  double queue_seconds = 0.0;
+  int64_t rows_total = 0;
+};
+
+// One engine mode end to end: build N tables, run M clients for
+// `seconds`, flush, aggregate.
+ModeResult RunMode(const ddup::bench::BenchParams& params, int update_workers,
+                   int64_t tables, int64_t clients, double seconds) {
+  EngineConfig config;
+  config.micro_batch_rows =
+      std::clamp<int64_t>(params.rows / 8, 32, 512);
+  config.update_workers = update_workers;
+  config.controller.detector.bootstrap_iterations =
+      params.bootstrap_iterations;
+  config.controller.policy.distill.epochs = params.ScaledEpochs(4);
+  config.controller.policy.finetune_epochs = params.ScaledEpochs(2);
+  config.controller.seed = params.seed;
+  Engine engine(config);
+
+  ModelSpec spec{"mdn",
+                 {{"num_components", "6"},
+                  {"hidden_width", "32"},
+                  {"epochs", std::to_string(params.ScaledEpochs(6))},
+                  {"seed", std::to_string(params.seed)}}};
+  std::vector<std::string> names;
+  for (int64_t t = 0; t < tables; ++t) {
+    names.push_back("t" + std::to_string(t));
+    ddup::storage::Table base = MakeConditional(
+        25, 75, params.rows, params.seed + static_cast<uint64_t>(t));
+    DDUP_CHECK(engine.CreateTable(names.back(), base).ok());
+    ddup::Status st = engine.AttachModel(names.back(), spec);
+    DDUP_CHECK_MSG(st.ok(), st.ToString());
+  }
+
+  const int64_t chunk_rows = std::max<int64_t>(16, config.micro_batch_rows / 2);
+  std::vector<ClientStats> stats(static_cast<size_t>(clients));
+  // The synchronous engine's contract is single-threaded: estimates read
+  // the live model that Ingest trains in place, so multi-client callers
+  // must serialize access themselves. These per-table locks model that
+  // caller-side cost — which is precisely the contention the async
+  // engine's snapshot serving removes (async mode leaves them unused).
+  std::vector<std::mutex> sync_locks(
+      update_workers > 0 ? 0 : static_cast<size_t>(tables));
+  auto sync_guard = [&](size_t table_index) {
+    return sync_locks.empty()
+               ? std::unique_lock<std::mutex>()
+               : std::unique_lock<std::mutex>(sync_locks[table_index]);
+  };
+  std::atomic<bool> stop{false};
+  ddup::Stopwatch wall;
+  std::vector<std::thread> workers;
+  for (int64_t c = 0; c < clients; ++c) {
+    workers.emplace_back([&, c] {
+      ClientStats& mine = stats[static_cast<size_t>(c)];
+      Rng rng(params.seed + 1000 + static_cast<uint64_t>(c));
+      int64_t op = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        size_t table_index = static_cast<size_t>((c + op) % tables);
+        const std::string& table = names[table_index];
+        if (op % 8 == 0) {
+          // Client-side backpressure: an open-loop ingest storm would grow
+          // the update backlog without bound (clients can enqueue batches
+          // far faster than a worker trains on them), so real clients —
+          // and this bench — watch IngestResult::backlog_batches and back
+          // off once the strand is saturated.
+          auto report = engine.Report(table);
+          if (report.ok() &&
+              report.value().backlog_batches >=
+                  2 * std::max(1, update_workers)) {
+            mine.ingests_throttled += 1;
+          } else {
+            // Mostly-IND chunk into this client's rotating table.
+            ddup::storage::Table chunk = MakeConditional(
+                25, 75, chunk_rows,
+                params.seed + 5000 + static_cast<uint64_t>(c * 1000 + op));
+            ddup::Stopwatch timer;
+            auto guard = sync_guard(table_index);
+            auto result = engine.Ingest(table, chunk);
+            mine.ingest_ms.push_back(timer.ElapsedMillis());
+            if (result.ok()) {
+              mine.rows_ingested += chunk.num_rows();
+            } else {
+              mine.errors += 1;
+            }
+          }
+        } else {
+          bool updating = false;
+          auto report = engine.Report(table);
+          if (report.ok()) {
+            updating =
+                report.value().state != TableServingState::kServing;
+          }
+          double lo = rng.Uniform(0.0, 40.0);
+          ddup::Stopwatch timer;
+          {
+            auto guard = sync_guard(table_index);
+            auto est =
+                engine.EstimateAqp(table, AqpRangeQuery(lo, lo + 40.0));
+            mine.estimate_ms.push_back(timer.ElapsedMillis());
+            if (est.ok() && std::isfinite(est.value())) {
+              mine.estimates_total += 1;
+              if (updating) mine.estimates_during_update += 1;
+            } else {
+              mine.errors += 1;
+            }
+          }
+        }
+        ++op;
+      }
+    });
+  }
+  while (wall.ElapsedSeconds() < seconds) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& w : workers) w.join();
+  double measured = wall.ElapsedSeconds();
+  auto sweep = engine.FlushAll();
+  DDUP_CHECK_MSG(sweep.ok(), sweep.status().ToString());
+
+  ModeResult out;
+  out.seconds = measured;
+  for (const auto& s : stats) {
+    out.merged.ingest_ms.insert(out.merged.ingest_ms.end(),
+                                s.ingest_ms.begin(), s.ingest_ms.end());
+    out.merged.estimate_ms.insert(out.merged.estimate_ms.end(),
+                                  s.estimate_ms.begin(),
+                                  s.estimate_ms.end());
+    out.merged.estimates_total += s.estimates_total;
+    out.merged.estimates_during_update += s.estimates_during_update;
+    out.merged.rows_ingested += s.rows_ingested;
+    out.merged.ingests_throttled += s.ingests_throttled;
+    out.merged.errors += s.errors;
+  }
+  for (const auto& name : names) {
+    auto report = engine.Report(name);
+    DDUP_CHECK(report.ok());
+    out.updates_completed += report.value().insertions;
+    out.snapshot_publishes += report.value().snapshot_publishes;
+    out.queue_seconds += report.value().queue_seconds;
+    out.rows_total += report.value().rows;
+  }
+  return out;
+}
+
+void PrintMode(const char* label, const ModeResult& r) {
+  auto pct = [](std::vector<double> v, double p) {
+    return v.empty() ? 0.0 : ddup::Percentile(std::move(v), p);
+  };
+  double est_qps =
+      r.seconds > 0 ? static_cast<double>(r.merged.estimates_total) / r.seconds
+                    : 0.0;
+  std::printf("%-6s ingest n=%-6zu p50=%7.3f p99=%8.3f max=%9.3f ms\n", label,
+              r.merged.ingest_ms.size(), pct(r.merged.ingest_ms, 50),
+              pct(r.merged.ingest_ms, 99),
+              r.merged.ingest_ms.empty()
+                  ? 0.0
+                  : *std::max_element(r.merged.ingest_ms.begin(),
+                                      r.merged.ingest_ms.end()));
+  std::printf(
+      "       estimate n=%-6zu p50=%7.3f p99=%8.3f ms  qps=%8.1f "
+      "(during update: n=%lld)\n",
+      r.merged.estimate_ms.size(), pct(r.merged.estimate_ms, 50),
+      pct(r.merged.estimate_ms, 99), est_qps,
+      static_cast<long long>(r.merged.estimates_during_update));
+  std::printf(
+      "       updates=%lld publishes=%lld queue_wait=%.3fs rows=%lld "
+      "throttled=%lld errors=%lld\n",
+      static_cast<long long>(r.updates_completed),
+      static_cast<long long>(r.snapshot_publishes), r.queue_seconds,
+      static_cast<long long>(r.rows_total),
+      static_cast<long long>(r.merged.ingests_throttled),
+      static_cast<long long>(r.merged.errors));
+}
+
+}  // namespace
+
+int main() {
+  ddup::bench::BenchParams params = ddup::bench::BenchParams::FromEnv();
+  const int64_t tables = EnvInt("DDUP_BENCH_TABLES", 4);
+  const int64_t clients = EnvInt("DDUP_BENCH_CLIENTS", 4);
+  const double seconds =
+      static_cast<double>(EnvInt("DDUP_BENCH_SECONDS", 6));
+  const int workers = static_cast<int>(EnvInt("DDUP_BENCH_WORKERS", 2));
+
+  std::printf(
+      "==============================================================\n");
+  std::printf(
+      "Engine throughput — mixed Ingest/Estimate under live updates\n");
+  std::printf("tables=%lld clients=%lld update_workers=%d seconds=%.0f "
+              "rows=%lld epoch_scale=%.2f bootstrap=%d\n",
+              static_cast<long long>(tables), static_cast<long long>(clients),
+              workers, seconds, static_cast<long long>(params.rows),
+              params.epoch_scale, params.bootstrap_iterations);
+  std::printf(
+      "==============================================================\n");
+
+  std::printf(
+      "-- async: background update workers, snapshot serving --------\n");
+  ModeResult async_result =
+      RunMode(params, workers, tables, clients, seconds);
+  PrintMode("async", async_result);
+
+  std::printf(
+      "-- sync: updates inline in Ingest (pre-concurrency engine) ---\n");
+  ModeResult sync_result = RunMode(params, 0, tables, clients, seconds);
+  PrintMode("sync", sync_result);
+
+  bool served_while_updating = async_result.merged.estimates_during_update > 0;
+  std::printf(
+      "async served %lld estimates while an update was in flight (%s); "
+      "ingest p99 %0.3f ms vs sync %0.3f ms\n",
+      static_cast<long long>(async_result.merged.estimates_during_update),
+      served_while_updating ? "nonzero: serving continues during updates"
+                            : "none observed at this scale",
+      async_result.merged.ingest_ms.empty()
+          ? 0.0
+          : ddup::Percentile(async_result.merged.ingest_ms, 99),
+      sync_result.merged.ingest_ms.empty()
+          ? 0.0
+          : ddup::Percentile(sync_result.merged.ingest_ms, 99));
+  if (async_result.merged.errors + sync_result.merged.errors > 0) {
+    std::printf("bench_engine_throughput: FAILED (client errors)\n");
+    return 1;
+  }
+  std::printf("bench_engine_throughput: OK\n");
+  return 0;
+}

@@ -116,7 +116,12 @@ int main(int argc, char** argv) {
       ddup::storage::InDistributionSample(forest, rng, 0.3);
   auto forest_ingest = engine.Ingest("forest", forest_update);
   all_ok &= Check(forest_ingest.ok(), "forest ingest");
-  all_ok &= Check(engine.FlushAll().ok(), "flush all");
+  auto sweep = engine.FlushAll();
+  all_ok &= Check(sweep.ok(), "flush all");
+  // Only "forest" still holds a remainder ("census" was flushed above).
+  all_ok &= Check(sweep.ok() && sweep.value().tables_flushed == 1 &&
+                      sweep.value().tables_skipped == 1,
+                  "flush-all report: one table flushed, one short-circuited");
 
   // --- Queries through the facade ------------------------------------------
   Rng qrng(23);

@@ -41,6 +41,20 @@ else
   echo "bench_smoke: engine_smoke not built, skipping engine smoke"
 fi
 
+# Concurrency smoke: the async Engine (background update workers, snapshot
+# serving) vs the synchronous engine under a short mixed Ingest/Estimate
+# load. Tiny knobs — the full-size run is the concurrency baseline in
+# ROADMAP.md; this only proves the path end to end.
+if [[ -x "${BUILD_DIR}/bench/bench_engine_throughput" ]]; then
+  DDUP_BENCH_TABLES=${DDUP_BENCH_TABLES:-2} \
+  DDUP_BENCH_CLIENTS=${DDUP_BENCH_CLIENTS:-2} \
+  DDUP_BENCH_SECONDS=${DDUP_BENCH_SECONDS:-2} \
+  DDUP_BENCH_WORKERS=${DDUP_BENCH_WORKERS:-2} \
+    "${BUILD_DIR}/bench/bench_engine_throughput"
+else
+  echo "bench_smoke: bench_engine_throughput not built, skipping"
+fi
+
 # End-to-end harness smoke: trains, detects, distills and prints the q-error
 # table at tiny size. Exercises the full model/detector/update stack.
 "${BUILD_DIR}/bench/bench_table5_update_qerror"

@@ -1,8 +1,10 @@
 #include "api/engine.h"
 
+#include <algorithm>
 #include <numeric>
 #include <utility>
 
+#include "common/stopwatch.h"
 #include "io/checkpoint.h"
 #include "io/serializer.h"
 
@@ -14,7 +16,8 @@ constexpr uint32_t kManifestVersion = 1;
 constexpr const char* kManifestSection = "engine";
 
 // Section names for the per-table payloads. Table names may contain any
-// character except the separator we pick here; Save rejects offenders.
+// character except the separator we pick here; CreateTable rejects
+// offenders.
 std::string ModelSection(const std::string& table) { return "model:" + table; }
 std::string ControllerSection(const std::string& table) {
   return "controller:" + table;
@@ -27,28 +30,72 @@ storage::Table Slice(const storage::Table& t, int64_t begin, int64_t end) {
   return t.TakeRows(rows);
 }
 
+int ResolveUpdateWorkers(int requested) {
+  if (requested >= 0) return requested;
+  // Auto: one worker per default thread beyond the first, so DDUP_THREADS=1
+  // and single-core hosts resolve to the synchronous engine.
+  return std::max(0, DefaultThreadCount() - 1);
+}
+
 }  // namespace
+
+const char* ToString(TableServingState state) {
+  switch (state) {
+    case TableServingState::kServing:
+      return "SERVING";
+    case TableServingState::kUpdating:
+      return "UPDATING";
+    case TableServingState::kDraining:
+      return "DRAINING";
+  }
+  return "UNKNOWN";
+}
+
+void Engine::FoldReportLocked(TableState* state,
+                              const core::InsertionReport& report) {
+  state->insertions += 1;
+  switch (report.action) {
+    case core::UpdateAction::kDistill:
+      state->ood_updates += 1;
+      break;
+    case core::UpdateAction::kFineTune:
+      state->finetunes += 1;
+      break;
+    default:
+      state->kept_stale += 1;
+      break;
+  }
+  state->detect_seconds += report.detect_seconds;
+  state->update_seconds += report.update_seconds;
+}
 
 Engine::Engine(EngineConfig config) : config_(std::move(config)) {
   DDUP_CHECK_MSG(config_.micro_batch_rows > 0,
                  "EngineConfig::micro_batch_rows must be positive");
+  int workers = ResolveUpdateWorkers(config_.update_workers);
+  if (workers > 0) executor_ = std::make_unique<TaskExecutor>(workers);
 }
 
-StatusOr<Engine::TableState*> Engine::FindTable(const std::string& name) {
-  auto it = tables_.find(name);
-  if (it == tables_.end()) {
-    return Status::NotFound("no table named '" + name + "'");
-  }
-  return &it->second;
+Engine::~Engine() {
+  // The executor's destructor drains every queued update before joining;
+  // strand tasks hold shared_ptr table handles, so the registry may be
+  // destroyed in any order after that.
+  executor_.reset();
 }
 
-StatusOr<const Engine::TableState*> Engine::FindTable(
+size_t Engine::StripeIndex(const std::string& name) const {
+  return std::hash<std::string>{}(name) % kRegistryStripes;
+}
+
+StatusOr<std::shared_ptr<Engine::TableState>> Engine::FindTable(
     const std::string& name) const {
-  auto it = tables_.find(name);
-  if (it == tables_.end()) {
+  const Stripe& stripe = stripes_[StripeIndex(name)];
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  auto it = stripe.tables.find(name);
+  if (it == stripe.tables.end()) {
     return Status::NotFound("no table named '" + name + "'");
   }
-  return &it->second;
+  return it->second;
 }
 
 Status Engine::CreateTable(const std::string& name,
@@ -63,9 +110,6 @@ Status Engine::CreateTable(const std::string& name,
     return Status::InvalidArgument("table name '" + name +
                                    "' must not contain ':'");
   }
-  if (tables_.count(name) > 0) {
-    return Status::FailedPrecondition("table '" + name + "' already exists");
-  }
   if (base_data.num_columns() == 0) {
     return Status::InvalidArgument("table '" + name +
                                    "' needs at least one column");
@@ -73,21 +117,28 @@ Status Engine::CreateTable(const std::string& name,
   if (options.micro_batch_rows < 0) {
     return Status::InvalidArgument("micro_batch_rows must be >= 0");
   }
-  TableState state;
-  state.micro_batch_rows = options.micro_batch_rows > 0
-                               ? options.micro_batch_rows
-                               : config_.micro_batch_rows;
-  state.base = base_data;
-  state.base.set_name(name);
-  state.pending = state.base.TakeRows({});  // zero rows, same schema
-  tables_[name] = std::move(state);
+  auto state = std::make_shared<TableState>();
+  state->name = name;
+  state->micro_batch_rows = options.micro_batch_rows > 0
+                                ? options.micro_batch_rows
+                                : config_.micro_batch_rows;
+  state->base = base_data;
+  state->base.set_name(name);
+  state->pending = state->base.TakeRows({});  // zero rows, same schema
+  Stripe& stripe = stripes_[StripeIndex(name)];
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  if (stripe.tables.count(name) > 0) {
+    return Status::FailedPrecondition("table '" + name + "' already exists");
+  }
+  stripe.tables[name] = std::move(state);
   return Status::OK();
 }
 
 Status Engine::AttachModel(const std::string& name, const ModelSpec& spec) {
-  StatusOr<TableState*> found = FindTable(name);
+  StatusOr<std::shared_ptr<TableState>> found = FindTable(name);
   if (!found.ok()) return found.status();
-  TableState* state = found.value();
+  TableState* state = found.value().get();
+  std::lock_guard<std::mutex> lock(state->mu);
   if (state->model != nullptr) {
     return Status::FailedPrecondition("table '" + name +
                                       "' already has a model attached");
@@ -103,6 +154,24 @@ Status Engine::AttachModel(const std::string& name, const ModelSpec& spec) {
   state->controller = std::make_unique<core::DdupController>(
       state->model.get(), state->base, config_.controller);
   state->spec = spec;
+  if (async()) {
+    // Publish the initial serving snapshot; a kind without checkpoint
+    // hooks cannot serve concurrently, so fail the attach (strong
+    // guarantee: the table stays model-less).
+    StatusOr<std::unique_ptr<core::UpdatableModel>> copy =
+        CloneModel(state->spec.kind, *state->model);
+    if (!copy.ok()) {
+      state->controller.reset();
+      state->model.reset();
+      state->spec = ModelSpec{};
+      return copy.status();
+    }
+    std::atomic_store(
+        &state->snapshot, std::shared_ptr<const core::UpdatableModel>(
+                              std::move(copy).value().release()));
+    std::lock_guard<std::mutex> stats_lock(state->stats_mu);
+    state->snapshot_publishes += 1;
+  }
   // The controller owns the accumulated data from here on; keep only the
   // schema for batch validation.
   state->base = state->base.TakeRows({});
@@ -114,26 +183,16 @@ Status Engine::PushBatch(TableState* state, const storage::Table& batch,
   StatusOr<core::InsertionReport> report =
       state->controller->HandleInsertion(batch);
   if (!report.ok()) return report.status();
-  state->insertions += 1;
-  switch (report.value().action) {
-    case core::UpdateAction::kDistill:
-      state->ood_updates += 1;
-      break;
-    case core::UpdateAction::kFineTune:
-      state->finetunes += 1;
-      break;
-    default:
-      state->kept_stale += 1;
-      break;
+  {
+    std::lock_guard<std::mutex> lock(state->stats_mu);
+    FoldReportLocked(state, report.value());
   }
-  state->detect_seconds += report.value().detect_seconds;
-  state->update_seconds += report.value().update_seconds;
   result->rows_flushed += batch.num_rows();
   result->reports.push_back(std::move(report).value());
   return Status::OK();
 }
 
-Status Engine::Drain(TableState* state, bool all, IngestResult* result) {
+Status Engine::DrainInline(TableState* state, bool all, IngestResult* result) {
   // Single pass over the accumulator: each row is copied once into its
   // micro-batch (plus once for the surviving remainder), never re-copied
   // per iteration. On an error, the unconsumed suffix stays buffered.
@@ -155,142 +214,367 @@ Status Engine::Drain(TableState* state, bool all, IngestResult* result) {
   return status;
 }
 
+void Engine::PublishSnapshot(TableState* state) {
+  StatusOr<std::unique_ptr<core::UpdatableModel>> copy =
+      CloneModel(state->spec.kind, *state->model);
+  if (!copy.ok()) {
+    std::lock_guard<std::mutex> lock(state->stats_mu);
+    if (state->async_error.ok()) state->async_error = copy.status();
+    return;
+  }
+  std::atomic_store(&state->snapshot,
+                    std::shared_ptr<const core::UpdatableModel>(
+                        std::move(copy).value().release()));
+  std::lock_guard<std::mutex> lock(state->stats_mu);
+  state->snapshot_publishes += 1;
+}
+
+void Engine::RunBatchOnWorker(const std::shared_ptr<TableState>& state,
+                              const storage::Table& batch,
+                              double queue_seconds) {
+  // The strand guarantees exclusivity over the controller and the live
+  // model: no lock is taken around HandleInsertion, so readers (estimates
+  // off the published snapshot, Report off the stats mutexes) never block
+  // on training.
+  int64_t backlog_now = state->backlog.load(std::memory_order_relaxed);
+  StatusOr<core::InsertionReport> report =
+      state->controller->HandleInsertion(batch);
+  if (!report.ok()) {
+    std::lock_guard<std::mutex> lock(state->stats_mu);
+    if (state->async_error.ok()) state->async_error = report.status();
+    state->backlog.fetch_sub(1, std::memory_order_release);
+    return;
+  }
+  core::InsertionReport r = std::move(report).value();
+  r.backlog_batches = backlog_now;
+  r.queue_seconds = queue_seconds;
+  {
+    std::lock_guard<std::mutex> lock(state->stats_mu);
+    FoldReportLocked(state.get(), r);
+    state->async_batches += 1;
+    state->queue_seconds += queue_seconds;
+    if (state->finished.size() >= kMaxBufferedReports) {
+      state->finished.erase(state->finished.begin());
+    }
+    state->finished.push_back(std::move(r));
+  }
+  PublishSnapshot(state.get());
+  state->backlog.fetch_sub(1, std::memory_order_release);
+}
+
+void Engine::EnqueueBatchesLocked(const std::shared_ptr<TableState>& state,
+                                  bool all, IngestResult* result) {
+  // Caller holds state->mu, which also orders Submit calls: two racing
+  // Ingests cannot interleave their batches out of row-arrival order.
+  const int64_t total = state->pending.num_rows();
+  int64_t offset = 0;
+  while (total - offset >= state->micro_batch_rows) {
+    storage::Table batch =
+        Slice(state->pending, offset, offset + state->micro_batch_rows);
+    offset += state->micro_batch_rows;
+    state->backlog.fetch_add(1, std::memory_order_relaxed);
+    result->rows_enqueued += batch.num_rows();
+    Stopwatch queued;
+    executor_->Submit(state->name,
+                      [state, batch = std::move(batch), queued]() {
+                        RunBatchOnWorker(state, batch,
+                                         queued.ElapsedSeconds());
+                      });
+  }
+  if (all && offset < total) {
+    storage::Table batch = Slice(state->pending, offset, total);
+    offset = total;
+    state->backlog.fetch_add(1, std::memory_order_relaxed);
+    result->rows_enqueued += batch.num_rows();
+    Stopwatch queued;
+    executor_->Submit(state->name,
+                      [state, batch = std::move(batch), queued]() {
+                        RunBatchOnWorker(state, batch,
+                                         queued.ElapsedSeconds());
+                      });
+  }
+  if (offset > 0) state->pending = Slice(state->pending, offset, total);
+  result->rows_buffered = state->pending.num_rows();
+  result->backlog_batches = state->backlog.load(std::memory_order_relaxed);
+}
+
+Status Engine::StickyError(const TableState& state) const {
+  std::lock_guard<std::mutex> lock(state.stats_mu);
+  return state.async_error;
+}
+
+bool Engine::NothingToFlushLocked(const TableState& state) const {
+  if (state.pending.num_rows() != 0) return false;
+  if (!async()) return true;
+  if (state.backlog.load(std::memory_order_acquire) != 0) return false;
+  std::lock_guard<std::mutex> stats_lock(state.stats_mu);
+  return state.finished.empty();
+}
+
 StatusOr<IngestResult> Engine::Ingest(const std::string& name,
                                       const storage::Table& batch) {
-  StatusOr<TableState*> found = FindTable(name);
+  StatusOr<std::shared_ptr<TableState>> found = FindTable(name);
   if (!found.ok()) return found.status();
-  TableState* state = found.value();
+  const std::shared_ptr<TableState>& state = found.value();
+  std::lock_guard<std::mutex> lock(state->mu);
   if (state->controller == nullptr) {
     return Status::FailedPrecondition("table '" + name +
                                       "' has no model attached yet");
   }
+  DDUP_RETURN_IF_ERROR(StickyError(*state));
   IngestResult result;
   if (batch.num_rows() > 0) {
     DDUP_RETURN_IF_ERROR(storage::CheckSchemaCompatible(state->base, batch));
     state->pending.Append(batch);
   }
-  DDUP_RETURN_IF_ERROR(Drain(state, /*all=*/false, &result));
+  if (async()) {
+    EnqueueBatchesLocked(state, /*all=*/false, &result);
+    return result;
+  }
+  DDUP_RETURN_IF_ERROR(DrainInline(state.get(), /*all=*/false, &result));
+  return result;
+}
+
+StatusOr<IngestResult> Engine::CollectFlush(
+    const std::shared_ptr<TableState>& state) {
+  // Enqueue the remainder (if any) and mark the table DRAINING.
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    IngestResult enqueued;
+    EnqueueBatchesLocked(state, /*all=*/true, &enqueued);
+    state->draining = true;
+  }
+  executor_->DrainKey(state->name);
+  IngestResult result;
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    state->draining = false;
+    result.rows_buffered = state->pending.num_rows();
+  }
+  std::lock_guard<std::mutex> lock(state->stats_mu);
+  // Error check before consuming the reports: on a failed drain the
+  // completed InsertionReports stay buffered instead of vanishing with
+  // the discarded result.
+  if (!state->async_error.ok()) return state->async_error;
+  result.reports = std::move(state->finished);
+  state->finished.clear();
+  for (const auto& r : result.reports) result.rows_flushed += r.new_rows;
   return result;
 }
 
 StatusOr<IngestResult> Engine::Flush(const std::string& name) {
-  StatusOr<TableState*> found = FindTable(name);
+  StatusOr<std::shared_ptr<TableState>> found = FindTable(name);
   if (!found.ok()) return found.status();
-  TableState* state = found.value();
-  if (state->controller == nullptr) {
-    return Status::FailedPrecondition("table '" + name +
-                                      "' has no model attached yet");
+  const std::shared_ptr<TableState>& state = found.value();
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    if (state->controller == nullptr) {
+      return Status::FailedPrecondition("table '" + name +
+                                        "' has no model attached yet");
+    }
+    DDUP_RETURN_IF_ERROR(StickyError(*state));
+    // Empty flush: short-circuit without touching the update path at all.
+    if (NothingToFlushLocked(*state)) {
+      return IngestResult{};
+    }
+    if (!async()) {
+      IngestResult result;
+      DDUP_RETURN_IF_ERROR(DrainInline(state.get(), /*all=*/true, &result));
+      return result;
+    }
   }
-  IngestResult result;
-  DDUP_RETURN_IF_ERROR(Drain(state, /*all=*/true, &result));
-  return result;
+  return CollectFlush(state);
 }
 
-Status Engine::FlushAll() {
-  for (auto& [name, state] : tables_) {
+StatusOr<FlushReport> Engine::FlushAll() {
+  FlushReport sweep;
+  Status first_error;
+  // Phase 1 (async): enqueue every table's remainder first, so the sweep
+  // overlaps updates across tables instead of draining them one by one.
+  // Errors are recorded, not returned mid-sweep: every table marked
+  // DRAINING must be drained and reset even when another table failed.
+  std::vector<std::shared_ptr<TableState>> to_collect;
+  for (const std::string& name : TableNames()) {
+    StatusOr<std::shared_ptr<TableState>> found = FindTable(name);
+    if (!found.ok()) return found.status();
+    const std::shared_ptr<TableState>& state = found.value();
+    std::lock_guard<std::mutex> lock(state->mu);
     // A table without a model cannot have buffered rows (Ingest requires
     // the controller), so there is nothing to flush — skip it rather than
     // failing the whole sweep.
-    if (state.controller == nullptr) continue;
-    StatusOr<IngestResult> result = Flush(name);
-    if (!result.ok()) return result.status();
+    if (state->controller == nullptr) {
+      sweep.tables_skipped += 1;
+      continue;
+    }
+    Status sticky = StickyError(*state);
+    if (!sticky.ok()) {
+      if (first_error.ok()) first_error = sticky;
+      continue;
+    }
+    if (NothingToFlushLocked(*state)) {
+      sweep.tables_skipped += 1;
+      continue;
+    }
+    sweep.tables_flushed += 1;
+    if (async()) {
+      IngestResult enqueued;
+      EnqueueBatchesLocked(state, /*all=*/true, &enqueued);
+      state->draining = true;
+      to_collect.push_back(state);
+    } else {
+      IngestResult result;
+      Status st = DrainInline(state.get(), /*all=*/true, &result);
+      sweep.rows_flushed += result.rows_flushed;
+      sweep.updates_triggered += static_cast<int64_t>(result.reports.size());
+      if (!st.ok() && first_error.ok()) first_error = st;
+    }
   }
-  return Status::OK();
+  // Phase 2 (async): one drain over all strands, then collect per table.
+  if (!to_collect.empty()) {
+    executor_->Drain();
+    for (const auto& state : to_collect) {
+      {
+        std::lock_guard<std::mutex> lock(state->mu);
+        state->draining = false;
+      }
+      std::lock_guard<std::mutex> lock(state->stats_mu);
+      sweep.updates_triggered +=
+          static_cast<int64_t>(state->finished.size());
+      for (const auto& r : state->finished) sweep.rows_flushed += r.new_rows;
+      state->finished.clear();
+      if (!state->async_error.ok() && first_error.ok()) {
+        first_error = state->async_error;
+      }
+    }
+  }
+  if (!first_error.ok()) return first_error;
+  return sweep;
 }
 
 StatusOr<double> Engine::EstimateCardinality(
     const std::string& name, const workload::Query& query) const {
-  StatusOr<const TableState*> found = FindTable(name);
+  StatusOr<std::shared_ptr<TableState>> found = FindTable(name);
   if (!found.ok()) return found.status();
-  const TableState* state = found.value();
-  if (state->model == nullptr) {
+  const TableState* state = found.value().get();
+  // Async: serve from the last published snapshot — never blocks on a
+  // running update. Sync: serve from the live model (single-threaded
+  // contract).
+  std::shared_ptr<const core::UpdatableModel> snapshot =
+      std::atomic_load(&state->snapshot);
+  const core::UpdatableModel* model =
+      snapshot != nullptr ? snapshot.get() : state->model.get();
+  if (model == nullptr) {
     return Status::FailedPrecondition("table '" + name +
                                       "' has no model attached yet");
   }
   const auto* estimator =
-      dynamic_cast<const core::CardinalityEstimator*>(state->model.get());
+      dynamic_cast<const core::CardinalityEstimator*>(model);
   if (estimator == nullptr) {
     return Status::FailedPrecondition(
         "model kind '" + state->spec.kind + "' on table '" + name +
         "' does not serve cardinality estimates");
   }
+  std::lock_guard<std::mutex> lock(state->estimate_mu);
   return estimator->TryEstimateCardinality(query);
 }
 
 StatusOr<double> Engine::EstimateAqp(const std::string& name,
                                      const workload::Query& query) const {
-  StatusOr<const TableState*> found = FindTable(name);
+  StatusOr<std::shared_ptr<TableState>> found = FindTable(name);
   if (!found.ok()) return found.status();
-  const TableState* state = found.value();
-  if (state->model == nullptr) {
+  const TableState* state = found.value().get();
+  std::shared_ptr<const core::UpdatableModel> snapshot =
+      std::atomic_load(&state->snapshot);
+  const core::UpdatableModel* model =
+      snapshot != nullptr ? snapshot.get() : state->model.get();
+  if (model == nullptr) {
     return Status::FailedPrecondition("table '" + name +
                                       "' has no model attached yet");
   }
-  const auto* estimator =
-      dynamic_cast<const core::AqpEstimator*>(state->model.get());
+  const auto* estimator = dynamic_cast<const core::AqpEstimator*>(model);
   if (estimator == nullptr) {
     return Status::FailedPrecondition("model kind '" + state->spec.kind +
                                       "' on table '" + name +
                                       "' does not serve AQP estimates");
   }
+  std::lock_guard<std::mutex> lock(state->estimate_mu);
   return estimator->TryEstimateAqp(query, state->base);
 }
 
 StatusOr<TableReport> Engine::Report(const std::string& name) const {
-  StatusOr<const TableState*> found = FindTable(name);
+  StatusOr<std::shared_ptr<TableState>> found = FindTable(name);
   if (!found.ok()) return found.status();
-  const TableState* state = found.value();
+  const TableState* state = found.value().get();
   TableReport report;
   report.table = name;
-  report.model_kind = state->spec.kind;
-  report.rows = state->controller != nullptr
-                    ? state->controller->data().num_rows()
-                    : state->base.num_rows();
-  report.buffered_rows = state->pending.num_rows();
-  report.micro_batch_rows = state->micro_batch_rows;
+  report.backlog_batches = state->backlog.load(std::memory_order_acquire);
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    report.model_kind = state->spec.kind;
+    report.buffered_rows = state->pending.num_rows();
+    report.micro_batch_rows = state->micro_batch_rows;
+    if (state->controller != nullptr) {
+      // stats() is the controller's thread-safe read surface; the live
+      // detector/data references would race a worker mid-update.
+      core::LoopStats stats = state->controller->stats();
+      report.rows = stats.rows;
+      report.bootstrap_mean = stats.bootstrap_mean;
+      report.bootstrap_std = stats.bootstrap_std;
+    } else {
+      report.rows = state->base.num_rows();
+    }
+    report.state = state->draining
+                       ? TableServingState::kDraining
+                       : (report.backlog_batches > 0
+                              ? TableServingState::kUpdating
+                              : TableServingState::kServing);
+  }
+  std::lock_guard<std::mutex> lock(state->stats_mu);
   report.insertions = state->insertions;
   report.ood_updates = state->ood_updates;
   report.finetunes = state->finetunes;
   report.kept_stale = state->kept_stale;
   report.detect_seconds = state->detect_seconds;
   report.update_seconds = state->update_seconds;
-  if (state->controller != nullptr) {
-    report.bootstrap_mean = state->controller->detector().bootstrap_mean();
-    report.bootstrap_std = state->controller->detector().bootstrap_std();
-  }
+  report.async_batches = state->async_batches;
+  report.queue_seconds = state->queue_seconds;
+  report.snapshot_publishes = state->snapshot_publishes;
   return report;
 }
 
 std::vector<std::string> Engine::TableNames() const {
   std::vector<std::string> names;
-  names.reserve(tables_.size());
-  for (const auto& [name, state] : tables_) {
-    (void)state;
-    names.push_back(name);
+  for (const Stripe& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    for (const auto& [name, state] : stripe.tables) {
+      (void)state;
+      names.push_back(name);
+    }
   }
+  std::sort(names.begin(), names.end());
   return names;
 }
 
 bool Engine::HasTable(const std::string& name) const {
-  return tables_.count(name) > 0;
+  const Stripe& stripe = stripes_[StripeIndex(name)];
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  return stripe.tables.count(name) > 0;
 }
 
 core::UpdatableModel* Engine::model(const std::string& name) {
-  auto it = tables_.find(name);
-  return it == tables_.end() ? nullptr : it->second.model.get();
+  StatusOr<std::shared_ptr<TableState>> found = FindTable(name);
+  if (!found.ok()) return nullptr;
+  std::lock_guard<std::mutex> lock(found.value()->mu);
+  return found.value()->model.get();
 }
 
-Status Engine::Save(const std::string& path) const {
-  io::CheckpointWriter writer;
+Engine::TableCheckpoint Engine::CheckpointTable(const TableState& state) {
+  TableCheckpoint out;
   io::Serializer manifest;
-  manifest.WriteU32(kManifestVersion);
-  manifest.WriteU32(static_cast<uint32_t>(tables_.size()));
-  for (const auto& [name, state] : tables_) {
-    if (name.find(':') != std::string::npos) {
-      return Status::InvalidArgument("table name '" + name +
-                                     "' cannot be checkpointed (contains ':')");
-    }
-    manifest.WriteString(name);
+  {
+    std::lock_guard<std::mutex> lock(state.mu);
+    std::lock_guard<std::mutex> stats_lock(state.stats_mu);
+    manifest.WriteString(state.name);
     manifest.WriteString(state.spec.kind);
     manifest.WriteU32(static_cast<uint32_t>(state.spec.options.size()));
     for (const auto& [key, value] : state.spec.options) {
@@ -307,13 +591,65 @@ Status Engine::Save(const std::string& path) const {
     manifest.WriteTable(state.base);
     manifest.WriteTable(state.pending);
     manifest.WriteBool(state.model != nullptr);
-    if (state.model != nullptr) {
+    out.has_model = state.model != nullptr;
+    if (out.has_model) {
       io::Serializer model_state;
-      DDUP_RETURN_IF_ERROR(state.model->SaveState(&model_state));
-      writer.AddSection(ModelSection(name), model_state.Take());
+      out.status = state.model->SaveState(&model_state);
+      if (!out.status.ok()) return out;
+      out.model_state = model_state.Take();
       io::Serializer controller_state;
-      DDUP_RETURN_IF_ERROR(state.controller->SaveState(&controller_state));
-      writer.AddSection(ControllerSection(name), controller_state.Take());
+      out.status = state.controller->SaveState(&controller_state);
+      if (!out.status.ok()) return out;
+      out.controller_state = controller_state.Take();
+    }
+  }
+  out.manifest = manifest.Take();
+  return out;
+}
+
+Status Engine::Save(const std::string& path) const {
+  std::vector<std::string> names = TableNames();
+  std::vector<std::shared_ptr<TableState>> states;
+  states.reserve(names.size());
+  for (const std::string& name : names) {
+    StatusOr<std::shared_ptr<TableState>> found = FindTable(name);
+    if (!found.ok()) return found.status();
+    states.push_back(found.value());
+  }
+
+  std::vector<TableCheckpoint> blobs(states.size());
+  if (async()) {
+    // Quiesce: every already-queued update runs first (strand FIFO), then
+    // the serialization task itself executes on the table's strand — so a
+    // checkpoint can never capture a torn mid-update state, even with
+    // concurrent ingest on other tables.
+    std::vector<std::future<void>> done;
+    done.reserve(states.size());
+    for (size_t i = 0; i < states.size(); ++i) {
+      std::shared_ptr<TableState> state = states[i];
+      TableCheckpoint* blob = &blobs[i];
+      done.push_back(executor_->Submit(
+          state->name, [state, blob]() { *blob = CheckpointTable(*state); }));
+    }
+    for (auto& f : done) f.wait();
+  } else {
+    for (size_t i = 0; i < states.size(); ++i) {
+      blobs[i] = CheckpointTable(*states[i]);
+    }
+  }
+
+  io::CheckpointWriter writer;
+  io::Serializer manifest;
+  manifest.WriteU32(kManifestVersion);
+  manifest.WriteU32(static_cast<uint32_t>(states.size()));
+  for (size_t i = 0; i < states.size(); ++i) {
+    DDUP_RETURN_IF_ERROR(blobs[i].status);
+    manifest.WriteRaw(blobs[i].manifest);
+    if (blobs[i].has_model) {
+      writer.AddSection(ModelSection(names[i]),
+                        std::move(blobs[i].model_state));
+      writer.AddSection(ControllerSection(names[i]),
+                        std::move(blobs[i].controller_state));
     }
   }
   writer.AddSection(kManifestSection, manifest.Take());
@@ -336,52 +672,63 @@ StatusOr<std::unique_ptr<Engine>> Engine::Load(const std::string& path,
   auto engine = std::make_unique<Engine>(std::move(config));
   uint32_t num_tables = manifest.ReadU32();
   for (uint32_t i = 0; i < num_tables && manifest.ok(); ++i) {
-    std::string name = manifest.ReadString();
-    TableState state;
-    state.spec.kind = manifest.ReadString();
+    auto state = std::make_shared<TableState>();
+    state->name = manifest.ReadString();
+    state->spec.kind = manifest.ReadString();
     uint32_t num_options = manifest.ReadU32();
     for (uint32_t k = 0; k < num_options && manifest.ok(); ++k) {
       std::string key = manifest.ReadString();
-      state.spec.options[key] = manifest.ReadString();
+      state->spec.options[key] = manifest.ReadString();
     }
-    state.micro_batch_rows = manifest.ReadI64();
-    state.insertions = manifest.ReadI64();
-    state.ood_updates = manifest.ReadI64();
-    state.finetunes = manifest.ReadI64();
-    state.kept_stale = manifest.ReadI64();
-    state.detect_seconds = manifest.ReadDouble();
-    state.update_seconds = manifest.ReadDouble();
-    state.base = manifest.ReadTable();
-    state.pending = manifest.ReadTable();
+    state->micro_batch_rows = manifest.ReadI64();
+    state->insertions = manifest.ReadI64();
+    state->ood_updates = manifest.ReadI64();
+    state->finetunes = manifest.ReadI64();
+    state->kept_stale = manifest.ReadI64();
+    state->detect_seconds = manifest.ReadDouble();
+    state->update_seconds = manifest.ReadDouble();
+    state->base = manifest.ReadTable();
+    state->pending = manifest.ReadTable();
     bool has_model = manifest.ReadBool();
     if (!manifest.ok()) break;
-    if (state.micro_batch_rows <= 0) {
-      return Status::InvalidArgument("manifest for table '" + name +
+    if (state->micro_batch_rows <= 0) {
+      return Status::InvalidArgument("manifest for table '" + state->name +
                                      "' has a non-positive micro-batch size");
     }
     if (has_model) {
       StatusOr<std::string> model_payload =
-          reader.value().Section(ModelSection(name));
+          reader.value().Section(ModelSection(state->name));
       if (!model_payload.ok()) return model_payload.status();
       io::Deserializer model_in(std::move(model_payload).value());
       StatusOr<std::unique_ptr<core::UpdatableModel>> model =
-          ModelFactory::Global().Restore(state.spec.kind, &model_in);
+          ModelFactory::Global().Restore(state->spec.kind, &model_in);
       if (!model.ok()) return model.status();
       DDUP_RETURN_IF_ERROR(model_in.Finish());
-      state.model = std::move(model).value();
+      state->model = std::move(model).value();
 
       StatusOr<std::string> controller_payload =
-          reader.value().Section(ControllerSection(name));
+          reader.value().Section(ControllerSection(state->name));
       if (!controller_payload.ok()) return controller_payload.status();
       io::Deserializer controller_in(std::move(controller_payload).value());
       StatusOr<std::unique_ptr<core::DdupController>> controller =
           core::DdupController::ResumeFromState(
-              state.model.get(), engine->config_.controller, &controller_in);
+              state->model.get(), engine->config_.controller, &controller_in);
       if (!controller.ok()) return controller.status();
       DDUP_RETURN_IF_ERROR(controller_in.Finish());
-      state.controller = std::move(controller).value();
+      state->controller = std::move(controller).value();
+      if (engine->async()) {
+        StatusOr<std::unique_ptr<core::UpdatableModel>> copy =
+            CloneModel(state->spec.kind, *state->model);
+        if (!copy.ok()) return copy.status();
+        std::atomic_store(
+            &state->snapshot, std::shared_ptr<const core::UpdatableModel>(
+                                  std::move(copy).value().release()));
+        state->snapshot_publishes += 1;
+      }
     }
-    engine->tables_[name] = std::move(state);
+    Stripe& stripe = engine->stripes_[engine->StripeIndex(state->name)];
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    stripe.tables[state->name] = std::move(state);
   }
   DDUP_RETURN_IF_ERROR(manifest.Finish());
   return engine;

@@ -1,14 +1,18 @@
 #ifndef DDUP_API_ENGINE_H_
 #define DDUP_API_ENGINE_H_
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "api/model_factory.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "core/controller.h"
 #include "storage/table.h"
 #include "workload/query.h"
@@ -21,6 +25,18 @@ namespace ddup::api {
 struct EngineConfig {
   core::ControllerConfig controller;
   int64_t micro_batch_rows = 512;
+  // Background DDUp update workers (DESIGN.md §11).
+  //   0  (default): synchronous — Ingest runs the detect→update loop inline
+  //      for every completed micro-batch, exactly the pre-concurrency
+  //      behavior and bit-identical to it.
+  //   n > 0: n background workers. Ingest appends to the accumulator, hands
+  //      full micro-batches to the table's FIFO update strand and returns
+  //      immediately; estimates keep serving from the last published model
+  //      snapshot while the update runs.
+  //   -1 (auto): one worker per default thread beyond the first
+  //      (DefaultThreadCount() - 1, see common/thread_pool.h), so
+  //      DDUP_THREADS=1 and single-core environments resolve to synchronous.
+  int update_workers = 0;
 };
 
 struct TableOptions {
@@ -28,16 +44,47 @@ struct TableOptions {
   int64_t micro_batch_rows = 0;
 };
 
+// Per-table serving state machine (DESIGN.md §11): SERVING when the update
+// strand is idle, UPDATING while micro-batches are queued or running on a
+// background worker, DRAINING while a Flush/FlushAll/Save is waiting for
+// the strand to empty. Synchronous engines are always SERVING outside a
+// call.
+enum class TableServingState { kServing, kUpdating, kDraining };
+const char* ToString(TableServingState state);
+
 // What one Ingest/Flush call did: rows may sit in the accumulator
 // (buffered), and each flushed micro-batch produces one full DDUp loop
 // iteration (detect -> update -> offline refresh) reported per batch.
+//
+// Asynchronous engines (update_workers != 0) decouple the call from the
+// loop: Ingest reports rows_enqueued instead of rows_flushed and returns no
+// reports (the batches have not run yet); Flush drains the strand and
+// returns every InsertionReport completed since the previous collection
+// point, so rows_flushed there can exceed the rows this call enqueued.
 struct IngestResult {
   // Accumulator occupancy after the call.
   int64_t rows_buffered = 0;
-  // Rows pushed through the DDUp loop by this call.
+  // Rows pushed through the DDUp loop by this call (sync), or completed
+  // reports collected by this Flush (async).
   int64_t rows_flushed = 0;
+  // Rows handed to the background update strand by this call (async).
+  int64_t rows_enqueued = 0;
+  // Micro-batches queued or running for this table after the call (async).
+  int64_t backlog_batches = 0;
   // One entry per flushed micro-batch, in flush order.
   std::vector<core::InsertionReport> reports;
+};
+
+// What one FlushAll sweep did across the registry.
+struct FlushReport {
+  // Tables that had buffered rows or queued updates to push.
+  int64_t tables_flushed = 0;
+  // Tables short-circuited because there was nothing to do (empty
+  // accumulator, idle strand).
+  int64_t tables_skipped = 0;
+  int64_t rows_flushed = 0;
+  // Micro-batches pushed through the DDUp loop by the sweep.
+  int64_t updates_triggered = 0;
 };
 
 // Cumulative per-table statistics (Report).
@@ -60,6 +107,12 @@ struct TableReport {
   // Detector state after the last offline refresh.
   double bootstrap_mean = 0.0;
   double bootstrap_std = 0.0;
+  // Concurrency surface (async engines; zeros on the synchronous path).
+  TableServingState state = TableServingState::kServing;
+  int64_t backlog_batches = 0;      // micro-batches queued or running
+  int64_t async_batches = 0;        // batches that ran on a worker
+  double queue_seconds = 0.0;       // cumulative worker-queue wait
+  int64_t snapshot_publishes = 0;   // serving-model swaps so far
 };
 
 // The public multi-table facade over the DDUp loop: a registry of named
@@ -74,14 +127,32 @@ struct TableReport {
 // once for the remainder on an explicit Flush. Buffered rows are invisible
 // to the model (and to Estimate*) until flushed.
 //
+// Concurrency (DESIGN.md §11). With update_workers != 0 the engine is a
+// concurrent serving core: the registry is striped (kRegistryStripes
+// locks), each table runs a SERVING/UPDATING/DRAINING state machine, full
+// micro-batches execute on a per-table FIFO strand of a background
+// TaskExecutor (updates for one table never reorder or overlap; distinct
+// tables update in parallel), and Estimate* serves from the last published
+// read-only model snapshot — an atomic shared_ptr swap per completed
+// batch, so readers never block on training. Ingest/Estimate/Flush/Report
+// are thread-safe against each other and against running updates; the
+// setup calls (CreateTable, AttachModel, Load) and model() are not — run
+// them before spinning up clients. Synchronous engines (update_workers ==
+// 0, the default) keep the strictly single-threaded contract and
+// byte-identical behavior of the pre-concurrency engine.
+//
 // Save writes the whole engine — registry, per-table accumulator, model
 // weights, detector moments and every RNG stream — as one manifest over
 // the src/io checkpoint container; Load restores it bit-identically, so a
 // restarted engine issues the same estimates and the same future detect
-// decisions as the original.
+// decisions as the original. On an async engine Save quiesces first: every
+// queued update runs to completion and the per-table serialization itself
+// executes on the table's strand, so a checkpoint can never capture a
+// torn mid-update state.
 class Engine {
  public:
   explicit Engine(EngineConfig config = {});
+  ~Engine();
 
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
@@ -94,21 +165,32 @@ class Engine {
 
   // Builds spec.kind via the ModelFactory, trains it on the table's current
   // rows (which must be non-empty) and starts the DDUp controller. One
-  // model per table.
+  // model per table. On an async engine this also publishes the initial
+  // serving snapshot, so the model kind must support the checkpoint hooks.
   Status AttachModel(const std::string& name, const ModelSpec& spec);
 
   // Buffers `batch` (validated against the table schema; empty is a no-op)
-  // and runs the DDUp loop for every completed micro-batch.
+  // and runs the DDUp loop for every completed micro-batch — inline (sync)
+  // or on the table's background update strand (async, non-blocking).
   StatusOr<IngestResult> Ingest(const std::string& name,
                                 const storage::Table& batch);
 
   // Pushes any buffered remainder through the loop regardless of size.
+  // Async: also waits for the table's update strand to drain, and returns
+  // the InsertionReports completed since the last collection. Empty
+  // flushes (no buffered rows, idle strand) short-circuit without touching
+  // the update path.
   StatusOr<IngestResult> Flush(const std::string& name);
-  // Flush for every table; stops at the first error.
-  Status FlushAll();
+  // Flush for every table; stops at the first error. Async: remainders for
+  // all tables are enqueued first, then drained together, so the sweep
+  // overlaps updates across tables.
+  StatusOr<FlushReport> FlushAll();
 
   // Estimates over the flushed state. FailedPrecondition if no model is
-  // attached or the model kind does not serve the estimate type.
+  // attached or the model kind does not serve the estimate type. Async
+  // engines serve from the last published snapshot and never block on a
+  // running update; stateful estimators (e.g. the DARN's progressive
+  // sampler) are serialized per table by an internal estimate lock.
   StatusOr<double> EstimateCardinality(const std::string& name,
                                        const workload::Query& query) const;
   StatusOr<double> EstimateAqp(const std::string& name,
@@ -118,47 +200,137 @@ class Engine {
   std::vector<std::string> TableNames() const;  // sorted
   bool HasTable(const std::string& name) const;
 
-  // Direct model access for plotting/diagnostics (nullptr before
-  // AttachModel). The engine still owns the model.
+  // Direct access to the live training model for plotting/diagnostics
+  // (nullptr before AttachModel). The engine still owns the model. Async
+  // engines: quiesce first (Flush/FlushAll) — the live model is mutated by
+  // the update strand, not the published serving snapshot.
   core::UpdatableModel* model(const std::string& name);
 
   // Whole-engine checkpoint: a manifest section describing the registry
   // plus one model and one controller section per attached table, all in a
-  // single container file. Restores are bit-identical.
+  // single container file. Restores are bit-identical. Async engines
+  // quiesce via drain first (see the class comment).
   Status Save(const std::string& path) const;
   // `config` supplies what the manifest deliberately does not persist: the
   // policy/detector knobs for resumed controllers (matching the
-  // DdupController::Resume contract) and the micro-batch default for
-  // tables created after the restore.
+  // DdupController::Resume contract), the micro-batch default for tables
+  // created after the restore, and the update-worker count (a restored
+  // engine may run sync or async regardless of how the saved one ran).
   static StatusOr<std::unique_ptr<Engine>> Load(const std::string& path,
                                                 EngineConfig config = {});
 
  private:
   struct TableState {
+    std::string name;
     ModelSpec spec;
     int64_t micro_batch_rows = 0;
+
+    // Ingest-side state, guarded by mu: the schema contract, the
+    // micro-batch accumulator, the model/controller handles and the drain
+    // flag. The controller's *internals* are not guarded by mu — they are
+    // touched only from the table's FIFO update strand (async) or inline
+    // (sync), which serializes them without a lock.
+    mutable std::mutex mu;
     storage::Table base;     // schema contract; rows only until AttachModel
     storage::Table pending;  // micro-batch accumulator (base schema)
     std::unique_ptr<core::UpdatableModel> model;
     std::unique_ptr<core::DdupController> controller;
+    bool draining = false;
+
+    // Update-side statistics, guarded by stats_mu (folded by workers,
+    // read by Report/Flush).
+    mutable std::mutex stats_mu;
     int64_t insertions = 0;
     int64_t ood_updates = 0;
     int64_t finetunes = 0;
     int64_t kept_stale = 0;
     double detect_seconds = 0.0;
     double update_seconds = 0.0;
+    int64_t async_batches = 0;
+    double queue_seconds = 0.0;
+    int64_t snapshot_publishes = 0;
+    // First background failure, sticky: reported by every later
+    // Ingest/Flush on the table. Cannot trigger for batches the engine
+    // validated, but a custom model kind could fail a snapshot publish.
+    Status async_error;
+    // Reports completed on the strand since the last Flush collection,
+    // bounded by kMaxBufferedReports (oldest dropped first).
+    std::vector<core::InsertionReport> finished;
+
+    // Micro-batches queued or running on the strand.
+    std::atomic<int64_t> backlog{0};
+
+    // Read-only serving snapshot (async only): readers atomic_load, the
+    // strand atomic_stores a fresh deep copy after every batch. Access
+    // ONLY via std::atomic_load/atomic_store.
+    std::shared_ptr<const core::UpdatableModel> snapshot;
+    // Serializes estimate calls on one table: estimators with internal
+    // sampler state (DARN) are not safe for overlapped calls even on a
+    // read-only snapshot.
+    mutable std::mutex estimate_mu;
   };
 
-  StatusOr<TableState*> FindTable(const std::string& name);
-  StatusOr<const TableState*> FindTable(const std::string& name) const;
-  // Runs the DDUp loop on `batch` and folds the report into the counters.
+  // Hash-striped registry: CreateTable/lookup contend only within one
+  // stripe, and lookups drop the stripe lock before touching the table
+  // (TableState handles are shared_ptr, never invalidated).
+  static constexpr size_t kRegistryStripes = 16;
+  struct Stripe {
+    mutable std::mutex mu;
+    std::map<std::string, std::shared_ptr<TableState>> tables;
+  };
+  // Collected per-table sections for Save (serialized on the strand).
+  struct TableCheckpoint {
+    Status status;
+    std::string manifest;  // per-table manifest fields
+    bool has_model = false;
+    std::string model_state;
+    std::string controller_state;
+  };
+
+  static constexpr size_t kMaxBufferedReports = 1024;
+
+  size_t StripeIndex(const std::string& name) const;
+  StatusOr<std::shared_ptr<TableState>> FindTable(
+      const std::string& name) const;
+  bool async() const { return executor_ != nullptr; }
+
+  // Runs the DDUp loop on `batch` inline and folds the report into the
+  // counters (sync path; also the strand body via RunBatchOnWorker).
   Status PushBatch(TableState* state, const storage::Table& batch,
                    IngestResult* result);
-  // Drains every full micro-batch (and, if `all`, the remainder).
-  Status Drain(TableState* state, bool all, IngestResult* result);
+  // Slices full micro-batches (and, if `all`, the remainder) out of the
+  // accumulator under state->mu and runs them inline (sync).
+  Status DrainInline(TableState* state, bool all, IngestResult* result);
+  // Async: slices batches out of the accumulator and enqueues them on the
+  // table's strand. Caller must hold state->mu.
+  void EnqueueBatchesLocked(const std::shared_ptr<TableState>& state, bool all,
+                            IngestResult* result);
+  // Strand body: one micro-batch through the loop + snapshot republish.
+  static void RunBatchOnWorker(const std::shared_ptr<TableState>& state,
+                               const storage::Table& batch,
+                               double queue_seconds);
+  // Publishes a fresh read-only copy of the live model (strand context or
+  // setup path). Folds errors into state->async_error.
+  static void PublishSnapshot(TableState* state);
+  // Folds one completed InsertionReport into the table counters. Caller
+  // must hold state->stats_mu.
+  static void FoldReportLocked(TableState* state,
+                               const core::InsertionReport& report);
+  // Serializes one table's manifest fields + model/controller sections.
+  static TableCheckpoint CheckpointTable(const TableState& state);
+  // Async flush helpers.
+  StatusOr<IngestResult> CollectFlush(const std::shared_ptr<TableState>& state);
+  Status StickyError(const TableState& state) const;
+  // True when a flush would be a no-op: empty accumulator, idle strand,
+  // no completed reports awaiting collection. Caller must hold state.mu.
+  bool NothingToFlushLocked(const TableState& state) const;
 
   EngineConfig config_;
-  std::map<std::string, TableState> tables_;  // sorted => deterministic Save
+  std::array<Stripe, kRegistryStripes> stripes_;
+  // Background update workers; null on the synchronous path. Declared last
+  // so it is destroyed (drained + joined) before the registry it points
+  // into — though strand tasks also hold shared_ptr table handles.
+  std::unique_ptr<TaskExecutor> executor_;
 };
 
 }  // namespace ddup::api

@@ -3,6 +3,7 @@
 #include <cerrno>
 #include <cstdlib>
 
+#include "io/serializer.h"
 #include "models/registry.h"
 
 namespace ddup::api {
@@ -162,6 +163,18 @@ StatusOr<std::unique_ptr<core::UpdatableModel>> ModelFactory::Restore(
   StatusOr<const Entry*> entry = Find(kind);
   if (!entry.ok()) return entry.status();
   return entry.value()->restorer(in);
+}
+
+StatusOr<std::unique_ptr<core::UpdatableModel>> CloneModel(
+    const std::string& kind, const core::UpdatableModel& model) {
+  io::Serializer state;
+  DDUP_RETURN_IF_ERROR(model.SaveState(&state));
+  io::Deserializer in(state.Take());
+  StatusOr<std::unique_ptr<core::UpdatableModel>> copy =
+      ModelFactory::Global().Restore(kind, &in);
+  if (!copy.ok()) return copy.status();
+  DDUP_RETURN_IF_ERROR(in.Finish());
+  return copy;
 }
 
 }  // namespace ddup::api

@@ -109,6 +109,15 @@ class ModelFactory {
   std::map<std::string, Entry> entries_;
 };
 
+// Deep copy of `model` (a registered `kind`) through its checkpoint state:
+// SaveState into a buffer, Restore a fresh instance. The copy shares no
+// mutable state with the original — the Engine publishes such copies as
+// read-only serving snapshots while training continues on the original
+// (DESIGN.md §11). Fails (without side effects) for kinds whose models do
+// not implement the checkpoint hooks.
+StatusOr<std::unique_ptr<core::UpdatableModel>> CloneModel(
+    const std::string& kind, const core::UpdatableModel& model);
+
 }  // namespace ddup::api
 
 #endif  // DDUP_API_MODEL_FACTORY_H_

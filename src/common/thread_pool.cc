@@ -13,7 +13,9 @@ namespace {
 
 thread_local bool t_in_pool_work = false;
 
-int DefaultThreads() {
+}  // namespace
+
+int DefaultThreadCount() {
   if (const char* env = std::getenv("DDUP_THREADS")) {
     int n = std::atoi(env);
     if (n > 0) return n;
@@ -22,10 +24,8 @@ int DefaultThreads() {
   return hw == 0 ? 1 : static_cast<int>(hw);
 }
 
-}  // namespace
-
 ThreadPool::ThreadPool(int num_threads) {
-  int n = num_threads > 0 ? num_threads : DefaultThreads();
+  int n = num_threads > 0 ? num_threads : DefaultThreadCount();
   workers_.reserve(static_cast<size_t>(n - 1));
   for (int i = 0; i + 1 < n; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -127,6 +127,102 @@ ThreadPool& ThreadPool::Global() {
 }
 
 bool ThreadPool::InWorker() { return t_in_pool_work; }
+
+TaskExecutor::TaskExecutor(int num_threads) {
+  int n = std::max(1, num_threads);
+  workers_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+TaskExecutor::~TaskExecutor() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+  DDUP_CHECK_MSG(pending_ == 0, "TaskExecutor lost tasks at shutdown");
+}
+
+void TaskExecutor::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [this] { return shutdown_ || !ready_.empty(); });
+    if (ready_.empty()) {
+      // shutdown_ set and no runnable strand. A strand whose task is still
+      // running on another worker requeues itself when it finishes, and that
+      // worker re-checks the predicate — so exiting here never strands work.
+      return;
+    }
+    std::string key = std::move(ready_.front());
+    ready_.pop_front();
+    std::packaged_task<void()> task;
+    {
+      Strand& strand = strands_[key];
+      task = std::move(strand.queue.front());
+      strand.queue.pop_front();
+      strand.running = true;
+    }
+    lock.unlock();
+    task();
+    lock.lock();
+    // Re-find: Submit may have rehashed the map while we were unlocked.
+    auto it = strands_.find(key);
+    it->second.running = false;
+    if (!it->second.queue.empty()) {
+      ready_.push_back(std::move(key));
+      work_cv_.notify_one();
+    } else {
+      strands_.erase(it);
+    }
+    --pending_;
+    idle_cv_.notify_all();
+  }
+}
+
+std::future<void> TaskExecutor::Submit(const std::string& key,
+                                       std::function<void()> fn) {
+  std::packaged_task<void()> task(std::move(fn));
+  std::future<void> future = task.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    DDUP_CHECK_MSG(!shutdown_, "TaskExecutor::Submit after shutdown");
+    Strand& strand = strands_[key];
+    strand.queue.push_back(std::move(task));
+    ++pending_;
+    if (!strand.running && strand.queue.size() == 1) {
+      ready_.push_back(key);
+    }
+  }
+  work_cv_.notify_one();
+  return future;
+}
+
+void TaskExecutor::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return pending_ == 0; });
+}
+
+void TaskExecutor::DrainKey(const std::string& key) {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock,
+                [&] { return strands_.find(key) == strands_.end(); });
+}
+
+int64_t TaskExecutor::backlog() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pending_;
+}
+
+int64_t TaskExecutor::backlog(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = strands_.find(key);
+  if (it == strands_.end()) return 0;
+  return static_cast<int64_t>(it->second.queue.size()) +
+         (it->second.running ? 1 : 0);
+}
 
 double ParallelChunkMean(ThreadPool& pool, int64_t n, int64_t chunk_rows,
                          const std::function<double(int64_t, int64_t)>& chunk_mean) {

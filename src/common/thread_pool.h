@@ -5,11 +5,20 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <future>
 #include <mutex>
+#include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 namespace ddup {
+
+// The process-wide default thread count: $DDUP_THREADS if set and positive,
+// else std::thread::hardware_concurrency() (min 1). Shared by ThreadPool
+// and the Engine's background-worker auto mode, so one knob pins every
+// threading decision in the process (DDUP_THREADS=1 == fully serial).
+int DefaultThreadCount();
 
 // Small fixed-size thread pool used by the row-parallel loss paths and the
 // detector's bootstrap loop. Design constraints, in order:
@@ -58,6 +67,73 @@ class ThreadPool {
   std::mutex mu_;
   std::condition_variable cv_;
   bool stop_ = false;
+};
+
+// A task-queue executor with per-key FIFO ordering ("strands") and graceful
+// drain, built for background work that must not reorder within a logical
+// stream: the Engine (src/api) hands every table's micro-batch updates to
+// one executor keyed by table name, so updates for one table never overlap
+// or reorder (the final model state is the same as a serial replay of that
+// table's stream) while distinct tables update concurrently.
+//
+// Contrast with ThreadPool above: ThreadPool is a fork-join helper for
+// data-parallel loops where the *caller* blocks; TaskExecutor is
+// fire-and-forget — Submit returns a future immediately and dedicated
+// worker threads run the task later. Determinism story: the executor never
+// changes what a strand computes, only when; per-strand results are
+// bit-identical to serial execution because strand tasks never overlap.
+class TaskExecutor {
+ public:
+  // Spawns `num_threads` dedicated workers (clamped to >= 1). Unlike
+  // ThreadPool the caller does not participate, so even a 1-thread executor
+  // makes Submit non-blocking.
+  explicit TaskExecutor(int num_threads);
+  // Graceful shutdown: finishes every queued task, then joins the workers.
+  ~TaskExecutor();
+
+  TaskExecutor(const TaskExecutor&) = delete;
+  TaskExecutor& operator=(const TaskExecutor&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  // Enqueues `fn` on strand `key` and returns immediately. Tasks sharing a
+  // key run in submission order and never overlap; tasks on distinct keys
+  // run concurrently (worker count permitting). The future becomes ready
+  // when the task finishes. Must not be called during/after destruction.
+  std::future<void> Submit(const std::string& key, std::function<void()> fn);
+
+  // Blocks until every task submitted before the call has finished. Tasks
+  // submitted concurrently with Drain may or may not be waited for.
+  void Drain();
+  // Drain for a single strand: blocks until `key` has no queued or running
+  // task.
+  void DrainKey(const std::string& key);
+
+  // Queued + running tasks, over the whole executor or one strand.
+  int64_t backlog() const;
+  int64_t backlog(const std::string& key) const;
+
+ private:
+  // Invariant: a strand is present in strands_ iff it has queued tasks or a
+  // running one; it is in ready_ exactly once iff it has queued tasks and
+  // none running. Workers pull strands from ready_, run ONE task, then
+  // requeue the strand at the back — round-robin across strands, FIFO
+  // within one.
+  struct Strand {
+    std::deque<std::packaged_task<void()>> queue;
+    bool running = false;
+  };
+
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;  // workers: ready_ non-empty or shutdown
+  std::condition_variable idle_cv_;  // Drain/DrainKey: progress signal
+  std::unordered_map<std::string, Strand> strands_;
+  std::deque<std::string> ready_;
+  int64_t pending_ = 0;  // queued + running, all strands
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
 };
 
 // Deterministic parallel mean: splits [0, n) into fixed chunks of

@@ -22,6 +22,19 @@ DdupController::DdupController(UpdatableModel* model, storage::Table base_data,
   DDUP_CHECK(model_ != nullptr);
   DDUP_CHECK(data_.num_rows() > 0);
   detector_.Fit(*model_, data_);
+  RefreshStats();
+}
+
+void DdupController::RefreshStats() {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  stats_.rows = data_.num_rows();
+  stats_.bootstrap_mean = detector_.bootstrap_mean();
+  stats_.bootstrap_std = detector_.bootstrap_std();
+}
+
+LoopStats DdupController::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
 }
 
 DdupController::DdupController(UpdatableModel* model, ControllerConfig config,
@@ -58,6 +71,7 @@ StatusOr<std::unique_ptr<DdupController>> DdupController::ResumeFromState(
   if (!controller->detector_.fitted() || controller->data_.num_rows() <= 0) {
     return Status::InvalidArgument("controller snapshot is not resumable");
   }
+  controller->RefreshStats();
   return controller;
 }
 
@@ -126,6 +140,7 @@ StatusOr<InsertionReport> DdupController::HandleInsertion(
   Stopwatch offline_timer;
   detector_.Fit(*model_, data_);
   report.offline_refresh_seconds = offline_timer.ElapsedSeconds();
+  RefreshStats();
   return report;
 }
 

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "common/rng.h"
@@ -28,6 +29,24 @@ struct InsertionReport {
   double offline_refresh_seconds = 0.0; // bootstrap refresh time
   int64_t old_rows = 0;
   int64_t new_rows = 0;
+  // Filled by the serving layer (src/api) when the batch ran on a
+  // background update worker: the per-table update backlog observed when
+  // the worker picked the batch up (this batch included), and the time the
+  // batch waited in the worker queue. Zero on the synchronous path.
+  int64_t backlog_batches = 0;
+  double queue_seconds = 0.0;
+};
+
+// The read-only serving surface of a controller, separated from the
+// mutable training state so concurrent readers (Engine::Report, monitoring
+// threads) never race a HandleInsertion running on an update worker. The
+// snapshot is refreshed under an internal mutex at the end of every
+// insertion (and at construction/resume), so readers see either the
+// pre-batch or the post-batch state — never a torn mix.
+struct LoopStats {
+  int64_t rows = 0;               // accumulated data size
+  double bootstrap_mean = 0.0;    // detector moments after the last refresh
+  double bootstrap_std = 0.0;
 };
 
 // Orchestrates DDUp per §2.2: on every insertion batch, run the online
@@ -50,6 +69,13 @@ class DdupController {
   // returns InvalidArgument and leaves the model, detector and data
   // untouched.
   StatusOr<InsertionReport> HandleInsertion(const storage::Table& batch);
+
+  // Thread-safe snapshot of the read-only serving stats. This is the only
+  // accessor that may be called concurrently with HandleInsertion; data(),
+  // detector() and model() below hand out references into the mutable
+  // training state and require external serialization (the Engine calls
+  // them only from the table's FIFO update strand or after a drain).
+  LoopStats stats() const;
 
   const storage::Table& data() const { return data_; }
   const OodDetector& detector() const { return detector_; }
@@ -82,11 +108,17 @@ class DdupController {
   struct ResumeTag {};
   DdupController(UpdatableModel* model, ControllerConfig config, ResumeTag);
 
+  // Re-publishes stats_ from the current data/detector state.
+  void RefreshStats();
+
   UpdatableModel* model_;
   storage::Table data_;
   ControllerConfig config_;
   OodDetector detector_;
   Rng rng_;
+
+  mutable std::mutex stats_mu_;
+  LoopStats stats_;  // guarded by stats_mu_
 };
 
 }  // namespace ddup::core

@@ -266,4 +266,80 @@ TEST(ThreadPoolTest, ParallelChunkMeanBitIdenticalAcrossPoolSizes) {
   EXPECT_DOUBLE_EQ(r1, r7);
 }
 
+TEST(TaskExecutorTest, StrandTasksRunFifoAndNeverOverlap) {
+  // 200 tasks on one key, each recording its sequence number and checking
+  // it is alone in the critical section: any reorder or overlap fails.
+  TaskExecutor executor(4);
+  std::vector<int> order;
+  std::atomic<int> in_flight{0};
+  std::atomic<bool> overlapped{false};
+  for (int i = 0; i < 200; ++i) {
+    executor.Submit("k", [i, &order, &in_flight, &overlapped] {
+      if (in_flight.fetch_add(1) != 0) overlapped.store(true);
+      order.push_back(i);
+      in_flight.fetch_sub(1);
+    });
+  }
+  executor.Drain();
+  EXPECT_FALSE(overlapped.load());
+  ASSERT_EQ(order.size(), 200u);
+  for (int i = 0; i < 200; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(TaskExecutorTest, DistinctKeysRunConcurrently) {
+  // Task A (key "a") blocks until task B (key "b") runs. If keys were
+  // serialized onto one strand this would deadlock; the 10 s timeout turns
+  // that into a failure instead of a hang.
+  TaskExecutor executor(2);
+  std::promise<void> b_ran;
+  std::shared_future<void> b_done = b_ran.get_future().share();
+  std::atomic<bool> a_saw_b{false};
+  executor.Submit("a", [&a_saw_b, b_done] {
+    if (b_done.wait_for(std::chrono::seconds(10)) ==
+        std::future_status::ready) {
+      a_saw_b.store(true);
+    }
+  });
+  executor.Submit("b", [&b_ran] { b_ran.set_value(); });
+  executor.Drain();
+  EXPECT_TRUE(a_saw_b.load());
+}
+
+TEST(TaskExecutorTest, FuturesBacklogAndDrainKey) {
+  TaskExecutor executor(1);
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  std::future<void> first =
+      executor.Submit("a", [gate] { gate.wait(); });
+  executor.Submit("a", [] {});
+  executor.Submit("b", [gate] { gate.wait(); });
+  // "a" has one running/queued pair, "b" one queued behind the 1 worker.
+  EXPECT_EQ(executor.backlog(), 3);
+  EXPECT_EQ(executor.backlog("a"), 2);
+  EXPECT_EQ(executor.backlog("b"), 1);
+  EXPECT_EQ(executor.backlog("nope"), 0);
+  release.set_value();
+  executor.DrainKey("a");
+  EXPECT_EQ(executor.backlog("a"), 0);
+  EXPECT_TRUE(first.valid());
+  EXPECT_EQ(first.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  executor.Drain();
+  EXPECT_EQ(executor.backlog(), 0);
+}
+
+TEST(TaskExecutorTest, DestructorDrainsQueuedTasks) {
+  std::atomic<int> ran{0};
+  {
+    TaskExecutor executor(2);
+    for (int i = 0; i < 50; ++i) {
+      executor.Submit(i % 2 == 0 ? "even" : "odd", [&ran] {
+        ran.fetch_add(1);
+      });
+    }
+    // No Drain: the destructor must finish all 50 before joining.
+  }
+  EXPECT_EQ(ran.load(), 50);
+}
+
 }  // namespace ddup

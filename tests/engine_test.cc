@@ -209,8 +209,13 @@ TEST(EngineTest, BadInputsAreRecoverableStatuses) {
             StatusCode::kFailedPrecondition);
 
   // FlushAll skips the model-less table (it cannot have buffered rows)
-  // instead of failing the sweep.
-  EXPECT_TRUE(engine.FlushAll().ok());
+  // instead of failing the sweep, and the report says so.
+  auto sweep = engine.FlushAll();
+  ASSERT_TRUE(sweep.ok());
+  EXPECT_EQ(sweep.value().tables_flushed, 0);
+  EXPECT_EQ(sweep.value().tables_skipped, 2);
+  EXPECT_EQ(sweep.value().rows_flushed, 0);
+  EXPECT_EQ(sweep.value().updates_triggered, 0);
 }
 
 TEST(EngineTest, MicroBatchingDecouplesIngestFromDetection) {
@@ -267,6 +272,37 @@ TEST(EngineTest, MicroBatchingDecouplesIngestFromDetection) {
   EXPECT_EQ(report.value().insertions,
             report.value().ood_updates + report.value().finetunes +
                 report.value().kept_stale);
+  // Synchronous engines idle at SERVING with no concurrency counters.
+  EXPECT_EQ(report.value().state, TableServingState::kServing);
+  EXPECT_EQ(report.value().backlog_batches, 0);
+  EXPECT_EQ(report.value().async_batches, 0);
+  EXPECT_EQ(report.value().snapshot_publishes, 0);
+}
+
+TEST(EngineTest, FlushAllReportsWorkAndShortCircuitsEmptyTables) {
+  Engine engine(FastEngineConfig(100));
+  storage::Table base = MakeConditional(25, 75, 300, 20);
+  ASSERT_TRUE(engine.CreateTable("busy", base).ok());
+  ASSERT_TRUE(engine.CreateTable("idle", base).ok());
+  ASSERT_TRUE(engine.AttachModel("busy", FastMdnSpec()).ok());
+  ASSERT_TRUE(engine.AttachModel("idle", FastMdnSpec()).ok());
+
+  // 130 buffered rows on "busy": one full micro-batch flushes at ingest,
+  // 30 remain for the sweep; "idle" has nothing.
+  ASSERT_TRUE(engine.Ingest("busy", MakeConditional(25, 75, 130, 21)).ok());
+  auto sweep = engine.FlushAll();
+  ASSERT_TRUE(sweep.ok());
+  EXPECT_EQ(sweep.value().tables_flushed, 1);
+  EXPECT_EQ(sweep.value().tables_skipped, 1);
+  EXPECT_EQ(sweep.value().rows_flushed, 30);
+  EXPECT_EQ(sweep.value().updates_triggered, 1);
+
+  // Everything drained: the next sweep touches nothing.
+  auto empty = engine.FlushAll();
+  ASSERT_TRUE(empty.ok());
+  EXPECT_EQ(empty.value().tables_flushed, 0);
+  EXPECT_EQ(empty.value().tables_skipped, 2);
+  EXPECT_EQ(empty.value().updates_triggered, 0);
 }
 
 TEST(EngineTest, MultiTableLifecycleWithMixedModelKinds) {
