@@ -1,0 +1,172 @@
+// Drift grid: every registered detector (core/detector_zoo.h) against every
+// named drift scenario (datagen/scenarios.h), scored on FPR / FNR / mean
+// detection delay. Extends bench_table4_fpr_fnr from one detector x one
+// drift shape to the full matrix, and writes BENCH_drift_grid.json.
+//
+// Protocol: one model (MDN on the scenario base, the same base for every
+// scenario at a fixed seed), one fresh detector per cell, Fit on the base,
+// then the stream's batches in order with NO model updates in between — the
+// grid isolates detection quality from update policy. Ground truth is the
+// stream's per-batch drift labels; a drift episode is a maximal run of
+// drifted batches, and its delay is the index of the first alarm inside the
+// episode relative to its start (censored at the episode length when the
+// detector never fires).
+//
+// The JSON is timing-free and bit-identical for a fixed seed; extra knob:
+// DDUP_DATASET picks the scenario base dataset (default census).
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "core/detector_zoo.h"
+#include "datagen/scenarios.h"
+#include "models/mdn.h"
+
+namespace ddup::bench {
+namespace {
+
+struct CellScore {
+  double fpr = 0.0;
+  double fnr = 0.0;
+  double mean_delay = 0.0;  // batches; episode-length-censored
+  int negatives = 0;
+  int positives = 0;
+  int false_positives = 0;
+  int false_negatives = 0;
+  int episodes = 0;
+  int alarms = 0;
+};
+
+CellScore Score(const std::vector<bool>& drifted,
+                const std::vector<bool>& alarm) {
+  CellScore s;
+  for (size_t i = 0; i < drifted.size(); ++i) {
+    if (drifted[i]) {
+      ++s.positives;
+      if (!alarm[i]) ++s.false_negatives;
+    } else {
+      ++s.negatives;
+      if (alarm[i]) ++s.false_positives;
+    }
+    if (alarm[i]) ++s.alarms;
+  }
+  s.fpr = s.negatives > 0
+              ? static_cast<double>(s.false_positives) / s.negatives
+              : 0.0;
+  s.fnr = s.positives > 0
+              ? static_cast<double>(s.false_negatives) / s.positives
+              : 0.0;
+  // Episodes: maximal runs of drifted batches.
+  double delay_sum = 0.0;
+  size_t i = 0;
+  while (i < drifted.size()) {
+    if (!drifted[i]) {
+      ++i;
+      continue;
+    }
+    size_t start = i;
+    while (i < drifted.size() && drifted[i]) ++i;
+    const size_t len = i - start;  // episode is [start, start + len)
+    size_t delay = len;            // censored when no alarm fires inside
+    for (size_t j = start; j < start + len; ++j) {
+      if (alarm[j]) {
+        delay = j - start;
+        break;
+      }
+    }
+    delay_sum += static_cast<double>(delay);
+    ++s.episodes;
+  }
+  s.mean_delay = s.episodes > 0 ? delay_sum / s.episodes : 0.0;
+  return s;
+}
+
+void Run() {
+  BenchParams params = BenchParams::FromEnv();
+  PrintBanner("Drift grid",
+              "detector zoo x drift scenarios: FPR / FNR / detection delay",
+              params);
+  const char* env_dataset = std::getenv("DDUP_DATASET");
+  const std::string dataset =
+      env_dataset != nullptr && env_dataset[0] != '\0' ? env_dataset
+                                                       : "census";
+
+  datagen::ScenarioConfig base_config;
+  base_config.dataset = dataset;
+  base_config.base_rows = params.rows;
+  base_config.batch_rows = std::max<int64_t>(64, params.rows / 16);
+  base_config.num_batches = 24;
+  base_config.onset_batch = 8;
+  base_config.seed = params.seed;
+
+  // One model for the whole grid: every scenario at this seed shares the
+  // same base table, so train once.
+  const storage::Table base =
+      datagen::MakeDataset(dataset, params.rows, params.seed);
+  const datagen::AqpColumns aqp = datagen::AqpColumnsFor(dataset);
+  models::Mdn model(base, aqp.categorical, aqp.numeric, MdnConfigFor(params));
+
+  BenchJsonEmitter json("drift_grid", params);
+  const std::vector<std::string> detectors = core::DriftDetectorKinds();
+  std::printf("%-17s", "scenario");
+  for (const auto& kind : detectors) std::printf(" | %-21s", kind.c_str());
+  std::printf("\n%-17s", "");
+  for (size_t k = 0; k < detectors.size(); ++k) {
+    std::printf(" | %5s %5s %7s", "fpr", "fnr", "delay");
+  }
+  std::printf("\n");
+
+  for (const auto& scenario : datagen::ScenarioNames()) {
+    datagen::ScenarioConfig config = base_config;
+    config.scenario = scenario;
+    datagen::DriftStream stream = datagen::MakeScenario(config);
+    DDUP_CHECK(stream.base.SchemaEquals(base));
+
+    std::printf("%-17s", scenario.c_str());
+    for (const auto& kind : detectors) {
+      core::DetectorConfig detector_config;
+      detector_config.kind = kind;
+      detector_config.bootstrap_iterations = params.bootstrap_iterations;
+      detector_config.seed = params.seed + 7;
+      auto detector = core::MakeDriftDetector(detector_config);
+      DDUP_CHECK(detector.ok());
+      detector.value()->Fit(model, base);
+
+      std::vector<bool> alarm;
+      alarm.reserve(stream.batches.size());
+      for (const auto& batch : stream.batches) {
+        alarm.push_back(detector.value()->Test(model, batch).is_ood);
+      }
+      CellScore s = Score(stream.drifted, alarm);
+      std::printf(" | %5.2f %5.2f %7.2f", s.fpr, s.fnr, s.mean_delay);
+      json.AddRow(JsonObject()
+                      .Set("detector", kind)
+                      .Set("scenario", scenario)
+                      .Set("dataset", dataset)
+                      .Set("fpr", s.fpr)
+                      .Set("fnr", s.fnr)
+                      .Set("mean_delay_batches", s.mean_delay)
+                      .Set("negatives", s.negatives)
+                      .Set("positives", s.positives)
+                      .Set("false_positives", s.false_positives)
+                      .Set("false_negatives", s.false_negatives)
+                      .Set("episodes", s.episodes)
+                      .Set("alarms", s.alarms));
+    }
+    std::printf("\n");
+  }
+  json.Write();
+  std::printf(
+      "\nshape check: sequential detectors (cusum/adwin) trade delay for "
+      "sensitivity on gradual/adversarial drift; percolumn_cusum is blind "
+      "to the marginal-preserving scenarios (sudden/gradual/recurring) by "
+      "construction and fast on append_skew.\n");
+}
+
+}  // namespace
+}  // namespace ddup::bench
+
+int main() { ddup::bench::Run(); }

@@ -11,7 +11,22 @@
 namespace ddup::bench {
 namespace {
 
-void PrintBlock(const std::string& model_name,
+void EmitRow(BenchJsonEmitter* json, const std::string& dataset,
+             const std::string& model, const std::string& approach,
+             const workload::ErrorSummary& s) {
+  json->AddRow(JsonObject()
+                   .Set("dataset", dataset)
+                   .Set("model", model)
+                   .Set("approach", approach)
+                   .Set("median", s.median)
+                   .Set("p95", s.p95)
+                   .Set("p99", s.p99)
+                   .Set("max", s.max)
+                   .Set("mean", s.mean));
+}
+
+void PrintBlock(const std::string& model_name, const std::string& dataset,
+                const std::string& model_key, BenchJsonEmitter* json,
                 const std::vector<double>& truth_before,
                 const std::vector<double>& truth_after,
                 const std::vector<double>& m0, const std::vector<double>& ddup,
@@ -21,24 +36,24 @@ void PrintBlock(const std::string& model_name,
   using workload::Summarize;
   std::printf("  [%s]%16s %9s %9s %10s\n", model_name.c_str(), "median",
               "95th", "99th", "max");
-  std::printf("%s\n",
-              FormatRow("M0", Summarize(QErrors(m0, truth_before))).c_str());
-  std::printf("%s\n",
-              FormatRow("DDUp", Summarize(QErrors(ddup, truth_after))).c_str());
-  std::printf(
-      "%s\n",
-      FormatRow("baseline", Summarize(QErrors(baseline, truth_after))).c_str());
-  std::printf(
-      "%s\n",
-      FormatRow("stale", Summarize(QErrors(stale, truth_after))).c_str());
-  std::printf(
-      "%s\n",
-      FormatRow("retrain", Summarize(QErrors(retrain, truth_after))).c_str());
+  const struct {
+    const char* label;
+    workload::ErrorSummary summary;
+  } rows[] = {{"M0", Summarize(QErrors(m0, truth_before))},
+              {"DDUp", Summarize(QErrors(ddup, truth_after))},
+              {"baseline", Summarize(QErrors(baseline, truth_after))},
+              {"stale", Summarize(QErrors(stale, truth_after))},
+              {"retrain", Summarize(QErrors(retrain, truth_after))}};
+  for (const auto& row : rows) {
+    std::printf("%s\n", FormatRow(row.label, row.summary).c_str());
+    EmitRow(json, dataset, model_key, row.label, row.summary);
+  }
 }
 
 void Run() {
   BenchParams params = BenchParams::FromEnv();
   PrintBanner("Table 5", "q-error after a 20% OOD insertion", params);
+  BenchJsonEmitter json("table5_update_qerror", params);
   for (const auto& name : datagen::DatasetNames()) {
     DatasetBundle bundle = MakeBundle(name, params);
     storage::Table after = Union(bundle.base, bundle.ood_batch);
@@ -50,7 +65,8 @@ void Run() {
       auto truth_before = workload::ExecuteAll(bundle.base, queries);
       auto truth_after = workload::ExecuteAll(after, queries);
       Approaches<models::Mdn> a = RunApproaches<models::Mdn>(bundle, bundle.ood_batch, params);
-      PrintBlock("MDN / DBEst++-style", truth_before, truth_after,
+      PrintBlock("MDN / DBEst++-style", name, "mdn", &json, truth_before,
+                 truth_after,
                  EstimateAll(*a.m0, queries, bundle.base),
                  EstimateAll(*a.ddup, queries, bundle.base),
                  EstimateAll(*a.baseline, queries, bundle.base),
@@ -63,13 +79,15 @@ void Run() {
       auto truth_before = workload::ExecuteAll(bundle.base, queries);
       auto truth_after = workload::ExecuteAll(after, queries);
       Approaches<models::Darn> a = RunApproaches<models::Darn>(bundle, bundle.ood_batch, params);
-      PrintBlock("DARN / Naru-style", truth_before, truth_after,
+      PrintBlock("DARN / Naru-style", name, "darn", &json, truth_before,
+                 truth_after,
                  EstimateAll(*a.m0, queries), EstimateAll(*a.ddup, queries),
                  EstimateAll(*a.baseline, queries),
                  EstimateAll(*a.stale, queries),
                  EstimateAll(*a.retrain, queries));
     }
   }
+  json.Write();
   std::printf(
       "\nshape check: DDUp ~= retrain at every percentile; baseline "
       "degrades sharply at 95th/99th; stale worse than DDUp.\n");

@@ -457,4 +457,116 @@ std::string FormatRow(const std::string& label,
   return buf;
 }
 
+// ---------------------------------------------------------------------------
+// BENCH_<artifact>.json emitter (see harness.h).
+// ---------------------------------------------------------------------------
+
+namespace {
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char raw : s) {
+    auto c = static_cast<unsigned char>(raw);
+    switch (raw) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += raw;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonDouble(double v) {
+  // JSON has no NaN/Infinity literal; null keeps the file parseable.
+  if (!std::isfinite(v)) return "null";
+  return FormatDouble(v);
+}
+}  // namespace
+
+JsonObject& JsonObject::Set(const std::string& key, const std::string& value) {
+  fields_.emplace_back(key, "\"" + JsonEscape(value) + "\"");
+  return *this;
+}
+JsonObject& JsonObject::Set(const std::string& key, const char* value) {
+  return Set(key, std::string(value));
+}
+JsonObject& JsonObject::Set(const std::string& key, double value) {
+  fields_.emplace_back(key, JsonDouble(value));
+  return *this;
+}
+JsonObject& JsonObject::Set(const std::string& key, int64_t value) {
+  fields_.emplace_back(key, std::to_string(value));
+  return *this;
+}
+JsonObject& JsonObject::Set(const std::string& key, int value) {
+  return Set(key, static_cast<int64_t>(value));
+}
+JsonObject& JsonObject::Set(const std::string& key, bool value) {
+  fields_.emplace_back(key, value ? "true" : "false");
+  return *this;
+}
+
+std::string JsonObject::Render() const {
+  std::string out = "{";
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "\"" + JsonEscape(fields_[i].first) + "\":" + fields_[i].second;
+  }
+  out += "}";
+  return out;
+}
+
+BenchJsonEmitter::BenchJsonEmitter(std::string artifact,
+                                   const BenchParams& params)
+    : artifact_(std::move(artifact)) {
+  params_.Set("rows", params.rows)
+      .Set("queries", params.num_queries)
+      .Set("epoch_scale", params.epoch_scale)
+      .Set("bootstrap", params.bootstrap_iterations)
+      .Set("seed", static_cast<int64_t>(params.seed));
+}
+
+void BenchJsonEmitter::AddRow(JsonObject row) {
+  rows_.push_back(std::move(row));
+}
+
+std::string BenchJsonEmitter::Write() const {
+  const char* env_dir = std::getenv("DDUP_BENCH_JSON_DIR");
+  std::string dir = env_dir != nullptr && env_dir[0] != '\0' ? env_dir : ".";
+  if (!EnsureDir(dir)) {
+    std::printf("  [json] cannot use DDUP_BENCH_JSON_DIR=%s, skipping\n",
+                dir.c_str());
+    return "";
+  }
+  const std::string path = dir + "/BENCH_" + artifact_ + ".json";
+  std::string body = "{\n  \"artifact\": \"" + JsonEscape(artifact_) +
+                     "\",\n  \"params\": " + params_.Render() +
+                     ",\n  \"results\": [";
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    body += i > 0 ? ",\n    " : "\n    ";
+    body += rows_[i].Render();
+  }
+  body += rows_.empty() ? "]\n}\n" : "\n  ]\n}\n";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    std::printf("  [json] cannot open %s for writing, skipping\n",
+                path.c_str());
+    return "";
+  }
+  std::fwrite(body.data(), 1, body.size(), f);
+  std::fclose(f);
+  std::printf("  [json] wrote %s (%zu rows)\n", path.c_str(), rows_.size());
+  return path;
+}
+
 }  // namespace ddup::bench

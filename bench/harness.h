@@ -158,6 +158,46 @@ void PrintBanner(const std::string& artifact, const std::string& description,
 std::string FormatRow(const std::string& label,
                       const workload::ErrorSummary& summary);
 
+// ---------------------------------------------------------------------------
+// Machine-readable results: BENCH_<artifact>.json. The emitter collects one
+// flat JSON object per result row and writes
+//   { "artifact": ..., "params": {...}, "results": [ {...}, ... ] }
+// to $DDUP_BENCH_JSON_DIR/BENCH_<artifact>.json (directory created if
+// missing; falls back to the working directory when the variable is unset).
+// Output is deliberately timestamp- and timing-free where the bench wants
+// bit-identical files: doubles render via %.17g (round-trip exact), keys
+// keep insertion order, and nothing else is interpolated — a fixed seed
+// reproduces the file byte for byte.
+// ---------------------------------------------------------------------------
+class JsonObject {
+ public:
+  JsonObject& Set(const std::string& key, const std::string& value);
+  JsonObject& Set(const std::string& key, const char* value);
+  JsonObject& Set(const std::string& key, double value);
+  JsonObject& Set(const std::string& key, int64_t value);
+  JsonObject& Set(const std::string& key, int value);
+  JsonObject& Set(const std::string& key, bool value);
+
+  // "{"k1":v1,...}" in insertion order.
+  std::string Render() const;
+
+ private:
+  std::vector<std::pair<std::string, std::string>> fields_;  // key -> encoded
+};
+
+class BenchJsonEmitter {
+ public:
+  BenchJsonEmitter(std::string artifact, const BenchParams& params);
+  void AddRow(JsonObject row);
+  // Writes the file and prints its path; returns the path ("" on failure).
+  std::string Write() const;
+
+ private:
+  std::string artifact_;
+  JsonObject params_;
+  std::vector<JsonObject> rows_;
+};
+
 }  // namespace ddup::bench
 
 #endif  // DDUP_BENCH_HARNESS_H_

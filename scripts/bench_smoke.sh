@@ -10,6 +10,8 @@
 #   DDUP_ROWS / DDUP_QUERIES / DDUP_EPOCH_SCALE / DDUP_BOOTSTRAP — harness size
 #   DDUP_CHECKPOINT_DIR — warm-start cache; set it to skip base-model training
 #     on repeat runs (results are bit-identical either way, see bench/harness.h)
+#   DDUP_BENCH_JSON_DIR — where the BENCH_*.json artifacts land
+#     (default: <build_dir>/bench-json; CI uploads this directory)
 set -euo pipefail
 
 BUILD_DIR=${1:-build}
@@ -22,6 +24,7 @@ export DDUP_ROWS=${DDUP_ROWS:-400}
 export DDUP_QUERIES=${DDUP_QUERIES:-10}
 export DDUP_EPOCH_SCALE=${DDUP_EPOCH_SCALE:-0.1}
 export DDUP_BOOTSTRAP=${DDUP_BOOTSTRAP:-20}
+export DDUP_BENCH_JSON_DIR=${DDUP_BENCH_JSON_DIR:-${BUILD_DIR}/bench-json}
 
 # Kernel-layer smoke (needs google-benchmark; skipped when the micro benches
 # were not built, e.g. offline configures).
@@ -54,6 +57,11 @@ if [[ -x "${BUILD_DIR}/bench/bench_engine_throughput" ]]; then
 else
   echo "bench_smoke: bench_engine_throughput not built, skipping"
 fi
+
+# Drift grid smoke: every detector in the zoo against every named drift
+# scenario, scored on FPR / FNR / detection delay; writes
+# BENCH_drift_grid.json (bit-identical for a fixed seed).
+"${BUILD_DIR}/bench/bench_drift_grid"
 
 # End-to-end harness smoke: trains, detects, distills and prints the q-error
 # table at tiny size. Exercises the full model/detector/update stack.

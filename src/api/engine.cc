@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/stopwatch.h"
+#include "core/detector_zoo.h"
 #include "io/checkpoint.h"
 #include "io/serializer.h"
 
@@ -12,8 +13,18 @@ namespace ddup::api {
 
 namespace {
 
-constexpr uint32_t kManifestVersion = 1;
+// Version 2 adds the per-table resolved detector kind to the manifest.
+constexpr uint32_t kManifestVersion = 2;
 constexpr const char* kManifestSection = "engine";
+
+std::string JoinedDetectorKinds() {
+  std::string joined;
+  for (const auto& kind : core::DriftDetectorKinds()) {
+    if (!joined.empty()) joined += ", ";
+    joined += kind;
+  }
+  return joined;
+}
 
 // Section names for the per-table payloads. Table names may contain any
 // character except the separator we pick here; CreateTable rejects
@@ -117,11 +128,21 @@ Status Engine::CreateTable(const std::string& name,
   if (options.micro_batch_rows < 0) {
     return Status::InvalidArgument("micro_batch_rows must be >= 0");
   }
+  if (!options.detector.empty() &&
+      !core::HasDriftDetectorKind(options.detector)) {
+    return Status::InvalidArgument("table '" + name +
+                                   "' requests unknown detector kind '" +
+                                   options.detector + "'; registered kinds: " +
+                                   JoinedDetectorKinds());
+  }
   auto state = std::make_shared<TableState>();
   state->name = name;
   state->micro_batch_rows = options.micro_batch_rows > 0
                                 ? options.micro_batch_rows
                                 : config_.micro_batch_rows;
+  state->detector_kind = options.detector.empty()
+                             ? config_.controller.detector.kind
+                             : options.detector;
   state->base = base_data;
   state->base.set_name(name);
   state->pending = state->base.TakeRows({});  // zero rows, same schema
@@ -147,12 +168,24 @@ Status Engine::AttachModel(const std::string& name, const ModelSpec& spec) {
     return Status::FailedPrecondition(
         "table '" + name + "' has no rows to train the base model on");
   }
+  // Resolved at CreateTable, but the engine default could itself name an
+  // unregistered kind — catch it here on the Status surface, before the
+  // controller constructor would CHECK.
+  if (!core::HasDriftDetectorKind(state->detector_kind)) {
+    return Status::InvalidArgument("table '" + name +
+                                   "' resolves to unknown detector kind '" +
+                                   state->detector_kind +
+                                   "'; registered kinds: " +
+                                   JoinedDetectorKinds());
+  }
   StatusOr<std::unique_ptr<core::UpdatableModel>> model =
       ModelFactory::Global().Create(spec.kind, state->base, spec.options);
   if (!model.ok()) return model.status();
   state->model = std::move(model).value();
+  core::ControllerConfig controller_config = config_.controller;
+  controller_config.detector.kind = state->detector_kind;
   state->controller = std::make_unique<core::DdupController>(
-      state->model.get(), state->base, config_.controller);
+      state->model.get(), state->base, controller_config);
   state->spec = spec;
   if (async()) {
     // Publish the initial serving snapshot; a kind without checkpoint
@@ -511,6 +544,7 @@ StatusOr<TableReport> Engine::Report(const std::string& name) const {
   {
     std::lock_guard<std::mutex> lock(state->mu);
     report.model_kind = state->spec.kind;
+    report.detector_kind = state->detector_kind;
     report.buffered_rows = state->pending.num_rows();
     report.micro_batch_rows = state->micro_batch_rows;
     if (state->controller != nullptr) {
@@ -582,6 +616,7 @@ Engine::TableCheckpoint Engine::CheckpointTable(const TableState& state) {
       manifest.WriteString(value);
     }
     manifest.WriteI64(state.micro_batch_rows);
+    manifest.WriteString(state.detector_kind);
     manifest.WriteI64(state.insertions);
     manifest.WriteI64(state.ood_updates);
     manifest.WriteI64(state.finetunes);
@@ -681,6 +716,7 @@ StatusOr<std::unique_ptr<Engine>> Engine::Load(const std::string& path,
       state->spec.options[key] = manifest.ReadString();
     }
     state->micro_batch_rows = manifest.ReadI64();
+    state->detector_kind = manifest.ReadString();
     state->insertions = manifest.ReadI64();
     state->ood_updates = manifest.ReadI64();
     state->finetunes = manifest.ReadI64();
@@ -716,6 +752,9 @@ StatusOr<std::unique_ptr<Engine>> Engine::Load(const std::string& path,
       if (!controller.ok()) return controller.status();
       DDUP_RETURN_IF_ERROR(controller_in.Finish());
       state->controller = std::move(controller).value();
+      // The controller snapshot is authoritative for the detector that was
+      // live at save time; re-anchor the table's resolved kind to it.
+      state->detector_kind = state->controller->detector().kind();
       if (engine->async()) {
         StatusOr<std::unique_ptr<core::UpdatableModel>> copy =
             CloneModel(state->spec.kind, *state->model);

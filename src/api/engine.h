@@ -42,6 +42,12 @@ struct EngineConfig {
 struct TableOptions {
   // Per-table flush threshold; 0 uses the engine default.
   int64_t micro_batch_rows = 0;
+  // Per-table drift detector kind ("bootstrap", "cusum", "adwin",
+  // "percolumn_cusum" — see core/detector_zoo.h); "" uses the engine
+  // default (config.controller.detector.kind). Validated at CreateTable,
+  // applied when AttachModel builds the table's controller, and persisted
+  // across Save/Load.
+  std::string detector;
 };
 
 // Per-table serving state machine (DESIGN.md §11): SERVING when the update
@@ -92,6 +98,9 @@ struct TableReport {
   std::string table;
   // "" before AttachModel.
   std::string model_kind;
+  // Resolved drift detector kind for this table (TableOptions::detector,
+  // or the engine default when the option was empty).
+  std::string detector_kind;
   // Rows the model has absorbed / rows awaiting a flush.
   int64_t rows = 0;
   int64_t buffered_rows = 0;
@@ -224,6 +233,10 @@ class Engine {
     std::string name;
     ModelSpec spec;
     int64_t micro_batch_rows = 0;
+    // Resolved at CreateTable (option or engine default); the kind the
+    // controller is built with at AttachModel and re-anchored to the live
+    // controller on Load.
+    std::string detector_kind;
 
     // Ingest-side state, guarded by mu: the schema contract, the
     // micro-batch accumulator, the model/controller handles and the drain

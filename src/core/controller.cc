@@ -2,6 +2,7 @@
 
 #include "common/status.h"
 #include "common/stopwatch.h"
+#include "core/detector_zoo.h"
 #include "io/checkpoint.h"
 #include "io/serializer.h"
 #include "storage/sampling.h"
@@ -9,27 +10,38 @@
 namespace ddup::core {
 
 namespace {
-constexpr uint32_t kControllerStateVersion = 1;
+// Version 2 prepends the detector kind (a string) to the detector state so
+// a snapshot restores the same detector that wrote it.
+constexpr uint32_t kControllerStateVersion = 2;
+
+// Constructor-path factory: an unknown kind is a programmer error here —
+// the Status-returning surfaces (Engine::CreateTable, ResumeFromState)
+// validate the kind before a controller is ever built.
+std::unique_ptr<DriftDetector> MustMakeDetector(const DetectorConfig& config) {
+  auto detector = MakeDriftDetector(config);
+  DDUP_CHECK_MSG(detector.ok(), "unknown drift detector kind");
+  return std::move(detector).value();
 }
+}  // namespace
 
 DdupController::DdupController(UpdatableModel* model, storage::Table base_data,
                                ControllerConfig config)
     : model_(model),
       data_(std::move(base_data)),
-      config_(config),
-      detector_(config.detector),
-      rng_(config.seed) {
+      config_(std::move(config)),
+      detector_(MustMakeDetector(config_.detector)),
+      rng_(config_.seed) {
   DDUP_CHECK(model_ != nullptr);
   DDUP_CHECK(data_.num_rows() > 0);
-  detector_.Fit(*model_, data_);
+  detector_->Fit(*model_, data_);
   RefreshStats();
 }
 
 void DdupController::RefreshStats() {
   std::lock_guard<std::mutex> lock(stats_mu_);
   stats_.rows = data_.num_rows();
-  stats_.bootstrap_mean = detector_.bootstrap_mean();
-  stats_.bootstrap_std = detector_.bootstrap_std();
+  stats_.bootstrap_mean = detector_->bootstrap_mean();
+  stats_.bootstrap_std = detector_->bootstrap_std();
 }
 
 LoopStats DdupController::stats() const {
@@ -40,15 +52,16 @@ LoopStats DdupController::stats() const {
 DdupController::DdupController(UpdatableModel* model, ControllerConfig config,
                                ResumeTag)
     : model_(model),
-      config_(config),
-      detector_(config.detector),
-      rng_(config.seed) {
+      config_(std::move(config)),
+      detector_(MustMakeDetector(config_.detector)),
+      rng_(config_.seed) {
   DDUP_CHECK(model_ != nullptr);
 }
 
 Status DdupController::SaveState(io::Serializer* out) const {
   out->WriteU32(kControllerStateVersion);
-  DDUP_RETURN_IF_ERROR(detector_.SaveState(out));
+  out->WriteString(detector_->kind());
+  DDUP_RETURN_IF_ERROR(detector_->SaveState(out));
   out->WriteRng(rng_);
   out->WriteTable(data_);
   return Status::OK();
@@ -61,14 +74,23 @@ StatusOr<std::unique_ptr<DdupController>> DdupController::ResumeFromState(
     return Status::InvalidArgument("unsupported controller state version " +
                                    std::to_string(version));
   }
+  std::string kind = in->ReadString();
+  if (!in->ok()) return in->status();
+  if (!HasDriftDetectorKind(kind)) {
+    return Status::InvalidArgument("snapshot names unknown detector kind '" +
+                                   kind + "'");
+  }
+  // The snapshot wins: restore the detector that wrote the state, whatever
+  // the caller's config says (its knobs round-trip inside the state).
+  config.detector.kind = kind;
   std::unique_ptr<DdupController> controller(
-      new DdupController(model, config, ResumeTag{}));
-  Status st = controller->detector_.LoadState(in);
+      new DdupController(model, std::move(config), ResumeTag{}));
+  Status st = controller->detector_->LoadState(in);
   if (!st.ok()) return st;
   in->ReadRng(&controller->rng_);
   controller->data_ = in->ReadTable();
   if (!in->ok()) return in->status();
-  if (!controller->detector_.fitted() || controller->data_.num_rows() <= 0) {
+  if (!controller->detector_->fitted() || controller->data_.num_rows() <= 0) {
     return Status::InvalidArgument("controller snapshot is not resumable");
   }
   controller->RefreshStats();
@@ -105,7 +127,7 @@ StatusOr<InsertionReport> DdupController::HandleInsertion(
   report.new_rows = batch.num_rows();
 
   Stopwatch detect_timer;
-  report.test = detector_.Test(*model_, batch);
+  report.test = detector_->Test(*model_, batch);
   report.detect_seconds = detect_timer.ElapsedSeconds();
 
   // Metadata (frequency tables, cardinalities) always tracks the data state,
@@ -138,7 +160,7 @@ StatusOr<InsertionReport> DdupController::HandleInsertion(
   // Refresh the offline phase against the new model + data state so the next
   // insertion is tested under the updated null distribution.
   Stopwatch offline_timer;
-  detector_.Fit(*model_, data_);
+  detector_->Fit(*model_, data_);
   report.offline_refresh_seconds = offline_timer.ElapsedSeconds();
   RefreshStats();
   return report;

@@ -22,7 +22,7 @@ struct ControllerConfig {
 
 // Everything that happened for one insertion (Figure 1's full loop).
 struct InsertionReport {
-  OodDetector::TestResult test;
+  DriftTestResult test;
   UpdateAction action = UpdateAction::kKeepStale;
   double detect_seconds = 0.0;          // online test time
   double update_seconds = 0.0;          // fine-tune / distill time
@@ -78,19 +78,21 @@ class DdupController {
   LoopStats stats() const;
 
   const storage::Table& data() const { return data_; }
-  const OodDetector& detector() const { return detector_; }
+  const DriftDetector& detector() const { return *detector_; }
   UpdatableModel* model() { return model_; }
 
-  // Persists the resumable loop state — detector snapshot (fitted moments +
-  // online RNG), controller RNG, and the accumulated data table — so a
-  // detect→update cycle can continue mid-stream after a restart. The model
-  // itself is checkpointed separately (its own SaveToFile); pair the two
-  // writes to capture a consistent system state.
+  // Persists the resumable loop state — detector kind and snapshot (fitted
+  // reference + any sequential state + online RNG), controller RNG, and the
+  // accumulated data table — so a detect→update cycle can continue
+  // mid-stream after a restart. The model itself is checkpointed separately
+  // (its own SaveToFile); pair the two writes to capture a consistent
+  // system state.
   Status SaveSnapshot(const std::string& path) const;
   // Rebuilds a controller from a snapshot without re-running the offline
   // bootstrap phase. `model` must be the restored counterpart of the model
   // that was live when the snapshot was taken. `config.policy` applies as
-  // given; the detector's config and moments come from the snapshot.
+  // given; the detector's kind, config and fitted state come from the
+  // snapshot (the snapshot wins over config.detector.kind).
   static StatusOr<std::unique_ptr<DdupController>> Resume(
       UpdatableModel* model, ControllerConfig config, const std::string& path);
   static constexpr const char* kCheckpointKind = "controller";
@@ -114,7 +116,7 @@ class DdupController {
   UpdatableModel* model_;
   storage::Table data_;
   ControllerConfig config_;
-  OodDetector detector_;
+  std::unique_ptr<DriftDetector> detector_;  // built by MakeDriftDetector
   Rng rng_;
 
   mutable std::mutex stats_mu_;

@@ -24,15 +24,16 @@ int64_t SampleSize(int64_t available, double fraction, int64_t floor_rows) {
 }
 }  // namespace
 
-OodDetector::OodDetector(DetectorConfig config)
-    : config_(config), rng_(config.seed) {
+LossReferenceDetector::LossReferenceDetector(DetectorConfig config)
+    : config_(std::move(config)), rng_(config_.seed) {
   DDUP_CHECK(config_.bootstrap_iterations >= 2);
   DDUP_CHECK(config_.old_sample_fraction > 0.0 &&
              config_.old_sample_fraction <= 1.0);
   DDUP_CHECK(config_.threshold_sigmas > 0.0);
 }
 
-void OodDetector::Fit(const LossModel& model, const storage::Table& old_data) {
+void LossReferenceDetector::Fit(const LossModel& model,
+                                const storage::Table& old_data) {
   DDUP_CHECK(old_data.num_rows() > 0);
   int64_t sample_rows = SampleSize(old_data.num_rows(),
                                    config_.old_sample_fraction,
@@ -69,31 +70,20 @@ void OodDetector::Fit(const LossModel& model, const storage::Table& old_data) {
   // spread; keep a tiny floor so thresholds stay meaningful.
   bootstrap_std_ = std::max(bootstrap_std_, 1e-12);
   fitted_ = true;
+  ResetSequentialState();
 }
 
-OodDetector::TestResult OodDetector::Test(
-    const LossModel& model, const storage::Table& new_batch) const {
-  DDUP_CHECK_MSG(fitted_, "OodDetector::Test before Fit");
+double LossReferenceDetector::SampledBatchLoss(const LossModel& model,
+                                               const storage::Table& new_batch) {
   DDUP_CHECK(new_batch.num_rows() > 0);
   int64_t sample_rows = SampleSize(new_batch.num_rows(),
                                    config_.new_sample_fraction,
                                    config_.min_sample_rows);
   storage::Table sample = storage::SampleRows(new_batch, rng_, sample_rows);
-
-  TestResult res;
-  res.new_loss = model.AverageLoss(sample);
-  res.bootstrap_mean = bootstrap_mean_;
-  res.bootstrap_std = bootstrap_std_;
-  res.signed_statistic = res.new_loss - bootstrap_mean_;
-  res.statistic = std::fabs(res.signed_statistic);
-  res.threshold = config_.threshold_sigmas * bootstrap_std_;
-  res.is_ood = config_.two_sided ? res.statistic > res.threshold
-                                 : res.signed_statistic > res.threshold;
-  return res;
+  return model.AverageLoss(sample);
 }
 
-Status OodDetector::SaveState(io::Serializer* out) const {
-  out->WriteU32(kDetectorStateVersion);
+void LossReferenceDetector::SaveCommon(io::Serializer* out) const {
   out->WriteI32(config_.bootstrap_iterations);
   out->WriteDouble(config_.old_sample_fraction);
   out->WriteI64(config_.min_sample_rows);
@@ -106,15 +96,9 @@ Status OodDetector::SaveState(io::Serializer* out) const {
   out->WriteDouble(bootstrap_std_);
   out->WriteBool(fitted_);
   out->WriteRng(rng_);
-  return Status::OK();
 }
 
-Status OodDetector::LoadState(io::Deserializer* in) {
-  uint32_t version = in->ReadU32();
-  if (in->ok() && version != kDetectorStateVersion) {
-    return Status::InvalidArgument("unsupported detector state version " +
-                                   std::to_string(version));
-  }
+void LossReferenceDetector::LoadCommon(io::Deserializer* in) {
   config_.bootstrap_iterations = in->ReadI32();
   config_.old_sample_fraction = in->ReadDouble();
   config_.min_sample_rows = in->ReadI64();
@@ -127,6 +111,41 @@ Status OodDetector::LoadState(io::Deserializer* in) {
   bootstrap_std_ = in->ReadDouble();
   fitted_ = in->ReadBool();
   in->ReadRng(&rng_);
+}
+
+OodDetector::OodDetector(DetectorConfig config)
+    : LossReferenceDetector(std::move(config)) {}
+
+DriftTestResult OodDetector::Test(const LossModel& model,
+                                  const storage::Table& new_batch) {
+  DDUP_CHECK_MSG(fitted_, "OodDetector::Test before Fit");
+  DriftTestResult res;
+  res.new_loss = SampledBatchLoss(model, new_batch);
+  res.bootstrap_mean = bootstrap_mean_;
+  res.bootstrap_std = bootstrap_std_;
+  res.signed_statistic = res.new_loss - bootstrap_mean_;
+  res.statistic = std::fabs(res.signed_statistic);
+  res.threshold = config_.threshold_sigmas * bootstrap_std_;
+  res.is_ood = config_.two_sided ? res.statistic > res.threshold
+                                 : res.signed_statistic > res.threshold;
+  return res;
+}
+
+Status OodDetector::SaveState(io::Serializer* out) const {
+  // Version 1 layout, unchanged since the pre-interface detector: version,
+  // bootstrap config fields, moments, fitted flag, online RNG.
+  out->WriteU32(kDetectorStateVersion);
+  SaveCommon(out);
+  return Status::OK();
+}
+
+Status OodDetector::LoadState(io::Deserializer* in) {
+  uint32_t version = in->ReadU32();
+  if (in->ok() && version != kDetectorStateVersion) {
+    return Status::InvalidArgument("unsupported detector state version " +
+                                   std::to_string(version));
+  }
+  LoadCommon(in);
   return in->status();
 }
 

@@ -1,0 +1,337 @@
+#include "core/detector_zoo.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/status.h"
+#include "io/serializer.h"
+
+namespace ddup::core {
+
+namespace {
+constexpr uint32_t kCusumStateVersion = 1;
+constexpr uint32_t kAdwinStateVersion = 1;
+constexpr uint32_t kPerColumnStateVersion = 1;
+constexpr double kStdFloor = 1e-12;
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// CusumDetector
+// ---------------------------------------------------------------------------
+
+CusumDetector::CusumDetector(DetectorConfig config)
+    : LossReferenceDetector(std::move(config)) {
+  DDUP_CHECK(config_.cusum_k_sigmas >= 0.0);
+  DDUP_CHECK(config_.cusum_h_sigmas > 0.0);
+}
+
+void CusumDetector::ResetSequentialState() {
+  sum_high_ = 0.0;
+  sum_low_ = 0.0;
+}
+
+DriftTestResult CusumDetector::Test(const LossModel& model,
+                                    const storage::Table& new_batch) {
+  DDUP_CHECK_MSG(fitted_, "CusumDetector::Test before Fit");
+  DriftTestResult res;
+  res.new_loss = SampledBatchLoss(model, new_batch);
+  res.bootstrap_mean = bootstrap_mean_;
+  res.bootstrap_std = bootstrap_std_;
+  res.signed_statistic = res.new_loss - bootstrap_mean_;
+
+  const double z = res.signed_statistic / bootstrap_std_;
+  const double k = config_.cusum_k_sigmas;
+  sum_high_ = std::max(0.0, sum_high_ + z - k);
+  sum_low_ = config_.two_sided ? std::max(0.0, sum_low_ - z - k) : 0.0;
+
+  res.statistic = std::max(sum_high_, sum_low_);
+  res.threshold = config_.cusum_h_sigmas;
+  res.is_ood = res.statistic > res.threshold;
+  if (res.is_ood) ResetSequentialState();  // one alarm per episode
+  return res;
+}
+
+Status CusumDetector::SaveState(io::Serializer* out) const {
+  out->WriteU32(kCusumStateVersion);
+  SaveCommon(out);
+  out->WriteDouble(config_.cusum_k_sigmas);
+  out->WriteDouble(config_.cusum_h_sigmas);
+  out->WriteDouble(sum_high_);
+  out->WriteDouble(sum_low_);
+  return Status::OK();
+}
+
+Status CusumDetector::LoadState(io::Deserializer* in) {
+  uint32_t version = in->ReadU32();
+  if (in->ok() && version != kCusumStateVersion) {
+    return Status::InvalidArgument("unsupported cusum state version " +
+                                   std::to_string(version));
+  }
+  LoadCommon(in);
+  config_.cusum_k_sigmas = in->ReadDouble();
+  config_.cusum_h_sigmas = in->ReadDouble();
+  sum_high_ = in->ReadDouble();
+  sum_low_ = in->ReadDouble();
+  return in->status();
+}
+
+// ---------------------------------------------------------------------------
+// AdwinDetector
+// ---------------------------------------------------------------------------
+
+AdwinDetector::AdwinDetector(DetectorConfig config)
+    : LossReferenceDetector(std::move(config)) {
+  DDUP_CHECK(config_.adwin_delta > 0.0 && config_.adwin_delta < 1.0);
+  DDUP_CHECK(config_.adwin_max_window >= 4);
+}
+
+void AdwinDetector::ResetSequentialState() { window_.clear(); }
+
+DriftTestResult AdwinDetector::Test(const LossModel& model,
+                                    const storage::Table& new_batch) {
+  DDUP_CHECK_MSG(fitted_, "AdwinDetector::Test before Fit");
+  DriftTestResult res;
+  res.new_loss = SampledBatchLoss(model, new_batch);
+  res.bootstrap_mean = bootstrap_mean_;
+  res.bootstrap_std = bootstrap_std_;
+  res.signed_statistic = res.new_loss - bootstrap_mean_;
+  res.threshold = 1.0;  // statistic is the eps-normalized gap
+
+  window_.push_back(res.new_loss);
+  if (static_cast<int>(window_.size()) > config_.adwin_max_window) {
+    window_.erase(window_.begin());
+  }
+  const size_t n = window_.size();
+  if (n < 2) return res;
+
+  // Prefix sums make every split's sub-means O(1); the split scan itself is
+  // O(window), so one Test is O(window) with window <= adwin_max_window.
+  std::vector<double> prefix(n + 1, 0.0);
+  for (size_t i = 0; i < n; ++i) prefix[i + 1] = prefix[i] + window_[i];
+
+  // Batch-mean losses under H0 concentrate within a few bootstrap sigmas of
+  // the reference mean; use that spread as the Hoeffding range.
+  const double range = std::max(4.0 * bootstrap_std_, kStdFloor);
+  const double log_term = std::log(4.0 / config_.adwin_delta);
+
+  double best_stat = 0.0;
+  double best_signed_gap = 0.0;
+  size_t best_split = 0;
+  for (size_t split = 1; split < n; ++split) {
+    const double n0 = static_cast<double>(split);
+    const double n1 = static_cast<double>(n - split);
+    const double mean0 = prefix[split] / n0;
+    const double mean1 = (prefix[n] - prefix[split]) / n1;
+    const double m = 1.0 / (1.0 / n0 + 1.0 / n1);  // harmonic sample size
+    const double eps =
+        std::sqrt(range * range / (2.0 * m) * log_term);
+    const double gap = mean1 - mean0;
+    if (!config_.two_sided && gap <= 0.0) continue;
+    const double stat = std::fabs(gap) / std::max(eps, kStdFloor);
+    if (stat > best_stat) {
+      best_stat = stat;
+      best_signed_gap = gap;
+      best_split = split;
+    }
+  }
+
+  res.statistic = best_stat;
+  res.is_ood = best_stat > res.threshold;
+  if (res.is_ood) {
+    res.signed_statistic = best_signed_gap;
+    // Drop the pre-change prefix: the window re-anchors to the new regime.
+    window_.erase(window_.begin(),
+                  window_.begin() + static_cast<ptrdiff_t>(best_split));
+  }
+  return res;
+}
+
+Status AdwinDetector::SaveState(io::Serializer* out) const {
+  out->WriteU32(kAdwinStateVersion);
+  SaveCommon(out);
+  out->WriteDouble(config_.adwin_delta);
+  out->WriteI32(config_.adwin_max_window);
+  out->WriteI64(static_cast<int64_t>(window_.size()));
+  for (double v : window_) out->WriteDouble(v);
+  return Status::OK();
+}
+
+Status AdwinDetector::LoadState(io::Deserializer* in) {
+  uint32_t version = in->ReadU32();
+  if (in->ok() && version != kAdwinStateVersion) {
+    return Status::InvalidArgument("unsupported adwin state version " +
+                                   std::to_string(version));
+  }
+  LoadCommon(in);
+  config_.adwin_delta = in->ReadDouble();
+  config_.adwin_max_window = in->ReadI32();
+  int64_t count = in->ReadI64();
+  if (!in->ok()) return in->status();
+  if (count < 0 || count > static_cast<int64_t>(1) << 24) {
+    return Status::InvalidArgument("corrupt adwin window size");
+  }
+  window_.assign(static_cast<size_t>(count), 0.0);
+  for (auto& v : window_) v = in->ReadDouble();
+  return in->status();
+}
+
+// ---------------------------------------------------------------------------
+// PerColumnCusumDetector
+// ---------------------------------------------------------------------------
+
+PerColumnCusumDetector::PerColumnCusumDetector(DetectorConfig config)
+    : config_(std::move(config)) {
+  DDUP_CHECK(config_.cusum_k_sigmas >= 0.0);
+  DDUP_CHECK(config_.cusum_h_sigmas > 0.0);
+}
+
+void PerColumnCusumDetector::Fit(const LossModel& /*model*/,
+                                 const storage::Table& old_data) {
+  DDUP_CHECK(old_data.num_rows() > 0);
+  const int cols = old_data.num_columns();
+  const auto rows = static_cast<double>(old_data.num_rows());
+  ref_mean_.assign(static_cast<size_t>(cols), 0.0);
+  ref_std_.assign(static_cast<size_t>(cols), 0.0);
+  sum_high_.assign(static_cast<size_t>(cols), 0.0);
+  sum_low_.assign(static_cast<size_t>(cols), 0.0);
+  for (int c = 0; c < cols; ++c) {
+    const auto& col = old_data.column(c);
+    double sum = 0.0;
+    for (int64_t r = 0; r < col.size(); ++r) sum += col.AsDouble(r);
+    const double mean = sum / rows;
+    double sq = 0.0;
+    for (int64_t r = 0; r < col.size(); ++r) {
+      const double d = col.AsDouble(r) - mean;
+      sq += d * d;
+    }
+    ref_mean_[static_cast<size_t>(c)] = mean;
+    ref_std_[static_cast<size_t>(c)] =
+        std::max(std::sqrt(sq / rows), kStdFloor);
+  }
+  fitted_ = true;
+}
+
+DriftTestResult PerColumnCusumDetector::Test(const LossModel& /*model*/,
+                                             const storage::Table& new_batch) {
+  DDUP_CHECK_MSG(fitted_, "PerColumnCusumDetector::Test before Fit");
+  DDUP_CHECK(new_batch.num_rows() > 0);
+  DDUP_CHECK_MSG(new_batch.num_columns() ==
+                     static_cast<int>(ref_mean_.size()),
+                 "batch schema differs from the fitted reference");
+  const double k = config_.cusum_k_sigmas;
+  const double sqrt_n = std::sqrt(static_cast<double>(new_batch.num_rows()));
+
+  DriftTestResult res;
+  res.threshold = config_.cusum_h_sigmas;
+  double max_abs_z = 0.0;
+  double signed_z_at_max = 0.0;
+  for (size_t c = 0; c < ref_mean_.size(); ++c) {
+    const auto& col = new_batch.column(static_cast<int>(c));
+    double sum = 0.0;
+    for (int64_t r = 0; r < col.size(); ++r) sum += col.AsDouble(r);
+    const double mean = sum / static_cast<double>(col.size());
+    // CLT null: the batch mean of a stationary column has std
+    // ref_std / sqrt(batch_rows).
+    const double z = (mean - ref_mean_[c]) / (ref_std_[c] / sqrt_n);
+    sum_high_[c] = std::max(0.0, sum_high_[c] + z - k);
+    sum_low_[c] = config_.two_sided ? std::max(0.0, sum_low_[c] - z - k) : 0.0;
+    const double stat = std::max(sum_high_[c], sum_low_[c]);
+    if (stat > res.statistic) res.statistic = stat;
+    if (std::fabs(z) > max_abs_z) {
+      max_abs_z = std::fabs(z);
+      signed_z_at_max = z;
+    }
+  }
+  res.new_loss = max_abs_z;  // no loss reference; report the extreme z
+  res.signed_statistic = signed_z_at_max;
+  res.is_ood = res.statistic > res.threshold;
+  if (res.is_ood) {
+    std::fill(sum_high_.begin(), sum_high_.end(), 0.0);
+    std::fill(sum_low_.begin(), sum_low_.end(), 0.0);
+  }
+  return res;
+}
+
+Status PerColumnCusumDetector::SaveState(io::Serializer* out) const {
+  out->WriteU32(kPerColumnStateVersion);
+  out->WriteDouble(config_.cusum_k_sigmas);
+  out->WriteDouble(config_.cusum_h_sigmas);
+  out->WriteBool(config_.two_sided);
+  out->WriteBool(fitted_);
+  out->WriteI64(static_cast<int64_t>(ref_mean_.size()));
+  for (size_t c = 0; c < ref_mean_.size(); ++c) {
+    out->WriteDouble(ref_mean_[c]);
+    out->WriteDouble(ref_std_[c]);
+    out->WriteDouble(sum_high_[c]);
+    out->WriteDouble(sum_low_[c]);
+  }
+  return Status::OK();
+}
+
+Status PerColumnCusumDetector::LoadState(io::Deserializer* in) {
+  uint32_t version = in->ReadU32();
+  if (in->ok() && version != kPerColumnStateVersion) {
+    return Status::InvalidArgument("unsupported percolumn state version " +
+                                   std::to_string(version));
+  }
+  config_.cusum_k_sigmas = in->ReadDouble();
+  config_.cusum_h_sigmas = in->ReadDouble();
+  config_.two_sided = in->ReadBool();
+  fitted_ = in->ReadBool();
+  int64_t cols = in->ReadI64();
+  if (!in->ok()) return in->status();
+  if (cols < 0 || cols > 1 << 20) {
+    return Status::InvalidArgument("corrupt percolumn column count");
+  }
+  ref_mean_.assign(static_cast<size_t>(cols), 0.0);
+  ref_std_.assign(static_cast<size_t>(cols), 0.0);
+  sum_high_.assign(static_cast<size_t>(cols), 0.0);
+  sum_low_.assign(static_cast<size_t>(cols), 0.0);
+  for (int64_t c = 0; c < cols; ++c) {
+    ref_mean_[static_cast<size_t>(c)] = in->ReadDouble();
+    ref_std_[static_cast<size_t>(c)] = in->ReadDouble();
+    sum_high_[static_cast<size_t>(c)] = in->ReadDouble();
+    sum_low_[static_cast<size_t>(c)] = in->ReadDouble();
+  }
+  return in->status();
+}
+
+// ---------------------------------------------------------------------------
+// Factory
+// ---------------------------------------------------------------------------
+
+std::vector<std::string> DriftDetectorKinds() {
+  return {"adwin", "bootstrap", "cusum", "percolumn_cusum"};
+}
+
+bool HasDriftDetectorKind(const std::string& kind) {
+  for (const auto& k : DriftDetectorKinds()) {
+    if (k == kind) return true;
+  }
+  return false;
+}
+
+StatusOr<std::unique_ptr<DriftDetector>> MakeDriftDetector(
+    const DetectorConfig& config) {
+  std::unique_ptr<DriftDetector> detector;
+  if (config.kind == "bootstrap") {
+    detector = std::make_unique<OodDetector>(config);
+  } else if (config.kind == "cusum") {
+    detector = std::make_unique<CusumDetector>(config);
+  } else if (config.kind == "adwin") {
+    detector = std::make_unique<AdwinDetector>(config);
+  } else if (config.kind == "percolumn_cusum") {
+    detector = std::make_unique<PerColumnCusumDetector>(config);
+  } else {
+    std::string known;
+    for (const auto& k : DriftDetectorKinds()) {
+      if (!known.empty()) known += ", ";
+      known += k;
+    }
+    return Status::NotFound("unknown drift detector kind '" + config.kind +
+                            "' (known: " + known + ")");
+  }
+  return detector;
+}
+
+}  // namespace ddup::core

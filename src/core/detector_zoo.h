@@ -1,0 +1,134 @@
+#ifndef DDUP_CORE_DETECTOR_ZOO_H_
+#define DDUP_CORE_DETECTOR_ZOO_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/detector.h"
+
+namespace ddup::core {
+
+// Sequential and per-column alternatives to the paper's one-shot bootstrap
+// test, all behind the DriftDetector interface. The paper's detector judges
+// each batch in isolation; the zoo adds detectors that accumulate evidence
+// across batches (catching slow/gradual drift the one-shot test under-reacts
+// to) and a per-column variant that watches marginal statistics instead of
+// the joint model loss (cheap, model-free — but blind to drift that
+// preserves every marginal, e.g. a joint-permutation of the columns).
+
+// CUSUM over the per-batch loss z-score. Each Test draws the same
+// new_sample_fraction loss sample as the bootstrap detector, standardizes it
+// against the fitted bootstrap moments, and accumulates one-sided sums
+//   S+ <- max(0, S+ + z - k)     S- <- max(0, S- - z - k)
+// with drift allowance k = cusum_k_sigmas. An alarm fires when a sum
+// exceeds h = cusum_h_sigmas and resets the accumulation (one alarm per
+// drift episode). Fit also resets the sums: evidence against a stale
+// reference is meaningless. DriftTestResult.statistic is the larger sum.
+class CusumDetector : public LossReferenceDetector {
+ public:
+  explicit CusumDetector(DetectorConfig config = {});
+
+  DriftTestResult Test(const LossModel& model,
+                       const storage::Table& new_batch) override;
+  const char* kind() const override { return "cusum"; }
+
+  double sum_high() const { return sum_high_; }
+  double sum_low() const { return sum_low_; }
+
+  Status SaveState(io::Serializer* out) const override;
+  Status LoadState(io::Deserializer* in) override;
+
+ protected:
+  void ResetSequentialState() override;
+
+ private:
+  double sum_high_ = 0.0;  // evidence of loss increase
+  double sum_low_ = 0.0;   // evidence of loss decrease (two_sided only)
+};
+
+// ADWIN-style adaptive window over the per-batch losses. The window keeps
+// the most recent adwin_max_window batch losses; every Test checks all
+// splits of the window and fires when the two sub-window means differ by
+// more than a Hoeffding-style bound
+//   eps(n0, n1) = sqrt(R^2 / (2 m) * ln(4 / delta)),  m = harmonic(n0, n1)
+// with the loss range R estimated from the fitted bootstrap std (batch
+// means under H0 concentrate within a few sigmas). On detection the stale
+// prefix (before the best split) is dropped, so the window re-anchors to
+// the post-change regime — the adaptive part. DriftTestResult.statistic is
+// the largest normalized gap |mean1 - mean0| / eps across splits (alarm at
+// threshold 1).
+class AdwinDetector : public LossReferenceDetector {
+ public:
+  explicit AdwinDetector(DetectorConfig config = {});
+
+  DriftTestResult Test(const LossModel& model,
+                       const storage::Table& new_batch) override;
+  const char* kind() const override { return "adwin"; }
+
+  int64_t window_size() const { return static_cast<int64_t>(window_.size()); }
+
+  Status SaveState(io::Serializer* out) const override;
+  Status LoadState(io::Deserializer* in) override;
+
+ protected:
+  void ResetSequentialState() override;
+
+ private:
+  std::vector<double> window_;  // batch losses, oldest first
+};
+
+// Per-column CUSUM on column means — the "per-column vs joint" contrast.
+// Fit records each column's reference mean/std from the old data (the model
+// is ignored: this detector is model-free). Test standardizes each column's
+// batch mean by the CLT null std ref_std / sqrt(batch_rows) and runs an
+// independent CUSUM per column; the alarm fires when ANY column's sum
+// exceeds h, and every sum resets on alarm or Fit. Catches marginal shifts
+// (mean drift, skewed appends) batches earlier than loss-based tests, but
+// cannot see drift that preserves the marginals — e.g. the paper's
+// joint-permutation OOD transform, which it misses by construction.
+// bootstrap_mean()/bootstrap_std() report 0 (no loss reference);
+// DriftTestResult.new_loss carries the largest per-column |z| instead.
+class PerColumnCusumDetector : public DriftDetector {
+ public:
+  explicit PerColumnCusumDetector(DetectorConfig config = {});
+
+  void Fit(const LossModel& model, const storage::Table& old_data) override;
+  bool fitted() const override { return fitted_; }
+  DriftTestResult Test(const LossModel& model,
+                       const storage::Table& new_batch) override;
+  const char* kind() const override { return "percolumn_cusum"; }
+
+  double bootstrap_mean() const override { return 0.0; }
+  double bootstrap_std() const override { return 0.0; }
+  const DetectorConfig& config() const { return config_; }
+
+  Status SaveState(io::Serializer* out) const override;
+  Status LoadState(io::Deserializer* in) override;
+
+ private:
+  DetectorConfig config_;
+  std::vector<double> ref_mean_;
+  std::vector<double> ref_std_;
+  std::vector<double> sum_high_;
+  std::vector<double> sum_low_;
+  bool fitted_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// Factory
+// ---------------------------------------------------------------------------
+
+// Registered detector kinds, sorted: {"adwin", "bootstrap", "cusum",
+// "percolumn_cusum"}.
+std::vector<std::string> DriftDetectorKinds();
+bool HasDriftDetectorKind(const std::string& kind);
+
+// Builds the detector named by config.kind; NotFound (listing the known
+// kinds) for anything unregistered.
+StatusOr<std::unique_ptr<DriftDetector>> MakeDriftDetector(
+    const DetectorConfig& config);
+
+}  // namespace ddup::core
+
+#endif  // DDUP_CORE_DETECTOR_ZOO_H_

@@ -1,0 +1,191 @@
+#include "datagen/scenarios.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "datagen/datasets.h"
+#include "storage/sampling.h"
+#include "storage/transforms.h"
+
+namespace ddup::datagen {
+
+namespace {
+
+// Stable 64-bit hash of the scenario name, mixed into the stream seed so
+// two scenarios with the same seed draw from unrelated generator states.
+// (Deliberately not std::hash: that would tie the byte-identical streams to
+// one standard library.)
+uint64_t Fnv1a64(const std::string& s) {
+  uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+// rows drawn uniformly WITH replacement from `pool` — batch rows are
+// appended data, so repeats across (and within) batches are fine.
+storage::Table DrawRows(const storage::Table& pool, Rng& rng, int64_t rows) {
+  return storage::BootstrapRows(pool, rng, rows);
+}
+
+// A batch mixing `fraction` drifted rows into clean ones, shuffled so the
+// drift is not confined to a row-range a sampler could miss.
+storage::Table MixedBatch(const storage::Table& clean_pool,
+                          const storage::Table& drift_pool, Rng& rng,
+                          int64_t rows, double fraction) {
+  int64_t drift_rows = std::llround(fraction * static_cast<double>(rows));
+  drift_rows = std::min(std::max<int64_t>(drift_rows, 0), rows);
+  storage::Table batch = DrawRows(clean_pool, rng, rows - drift_rows);
+  if (drift_rows > 0) batch.Append(DrawRows(drift_pool, rng, drift_rows));
+  return storage::ShuffleRows(batch, rng);
+}
+
+// Skewed draw for "append_skew": row ranks follow u^(1 + exponent) over the
+// pool sorted descending by `order_col`, over-representing the column's
+// upper tail. exponent 0 degenerates to a uniform draw.
+storage::Table SkewedDraw(const storage::Table& pool,
+                          const std::vector<int64_t>& desc_order, Rng& rng,
+                          int64_t rows, double exponent) {
+  const auto n = static_cast<double>(pool.num_rows());
+  std::vector<int64_t> picks(static_cast<size_t>(rows));
+  for (auto& p : picks) {
+    const double u = rng.Uniform();
+    auto rank = static_cast<int64_t>(std::pow(u, 1.0 + exponent) * n);
+    rank = std::min(rank, pool.num_rows() - 1);
+    p = desc_order[static_cast<size_t>(rank)];
+  }
+  return pool.TakeRows(picks);
+}
+
+}  // namespace
+
+std::vector<std::string> ScenarioNames() {
+  return {"gradual",          "sudden",      "recurring",
+          "correlation_flip", "append_skew", "adversarial"};
+}
+
+storage::Table FlipColumnAssociation(const storage::Table& table, int column) {
+  DDUP_CHECK(column >= 0 && column < table.num_columns());
+  DDUP_CHECK_MSG(table.column(column).is_numeric(),
+                 "FlipColumnAssociation needs a numeric column");
+  const auto n = static_cast<size_t>(table.num_rows());
+  const storage::Column& col = table.column(column);
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return col.NumericAt(static_cast<int64_t>(a)) <
+           col.NumericAt(static_cast<int64_t>(b));
+  });
+  storage::Table flipped = table;
+  storage::Column* out = flipped.mutable_column(column);
+  // The row holding the column's i-th smallest value receives the i-th
+  // largest: the multiset survives, the association reverses.
+  for (size_t i = 0; i < n; ++i) {
+    out->SetFromDouble(
+        static_cast<int64_t>(order[i]),
+        col.NumericAt(static_cast<int64_t>(order[n - 1 - i])));
+  }
+  return flipped;
+}
+
+DriftStream MakeScenario(const ScenarioConfig& config) {
+  const auto names = ScenarioNames();
+  DDUP_CHECK_MSG(std::find(names.begin(), names.end(), config.scenario) !=
+                     names.end(),
+                 "unknown drift scenario");
+  DDUP_CHECK(config.base_rows > 0);
+  DDUP_CHECK(config.batch_rows > 0);
+  DDUP_CHECK(config.num_batches > 0);
+  DDUP_CHECK(config.onset_batch >= 0 &&
+             config.onset_batch <= config.num_batches);
+  DDUP_CHECK(config.ramp_batches >= 1);
+  DDUP_CHECK(config.period >= 2);
+  DDUP_CHECK(config.skew_exponent >= 0.0);
+  DDUP_CHECK(config.adversarial_fraction > 0.0 &&
+             config.adversarial_fraction <= 1.0);
+
+  DriftStream stream;
+  stream.scenario = config.scenario;
+  stream.onset_batch = config.onset_batch;
+  stream.base = MakeDataset(config.dataset, config.base_rows, config.seed);
+
+  Rng root(config.seed ^ Fnv1a64(config.scenario));
+  Rng pool_rng = root.Fork();
+
+  // Build the scenario's drifted pool once, up front (fixed fork order).
+  storage::Table drift_pool;
+  std::vector<int64_t> desc_order;
+  if (config.scenario == "correlation_flip") {
+    const int flip_col =
+        stream.base.ColumnIndex(AqpColumnsFor(config.dataset).numeric);
+    DDUP_CHECK(flip_col >= 0);
+    drift_pool = FlipColumnAssociation(stream.base, flip_col);
+  } else if (config.scenario == "append_skew") {
+    const int skew_col =
+        stream.base.ColumnIndex(AqpColumnsFor(config.dataset).numeric);
+    DDUP_CHECK(skew_col >= 0);
+    const storage::Column& col = stream.base.column(skew_col);
+    desc_order.resize(static_cast<size_t>(stream.base.num_rows()));
+    std::iota(desc_order.begin(), desc_order.end(), int64_t{0});
+    std::stable_sort(desc_order.begin(), desc_order.end(),
+                     [&](int64_t a, int64_t b) {
+                       return col.NumericAt(a) > col.NumericAt(b);
+                     });
+  } else {
+    drift_pool = storage::PermuteJointDistribution(stream.base, pool_rng);
+  }
+
+  const int onset = config.onset_batch;
+  for (int i = 0; i < config.num_batches; ++i) {
+    Rng batch_rng = root.Fork();  // batch i depends only on (config, i)
+    const bool past_onset = i >= onset;
+    bool drifted = past_onset;
+    storage::Table batch;
+
+    if (config.scenario == "sudden" || config.scenario == "correlation_flip") {
+      batch = DrawRows(past_onset ? drift_pool : stream.base, batch_rng,
+                       config.batch_rows);
+    } else if (config.scenario == "gradual") {
+      if (!past_onset) {
+        batch = DrawRows(stream.base, batch_rng, config.batch_rows);
+      } else {
+        const double f =
+            std::min(1.0, static_cast<double>(i - onset + 1) /
+                              static_cast<double>(config.ramp_batches));
+        batch = MixedBatch(stream.base, drift_pool, batch_rng,
+                           config.batch_rows, f);
+      }
+    } else if (config.scenario == "recurring") {
+      const bool in_season =
+          past_onset && (i - onset) % config.period < config.period / 2;
+      drifted = in_season;
+      batch = DrawRows(in_season ? drift_pool : stream.base, batch_rng,
+                       config.batch_rows);
+    } else if (config.scenario == "append_skew") {
+      if (!past_onset) {
+        batch = DrawRows(stream.base, batch_rng, config.batch_rows);
+      } else {
+        batch = SkewedDraw(stream.base, desc_order, batch_rng,
+                           config.batch_rows, config.skew_exponent);
+      }
+    } else {  // adversarial
+      if (!past_onset) {
+        batch = DrawRows(stream.base, batch_rng, config.batch_rows);
+      } else {
+        batch = MixedBatch(stream.base, drift_pool, batch_rng,
+                           config.batch_rows, config.adversarial_fraction);
+      }
+    }
+
+    stream.batches.push_back(std::move(batch));
+    stream.drifted.push_back(drifted);
+  }
+  return stream;
+}
+
+}  // namespace ddup::datagen

@@ -1,0 +1,83 @@
+#ifndef DDUP_DATAGEN_SCENARIOS_H_
+#define DDUP_DATAGEN_SCENARIOS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/table.h"
+
+namespace ddup::datagen {
+
+// Named drift scenarios: each one turns a base dataset into a time-ordered
+// stream of insertion batches with per-batch ground-truth drift labels, so
+// detectors can be scored on FPR / FNR / detection delay (bench_drift_grid).
+//
+//   "sudden"           clean until onset, then every batch drawn from a
+//                      joint-permuted pool (the paper's OOD transform: all
+//                      marginals preserved, joint destroyed).
+//   "gradual"          after onset the permuted fraction ramps linearly
+//                      from 1/ramp_batches to 1 over ramp_batches batches.
+//   "recurring"        seasonal: after onset, alternating drifted and clean
+//                      half-periods of length period/2 (drifted first).
+//   "correlation_flip" clean until onset, then batches drawn from a pool
+//                      whose AQP numeric column is rank-reversed — the
+//                      column's value multiset is exactly preserved but its
+//                      association with every other column flips sign.
+//   "append_skew"      append-only workload whose sampler develops a bias:
+//                      after onset rows are drawn with probability skewed
+//                      toward the upper tail of the AQP numeric column.
+//   "adversarial"      near-boundary updates: after onset every batch mixes
+//                      a small constant fraction (adversarial_fraction) of
+//                      permuted rows into clean data — drift that hovers at
+//                      the edge of detectability instead of jumping past it.
+//
+// Determinism: the whole stream is a pure function of the config. A root
+// generator is seeded from (seed, scenario name) and forked once for the
+// scenario's drift pool and once per batch, in a fixed order — so batch i
+// depends only on (config, i). In particular the first k batches are
+// byte-identical across two configs that differ only in num_batches > k.
+struct ScenarioConfig {
+  std::string scenario = "sudden";
+  std::string dataset = "census";  // datagen::MakeDataset name
+  int64_t base_rows = 4000;
+  int64_t batch_rows = 250;
+  int num_batches = 24;
+  // Index of the first drifted batch; num_batches means "never drifts".
+  int onset_batch = 8;
+  // gradual: batches from onset to full drift.
+  int ramp_batches = 8;
+  // recurring: full season length; the first period/2 of each is drifted.
+  int period = 8;
+  // append_skew: tail bias strength (0 = uniform; rank ~ u^(1+exponent)).
+  double skew_exponent = 2.0;
+  // adversarial: constant drifted fraction mixed into post-onset batches.
+  double adversarial_fraction = 0.25;
+  uint64_t seed = 42;
+};
+
+struct DriftStream {
+  std::string scenario;
+  // The reference data detectors Fit against (also what a model trains on).
+  storage::Table base;
+  std::vector<storage::Table> batches;  // one per time step, in order
+  std::vector<bool> drifted;            // ground truth, parallel to batches
+  int onset_batch = 0;
+};
+
+// All scenario names, in taxonomy order.
+std::vector<std::string> ScenarioNames();
+
+// Generates the stream; CHECKs on malformed configs and unknown names.
+DriftStream MakeScenario(const ScenarioConfig& config);
+
+// The "correlation_flip" pool transform, exposed for testing: rank-reverses
+// the values of numeric column `column` (each row receives the value
+// mirrored in the column's sort order), preserving the column's multiset
+// exactly while flipping the sign of its association with every other
+// column.
+storage::Table FlipColumnAssociation(const storage::Table& table, int column);
+
+}  // namespace ddup::datagen
+
+#endif  // DDUP_DATAGEN_SCENARIOS_H_

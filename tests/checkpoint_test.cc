@@ -430,7 +430,8 @@ TEST(SnapshotResumeTest, ResumeRejectsUnfittedSnapshot) {
   // A snapshot whose payload is valid container-wise but not resumable.
   core::OodDetector unfitted;
   io::Serializer state;
-  state.WriteU32(1);  // controller state version
+  state.WriteU32(2);  // controller state version
+  state.WriteString("bootstrap");
   ASSERT_TRUE(unfitted.SaveState(&state).ok());
   Rng rng(1);
   state.WriteRng(rng);
@@ -443,6 +444,66 @@ TEST(SnapshotResumeTest, ResumeRejectsUnfittedSnapshot) {
   mconfig.epochs = 1;
   models::Mdn model(base, "education", "hours_per_week", mconfig);
   EXPECT_FALSE(core::DdupController::Resume(&model, {}, path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotResumeTest, ResumeRejectsUnknownDetectorKind) {
+  io::Serializer state;
+  state.WriteU32(2);
+  state.WriteString("not_a_detector");
+  std::string path = TempPath("unknown_kind.ckpt");
+  ASSERT_TRUE(io::WriteSectionFile(path, "controller", state.Take()).ok());
+
+  storage::Table base = SmallCensus();
+  models::MdnConfig mconfig;
+  mconfig.epochs = 1;
+  models::Mdn model(base, "education", "hours_per_week", mconfig);
+  auto resumed = core::DdupController::Resume(&model, {}, path);
+  ASSERT_FALSE(resumed.ok());
+  EXPECT_NE(resumed.status().message().find("detector kind"),
+            std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotResumeTest, SnapshotDetectorKindWinsOverResumeConfig) {
+  // A controller built with a named zoo detector snapshots the kind (v2
+  // format); Resume with a config that names a DIFFERENT kind must restore
+  // the snapshot's detector — state bytes only make sense for the kind that
+  // wrote them.
+  storage::Table base = SmallCensus();
+  models::MdnConfig mconfig;
+  mconfig.epochs = 2;
+  models::Mdn live(base, "education", "hours_per_week", mconfig);
+  std::string model_path = TempPath("kind_model.ckpt");
+  ASSERT_TRUE(live.SaveToFile(model_path).ok());
+  auto twin = models::Mdn::LoadFromFile(model_path);
+  ASSERT_TRUE(twin.ok());
+
+  core::ControllerConfig cconfig;
+  cconfig.detector.kind = "cusum";
+  cconfig.detector.bootstrap_iterations = 16;
+  cconfig.policy.distill.epochs = 1;
+  cconfig.policy.finetune_epochs = 1;
+  core::DdupController controller(&live, base, cconfig);
+  EXPECT_STREQ(controller.detector().kind(), "cusum");
+
+  std::string path = TempPath("kind_controller.ckpt");
+  ASSERT_TRUE(controller.SaveSnapshot(path).ok());
+  core::ControllerConfig other = cconfig;
+  other.detector.kind = "bootstrap";
+  auto resumed = core::DdupController::Resume(twin.value().get(), other, path);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  EXPECT_STREQ(resumed.value()->detector().kind(), "cusum");
+
+  // And the restored CUSUM issues the same decision as the live one.
+  storage::Table batch = datagen::CensusLike(150, 34);
+  auto ra = controller.HandleInsertion(batch);
+  auto rb = resumed.value()->HandleInsertion(batch);
+  ASSERT_TRUE(ra.ok() && rb.ok());
+  EXPECT_TRUE(BitEqual(ra.value().test.statistic, rb.value().test.statistic));
+  EXPECT_EQ(ra.value().test.is_ood, rb.value().test.is_ood);
+  EXPECT_EQ(ra.value().action, rb.value().action);
+  std::remove(model_path.c_str());
   std::remove(path.c_str());
 }
 

@@ -4,6 +4,7 @@
 #include "common/stats.h"
 #include "datagen/datasets.h"
 #include "datagen/latent_class.h"
+#include "datagen/scenarios.h"
 #include "datagen/star_schema.h"
 #include "gtest/gtest.h"
 #include "storage/sampling.h"
@@ -206,6 +207,236 @@ TEST(StarSchemaTest, JoinWithFactPartitionGivesNewData) {
   storage::Table d1 = ds.JoinWithFact(parts[1]);
   EXPECT_EQ(d1.num_rows(), parts[1].num_rows());
   EXPECT_GE(d1.ColumnIndex("country"), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Drift scenarios (datagen/scenarios.h): every named scenario is checked for
+// pinned determinism, label/onset correctness, shape and support — the
+// ground truth bench_drift_grid scores detectors against.
+// ---------------------------------------------------------------------------
+
+ScenarioConfig SmallScenario(const std::string& name) {
+  ScenarioConfig config;
+  config.scenario = name;
+  config.base_rows = 600;
+  config.batch_rows = 80;
+  config.num_batches = 8;
+  config.onset_batch = 3;
+  config.ramp_batches = 4;
+  config.period = 4;
+  config.seed = 7;
+  return config;
+}
+
+void ExpectSameBatches(const DriftStream& a, const DriftStream& b,
+                       size_t upto) {
+  ASSERT_GE(a.batches.size(), upto);
+  ASSERT_GE(b.batches.size(), upto);
+  for (size_t i = 0; i < upto; ++i) {
+    ASSERT_TRUE(a.batches[i].SchemaEquals(b.batches[i])) << "batch " << i;
+    ASSERT_EQ(a.batches[i].num_rows(), b.batches[i].num_rows());
+    EXPECT_EQ(a.drifted[i], b.drifted[i]) << "label " << i;
+    for (int c = 0; c < a.batches[i].num_columns(); ++c) {
+      for (int64_t r = 0; r < a.batches[i].num_rows(); ++r) {
+        ASSERT_DOUBLE_EQ(a.batches[i].column(c).AsDouble(r),
+                         b.batches[i].column(c).AsDouble(r))
+            << "batch " << i << " col " << c << " row " << r;
+      }
+    }
+  }
+}
+
+class DriftScenarioTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(DriftScenarioTest, PinnedDeterminismInConfig) {
+  ScenarioConfig config = SmallScenario(GetParam());
+  DriftStream a = MakeScenario(config);
+  DriftStream b = MakeScenario(config);
+  ASSERT_EQ(a.batches.size(), 8u);
+  ASSERT_EQ(a.drifted.size(), 8u);
+  ExpectSameBatches(a, b, 8);
+
+  // A different seed moves the data.
+  ScenarioConfig reseeded = config;
+  reseeded.seed = 8;
+  DriftStream c = MakeScenario(reseeded);
+  bool any_diff = false;
+  for (int64_t r = 0; r < c.batches[0].num_rows() && !any_diff; ++r) {
+    for (int col = 0; col < c.batches[0].num_columns(); ++col) {
+      if (a.batches[0].column(col).AsDouble(r) !=
+          c.batches[0].column(col).AsDouble(r)) {
+        any_diff = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST_P(DriftScenarioTest, BatchIndexOwnsItsRngFork) {
+  // The documented prefix property: batch i depends only on (config, i), so
+  // trimming num_batches must not disturb the shared prefix.
+  ScenarioConfig config = SmallScenario(GetParam());
+  ScenarioConfig longer = config;
+  longer.num_batches = 12;
+  DriftStream a = MakeScenario(config);
+  DriftStream b = MakeScenario(longer);
+  ExpectSameBatches(a, b, 8);
+}
+
+TEST_P(DriftScenarioTest, LabelsRespectOnset) {
+  ScenarioConfig config = SmallScenario(GetParam());
+  DriftStream s = MakeScenario(config);
+  EXPECT_EQ(s.onset_batch, 3);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_FALSE(s.drifted[i]) << "pre-onset batch " << i;
+  }
+  // Every scenario starts drifting at its onset batch.
+  EXPECT_TRUE(s.drifted[3]);
+
+  // onset == num_batches means a pure no-drift stream.
+  ScenarioConfig clean = config;
+  clean.onset_batch = clean.num_batches;
+  DriftStream quiet = MakeScenario(clean);
+  for (bool d : quiet.drifted) EXPECT_FALSE(d);
+}
+
+TEST_P(DriftScenarioTest, BatchShapeAndSupportMatchBase) {
+  ScenarioConfig config = SmallScenario(GetParam());
+  DriftStream s = MakeScenario(config);
+  EXPECT_EQ(s.base.num_rows(), 600);
+  for (const auto& batch : s.batches) {
+    ASSERT_TRUE(batch.SchemaEquals(s.base));
+    EXPECT_EQ(batch.num_rows(), 80);
+    // The paper's support assumption: inserted batches never extend a
+    // column's support (every scenario resamples base rows).
+    for (int c = 0; c < batch.num_columns(); ++c) {
+      EXPECT_GE(batch.column(c).MinAsDouble(), s.base.column(c).MinAsDouble());
+      EXPECT_LE(batch.column(c).MaxAsDouble(), s.base.column(c).MaxAsDouble());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllScenarios, DriftScenarioTest,
+                         ::testing::ValuesIn(ScenarioNames()),
+                         [](const auto& info) { return info.param; });
+
+TEST(DriftScenarioTest, TaxonomyIsStable) {
+  EXPECT_EQ(ScenarioNames(),
+            (std::vector<std::string>{"gradual", "sudden", "recurring",
+                                      "correlation_flip", "append_skew",
+                                      "adversarial"}));
+}
+
+TEST(DriftScenarioTest, RecurringAlternatesDriftedHalfPeriods) {
+  ScenarioConfig config = SmallScenario("recurring");
+  config.num_batches = 11;  // onset 3, period 4: D D C C D D C C
+  DriftStream s = MakeScenario(config);
+  EXPECT_EQ(s.drifted, (std::vector<bool>{false, false, false, true, true,
+                                          false, false, true, true, false,
+                                          false}));
+}
+
+TEST(DriftScenarioTest, FlipPreservesMultisetAndFlipsAssociation) {
+  // Two perfectly positively associated columns: flipping one must preserve
+  // its value multiset exactly while sending the correlation to -1.
+  Rng rng(11);
+  std::vector<double> x, y;
+  for (int i = 0; i < 500; ++i) {
+    double v = rng.Uniform(0.0, 100.0);
+    x.push_back(v);
+    y.push_back(2.0 * v + 1.0);
+  }
+  storage::Table t("pair");
+  t.AddColumn(storage::Column::Numeric("x", x));
+  t.AddColumn(storage::Column::Numeric("y", y));
+  ASSERT_GT(PearsonCorrelation(x, y), 0.999);
+
+  storage::Table flipped = FlipColumnAssociation(t, 1);
+  std::vector<double> fy = flipped.column(1).numeric_values();
+  EXPECT_LT(PearsonCorrelation(flipped.column(0).numeric_values(), fy),
+            -0.999);
+  std::vector<double> sorted_y = y, sorted_fy = fy;
+  std::sort(sorted_y.begin(), sorted_y.end());
+  std::sort(sorted_fy.begin(), sorted_fy.end());
+  EXPECT_EQ(sorted_y, sorted_fy);  // multiset untouched, bit for bit
+  // The untouched column is byte-identical.
+  for (int64_t r = 0; r < t.num_rows(); ++r) {
+    EXPECT_DOUBLE_EQ(flipped.column(0).NumericAt(r), t.column(0).NumericAt(r));
+  }
+}
+
+TEST(DriftScenarioTest, AppendSkewBiasesTowardUpperTail) {
+  ScenarioConfig config = SmallScenario("append_skew");
+  config.dataset = "census";
+  config.batch_rows = 200;
+  DriftStream s = MakeScenario(config);
+  const std::string numeric = AqpColumnsFor("census").numeric;
+  auto mean_of = [&](const storage::Table& t) {
+    const auto& c = t.column(t.ColumnIndex(numeric));
+    double m = 0.0;
+    for (int64_t r = 0; r < c.size(); ++r) m += c.NumericAt(r);
+    return m / static_cast<double>(c.size());
+  };
+  double base_mean = mean_of(s.base);
+  // Pre-onset batches hover near the base mean; post-onset ones sit clearly
+  // above it (the sampler's upper-tail bias).
+  double pre = mean_of(s.batches[0]);
+  double post = mean_of(s.batches.back());
+  EXPECT_GT(post, base_mean + 1.0);
+  EXPECT_GT(post, pre);
+}
+
+TEST(DriftScenarioTest, GradualRampsWhileSuddenJumps) {
+  // Fraction of rows breaking the base's (x0, x1) pairing, measured with a
+  // paired synthetic base: gradual climbs across the ramp, sudden is already
+  // fully drifted at onset.
+  ScenarioConfig config = SmallScenario("gradual");
+  config.dataset = "forest";
+  config.batch_rows = 300;
+  config.ramp_batches = 4;
+  DriftStream gradual = MakeScenario(config);
+  config.scenario = "sudden";
+  DriftStream sudden = MakeScenario(config);
+
+  // Compare each batch against the base's joint distribution through a
+  // 2-column sign statistic: the correlation between the first two AQP
+  // template columns. Permutation pushes it toward 0.
+  const AqpColumns aqp = AqpColumnsFor("forest");
+  int ci = gradual.base.ColumnIndex(aqp.categorical);
+  int ni = gradual.base.ColumnIndex(aqp.numeric);
+  auto mix = [&](const storage::Table& batch) {
+    std::vector<double> a, b;
+    for (int64_t r = 0; r < batch.num_rows(); ++r) {
+      a.push_back(batch.column(ci).AsDouble(r));
+      b.push_back(batch.column(ni).AsDouble(r));
+    }
+    return std::fabs(PearsonCorrelation(a, b));
+  };
+  double base_assoc = 0.0;
+  {
+    std::vector<double> a, b;
+    for (int64_t r = 0; r < gradual.base.num_rows(); ++r) {
+      a.push_back(gradual.base.column(ci).AsDouble(r));
+      b.push_back(gradual.base.column(ni).AsDouble(r));
+    }
+    base_assoc = std::fabs(PearsonCorrelation(a, b));
+  }
+  ASSERT_GT(base_assoc, 0.2) << "base columns must be associated";
+  // The paper's permuted pool sorts each column independently, which makes
+  // the columns comonotonic — the association is pushed AWAY from the base
+  // value (toward 1), so drift shows as distance from base_assoc.
+  auto drift_of = [&](const storage::Table& batch) {
+    return std::fabs(mix(batch) - base_assoc);
+  };
+  // Sudden: the first post-onset batch is fully permuted.
+  EXPECT_GT(drift_of(sudden.batches[3]), 0.3);
+  // Gradual: the first ramp batch (1/4 permuted) sits closer to the base
+  // association than the end of the ramp (fully permuted).
+  EXPECT_LT(drift_of(gradual.batches[3]), drift_of(gradual.batches[6]));
+  // And both pre-onset batches look like the base.
+  EXPECT_LT(drift_of(gradual.batches[0]), 0.15);
+  EXPECT_LT(drift_of(sudden.batches[0]), 0.15);
 }
 
 TEST(StarSchemaTest, JoinAqpColumnsResolve) {

@@ -4,8 +4,10 @@
 #include "common/rng.h"
 #include "common/stats.h"
 #include "core/detector.h"
+#include "core/detector_zoo.h"
 #include "datagen/datasets.h"
 #include "gtest/gtest.h"
+#include "io/serializer.h"
 #include "models/mdn.h"
 #include "storage/sampling.h"
 #include "storage/transforms.h"
@@ -300,6 +302,280 @@ TEST(DetectorTest, HandlesTinyBatches) {
   storage::Table one = base.Head(1);
   auto res = det.Test(model, one);
   EXPECT_GE(res.statistic, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Detector zoo (core/detector_zoo.h): factory, sequential detectors, the
+// per-column variant, and state round trips through the DriftDetector
+// interface.
+// ---------------------------------------------------------------------------
+
+TEST(DetectorZooTest, FactoryListsKindsAndRejectsUnknown) {
+  std::vector<std::string> kinds = DriftDetectorKinds();
+  EXPECT_EQ(kinds, (std::vector<std::string>{"adwin", "bootstrap", "cusum",
+                                             "percolumn_cusum"}));
+  for (const auto& kind : kinds) {
+    EXPECT_TRUE(HasDriftDetectorKind(kind)) << kind;
+    DetectorConfig config;
+    config.kind = kind;
+    auto det = MakeDriftDetector(config);
+    ASSERT_TRUE(det.ok()) << det.status().ToString();
+    EXPECT_EQ(det.value()->kind(), kind);
+    EXPECT_FALSE(det.value()->fitted());
+  }
+  EXPECT_FALSE(HasDriftDetectorKind("nope"));
+  DetectorConfig bad;
+  bad.kind = "nope";
+  auto missing = MakeDriftDetector(bad);
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(missing.status().message().find("bootstrap"), std::string::npos)
+      << "error should list the registered kinds";
+}
+
+TEST(DetectorZooTest, BootstrapThroughFactoryIsByteIdentical) {
+  // The refactor's acceptance bar: the paper's detector behind the interface
+  // is the same object — same fitted moments, same decision stream, same
+  // serialized state bytes as a directly constructed OodDetector.
+  storage::Table base = PairedTable(3000, 51);
+  PairResidualLoss model;
+  DetectorConfig config;
+  config.bootstrap_iterations = 64;
+  config.seed = 52;
+
+  OodDetector direct(config);
+  direct.Fit(model, base);
+  DetectorConfig factory_config = config;
+  factory_config.kind = "bootstrap";
+  auto via_factory = MakeDriftDetector(factory_config);
+  ASSERT_TRUE(via_factory.ok());
+  via_factory.value()->Fit(model, base);
+
+  EXPECT_DOUBLE_EQ(direct.bootstrap_mean(), via_factory.value()->bootstrap_mean());
+  EXPECT_DOUBLE_EQ(direct.bootstrap_std(), via_factory.value()->bootstrap_std());
+
+  Rng rng(53);
+  for (int i = 0; i < 4; ++i) {
+    storage::Table batch = storage::SampleRows(base, rng, 300);
+    auto a = direct.Test(model, batch);
+    auto b = via_factory.value()->Test(model, batch);
+    EXPECT_DOUBLE_EQ(a.new_loss, b.new_loss);
+    EXPECT_DOUBLE_EQ(a.statistic, b.statistic);
+    EXPECT_EQ(a.is_ood, b.is_ood);
+  }
+
+  io::Serializer sa, sb;
+  ASSERT_TRUE(direct.SaveState(&sa).ok());
+  ASSERT_TRUE(via_factory.value()->SaveState(&sb).ok());
+  EXPECT_EQ(sa.buffer(), sb.buffer());
+}
+
+// FPR bound + pinned detection delay for both sequential detectors, checked
+// uniformly: on a pure in-distribution stream the alarm count stays below
+// the nominal bound, and after a hard step shift (the paper's joint
+// permutation, whose loss jump dwarfs the thresholds) the first drifted
+// batch already fires.
+class SequentialDetectorTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SequentialDetectorTest, FprBoundedOnNoDriftStream) {
+  storage::Table base = PairedTable(6000, 61);
+  PairResidualLoss model;
+  DetectorConfig config;
+  config.kind = GetParam();
+  config.bootstrap_iterations = 200;
+  config.seed = 62;
+  auto det = MakeDriftDetector(config);
+  ASSERT_TRUE(det.ok());
+  det.value()->Fit(model, base);
+
+  Rng rng(63);
+  int alarms = 0;
+  constexpr int kBatches = 60;
+  for (int i = 0; i < kBatches; ++i) {
+    storage::Table batch = storage::SampleRows(base, rng, 400);
+    if (det.value()->Test(model, batch).is_ood) ++alarms;
+  }
+  // CUSUM at h = 4 sigma and ADWIN's Hoeffding bound are both far more
+  // conservative than the one-shot 2-sigma test; 10% is generous slack.
+  EXPECT_LE(alarms, kBatches / 10) << config.kind;
+}
+
+TEST_P(SequentialDetectorTest, FiresOnFirstBatchOfStepShift) {
+  storage::Table base = PairedTable(6000, 64);
+  PairResidualLoss model;
+  DetectorConfig config;
+  config.kind = GetParam();
+  config.bootstrap_iterations = 200;
+  config.seed = 65;
+  auto det = MakeDriftDetector(config);
+  ASSERT_TRUE(det.ok());
+  det.value()->Fit(model, base);
+
+  Rng rng(66);
+  constexpr int kOnset = 6;
+  for (int i = 0; i < kOnset; ++i) {
+    storage::Table batch = storage::SampleRows(base, rng, 400);
+    ASSERT_FALSE(det.value()->Test(model, batch).is_ood)
+        << config.kind << " false alarm at clean batch " << i;
+  }
+  // Joint permutation destroys the pairing: the loss jumps by tens of
+  // sigmas, so the very first drifted batch must trip the alarm (pinned
+  // delay 0 — a regression here means a detector got slower).
+  storage::Table shifted = storage::OutOfDistributionSample(base, rng, 0.1);
+  auto res = det.value()->Test(model, shifted);
+  EXPECT_TRUE(res.is_ood) << config.kind;
+  EXPECT_GT(res.statistic, res.threshold);
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, SequentialDetectorTest,
+                         ::testing::Values("cusum", "adwin"),
+                         [](const auto& info) { return info.param; });
+
+TEST(DetectorZooTest, CusumAccumulatesSubThresholdEvidence) {
+  // The point of CUSUM over the one-shot test: a shift too small to trip a
+  // single batch accumulates across batches. Inflating the residual noise
+  // slightly (0.05 -> 0.058) lifts the mean loss by only ~1.5 bootstrap
+  // sigmas per batch — around the one-shot threshold, but the one-sided
+  // evidence ratchets S+ by ~(z - k) per batch until the h = 4 alarm.
+  storage::Table base = PairedTable(6000, 71);
+  PairResidualLoss model;
+  DetectorConfig config;
+  config.kind = "cusum";
+  config.bootstrap_iterations = 200;
+  config.seed = 72;
+  auto made = MakeDriftDetector(config);
+  ASSERT_TRUE(made.ok());
+  auto* cusum = dynamic_cast<CusumDetector*>(made.value().get());
+  ASSERT_NE(cusum, nullptr);
+  cusum->Fit(model, base);
+
+  Rng rng(73);
+  bool fired = false;
+  int batches_to_alarm = 0;
+  for (int i = 0; i < 16 && !fired; ++i) {
+    storage::Table clean = storage::SampleRows(base, rng, 400);
+    std::vector<double> x0, x1;
+    for (int64_t r = 0; r < clean.num_rows(); ++r) {
+      x0.push_back(clean.column(0).NumericAt(r));
+      x1.push_back(clean.column(1).NumericAt(r) + rng.Normal(0.0, 0.03));
+    }
+    storage::Table noisy("noisy");
+    noisy.AddColumn(storage::Column::Numeric("x0", x0));
+    noisy.AddColumn(storage::Column::Numeric("x1", x1));
+    fired = cusum->Test(model, noisy).is_ood;
+    ++batches_to_alarm;
+    if (!fired) { EXPECT_GE(cusum->sum_high(), 0.0); }
+  }
+  EXPECT_TRUE(fired);
+  // Accumulation, not a one-shot jump: the alarm needs several batches.
+  EXPECT_GT(batches_to_alarm, 1);
+  // Alarm resets the accumulation: one alarm per episode.
+  EXPECT_DOUBLE_EQ(cusum->sum_high(), 0.0);
+  EXPECT_DOUBLE_EQ(cusum->sum_low(), 0.0);
+}
+
+TEST(DetectorZooTest, AdwinDropsStalePrefixOnDetection) {
+  storage::Table base = PairedTable(6000, 81);
+  PairResidualLoss model;
+  DetectorConfig config;
+  config.kind = "adwin";
+  config.bootstrap_iterations = 200;
+  config.seed = 82;
+  auto made = MakeDriftDetector(config);
+  ASSERT_TRUE(made.ok());
+  auto* adwin = dynamic_cast<AdwinDetector*>(made.value().get());
+  ASSERT_NE(adwin, nullptr);
+  adwin->Fit(model, base);
+
+  Rng rng(83);
+  for (int i = 0; i < 8; ++i) {
+    storage::Table batch = storage::SampleRows(base, rng, 400);
+    ASSERT_FALSE(adwin->Test(model, batch).is_ood);
+  }
+  EXPECT_EQ(adwin->window_size(), 8);
+  // On alarm the pre-change prefix is dropped: the window re-anchors to the
+  // post-change regime instead of keeping stale clean-batch losses.
+  storage::Table shifted = storage::OutOfDistributionSample(base, rng, 0.1);
+  ASSERT_TRUE(adwin->Test(model, shifted).is_ood);
+  EXPECT_LT(adwin->window_size(), 8 + 1);
+}
+
+TEST(DetectorZooTest, PerColumnSeesMarginalShiftNotJointPermute) {
+  storage::Table base = PairedTable(5000, 91);
+  PairResidualLoss model;  // ignored: the detector is model-free
+  DetectorConfig config;
+  config.kind = "percolumn_cusum";
+  config.seed = 92;
+  auto det = MakeDriftDetector(config);
+  ASSERT_TRUE(det.ok());
+  det.value()->Fit(model, base);
+  EXPECT_DOUBLE_EQ(det.value()->bootstrap_mean(), 0.0);  // no loss reference
+
+  // Joint permutation preserves every marginal: blind by construction.
+  Rng rng(93);
+  storage::Table permuted = storage::PermuteJointDistribution(base, rng);
+  for (int i = 0; i < 8; ++i) {
+    storage::Table batch = storage::SampleRows(permuted, rng, 400);
+    EXPECT_FALSE(det.value()->Test(model, batch).is_ood) << "batch " << i;
+  }
+
+  // A mean shift in one column is exactly what it watches: with 400-row
+  // batches the CLT null std is tiny, so a +1.0 shift on x0 (marginal std
+  // ~2.9) is a many-sigma z and the alarm fires immediately.
+  storage::Table shifted = storage::SampleRows(base, rng, 400);
+  std::vector<double> moved;
+  for (int64_t r = 0; r < shifted.num_rows(); ++r) {
+    moved.push_back(shifted.column(0).NumericAt(r) + 1.0);
+  }
+  storage::Table drift("drift");
+  drift.AddColumn(storage::Column::Numeric("x0", moved));
+  drift.AddColumn(storage::Column::Numeric(
+      "x1", shifted.column(1).numeric_values()));
+  auto res = det.value()->Test(model, drift);
+  EXPECT_TRUE(res.is_ood);
+  EXPECT_GT(res.new_loss, 2.0);  // carries the largest per-column |z|
+}
+
+TEST(DetectorZooTest, ZooStateRoundTripsThroughInterface) {
+  // Mid-stream Save/Load for every kind: the restored detector must issue
+  // the same decision stream as the live one — including the sequential
+  // state (CUSUM sums, ADWIN window) accumulated before the save.
+  storage::Table base = PairedTable(4000, 95);
+  PairResidualLoss model;
+  for (const auto& kind : DriftDetectorKinds()) {
+    DetectorConfig config;
+    config.kind = kind;
+    config.bootstrap_iterations = 48;
+    config.seed = 96;
+    auto live = MakeDriftDetector(config);
+    ASSERT_TRUE(live.ok());
+    live.value()->Fit(model, base);
+
+    // Advance past Fit so the snapshot holds non-trivial sequential state.
+    Rng rng(97);
+    for (int i = 0; i < 3; ++i) {
+      storage::Table batch = storage::SampleRows(base, rng, 300);
+      (void)live.value()->Test(model, batch);
+    }
+
+    io::Serializer out;
+    ASSERT_TRUE(live.value()->SaveState(&out).ok()) << kind;
+    auto restored = MakeDriftDetector(config);
+    ASSERT_TRUE(restored.ok());
+    io::Deserializer in(out.Take());
+    ASSERT_TRUE(restored.value()->LoadState(&in).ok()) << kind;
+    ASSERT_TRUE(in.Finish().ok()) << kind;
+    EXPECT_TRUE(restored.value()->fitted()) << kind;
+
+    Rng stream(98);
+    for (int i = 0; i < 4; ++i) {
+      storage::Table batch = storage::SampleRows(base, stream, 300);
+      auto a = live.value()->Test(model, batch);
+      auto b = restored.value()->Test(model, batch);
+      EXPECT_DOUBLE_EQ(a.statistic, b.statistic) << kind;
+      EXPECT_DOUBLE_EQ(a.new_loss, b.new_loss) << kind;
+      EXPECT_EQ(a.is_ood, b.is_ood) << kind;
+    }
+  }
 }
 
 }  // namespace

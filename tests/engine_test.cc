@@ -412,6 +412,81 @@ TEST(EngineTest, SaveLoadRoundTripsBitIdentically) {
   std::remove(path.c_str());
 }
 
+TEST(EngineTest, DetectorKindSelectableViaTableOptions) {
+  Engine engine(FastEngineConfig(100));
+  storage::Table base = MakeConditional(25, 75, 400, 16);
+
+  // Unknown kinds fail fast at CreateTable, listing the registered ones.
+  TableOptions bad;
+  bad.detector = "nope";
+  auto rejected = engine.CreateTable("bad", base, bad);
+  EXPECT_EQ(rejected.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(rejected.message().find("bootstrap"), std::string::npos);
+
+  // Empty option resolves to the engine default; a named option wins.
+  TableOptions cusum;
+  cusum.detector = "cusum";
+  ASSERT_TRUE(engine.CreateTable("seq", base, cusum).ok());
+  ASSERT_TRUE(engine.CreateTable("dflt", base).ok());
+  ASSERT_TRUE(engine.AttachModel("seq", FastMdnSpec()).ok());
+  ASSERT_TRUE(engine.AttachModel("dflt", FastMdnSpec()).ok());
+  auto seq_report = engine.Report("seq");
+  auto dflt_report = engine.Report("dflt");
+  ASSERT_TRUE(seq_report.ok() && dflt_report.ok());
+  EXPECT_EQ(seq_report.value().detector_kind, "cusum");
+  EXPECT_EQ(dflt_report.value().detector_kind, "bootstrap");
+
+  // The full ingest/detect/update loop runs through the named detector.
+  auto ingest = engine.Ingest("seq", MakeConditional(25, 75, 200, 17));
+  ASSERT_TRUE(ingest.ok());
+  EXPECT_EQ(ingest.value().rows_flushed, 200);
+  ASSERT_EQ(ingest.value().reports.size(), 2u);
+  auto after = engine.Report("seq");
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after.value().insertions, 2);
+  EXPECT_EQ(after.value().detector_kind, "cusum");
+}
+
+TEST(EngineTest, NamedDetectorSurvivesSaveLoad) {
+  std::string path = TempPath("engine_test_detector.ckpt");
+  EngineConfig config = FastEngineConfig(100);
+  Engine engine(config);
+  storage::Table base = MakeConditional(25, 75, 400, 18);
+  TableOptions options;
+  options.detector = "percolumn_cusum";
+  ASSERT_TRUE(engine.CreateTable("t", base, options).ok());
+  ASSERT_TRUE(engine.AttachModel("t", FastMdnSpec()).ok());
+  // One flushed micro-batch plus a buffered trickle: the snapshot carries
+  // live sequential detector state, not just the kind string.
+  ASSERT_TRUE(engine.Ingest("t", MakeConditional(25, 75, 100, 19)).ok());
+  ASSERT_TRUE(engine.Ingest("t", MakeConditional(25, 75, 40, 20)).ok());
+
+  ASSERT_TRUE(engine.Save(path).ok());
+  // The restoring config names a different default detector: the manifest's
+  // per-table kind must win over it.
+  EngineConfig other_default = config;
+  other_default.controller.detector.kind = "adwin";
+  auto loaded = Engine::Load(path, other_default);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  auto report = loaded.value()->Report("t");
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report.value().detector_kind, "percolumn_cusum");
+  EXPECT_EQ(report.value().buffered_rows, 40);
+
+  // Both engines continue identically through the restored detector.
+  auto cont_a = engine.Flush("t");
+  auto cont_b = loaded.value()->Flush("t");
+  ASSERT_TRUE(cont_a.ok() && cont_b.ok());
+  ASSERT_EQ(cont_a.value().reports.size(), 1u);
+  ASSERT_EQ(cont_b.value().reports.size(), 1u);
+  EXPECT_EQ(cont_a.value().reports[0].test.statistic,
+            cont_b.value().reports[0].test.statistic);
+  EXPECT_EQ(cont_a.value().reports[0].test.is_ood,
+            cont_b.value().reports[0].test.is_ood);
+  EXPECT_EQ(cont_a.value().reports[0].action, cont_b.value().reports[0].action);
+  std::remove(path.c_str());
+}
+
 TEST(EngineTest, LoadRejectsMissingAndCorruptFiles) {
   auto missing = Engine::Load(TempPath("engine_test_does_not_exist.ckpt"));
   EXPECT_FALSE(missing.ok());
