@@ -5,6 +5,8 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <thread>
 
 #include "api/model_factory.h"
 #include "common/status.h"
@@ -526,6 +528,25 @@ std::string JsonObject::Render() const {
   return out;
 }
 
+namespace {
+// "model name" line from /proc/cpuinfo, or "unknown" (non-Linux hosts,
+// restricted containers). Whitespace inside the model string is kept as-is:
+// it is an opaque label for humans diffing BENCH files across machines.
+std::string HostCpuModel() {
+  std::ifstream in("/proc/cpuinfo");
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.compare(0, 10, "model name") != 0) continue;
+    size_t colon = line.find(':');
+    if (colon == std::string::npos) break;
+    size_t start = line.find_first_not_of(" \t", colon + 1);
+    if (start == std::string::npos) break;
+    return line.substr(start);
+  }
+  return "unknown";
+}
+}  // namespace
+
 BenchJsonEmitter::BenchJsonEmitter(std::string artifact,
                                    const BenchParams& params)
     : artifact_(std::move(artifact)) {
@@ -533,7 +554,10 @@ BenchJsonEmitter::BenchJsonEmitter(std::string artifact,
       .Set("queries", params.num_queries)
       .Set("epoch_scale", params.epoch_scale)
       .Set("bootstrap", params.bootstrap_iterations)
-      .Set("seed", static_cast<int64_t>(params.seed));
+      .Set("seed", static_cast<int64_t>(params.seed))
+      .Set("host_cores",
+           static_cast<int64_t>(std::thread::hardware_concurrency()))
+      .Set("host_cpu", HostCpuModel());
 }
 
 void BenchJsonEmitter::AddRow(JsonObject row) {

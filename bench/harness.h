@@ -187,7 +187,18 @@ class JsonObject {
 
 class BenchJsonEmitter {
  public:
+  // The constructor stamps the BenchParams plus the host context every
+  // consumer needs to compare numbers across machines: logical core count
+  // (std::thread::hardware_concurrency) and the CPU model string from
+  // /proc/cpuinfo ("unknown" where unavailable).
   BenchJsonEmitter(std::string artifact, const BenchParams& params);
+  // Adds a bench-specific header field under "params" (kernel variant,
+  // per-cell workload size, headline speedup...) before Write().
+  template <typename T>
+  BenchJsonEmitter& SetParam(const std::string& key, T value) {
+    params_.Set(key, value);
+    return *this;
+  }
   void AddRow(JsonObject row);
   // Writes the file and prints its path; returns the path ("" on failure).
   std::string Write() const;

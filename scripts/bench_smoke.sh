@@ -63,6 +63,13 @@ fi
 # BENCH_drift_grid.json (bit-identical for a fixed seed).
 "${BUILD_DIR}/bench/bench_drift_grid"
 
+# Estimate-engine smoke: scalar vs reference vs vectorized estimate QPS over
+# batch size x reader threads; writes BENCH_estimate_batch.json. Tiny grid —
+# the committed full-size run lives next to DESIGN.md §13.
+DDUP_BENCH_ESTIMATES=${DDUP_BENCH_ESTIMATES:-64} \
+DDUP_BENCH_MAX_THREADS=${DDUP_BENCH_MAX_THREADS:-2} \
+  "${BUILD_DIR}/bench/bench_estimate_batch"
+
 # End-to-end harness smoke: trains, detects, distills and prints the q-error
 # table at tiny size. Exercises the full model/detector/update stack.
 "${BUILD_DIR}/bench/bench_table5_update_qerror"

@@ -6,6 +6,7 @@
 
 #include "common/stopwatch.h"
 #include "core/detector_zoo.h"
+#include "exec/estimator_engine.h"
 #include "io/checkpoint.h"
 #include "io/serializer.h"
 
@@ -17,13 +18,17 @@ namespace {
 constexpr uint32_t kManifestVersion = 2;
 constexpr const char* kManifestSection = "engine";
 
-std::string JoinedDetectorKinds() {
+std::string JoinedNames(const std::vector<std::string>& names) {
   std::string joined;
-  for (const auto& kind : core::DriftDetectorKinds()) {
+  for (const auto& name : names) {
     if (!joined.empty()) joined += ", ";
-    joined += kind;
+    joined += name;
   }
   return joined;
+}
+
+std::string JoinedDetectorKinds() {
+  return JoinedNames(core::DriftDetectorKinds());
 }
 
 // Section names for the per-table payloads. Table names may contain any
@@ -200,10 +205,19 @@ Status Engine::AttachModel(const std::string& name, const ModelSpec& spec) {
       return copy.status();
     }
     std::atomic_store(
-        &state->snapshot, std::shared_ptr<const core::UpdatableModel>(
-                              std::move(copy).value().release()));
+        &state->serving,
+        MakeServingView(std::shared_ptr<const core::UpdatableModel>(
+            std::move(copy).value().release())));
     std::lock_guard<std::mutex> stats_lock(state->stats_mu);
     state->snapshot_publishes += 1;
+  } else {
+    // Sync: serve the live model through a non-owning alias. The model
+    // object is stable after attach (updates mutate it in place), so the
+    // view's cached interface pointers stay valid for the engine's life.
+    std::atomic_store(
+        &state->serving,
+        MakeServingView(std::shared_ptr<const core::UpdatableModel>(
+            std::shared_ptr<const core::UpdatableModel>(), state->model.get())));
   }
   // The controller owns the accumulated data from here on; keep only the
   // schema for batch validation.
@@ -247,6 +261,15 @@ Status Engine::DrainInline(TableState* state, bool all, IngestResult* result) {
   return status;
 }
 
+std::shared_ptr<const Engine::TableState::ServingView> Engine::MakeServingView(
+    std::shared_ptr<const core::UpdatableModel> model) {
+  auto view = std::make_shared<TableState::ServingView>();
+  view->card = dynamic_cast<const core::CardinalityEstimator*>(model.get());
+  view->aqp = dynamic_cast<const core::AqpEstimator*>(model.get());
+  view->model = std::move(model);
+  return view;
+}
+
 void Engine::PublishSnapshot(TableState* state) {
   StatusOr<std::unique_ptr<core::UpdatableModel>> copy =
       CloneModel(state->spec.kind, *state->model);
@@ -255,9 +278,9 @@ void Engine::PublishSnapshot(TableState* state) {
     if (state->async_error.ok()) state->async_error = copy.status();
     return;
   }
-  std::atomic_store(&state->snapshot,
-                    std::shared_ptr<const core::UpdatableModel>(
-                        std::move(copy).value().release()));
+  std::atomic_store(&state->serving,
+                    MakeServingView(std::shared_ptr<const core::UpdatableModel>(
+                        std::move(copy).value().release())));
   std::lock_guard<std::mutex> lock(state->stats_mu);
   state->snapshot_publishes += 1;
 }
@@ -484,31 +507,26 @@ StatusOr<FlushReport> Engine::FlushAll() {
   return sweep;
 }
 
+// The whole estimate hot path is here: one registry lookup, one atomic view
+// load, then the estimator call — no lock, no dynamic_cast (the interfaces
+// were resolved when the view was published), no shared mutable state.
 StatusOr<double> Engine::EstimateCardinality(
     const std::string& name, const workload::Query& query) const {
   StatusOr<std::shared_ptr<TableState>> found = FindTable(name);
   if (!found.ok()) return found.status();
   const TableState* state = found.value().get();
-  // Async: serve from the last published snapshot — never blocks on a
-  // running update. Sync: serve from the live model (single-threaded
-  // contract).
-  std::shared_ptr<const core::UpdatableModel> snapshot =
-      std::atomic_load(&state->snapshot);
-  const core::UpdatableModel* model =
-      snapshot != nullptr ? snapshot.get() : state->model.get();
-  if (model == nullptr) {
+  std::shared_ptr<const TableState::ServingView> view =
+      std::atomic_load(&state->serving);
+  if (view == nullptr) {
     return Status::FailedPrecondition("table '" + name +
                                       "' has no model attached yet");
   }
-  const auto* estimator =
-      dynamic_cast<const core::CardinalityEstimator*>(model);
-  if (estimator == nullptr) {
+  if (view->card == nullptr) {
     return Status::FailedPrecondition(
         "model kind '" + state->spec.kind + "' on table '" + name +
         "' does not serve cardinality estimates");
   }
-  std::lock_guard<std::mutex> lock(state->estimate_mu);
-  return estimator->TryEstimateCardinality(query);
+  return view->card->TryEstimateCardinality(query);
 }
 
 StatusOr<double> Engine::EstimateAqp(const std::string& name,
@@ -516,22 +534,75 @@ StatusOr<double> Engine::EstimateAqp(const std::string& name,
   StatusOr<std::shared_ptr<TableState>> found = FindTable(name);
   if (!found.ok()) return found.status();
   const TableState* state = found.value().get();
-  std::shared_ptr<const core::UpdatableModel> snapshot =
-      std::atomic_load(&state->snapshot);
-  const core::UpdatableModel* model =
-      snapshot != nullptr ? snapshot.get() : state->model.get();
-  if (model == nullptr) {
+  std::shared_ptr<const TableState::ServingView> view =
+      std::atomic_load(&state->serving);
+  if (view == nullptr) {
     return Status::FailedPrecondition("table '" + name +
                                       "' has no model attached yet");
   }
-  const auto* estimator = dynamic_cast<const core::AqpEstimator*>(model);
-  if (estimator == nullptr) {
+  if (view->aqp == nullptr) {
     return Status::FailedPrecondition("model kind '" + state->spec.kind +
                                       "' on table '" + name +
                                       "' does not serve AQP estimates");
   }
-  std::lock_guard<std::mutex> lock(state->estimate_mu);
-  return estimator->TryEstimateAqp(query, state->base);
+  return view->aqp->TryEstimateAqp(query, state->base);
+}
+
+StatusOr<std::vector<double>> Engine::EstimateCardinalityBatch(
+    const std::string& name, const workload::QueryBatch& batch) const {
+  const exec::EstimatorEngine* engine =
+      exec::FindEstimatorEngine(config_.estimate_engine);
+  if (engine == nullptr) {
+    return Status::InvalidArgument(
+        "unknown estimate engine '" + config_.estimate_engine +
+        "'; registered: " + JoinedNames(exec::RegisteredEstimatorEngines()));
+  }
+  StatusOr<std::shared_ptr<TableState>> found = FindTable(name);
+  if (!found.ok()) return found.status();
+  const TableState* state = found.value().get();
+  std::shared_ptr<const TableState::ServingView> view =
+      std::atomic_load(&state->serving);
+  if (view == nullptr) {
+    return Status::FailedPrecondition("table '" + name +
+                                      "' has no model attached yet");
+  }
+  if (view->card == nullptr) {
+    return Status::FailedPrecondition(
+        "model kind '" + state->spec.kind + "' on table '" + name +
+        "' does not serve cardinality estimates");
+  }
+  std::vector<double> out;
+  DDUP_RETURN_IF_ERROR(engine->EstimateCardinalityBatch(*view->card, batch, &out));
+  return out;
+}
+
+StatusOr<std::vector<double>> Engine::EstimateAqpBatch(
+    const std::string& name, const workload::QueryBatch& batch) const {
+  const exec::EstimatorEngine* engine =
+      exec::FindEstimatorEngine(config_.estimate_engine);
+  if (engine == nullptr) {
+    return Status::InvalidArgument(
+        "unknown estimate engine '" + config_.estimate_engine +
+        "'; registered: " + JoinedNames(exec::RegisteredEstimatorEngines()));
+  }
+  StatusOr<std::shared_ptr<TableState>> found = FindTable(name);
+  if (!found.ok()) return found.status();
+  const TableState* state = found.value().get();
+  std::shared_ptr<const TableState::ServingView> view =
+      std::atomic_load(&state->serving);
+  if (view == nullptr) {
+    return Status::FailedPrecondition("table '" + name +
+                                      "' has no model attached yet");
+  }
+  if (view->aqp == nullptr) {
+    return Status::FailedPrecondition("model kind '" + state->spec.kind +
+                                      "' on table '" + name +
+                                      "' does not serve AQP estimates");
+  }
+  std::vector<double> out;
+  DDUP_RETURN_IF_ERROR(
+      engine->EstimateAqpBatch(*view->aqp, state->base, batch, &out));
+  return out;
 }
 
 StatusOr<TableReport> Engine::Report(const std::string& name) const {
@@ -760,9 +831,16 @@ StatusOr<std::unique_ptr<Engine>> Engine::Load(const std::string& path,
             CloneModel(state->spec.kind, *state->model);
         if (!copy.ok()) return copy.status();
         std::atomic_store(
-            &state->snapshot, std::shared_ptr<const core::UpdatableModel>(
-                                  std::move(copy).value().release()));
+            &state->serving,
+            MakeServingView(std::shared_ptr<const core::UpdatableModel>(
+                std::move(copy).value().release())));
         state->snapshot_publishes += 1;
+      } else {
+        std::atomic_store(
+            &state->serving,
+            MakeServingView(std::shared_ptr<const core::UpdatableModel>(
+                std::shared_ptr<const core::UpdatableModel>(),
+                state->model.get())));
       }
     }
     Stripe& stripe = engine->stripes_[engine->StripeIndex(state->name)];

@@ -37,6 +37,12 @@ struct EngineConfig {
   //      (DefaultThreadCount() - 1, see common/thread_pool.h), so
   //      DDUP_THREADS=1 and single-core environments resolve to synchronous.
   int update_workers = 0;
+  // Execution engine behind EstimateCardinalityBatch/EstimateAqpBatch
+  // (src/exec): "vectorized" drives the models' batched entry points,
+  // "reference" loops the scalar path. Both are byte-identical (enforced by
+  // the differential harness); the scalar Estimate* calls do not go through
+  // an engine. Validated on first batch call (InvalidArgument if unknown).
+  std::string estimate_engine = "vectorized";
 };
 
 struct TableOptions {
@@ -196,14 +202,34 @@ class Engine {
   StatusOr<FlushReport> FlushAll();
 
   // Estimates over the flushed state. FailedPrecondition if no model is
-  // attached or the model kind does not serve the estimate type. Async
-  // engines serve from the last published snapshot and never block on a
-  // running update; stateful estimators (e.g. the DARN's progressive
-  // sampler) are serialized per table by an internal estimate lock.
+  // attached or the model kind does not serve the estimate type.
+  //
+  // The read path is lock-free: estimates serve from an atomically published
+  // ServingView (the model plus its estimator interface pointers, resolved
+  // with dynamic_cast once at publish time, never per call). Estimators are
+  // const and keep all per-call mutable state in a core::EstimateContext
+  // whose RNG stream is derived from (model seed, query fingerprint), so
+  // any number of reader threads estimate concurrently with no mutex —
+  // against the published snapshot (async) or the live model (sync, where
+  // the single-threaded contract already rules out a concurrent update).
+  // Answers are deterministic per query regardless of thread interleaving,
+  // batch size or call order.
   StatusOr<double> EstimateCardinality(const std::string& name,
                                        const workload::Query& query) const;
   StatusOr<double> EstimateAqp(const std::string& name,
                                const workload::Query& query) const;
+
+  // Batched estimates: answers[i] corresponds to batch.queries[i], and every
+  // answer is bit-identical to the scalar call for that query. The batch is
+  // executed by the exec engine named in EngineConfig::estimate_engine —
+  // "vectorized" amortizes per-call setup (weight freezing, scratch, kernel
+  // dispatch) across the batch and runs the models' fused GEMM paths, which
+  // is where the estimate-throughput headroom of the PR 2 kernels actually
+  // gets used. Same lock-free serving contract as the scalar calls.
+  StatusOr<std::vector<double>> EstimateCardinalityBatch(
+      const std::string& name, const workload::QueryBatch& batch) const;
+  StatusOr<std::vector<double>> EstimateAqpBatch(
+      const std::string& name, const workload::QueryBatch& batch) const;
 
   StatusOr<TableReport> Report(const std::string& name) const;
   std::vector<std::string> TableNames() const;  // sorted
@@ -273,14 +299,26 @@ class Engine {
     // Micro-batches queued or running on the strand.
     std::atomic<int64_t> backlog{0};
 
-    // Read-only serving snapshot (async only): readers atomic_load, the
-    // strand atomic_stores a fresh deep copy after every batch. Access
-    // ONLY via std::atomic_load/atomic_store.
-    std::shared_ptr<const core::UpdatableModel> snapshot;
-    // Serializes estimate calls on one table: estimators with internal
-    // sampler state (DARN) are not safe for overlapped calls even on a
-    // read-only snapshot.
-    mutable std::mutex estimate_mu;
+    // What Estimate* serves, swapped as one atomic unit (access ONLY via
+    // std::atomic_load/atomic_store on `serving`): the model handle plus
+    // its estimator interface pointers, resolved with dynamic_cast once
+    // here so the hot path never casts. Async engines publish a view over
+    // a fresh deep copy after every batch; sync engines publish a
+    // non-owning alias of the live model once at attach/load (the object
+    // is stable — updates mutate it in place, so the cached interface
+    // pointers stay valid). Readers take NO lock: estimation is const on
+    // the model with all per-call state in core::EstimateContext, so
+    // overlapped estimates on one view are safe by contract
+    // (core/interfaces.h). There is deliberately no estimate mutex — the
+    // old one serialized every reader on the table (even for stateless
+    // SPN/GBDT estimators, even in sync mode) to protect DARN sampler
+    // state that now lives in the per-call context.
+    struct ServingView {
+      std::shared_ptr<const core::UpdatableModel> model;
+      const core::CardinalityEstimator* card = nullptr;
+      const core::AqpEstimator* aqp = nullptr;
+    };
+    std::shared_ptr<const ServingView> serving;
   };
 
   // Hash-striped registry: CreateTable/lookup contend only within one
@@ -325,6 +363,11 @@ class Engine {
   // Publishes a fresh read-only copy of the live model (strand context or
   // setup path). Folds errors into state->async_error.
   static void PublishSnapshot(TableState* state);
+  // Wraps `model` in a ServingView with the estimator interfaces resolved
+  // (the once-per-publish dynamic_cast). Pass an aliasing (non-owning)
+  // shared_ptr for the sync-mode live model.
+  static std::shared_ptr<const TableState::ServingView> MakeServingView(
+      std::shared_ptr<const core::UpdatableModel> model);
   // Folds one completed InsertionReport into the table counters. Caller
   // must hold state->stats_mu.
   static void FoldReportLocked(TableState* state,

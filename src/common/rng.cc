@@ -72,4 +72,16 @@ std::vector<int64_t> Rng::SampleWithReplacement(int64_t n, int64_t k) {
 
 Rng Rng::Fork() { return Rng(engine_()); }
 
+Rng Rng::ForStream(uint64_t seed, uint64_t stream) {
+  // SplitMix64 finalizer over each key in turn: cheap, and small key deltas
+  // (adjacent seeds, similar fingerprints) land in unrelated seeds.
+  auto mix = [](uint64_t x) {
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+  };
+  return Rng(mix(mix(seed) ^ stream));
+}
+
 }  // namespace ddup

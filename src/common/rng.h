@@ -45,6 +45,13 @@ class Rng {
   // their own streams without coupling their consumption patterns.
   Rng Fork();
 
+  // Stateless derivation of a child stream from (seed, stream) — no
+  // generator instance involved, so the result depends only on the two keys.
+  // Estimators use this to give every query its own deterministic stream
+  // (stream = the query fingerprint), which is what makes estimates
+  // independent of batch size, batch position and call history.
+  static Rng ForStream(uint64_t seed, uint64_t stream);
+
   std::mt19937_64& engine() { return engine_; }
   // Const view of the engine; the io layer serializes the exact generator
   // state so a restored component continues the identical random stream.

@@ -14,4 +14,41 @@ Status LossModel::LoadState(io::Deserializer* in) {
                                     "' does not support checkpointing");
 }
 
+namespace {
+
+// Shared fail-fast batch loop: stamps the failing query's index onto the
+// scalar path's error so batch callers can locate it.
+template <typename ScalarFn>
+Status LoopScalar(size_t n, std::vector<double>* out, const ScalarFn& fn) {
+  out->clear();
+  out->reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    StatusOr<double> one = fn(i);
+    if (!one.ok()) {
+      return Status(one.status().code(), "query " + std::to_string(i) + ": " +
+                                             one.status().message());
+    }
+    out->push_back(one.value());
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status CardinalityEstimator::TryEstimateCardinalityBatch(
+    const std::vector<workload::Query>& queries,
+    std::vector<double>* out) const {
+  return LoopScalar(queries.size(), out, [&](size_t i) {
+    return TryEstimateCardinality(queries[i]);
+  });
+}
+
+Status AqpEstimator::TryEstimateAqpBatch(
+    const std::vector<workload::Query>& queries, const storage::Table& schema,
+    std::vector<double>* out) const {
+  return LoopScalar(queries.size(), out, [&](size_t i) {
+    return TryEstimateAqp(queries[i], schema);
+  });
+}
+
 }  // namespace ddup::core

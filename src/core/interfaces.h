@@ -2,7 +2,9 @@
 #define DDUP_CORE_INTERFACES_H_
 
 #include <string>
+#include <vector>
 
+#include "common/rng.h"
 #include "common/status.h"
 #include "storage/table.h"
 #include "workload/query.h"
@@ -61,29 +63,98 @@ inline double ResolveAlpha(const DistillConfig& config, int64_t old_rows,
          static_cast<double>(old_rows + new_rows);
 }
 
+// Every piece of mutable per-call state an estimate is allowed to touch
+// (DESIGN.md §13). Estimators themselves are immutable during estimation —
+// `this` is const and genuinely untouched — so any number of threads can
+// estimate against one model (or one published Engine snapshot) with no
+// lock. The RNG stream is derived per query from (model seed, query
+// fingerprint), never from a shared mutable member: the same query yields
+// the same stream at any batch size, batch position or call count, which is
+// what lets the differential harness byte-compare engines.
+//
+// Matrix scratch is NOT carried here — it comes from the calling thread's
+// MatrixPool::Local(), which is already per-thread and allocation-free once
+// warm.
+struct EstimateContext {
+  Rng rng{0};
+};
+
 // Optional query surfaces a learned component may implement alongside
 // UpdatableModel. The Engine facade (src/api) probes for these with
-// dynamic_cast and returns FailedPrecondition when a model kind does not
-// serve the requested estimate, so callers never need to know the concrete
-// model class behind a table.
+// dynamic_cast once at snapshot-publish time and returns FailedPrecondition
+// when a model kind does not serve the requested estimate, so callers never
+// need to know the concrete model class behind a table.
+//
+// Thread safety contract: every method here is const and must be safe for
+// concurrent callers on an immutable model. Per-call mutable state (the
+// DARN's progressive-sampler RNG) lives in EstimateContext.
 class CardinalityEstimator {
  public:
   virtual ~CardinalityEstimator() = default;
+
   // Estimated number of rows matching the query's conjunctive predicates;
   // InvalidArgument for a query the model cannot evaluate (e.g. predicates
-  // on out-of-range columns), never a crash.
+  // on out-of-range columns), never a crash. `ctx` owns all mutable
+  // per-call state; pass the result of MakeEstimateContext(query) for the
+  // deterministic per-query stream.
   virtual StatusOr<double> TryEstimateCardinality(
-      const workload::Query& query) const = 0;
+      const workload::Query& query, EstimateContext* ctx) const = 0;
+
+  // The deterministic context for `query`: RNG forked from the model's seed
+  // keyed by the query fingerprint. Stateless estimators return the default
+  // context.
+  virtual EstimateContext MakeEstimateContext(
+      const workload::Query& query) const {
+    (void)query;
+    return EstimateContext{};
+  }
+
+  // Convenience scalar path: derive the per-query context, then estimate.
+  StatusOr<double> TryEstimateCardinality(const workload::Query& query) const {
+    EstimateContext ctx = MakeEstimateContext(query);
+    return TryEstimateCardinality(query, &ctx);
+  }
+
+  // Batched entry point: out[i] = estimate for queries[i] (out is resized).
+  // Fails fast on the first invalid query (the error names its index);
+  // answers for every query are identical to the scalar path bit for bit.
+  // The default loops the scalar path; models override it with vectorized
+  // implementations (the DARN batches all queries' progressive-sample paths
+  // into one matrix per column and runs a single GEMM-backed forward).
+  virtual Status TryEstimateCardinalityBatch(
+      const std::vector<workload::Query>& queries,
+      std::vector<double>* out) const;
 };
 
 class AqpEstimator {
  public:
   virtual ~AqpEstimator() = default;
+
   // COUNT/SUM/AVG estimate for a DBEst++-style template query (`schema`
   // resolves column names/dictionaries; any table with the base schema).
-  // InvalidArgument for a query outside the model's template.
-  virtual StatusOr<double> TryEstimateAqp(
-      const workload::Query& query, const storage::Table& schema) const = 0;
+  // InvalidArgument for a query outside the model's template. Same
+  // const/concurrency contract as CardinalityEstimator.
+  virtual StatusOr<double> TryEstimateAqp(const workload::Query& query,
+                                          const storage::Table& schema,
+                                          EstimateContext* ctx) const = 0;
+
+  virtual EstimateContext MakeEstimateContext(
+      const workload::Query& query) const {
+    (void)query;
+    return EstimateContext{};
+  }
+
+  StatusOr<double> TryEstimateAqp(const workload::Query& query,
+                                  const storage::Table& schema) const {
+    EstimateContext ctx = MakeEstimateContext(query);
+    return TryEstimateAqp(query, schema, &ctx);
+  }
+
+  // Batched entry point, same contract as the cardinality variant. The MDN
+  // override computes each distinct category's mixture once per batch.
+  virtual Status TryEstimateAqpBatch(
+      const std::vector<workload::Query>& queries,
+      const storage::Table& schema, std::vector<double>* out) const;
 };
 
 // A model supporting DDUp's update actions (§4). Implemented by the MDN,

@@ -1,0 +1,100 @@
+#include "exec/estimator_engine.h"
+
+#include <map>
+#include <memory>
+#include <utility>
+
+namespace ddup::exec {
+
+namespace {
+
+// Shared fail-fast scalar loop. The "query <i>: " prefix matches the default
+// batch implementations in core/interfaces.cc exactly, so engines agree on
+// errors as well as answers.
+template <typename ScalarFn>
+Status LoopScalar(size_t n, std::vector<double>* out, const ScalarFn& fn) {
+  out->clear();
+  out->reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    StatusOr<double> one = fn(i);
+    if (!one.ok()) {
+      return Status(one.status().code(), "query " + std::to_string(i) + ": " +
+                                             one.status().message());
+    }
+    out->push_back(one.value());
+  }
+  return Status::OK();
+}
+
+// Ground truth: one scalar estimate per query, each with its own derived
+// context — the batch is nothing but a loop. Every other engine is measured
+// against this one.
+class ReferenceEngine : public EstimatorEngine {
+ public:
+  std::string name() const override { return "reference"; }
+
+  Status EstimateCardinalityBatch(const core::CardinalityEstimator& estimator,
+                                  const workload::QueryBatch& batch,
+                                  std::vector<double>* out) const override {
+    return LoopScalar(batch.queries.size(), out, [&](size_t i) {
+      return estimator.TryEstimateCardinality(batch.queries[i]);
+    });
+  }
+
+  Status EstimateAqpBatch(const core::AqpEstimator& estimator,
+                          const storage::Table& schema,
+                          const workload::QueryBatch& batch,
+                          std::vector<double>* out) const override {
+    return LoopScalar(batch.queries.size(), out, [&](size_t i) {
+      return estimator.TryEstimateAqp(batch.queries[i], schema);
+    });
+  }
+};
+
+// Fast path: hand the whole batch to the estimator's batched entry point.
+// Models with vectorized overrides amortize per-call setup (weight freeze,
+// scratch, kernel dispatch) across the batch; models without one fall back
+// to the interface default, which is the reference loop.
+class VectorizedEngine : public EstimatorEngine {
+ public:
+  std::string name() const override { return "vectorized"; }
+
+  Status EstimateCardinalityBatch(const core::CardinalityEstimator& estimator,
+                                  const workload::QueryBatch& batch,
+                                  std::vector<double>* out) const override {
+    return estimator.TryEstimateCardinalityBatch(batch.queries, out);
+  }
+
+  Status EstimateAqpBatch(const core::AqpEstimator& estimator,
+                          const storage::Table& schema,
+                          const workload::QueryBatch& batch,
+                          std::vector<double>* out) const override {
+    return estimator.TryEstimateAqpBatch(batch.queries, schema, out);
+  }
+};
+
+const std::map<std::string, std::unique_ptr<EstimatorEngine>>& Registry() {
+  static const auto* registry = [] {
+    auto* m = new std::map<std::string, std::unique_ptr<EstimatorEngine>>();
+    m->emplace("reference", std::make_unique<ReferenceEngine>());
+    m->emplace("vectorized", std::make_unique<VectorizedEngine>());
+    return m;
+  }();
+  return *registry;
+}
+
+}  // namespace
+
+const EstimatorEngine* FindEstimatorEngine(const std::string& name) {
+  const auto& registry = Registry();
+  auto it = registry.find(name);
+  return it == registry.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> RegisteredEstimatorEngines() {
+  std::vector<std::string> names;
+  for (const auto& [name, engine] : Registry()) names.push_back(name);
+  return names;  // std::map iterates sorted
+}
+
+}  // namespace ddup::exec

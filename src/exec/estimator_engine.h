@@ -1,0 +1,59 @@
+#ifndef DDUP_EXEC_ESTIMATOR_ENGINE_H_
+#define DDUP_EXEC_ESTIMATOR_ENGINE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/interfaces.h"
+#include "storage/table.h"
+#include "workload/query.h"
+
+namespace ddup::exec {
+
+// Batch-estimate execution engine (DESIGN.md §13). The estimator interfaces
+// in core/interfaces.h are the *spec*: scalar answers with deterministic
+// per-query RNG streams. An engine is one way to execute a whole
+// workload::QueryBatch against that spec — crex-style, one spec / many
+// engines — and every registered engine must return byte-identical answers
+// (and identical error codes/messages) to the "reference" engine, enforced
+// by tests/exec_differential_test.cc.
+//
+// Engines are stateless and const: all per-call state lives in the
+// estimator's EstimateContext (derived per query) and the calling thread's
+// MatrixPool. Any number of threads may drive the same engine instance
+// against the same immutable estimator concurrently.
+class EstimatorEngine {
+ public:
+  virtual ~EstimatorEngine() = default;
+
+  virtual std::string name() const = 0;
+
+  // out[i] = cardinality estimate for batch.queries[i] (out is resized).
+  // Fails fast on the first invalid query; the error names its index and
+  // `out` is unspecified.
+  virtual Status EstimateCardinalityBatch(
+      const core::CardinalityEstimator& estimator,
+      const workload::QueryBatch& batch, std::vector<double>* out) const = 0;
+
+  // Same contract for AQP estimates (`schema` resolves column names).
+  virtual Status EstimateAqpBatch(const core::AqpEstimator& estimator,
+                                  const storage::Table& schema,
+                                  const workload::QueryBatch& batch,
+                                  std::vector<double>* out) const = 0;
+};
+
+// Engine registry. "reference" loops the scalar path one query at a time
+// (the ground truth); "vectorized" drives the estimator's batched entry
+// points (a single fused forward over all queries' sample paths for the
+// DARN, per-category mixture reuse for the MDN). Returns nullptr for an
+// unknown name. Instances are process-lifetime singletons.
+const EstimatorEngine* FindEstimatorEngine(const std::string& name);
+
+// Sorted names of every registered engine (the differential harness and the
+// bench iterate these, so new engines are covered without edits there).
+std::vector<std::string> RegisteredEstimatorEngines();
+
+}  // namespace ddup::exec
+
+#endif  // DDUP_EXEC_ESTIMATOR_ENGINE_H_

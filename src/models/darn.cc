@@ -8,8 +8,10 @@
 #include "common/thread_pool.h"
 #include "io/checkpoint.h"
 #include "io/serializer.h"
+#include "nn/kernels.h"
 #include "nn/optim.h"
 #include "nn/ops.h"
+#include "nn/pool.h"
 
 
 namespace ddup::models {
@@ -69,6 +71,42 @@ void Darn::BuildMasks(int m) {
       }
     }
   }
+
+  // Active unit sets for the restricted-GEMM execution strategy
+  // (SelectivityBatch with active_set). Padding units contribute exact-zero
+  // terms everywhere they are read, so their position is irrelevant; the
+  // genuinely active units must stay in ascending order to preserve the
+  // kernel's per-element accumulation order.
+  active_units_.assign(static_cast<size_t>(m), {});
+  for (int col = 0; col < m; ++col) {
+    auto& act = active_units_[static_cast<size_t>(col)];
+    std::vector<int> inactive;
+    for (int j = 0; j < h; ++j) {
+      if (hidden_deg[static_cast<size_t>(j)] < col + 1) {
+        act.push_back(j);
+      } else {
+        inactive.push_back(j);
+      }
+    }
+    if (!act.empty()) {
+      size_t target = std::min<size_t>(static_cast<size_t>(h),
+                                       (act.size() + 15) / 16 * 16);
+      for (size_t i = 0; act.size() < target && i < inactive.size(); ++i) {
+        act.push_back(inactive[i]);
+      }
+      std::sort(act.begin(), act.end());
+    }
+  }
+}
+
+// The restricted widths are multiples of 16, which keeps every output
+// element inside the widest vector tile (2 x 8 lanes for AVX-512) only when
+// the dense width h is itself a multiple of 16 — otherwise some elements
+// would move between the tiled path and the differently-rounded scalar
+// column tail and the bits could change. m == 1 has no autoregressive
+// structure to exploit.
+bool Darn::ActiveSetSafe() const {
+  return config_.hidden_width % 16 == 0 && num_columns_ > 1;
 }
 
 void Darn::InitParams() {
@@ -304,52 +342,310 @@ nn::Matrix Darn::BlockProbs(const FrozenNet& net, const nn::Matrix& h2,
   return probs;
 }
 
-double Darn::EstimateSelectivity(const workload::Query& query) const {
-  auto ranges = encoder_.AllowedRanges(query);
-  for (const auto& r : ranges) {
-    if (r.first > r.second) return 0.0;  // unsatisfiable predicate
-  }
-  FrozenNet net = Freeze();
-  int s = config_.progressive_samples;
-  std::vector<double> weight(static_cast<size_t>(s), 1.0);
-  std::vector<std::vector<int>> codes(
-      static_cast<size_t>(num_columns_),
-      std::vector<int>(static_cast<size_t>(s), 0));
+// Progressive sampling (Naru) for a whole batch: per column, sum the exact
+// conditional mass of each query's allowed codes given each sampled prefix,
+// then extend the prefix by sampling within the allowed set. All live
+// queries' sample paths are rows of ONE matrix, so the frozen-weight copy
+// and the per-column forward (layer-1 gather, GEMM to h2, output-block GEMM)
+// are paid once per batch. Scratch comes from the thread's MatrixPool: a
+// warm batch performs zero matrix heap allocations.
+void Darn::SelectivityBatch(const workload::Query* queries, size_t n,
+                            Rng* rngs, double* out, bool active_set) const {
+  const int s = config_.progressive_samples;
+  const int h = config_.hidden_width;
+  const int m = num_columns_;
+  const bool fast = active_set && ActiveSetSafe();
 
-  // Progressive sampling (Naru): per column, sum the exact conditional mass
-  // of the allowed codes given each sampled prefix, then extend the prefix
-  // by sampling within the allowed set.
-  for (int col = 0; col < num_columns_; ++col) {
-    nn::Matrix h2 = HiddenForward(net, codes);
-    nn::Matrix probs = BlockProbs(net, h2, col);
-    auto [lo, hi] = ranges[static_cast<size_t>(col)];
-    for (int path = 0; path < s; ++path) {
-      if (weight[static_cast<size_t>(path)] == 0.0) continue;
-      double mass = 0.0;
-      for (int u = lo; u <= hi; ++u) mass += probs.At(path, u);
-      weight[static_cast<size_t>(path)] *= mass;
-      if (mass <= 0.0) {
-        weight[static_cast<size_t>(path)] = 0.0;
-        continue;
+  // Queries with an unsatisfiable predicate answer 0 immediately and never
+  // enter the path matrix — in particular they consume no RNG draws, which
+  // their (per-query) streams would tolerate anyway but the path rows would
+  // waste.
+  std::vector<size_t> live;
+  live.reserve(n);
+  std::vector<std::vector<std::pair<int, int>>> ranges;
+  ranges.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    auto r = encoder_.AllowedRanges(queries[i]);
+    bool empty = false;
+    for (const auto& pr : r) {
+      if (pr.first > pr.second) {
+        empty = true;
+        break;
       }
-      if (col + 1 < num_columns_) {
-        double u01 = rng_.Uniform(0.0, mass);
-        double acc = 0.0;
-        int chosen = hi;
-        for (int u = lo; u <= hi; ++u) {
-          acc += probs.At(path, u);
-          if (u01 < acc) {
-            chosen = u;
-            break;
-          }
+    }
+    if (empty) {
+      out[i] = 0.0;
+      continue;
+    }
+    live.push_back(i);
+    ranges.push_back(std::move(r));
+  }
+  if (live.empty()) return;
+
+  const int live_n = static_cast<int>(live.size());
+  const int rows = live_n * s;
+  // Pad to a multiple of 4 rows: every row then runs inside a full 4-row
+  // GEMM register panel (kernels.h), never in the differently-rounded
+  // ScalarRowTail, so a row's bits do not depend on the batch size. Pad rows
+  // carry code 0 (a valid input) and their outputs are ignored.
+  const int padded = (rows + 3) & ~3;
+
+  nn::MatrixPool& pool = nn::MatrixPool::Local();
+  // Masked weights in pooled buffers (Freeze() would heap-allocate copies);
+  // biases are unmasked, so plain references suffice.
+  auto masked = [&pool](const nn::Matrix& w, const nn::Matrix& mask) {
+    nn::Matrix out_m = pool.Acquire(w.rows(), w.cols());
+    const double* wp = w.data();
+    const double* mp = mask.data();
+    double* op = out_m.data();
+    for (int64_t i = 0; i < w.size(); ++i) op[i] = wp[i] * mp[i];
+    return out_m;
+  };
+  nn::Matrix mw1 = masked(params_[0].value(), mask1_);
+  nn::Matrix mw2 = masked(params_[2].value(), mask2_);
+  nn::Matrix mw3 = masked(params_[4].value(), mask3_);
+  const nn::Matrix& b1 = params_[1].value();
+  const nn::Matrix& b2 = params_[3].value();
+  const nn::Matrix& b3 = params_[5].value();
+
+  // codes(r, c): sampled prefix code of column c on path row r (exact small
+  // ints stored as doubles so the buffer pools like any other scratch).
+  nn::Matrix codes = pool.AcquireZeroed(padded, m);
+  // Dense path: h1 holds the post-relu layer-1 activations, recomputed from
+  // all m codes every column (the spec). Fast path: h1 instead holds the
+  // PRE-activation prefix accumulator b1 + sum of the sampled columns'
+  // embedding rows, extended by one row per column step. The two agree bit
+  // for bit on every active unit: an active unit of output block `col` has
+  // degree <= col, so mask1 cuts its view of columns >= col — the spec's
+  // extra terms for those columns are exact +-0.0, which relu's
+  // max(0.0, x) collapses to +0.0 either way. (Padding units DO read future
+  // columns, but everything they feed is masked to +-0.0, and
+  // finite * +-0.0 has the same bits whatever the finite factor is.)
+  nn::Matrix h1 = pool.Acquire(padded, h);
+  nn::Matrix h2 = pool.Acquire(padded, h);
+  if (fast) {
+    for (int r = 0; r < padded; ++r) {
+      std::copy(b1.data(), b1.data() + h,
+                h1.data() + static_cast<size_t>(r) * h);
+    }
+  }
+  nn::Matrix weight = pool.Acquire(padded, 1);
+  for (int r = 0; r < padded; ++r) weight(r, 0) = 1.0;
+
+  int k_max = 0;
+  for (int col = 0; col < m; ++col) {
+    k_max = std::max(k_max, encoder_.cardinality(col));
+  }
+  nn::Matrix wcol = pool.Acquire(h, k_max);
+  nn::Matrix bcol = pool.Acquire(1, k_max);
+  nn::Matrix probs = pool.Acquire(padded, k_max);
+  // Active-set scratch: gathered h1 columns and the active mw2/b2 slices.
+  nn::Matrix h1a, w2a, b2a;
+  if (fast) {
+    h1a = pool.Acquire(padded, h);
+    w2a = pool.Acquire(h, h);
+    b2a = pool.Acquire(1, h);
+  }
+
+  for (int col = 0; col < m; ++col) {
+    const int k = encoder_.cardinality(col);
+    const int off = encoder_.offset(col);
+    // Active hidden units for this output block (fast path). ua == 0 means
+    // the block reads no hidden unit at all — its logits are exactly the
+    // bias (every weight term is a masked zero), identical for all rows, so
+    // one softmax row serves the whole batch.
+    const std::vector<int>* act =
+        fast ? &active_units_[static_cast<size_t>(col)] : nullptr;
+    const int ua = fast ? static_cast<int>(act->size()) : h;
+    const bool broadcast = fast && ua == 0;
+
+    if (fast) {
+      // Extend the prefix accumulator by the column sampled last step. The
+      // element chains stay b1 + row_0 + row_1 + ... in ascending column
+      // order — exactly the spec's summation order for the prefix terms.
+      if (col > 0) {
+        for (int r = 0; r < padded; ++r) {
+          int wrow =
+              encoder_.offset(col - 1) + static_cast<int>(codes(r, col - 1));
+          const double* src = mw1.data() + static_cast<size_t>(wrow) * h;
+          double* hrow = h1.data() + static_cast<size_t>(r) * h;
+          for (int j = 0; j < h; ++j) hrow[j] += src[j];
         }
-        codes[static_cast<size_t>(col)][static_cast<size_t>(path)] = chosen;
+      }
+    } else {
+      // Layer 1 via embedding gathers: the one-hot input selects exactly one
+      // row of the masked weight per column (same math as HiddenForward).
+      for (int r = 0; r < padded; ++r) {
+        double* hrow = h1.data() + static_cast<size_t>(r) * h;
+        const double* b1p = b1.data();
+        for (int j = 0; j < h; ++j) hrow[j] = b1p[j];
+        for (int c = 0; c < m; ++c) {
+          int wrow = encoder_.offset(c) + static_cast<int>(codes(r, c));
+          const double* src = mw1.data() + static_cast<size_t>(wrow) * h;
+          for (int j = 0; j < h; ++j) hrow[j] += src[j];
+        }
+        for (int j = 0; j < h; ++j) hrow[j] = std::max(0.0, hrow[j]);
+      }
+    }
+
+    if (broadcast) {
+      nn::Matrix pk = nn::Matrix::FromBuffer(probs.TakeBuffer(), padded, k);
+      std::copy(b3.data() + off, b3.data() + off + k, pk.data());
+      probs = std::move(pk);
+    } else if (fast) {
+      // Restricted forward: both GEMMs shrink to the active submatrix. The
+      // skipped weight entries are exact zeros under mask2/mask3, and the
+      // gathers keep ascending unit order, so each output element's
+      // accumulation chain matches the dense path's nonzero terms exactly.
+      // Gather + relu fused: h1 holds pre-activations here, and relu's
+      // max(0.0, x) form maps both zero signs to +0.0 (see the h1 comment).
+      nn::Matrix ha = nn::Matrix::FromBuffer(h1a.TakeBuffer(), padded, ua);
+      for (int r = 0; r < padded; ++r) {
+        const double* hrow = h1.data() + static_cast<size_t>(r) * h;
+        double* arow = ha.data() + static_cast<size_t>(r) * ua;
+        for (int i = 0; i < ua; ++i) {
+          arow[i] = std::max(0.0, hrow[(*act)[static_cast<size_t>(i)]]);
+        }
+      }
+      nn::Matrix w2s = nn::Matrix::FromBuffer(w2a.TakeBuffer(), ua, ua);
+      nn::Matrix b2s = nn::Matrix::FromBuffer(b2a.TakeBuffer(), 1, ua);
+      for (int i = 0; i < ua; ++i) {
+        const double* src =
+            mw2.data() + static_cast<size_t>((*act)[static_cast<size_t>(i)]) * h;
+        double* dst = w2s.data() + static_cast<size_t>(i) * ua;
+        for (int j = 0; j < ua; ++j) dst[j] = src[(*act)[static_cast<size_t>(j)]];
+        b2s(0, i) = b2(0, (*act)[static_cast<size_t>(i)]);
+      }
+      nn::Matrix h2s = nn::Matrix::FromBuffer(h2.TakeBuffer(), padded, ua);
+      nn::AffineInto(ha, w2s, b2s, /*relu=*/true, &h2s);
+
+      nn::Matrix wk = nn::Matrix::FromBuffer(wcol.TakeBuffer(), ua, k);
+      for (int i = 0; i < ua; ++i) {
+        const double* src = mw3.data() +
+                            static_cast<size_t>((*act)[static_cast<size_t>(i)]) *
+                                mw3.cols() +
+                            off;
+        std::copy(src, src + k, wk.data() + static_cast<size_t>(i) * k);
+      }
+      nn::Matrix bk = nn::Matrix::FromBuffer(bcol.TakeBuffer(), 1, k);
+      std::copy(b3.data() + off, b3.data() + off + k, bk.data());
+      nn::Matrix pk = nn::Matrix::FromBuffer(probs.TakeBuffer(), padded, k);
+      nn::AffineInto(h2s, wk, bk, /*relu=*/false, &pk);
+      h1a = std::move(ha);
+      w2a = std::move(w2s);
+      b2a = std::move(b2s);
+      h2 = std::move(h2s);
+      wcol = std::move(wk);
+      bcol = std::move(bk);
+      probs = std::move(pk);
+    } else {
+      nn::AffineInto(h1, mw2, b2, /*relu=*/true, &h2);
+
+      // Output block of `col` only: slice the h x k weight block into
+      // contiguous scratch (GEMM wants it dense) and run one batched affine
+      // for all paths of all queries.
+      nn::Matrix wk = nn::Matrix::FromBuffer(wcol.TakeBuffer(), h, k);
+      for (int j = 0; j < h; ++j) {
+        const double* src = mw3.data() + static_cast<size_t>(j) * mw3.cols() + off;
+        std::copy(src, src + k, wk.data() + static_cast<size_t>(j) * k);
+      }
+      nn::Matrix bk = nn::Matrix::FromBuffer(bcol.TakeBuffer(), 1, k);
+      std::copy(b3.data() + off, b3.data() + off + k, bk.data());
+      nn::Matrix pk = nn::Matrix::FromBuffer(probs.TakeBuffer(), padded, k);
+      nn::AffineInto(h2, wk, bk, /*relu=*/false, &pk);
+      wcol = std::move(wk);
+      bcol = std::move(bk);
+      probs = std::move(pk);
+    }
+    // Row-wise softmax (same order of operations as BlockProbs); a
+    // broadcast column softmaxes its single shared row.
+    const int soft_rows = broadcast ? 1 : padded;
+    for (int r = 0; r < soft_rows; ++r) {
+      double* prow = probs.data() + static_cast<size_t>(r) * probs.cols();
+      double mx = -1e300;
+      for (int u = 0; u < k; ++u) mx = std::max(mx, prow[u]);
+      double sum = 0.0;
+      for (int u = 0; u < k; ++u) {
+        double e = std::exp(prow[u] - mx);
+        prow[u] = e;
+        sum += e;
+      }
+      for (int u = 0; u < k; ++u) prow[u] /= sum;
+    }
+
+    // Per-query mass/extend step. Each query draws only from its own stream
+    // in (column, path) order — exactly the scalar draw order — so its
+    // answer is untouched by whatever else shares the batch.
+    for (int q = 0; q < live_n; ++q) {
+      auto [lo, hi] = ranges[static_cast<size_t>(q)][static_cast<size_t>(col)];
+      Rng& rng = rngs[live[static_cast<size_t>(q)]];
+      for (int path = 0; path < s; ++path) {
+        const int r = q * s + path;
+        if (weight(r, 0) == 0.0) continue;
+        const double* prow =
+            probs.data() +
+            static_cast<size_t>(broadcast ? 0 : r) * probs.cols();
+        double mass = 0.0;
+        for (int u = lo; u <= hi; ++u) mass += prow[u];
+        weight(r, 0) *= mass;
+        if (mass <= 0.0) {
+          weight(r, 0) = 0.0;
+          continue;
+        }
+        if (col + 1 < m) {
+          double u01 = rng.Uniform(0.0, mass);
+          double acc = 0.0;
+          int chosen = hi;
+          for (int u = lo; u <= hi; ++u) {
+            acc += prow[u];
+            if (u01 < acc) {
+              chosen = u;
+              break;
+            }
+          }
+          codes(r, col) = static_cast<double>(chosen);
+        }
       }
     }
   }
-  double total = 0.0;
-  for (double w : weight) total += w;
-  return total / static_cast<double>(s);
+
+  for (int q = 0; q < live_n; ++q) {
+    double total = 0.0;
+    for (int path = 0; path < s; ++path) total += weight(q * s + path, 0);
+    out[live[static_cast<size_t>(q)]] = total / static_cast<double>(s);
+  }
+
+  // Return the sliced scratch at its acquired shape so the next batch's
+  // Acquire finds it under the same size key (the buffers' capacity never
+  // shrank, so the resizes below cannot allocate).
+  pool.Release(nn::Matrix::FromBuffer(probs.TakeBuffer(), padded, k_max));
+  pool.Release(nn::Matrix::FromBuffer(bcol.TakeBuffer(), 1, k_max));
+  pool.Release(nn::Matrix::FromBuffer(wcol.TakeBuffer(), h, k_max));
+  if (fast) {
+    pool.Release(nn::Matrix::FromBuffer(b2a.TakeBuffer(), 1, h));
+    pool.Release(nn::Matrix::FromBuffer(w2a.TakeBuffer(), h, h));
+    pool.Release(nn::Matrix::FromBuffer(h1a.TakeBuffer(), padded, h));
+  }
+  pool.Release(std::move(weight));
+  pool.Release(nn::Matrix::FromBuffer(h2.TakeBuffer(), padded, h));
+  pool.Release(std::move(h1));
+  pool.Release(std::move(codes));
+  pool.Release(std::move(mw3));
+  pool.Release(std::move(mw2));
+  pool.Release(std::move(mw1));
+}
+
+core::EstimateContext Darn::MakeEstimateContext(
+    const workload::Query& query) const {
+  return core::EstimateContext{
+      Rng::ForStream(config_.seed, workload::QueryFingerprint(query))};
+}
+
+double Darn::EstimateSelectivity(const workload::Query& query) const {
+  core::EstimateContext ctx = MakeEstimateContext(query);
+  double sel = 0.0;
+  SelectivityBatch(&query, 1, &ctx.rng, &sel, /*active_set=*/false);
+  return sel;
 }
 
 double Darn::EstimateCardinality(const workload::Query& query) const {
@@ -357,14 +653,39 @@ double Darn::EstimateCardinality(const workload::Query& query) const {
 }
 
 StatusOr<double> Darn::TryEstimateCardinality(
-    const workload::Query& query) const {
+    const workload::Query& query, core::EstimateContext* ctx) const {
   for (const auto& p : query.predicates) {
     if (p.column < 0 || p.column >= num_columns_) {
       return Status::InvalidArgument("predicate on out-of-range column " +
                                      std::to_string(p.column));
     }
   }
-  return EstimateCardinality(query);
+  double sel = 0.0;
+  SelectivityBatch(&query, 1, &ctx->rng, &sel, /*active_set=*/false);
+  return sel * static_cast<double>(total_rows_);
+}
+
+Status Darn::TryEstimateCardinalityBatch(
+    const std::vector<workload::Query>& queries,
+    std::vector<double>* out) const {
+  for (size_t i = 0; i < queries.size(); ++i) {
+    for (const auto& p : queries[i].predicates) {
+      if (p.column < 0 || p.column >= num_columns_) {
+        return Status::InvalidArgument(
+            "query " + std::to_string(i) + ": predicate on out-of-range column " +
+            std::to_string(p.column));
+      }
+    }
+  }
+  out->assign(queries.size(), 0.0);
+  if (queries.empty()) return Status::OK();
+  std::vector<Rng> rngs;
+  rngs.reserve(queries.size());
+  for (const auto& q : queries) rngs.push_back(MakeEstimateContext(q).rng);
+  SelectivityBatch(queries.data(), queries.size(), rngs.data(), out->data(),
+                   /*active_set=*/true);
+  for (double& v : *out) v *= static_cast<double>(total_rows_);
+  return Status::OK();
 }
 
 Status Darn::SaveState(io::Serializer* out) const {

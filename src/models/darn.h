@@ -67,9 +67,23 @@ class Darn : public core::UpdatableModel, public core::CardinalityEstimator {
   // Estimated number of rows matching the query's conjunctive predicates.
   double EstimateCardinality(const workload::Query& query) const;
   // core::CardinalityEstimator (the surface the Engine dispatches to):
-  // validates the predicates before estimating.
+  // validates the predicates before estimating. Estimation never touches
+  // `this` — all per-call state is the context's RNG — so any number of
+  // threads can estimate concurrently against one (immutable) model.
+  using core::CardinalityEstimator::TryEstimateCardinality;
   StatusOr<double> TryEstimateCardinality(
+      const workload::Query& query,
+      core::EstimateContext* ctx) const override;
+  // RNG stream derived from (config seed, query fingerprint): the same query
+  // gets the same stream at any batch size or call count.
+  core::EstimateContext MakeEstimateContext(
       const workload::Query& query) const override;
+  // Vectorized batch entry: all queries' progressive-sample paths share one
+  // padded matrix, so weight freezing and the per-column forward passes are
+  // paid once per batch instead of once per query. Bit-identical to the
+  // scalar path (which routes through the same core with one query).
+  Status TryEstimateCardinalityBatch(const std::vector<workload::Query>& queries,
+                                     std::vector<double>* out) const override;
   // Selectivity in [0, 1] (EstimateCardinality / total_rows).
   double EstimateSelectivity(const workload::Query& query) const;
   // Exact joint probability of one fully specified encoded row (tests only;
@@ -99,6 +113,25 @@ class Darn : public core::UpdatableModel, public core::CardinalityEstimator {
   void TrainLoop(const storage::Table& data, double lr, int epochs);
 
   FrozenNet Freeze() const;
+  // Batched progressive sampling over nn/kernels with MatrixPool scratch:
+  // selectivities for `n` queries in one padded path matrix, each query
+  // drawing from its own stream rngs[i] (DESIGN.md §13). All row counts are
+  // padded to a multiple of 4 so every row runs in a full GEMM register
+  // panel — per-row results are then independent of what else shares the
+  // batch, which is what makes answers batch-size-invariant bit for bit.
+  //
+  // `active_set` opts into the vectorized engine's MADE-degree execution
+  // strategy: output block `col` structurally reads only hidden units of
+  // degree < col+1 (mask3) and those read only the same unit set (mask2),
+  // so both per-column GEMMs shrink to the active submatrix. This is exact
+  // — skipped terms are exact zeros of the masked weights, and the kernel
+  // accumulates each output element in one sequential chain — and the
+  // differential harness byte-checks it against the dense spec path. It is
+  // only taken when hidden_width keeps every output element in the kernel's
+  // main register tile (see ActiveSetSafe); otherwise the dense path runs.
+  void SelectivityBatch(const workload::Query* queries, size_t n, Rng* rngs,
+                        double* out, bool active_set) const;
+  bool ActiveSetSafe() const;
   // Value-level hidden pass shared by inference paths: returns the second
   // hidden activation (num_paths x H).
   nn::Matrix HiddenForward(const FrozenNet& net,
@@ -117,8 +150,15 @@ class Darn : public core::UpdatableModel, public core::CardinalityEstimator {
   int num_columns_ = 0;
   std::vector<nn::Variable> params_;  // W1,b1,W2,b2,W3,b3
   nn::Matrix mask1_, mask2_, mask3_;
+  // Per output column: ascending hidden-unit indices with degree < col+1
+  // (the units mask3 lets that block read), padded up to a multiple of 16
+  // with inactive units so restricted GEMM widths keep every element in the
+  // kernel's main register tile. Rebuilt with the masks.
+  std::vector<std::vector<int>> active_units_;
   int64_t total_rows_ = 0;
-  mutable Rng rng_;
+  // Training stream only. Estimates never touch it (they derive per-query
+  // streams via MakeEstimateContext), keeping the estimate path const.
+  Rng rng_;
 };
 
 }  // namespace ddup::models

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
+#include <unordered_map>
 
 #include "common/stats.h"
 #include "common/status.h"
@@ -273,7 +274,11 @@ std::optional<AqpQueryView> Mdn::ParseQuery(const workload::Query& query,
 
 double Mdn::EstimateAqp(const AqpQueryView& view) const {
   DDUP_CHECK(view.category >= 0 && view.category < cardinality_);
-  MixtureParams mp = MixtureFor(view.category);
+  return EstimateFromMixture(view, MixtureFor(view.category));
+}
+
+double Mdn::EstimateFromMixture(const AqpQueryView& view,
+                                const MixtureParams& mp) const {
   double lo_n = normalizer_.Encode(view.lo);
   double hi_n = normalizer_.Encode(view.hi);
   double mass = 0.0;          // P(lo <= y <= hi | x)
@@ -309,7 +314,9 @@ double Mdn::EstimateAqp(const workload::Query& query,
 }
 
 StatusOr<double> Mdn::TryEstimateAqp(const workload::Query& query,
-                                     const storage::Table& schema) const {
+                                     const storage::Table& schema,
+                                     core::EstimateContext* ctx) const {
+  (void)ctx;  // analytic estimate: no per-call mutable state
   for (const auto& p : query.predicates) {
     if (p.column < 0 || p.column >= schema.num_columns()) {
       return Status::InvalidArgument("predicate on out-of-range column " +
@@ -322,7 +329,57 @@ StatusOr<double> Mdn::TryEstimateAqp(const workload::Query& query,
         "query does not match the DBEst++ template (one equality on '" +
         cat_name_ + "', one range + aggregate on '" + num_name_ + "')");
   }
+  if (view->category < 0 || view->category >= cardinality_) {
+    return Status::InvalidArgument("category " +
+                                   std::to_string(view->category) +
+                                   " outside the fitted dictionary");
+  }
   return EstimateAqp(*view);
+}
+
+Status Mdn::TryEstimateAqpBatch(const std::vector<workload::Query>& queries,
+                                const storage::Table& schema,
+                                std::vector<double>* out) const {
+  // Parse everything first (fail fast with the query's index), collecting
+  // the distinct categories whose mixtures the batch needs.
+  std::vector<AqpQueryView> views;
+  views.reserve(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    for (const auto& p : queries[i].predicates) {
+      if (p.column < 0 || p.column >= schema.num_columns()) {
+        return Status::InvalidArgument(
+            "query " + std::to_string(i) + ": predicate on out-of-range column " +
+            std::to_string(p.column));
+      }
+    }
+    auto view = ParseQuery(queries[i], schema);
+    if (!view.has_value()) {
+      return Status::InvalidArgument(
+          "query " + std::to_string(i) +
+          ": query does not match the DBEst++ template (one equality on '" +
+          cat_name_ + "', one range + aggregate on '" + num_name_ + "')");
+    }
+    if (view->category < 0 || view->category >= cardinality_) {
+      return Status::InvalidArgument(
+          "query " + std::to_string(i) + ": category " +
+          std::to_string(view->category) + " outside the fitted dictionary");
+    }
+    views.push_back(*view);
+  }
+  // One network forward per distinct category, not per query. MixtureFor is
+  // deterministic, so reusing a mixture across queries is bit-identical to
+  // recomputing it.
+  std::unordered_map<int, MixtureParams> mixtures;
+  out->clear();
+  out->reserve(views.size());
+  for (const AqpQueryView& view : views) {
+    auto it = mixtures.find(view.category);
+    if (it == mixtures.end()) {
+      it = mixtures.emplace(view.category, MixtureFor(view.category)).first;
+    }
+    out->push_back(EstimateFromMixture(view, it->second));
+  }
+  return Status::OK();
 }
 
 Status Mdn::SaveState(io::Serializer* out) const {

@@ -83,9 +83,20 @@ class Mdn : public core::UpdatableModel, public core::AqpEstimator {
                      const storage::Table& schema) const;
   // core::AqpEstimator (the surface the Engine dispatches to): like the
   // convenience overload, but a query outside the template is an
-  // InvalidArgument instead of a CHECK failure.
+  // InvalidArgument instead of a CHECK failure. Estimation is analytic and
+  // RNG-free — the context is unused — and never touches `this`, so
+  // concurrent estimates need no lock.
+  using core::AqpEstimator::TryEstimateAqp;
   StatusOr<double> TryEstimateAqp(const workload::Query& query,
-                                  const storage::Table& schema) const override;
+                                  const storage::Table& schema,
+                                  core::EstimateContext* ctx) const override;
+  // Batched entry: each distinct category's mixture (a full network forward
+  // in MixtureFor) is computed once per batch instead of once per query.
+  // MixtureFor is a pure function of the frozen weights, so the cached
+  // mixture gives bit-identical answers to the scalar path.
+  Status TryEstimateAqpBatch(const std::vector<workload::Query>& queries,
+                             const storage::Table& schema,
+                             std::vector<double>* out) const override;
 
   // Conditional density of normalized y given a category (used by tests and
   // the quickstart example).
@@ -109,6 +120,10 @@ class Mdn : public core::UpdatableModel, public core::AqpEstimator {
 
   Batch MakeBatch(const storage::Table& data,
                   const std::vector<int64_t>& rows) const;
+  // Analytic aggregate from an already-computed mixture (shared by the
+  // scalar and batched estimate paths).
+  double EstimateFromMixture(const AqpQueryView& view,
+                             const MixtureParams& mp) const;
   nn::Variable NllLoss(const std::vector<nn::Variable>& params,
                        const Batch& batch) const;
   void InitParams();

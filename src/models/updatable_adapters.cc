@@ -61,7 +61,8 @@ void SpnModel::RetrainFromScratch(const storage::Table& data) {
 }
 
 StatusOr<double> SpnModel::TryEstimateCardinality(
-    const workload::Query& query) const {
+    const workload::Query& query, core::EstimateContext* ctx) const {
+  (void)ctx;  // deterministic tree walk: no per-call mutable state
   for (const auto& p : query.predicates) {
     if (p.column < 0 || p.column >= spn_->encoder().num_columns()) {
       return Status::InvalidArgument("predicate on out-of-range column " +

@@ -46,9 +46,14 @@ class SpnModel : public core::UpdatableModel, public core::CardinalityEstimator 
   Status SaveState(io::Serializer* out) const override;
   Status LoadState(io::Deserializer* in) override;
 
-  // core::CardinalityEstimator:
+  // core::CardinalityEstimator: the SPN tree walk is deterministic and
+  // RNG-free, so the context is unused and the default (stateless)
+  // MakeEstimateContext applies. The default batch loop is already optimal —
+  // there is no per-call setup to amortize.
   StatusOr<double> TryEstimateCardinality(
-      const workload::Query& query) const override;
+      const workload::Query& query,
+      core::EstimateContext* ctx) const override;
+  using core::CardinalityEstimator::TryEstimateCardinality;
 
   const Spn& spn() const { return *spn_; }
 

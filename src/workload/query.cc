@@ -1,5 +1,7 @@
 #include "workload/query.h"
 
+#include <cstring>
+
 #include "common/status.h"
 
 namespace ddup::workload {
@@ -44,6 +46,32 @@ std::string Query::ToString(const storage::Table& table) const {
     s += std::to_string(p.value);
   }
   return s;
+}
+
+uint64_t QueryFingerprint(const Query& query) {
+  // FNV-1a, 64-bit. Doubles hash by bit pattern, so 0.0 and -0.0 (or any
+  // two values that merely compare equal) are distinct queries — exactly
+  // the granularity at which estimates must be reproducible.
+  constexpr uint64_t kOffset = 1469598103934665603ull;
+  constexpr uint64_t kPrime = 1099511628211ull;
+  uint64_t h = kOffset;
+  auto mix = [&h](uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xffu;
+      h *= kPrime;
+    }
+  };
+  for (const Predicate& p : query.predicates) {
+    mix(static_cast<uint64_t>(static_cast<int64_t>(p.column)));
+    mix(static_cast<uint64_t>(p.op));
+    uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(p.value), "double is 64-bit");
+    std::memcpy(&bits, &p.value, sizeof(bits));
+    mix(bits);
+  }
+  mix(static_cast<uint64_t>(query.agg));
+  mix(static_cast<uint64_t>(static_cast<int64_t>(query.agg_column)));
+  return h;
 }
 
 bool RowMatches(const storage::Table& table, const Query& query, int64_t row) {

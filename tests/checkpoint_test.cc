@@ -244,8 +244,9 @@ TEST(ModelCheckpointTest, DarnRoundTripBitIdentical) {
   wconfig.max_filters = 3;
   auto queries = workload::GenerateNonEmptyNaruQueries(base, wconfig, 10, qrng);
   for (const auto& q : queries) {
-    // EstimateCardinality draws progressive samples from the model RNG: the
-    // streams must stay in lockstep across the pair of models.
+    // Progressive-sample streams are derived per query from (config seed,
+    // query fingerprint), so a weight-identical reload answers identically
+    // regardless of estimate call history on either model.
     EXPECT_TRUE(BitEqual(loaded.value()->EstimateCardinality(q),
                          model.EstimateCardinality(q)));
   }
