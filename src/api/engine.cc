@@ -4,6 +4,7 @@
 #include <numeric>
 #include <utility>
 
+#include "api/router.h"
 #include "common/stopwatch.h"
 #include "core/detector_zoo.h"
 #include "exec/estimator_engine.h"
@@ -51,6 +52,17 @@ int ResolveUpdateWorkers(int requested) {
   // Auto: one worker per default thread beyond the first, so DDUP_THREADS=1
   // and single-core hosts resolve to the synchronous engine.
   return std::max(0, DefaultThreadCount() - 1);
+}
+
+// Strips the exec engines' "query 0: " index prefix so the scalar shims
+// keep the historical single-query error messages.
+Status StripBatchPrefix(const Status& status) {
+  constexpr const char kPrefix[] = "query 0: ";
+  constexpr size_t kPrefixLen = sizeof(kPrefix) - 1;
+  if (status.message().rfind(kPrefix, 0) == 0) {
+    return Status(status.code(), status.message().substr(kPrefixLen));
+  }
+  return status;
 }
 
 }  // namespace
@@ -151,6 +163,10 @@ Status Engine::CreateTable(const std::string& name,
   state->base = base_data;
   state->base.set_name(name);
   state->pending = state->base.TakeRows({});  // zero rows, same schema
+  // Stats cover the base rows from the start; later batches fold in when
+  // they leave the accumulator (DrainInline/EnqueueBatchesLocked).
+  state->stats_builder = storage::TableStatsBuilder(state->base);
+  std::atomic_store(&state->stats, state->stats_builder.Snapshot());
   Stripe& stripe = stripes_[StripeIndex(name)];
   std::lock_guard<std::mutex> lock(stripe.mu);
   if (stripe.tables.count(name) > 0) {
@@ -247,16 +263,29 @@ Status Engine::DrainInline(TableState* state, bool all, IngestResult* result) {
   int64_t offset = 0;
   Status status;
   while (status.ok() && total - offset >= state->micro_batch_rows) {
-    status = PushBatch(
-        state, Slice(state->pending, offset, offset + state->micro_batch_rows),
-        result);
-    if (status.ok()) offset += state->micro_batch_rows;
+    storage::Table batch =
+        Slice(state->pending, offset, offset + state->micro_batch_rows);
+    status = PushBatch(state, batch, result);
+    if (status.ok()) {
+      state->stats_builder.Absorb(batch);
+      offset += state->micro_batch_rows;
+    }
   }
   if (status.ok() && all && offset < total) {
-    status = PushBatch(state, Slice(state->pending, offset, total), result);
-    if (status.ok()) offset = total;
+    storage::Table batch = Slice(state->pending, offset, total);
+    status = PushBatch(state, batch, result);
+    if (status.ok()) {
+      state->stats_builder.Absorb(batch);
+      offset = total;
+    }
   }
-  if (offset > 0) state->pending = Slice(state->pending, offset, total);
+  if (offset > 0) {
+    state->pending = Slice(state->pending, offset, total);
+    // Stats fold only for batches the loop actually consumed: on an error
+    // the unconsumed suffix stays buffered and stays out of the stats,
+    // keeping the snapshot aligned with what the model serves.
+    std::atomic_store(&state->stats, state->stats_builder.Snapshot());
+  }
   result->rows_buffered = state->pending.num_rows();
   return status;
 }
@@ -328,6 +357,12 @@ void Engine::EnqueueBatchesLocked(const std::shared_ptr<TableState>& state,
     storage::Table batch =
         Slice(state->pending, offset, offset + state->micro_batch_rows);
     offset += state->micro_batch_rows;
+    // Async stats fold at enqueue time: the rows leave the accumulator for
+    // the strand unconditionally, so the snapshot tracks the handed-off
+    // state (it may run slightly ahead of the serving model while the
+    // strand catches up — both are eventually consistent views of the same
+    // flushed prefix).
+    state->stats_builder.Absorb(batch);
     state->backlog.fetch_add(1, std::memory_order_relaxed);
     result->rows_enqueued += batch.num_rows();
     Stopwatch queued;
@@ -340,6 +375,7 @@ void Engine::EnqueueBatchesLocked(const std::shared_ptr<TableState>& state,
   if (all && offset < total) {
     storage::Table batch = Slice(state->pending, offset, total);
     offset = total;
+    state->stats_builder.Absorb(batch);
     state->backlog.fetch_add(1, std::memory_order_relaxed);
     result->rows_enqueued += batch.num_rows();
     Stopwatch queued;
@@ -349,7 +385,10 @@ void Engine::EnqueueBatchesLocked(const std::shared_ptr<TableState>& state,
                                          queued.ElapsedSeconds());
                       });
   }
-  if (offset > 0) state->pending = Slice(state->pending, offset, total);
+  if (offset > 0) {
+    state->pending = Slice(state->pending, offset, total);
+    std::atomic_store(&state->stats, state->stats_builder.Snapshot());
+  }
   result->rows_buffered = state->pending.num_rows();
   result->backlog_batches = state->backlog.load(std::memory_order_relaxed);
 }
@@ -507,11 +546,20 @@ StatusOr<FlushReport> Engine::FlushAll() {
   return sweep;
 }
 
-// The whole estimate hot path is here: one registry lookup, one atomic view
-// load, then the estimator call — no lock, no dynamic_cast (the interfaces
-// were resolved when the view was published), no shared mutable state.
-StatusOr<double> Engine::EstimateCardinality(
-    const std::string& name, const workload::Query& query) const {
+// The whole single-table estimate hot path is here: one exec-engine lookup,
+// one registry lookup, one atomic view load, then the batch call — no lock,
+// no dynamic_cast (the interfaces were resolved when the view was
+// published), no shared mutable state.
+StatusOr<std::vector<double>> Engine::EstimateSingleTable(
+    EstimateRequest::Kind kind, const std::string& name,
+    const workload::QueryBatch& batch) const {
+  const exec::EstimatorEngine* engine =
+      exec::FindEstimatorEngine(config_.estimate_engine);
+  if (engine == nullptr) {
+    return Status::InvalidArgument(
+        "unknown estimate engine '" + config_.estimate_engine +
+        "'; registered: " + JoinedNames(exec::RegisteredEstimatorEngines()));
+  }
   StatusOr<std::shared_ptr<TableState>> found = FindTable(name);
   if (!found.ok()) return found.status();
   const TableState* state = found.value().get();
@@ -521,88 +569,99 @@ StatusOr<double> Engine::EstimateCardinality(
     return Status::FailedPrecondition("table '" + name +
                                       "' has no model attached yet");
   }
-  if (view->card == nullptr) {
-    return Status::FailedPrecondition(
-        "model kind '" + state->spec.kind + "' on table '" + name +
-        "' does not serve cardinality estimates");
+  std::vector<double> out;
+  if (kind == EstimateRequest::Kind::kCardinality) {
+    if (view->card == nullptr) {
+      return Status::FailedPrecondition(
+          "model kind '" + state->spec.kind + "' on table '" + name +
+          "' does not serve cardinality estimates");
+    }
+    DDUP_RETURN_IF_ERROR(
+        engine->EstimateCardinalityBatch(*view->card, batch, &out));
+  } else {
+    if (view->aqp == nullptr) {
+      return Status::FailedPrecondition("model kind '" + state->spec.kind +
+                                        "' on table '" + name +
+                                        "' does not serve AQP estimates");
+    }
+    DDUP_RETURN_IF_ERROR(
+        engine->EstimateAqpBatch(*view->aqp, state->base, batch, &out));
   }
-  return view->card->TryEstimateCardinality(query);
+  return out;
+}
+
+StatusOr<EstimateResponse> Engine::Estimate(
+    const EstimateRequest& request) const {
+  const bool join = !request.joins.empty();
+  if (join && !request.table.empty()) {
+    return Status::InvalidArgument(
+        "EstimateRequest sets both the single-table shape (table '" +
+        request.table + "') and join queries; populate exactly one");
+  }
+  StatusOr<std::vector<double>> answers = Status::OK();
+  if (!join) {
+    // Single-table shape (possibly with an empty or unknown table name —
+    // FindTable reports those, matching the legacy overloads exactly).
+    answers = EstimateSingleTable(request.kind, request.table,
+                                  request.queries);
+  } else if (request.kind == EstimateRequest::Kind::kAqp) {
+    return Status::InvalidArgument(
+        "join requests serve cardinality only; AQP over joins is not "
+        "supported yet (DESIGN.md §14)");
+  } else {
+    answers = QueryRouter(this).EstimateCardinalityBatch(request.joins,
+                                                         request.combiner);
+  }
+  if (!answers.ok()) return answers.status();
+  EstimateResponse response;
+  response.answers = std::move(answers).value();
+  return response;
+}
+
+// --- Legacy shims (see engine.h for the migration table) -------------------
+
+StatusOr<double> Engine::EstimateCardinality(
+    const std::string& name, const workload::Query& query) const {
+  EstimateRequest request;
+  request.kind = EstimateRequest::Kind::kCardinality;
+  request.table = name;
+  request.queries.Add(query);
+  StatusOr<EstimateResponse> response = Estimate(request);
+  if (!response.ok()) return StripBatchPrefix(response.status());
+  return response.value().answers[0];
 }
 
 StatusOr<double> Engine::EstimateAqp(const std::string& name,
                                      const workload::Query& query) const {
-  StatusOr<std::shared_ptr<TableState>> found = FindTable(name);
-  if (!found.ok()) return found.status();
-  const TableState* state = found.value().get();
-  std::shared_ptr<const TableState::ServingView> view =
-      std::atomic_load(&state->serving);
-  if (view == nullptr) {
-    return Status::FailedPrecondition("table '" + name +
-                                      "' has no model attached yet");
-  }
-  if (view->aqp == nullptr) {
-    return Status::FailedPrecondition("model kind '" + state->spec.kind +
-                                      "' on table '" + name +
-                                      "' does not serve AQP estimates");
-  }
-  return view->aqp->TryEstimateAqp(query, state->base);
+  EstimateRequest request;
+  request.kind = EstimateRequest::Kind::kAqp;
+  request.table = name;
+  request.queries.Add(query);
+  StatusOr<EstimateResponse> response = Estimate(request);
+  if (!response.ok()) return StripBatchPrefix(response.status());
+  return response.value().answers[0];
 }
 
 StatusOr<std::vector<double>> Engine::EstimateCardinalityBatch(
     const std::string& name, const workload::QueryBatch& batch) const {
-  const exec::EstimatorEngine* engine =
-      exec::FindEstimatorEngine(config_.estimate_engine);
-  if (engine == nullptr) {
-    return Status::InvalidArgument(
-        "unknown estimate engine '" + config_.estimate_engine +
-        "'; registered: " + JoinedNames(exec::RegisteredEstimatorEngines()));
-  }
-  StatusOr<std::shared_ptr<TableState>> found = FindTable(name);
-  if (!found.ok()) return found.status();
-  const TableState* state = found.value().get();
-  std::shared_ptr<const TableState::ServingView> view =
-      std::atomic_load(&state->serving);
-  if (view == nullptr) {
-    return Status::FailedPrecondition("table '" + name +
-                                      "' has no model attached yet");
-  }
-  if (view->card == nullptr) {
-    return Status::FailedPrecondition(
-        "model kind '" + state->spec.kind + "' on table '" + name +
-        "' does not serve cardinality estimates");
-  }
-  std::vector<double> out;
-  DDUP_RETURN_IF_ERROR(engine->EstimateCardinalityBatch(*view->card, batch, &out));
-  return out;
+  EstimateRequest request;
+  request.kind = EstimateRequest::Kind::kCardinality;
+  request.table = name;
+  request.queries = batch;
+  StatusOr<EstimateResponse> response = Estimate(request);
+  if (!response.ok()) return response.status();
+  return std::move(response).value().answers;
 }
 
 StatusOr<std::vector<double>> Engine::EstimateAqpBatch(
     const std::string& name, const workload::QueryBatch& batch) const {
-  const exec::EstimatorEngine* engine =
-      exec::FindEstimatorEngine(config_.estimate_engine);
-  if (engine == nullptr) {
-    return Status::InvalidArgument(
-        "unknown estimate engine '" + config_.estimate_engine +
-        "'; registered: " + JoinedNames(exec::RegisteredEstimatorEngines()));
-  }
-  StatusOr<std::shared_ptr<TableState>> found = FindTable(name);
-  if (!found.ok()) return found.status();
-  const TableState* state = found.value().get();
-  std::shared_ptr<const TableState::ServingView> view =
-      std::atomic_load(&state->serving);
-  if (view == nullptr) {
-    return Status::FailedPrecondition("table '" + name +
-                                      "' has no model attached yet");
-  }
-  if (view->aqp == nullptr) {
-    return Status::FailedPrecondition("model kind '" + state->spec.kind +
-                                      "' on table '" + name +
-                                      "' does not serve AQP estimates");
-  }
-  std::vector<double> out;
-  DDUP_RETURN_IF_ERROR(
-      engine->EstimateAqpBatch(*view->aqp, state->base, batch, &out));
-  return out;
+  EstimateRequest request;
+  request.kind = EstimateRequest::Kind::kAqp;
+  request.table = name;
+  request.queries = batch;
+  StatusOr<EstimateResponse> response = Estimate(request);
+  if (!response.ok()) return response.status();
+  return std::move(response).value().answers;
 }
 
 StatusOr<TableReport> Engine::Report(const std::string& name) const {
@@ -843,6 +902,14 @@ StatusOr<std::unique_ptr<Engine>> Engine::Load(const std::string& path,
                 state->model.get())));
       }
     }
+    // Stats are derived state, deliberately not persisted: rebuild them
+    // from the restored flushed rows (the controller owns them once a model
+    // is attached; before that they still live in base). Load runs before
+    // any clients, so reading the controller's data here is safe.
+    state->stats_builder = storage::TableStatsBuilder(
+        state->controller != nullptr ? state->controller->data()
+                                     : state->base);
+    std::atomic_store(&state->stats, state->stats_builder.Snapshot());
     Stripe& stripe = engine->stripes_[engine->StripeIndex(state->name)];
     std::lock_guard<std::mutex> lock(stripe.mu);
     stripe.tables[state->name] = std::move(state);

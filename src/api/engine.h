@@ -14,10 +14,14 @@
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "core/controller.h"
+#include "storage/stats.h"
 #include "storage/table.h"
+#include "workload/join_query.h"
 #include "workload/query.h"
 
 namespace ddup::api {
+
+class QueryRouter;
 
 // Engine-wide defaults. The controller config (detector + update policies)
 // applies to every attached model; micro_batch_rows is the default flush
@@ -130,6 +134,42 @@ struct TableReport {
   int64_t snapshot_publishes = 0;   // serving-model swaps so far
 };
 
+// One estimate call, structured. This is the single entry point behind
+// every estimate the engine serves (DESIGN.md §14): single-table scalar,
+// single-table batch, and multi-table join all flow through
+// Engine::Estimate(const EstimateRequest&); the string-keyed overloads
+// below are thin shims over it.
+//
+// Exactly one of the two shapes must be populated:
+//   - Single-table: `table` names a registered table and `queries` holds
+//     its batch (possibly of size 1, possibly empty -> empty answers).
+//   - Join: `joins` holds multi-table queries; `table`/`queries` stay
+//     empty. Served by the QueryRouter under `combiner` (see api/router.h;
+//     "" = join-uniformity). Join requests are kCardinality-only — a kAqp
+//     join request is an InvalidArgument, not a crash.
+struct EstimateRequest {
+  enum class Kind {
+    kCardinality,  // COUNT estimates
+    kAqp,          // SUM/AVG/COUNT relative to the agg spec in the query
+  };
+  Kind kind = Kind::kCardinality;
+
+  // Single-table shape.
+  std::string table;
+  workload::QueryBatch queries;
+
+  // Join shape (kCardinality only).
+  workload::JoinQueryBatch joins;
+  std::string combiner;  // "" = api::kDefaultJoinCombiner
+};
+
+struct EstimateResponse {
+  // answers[i] corresponds to queries.queries[i] (single-table) or
+  // joins.queries[i] (join). Each answer is bit-identical to the scalar
+  // call for that query.
+  std::vector<double> answers;
+};
+
 // The public multi-table facade over the DDUp loop: a registry of named
 // tables, each bound to a model built through the ModelFactory and driven
 // by its own DdupController. Every fallible call returns Status/StatusOr —
@@ -201,8 +241,9 @@ class Engine {
   // overlaps updates across tables.
   StatusOr<FlushReport> FlushAll();
 
-  // Estimates over the flushed state. FailedPrecondition if no model is
-  // attached or the model kind does not serve the estimate type.
+  // The estimate surface. Estimates run over the flushed state;
+  // FailedPrecondition if a queried table has no model attached or the
+  // model kind does not serve the estimate type.
   //
   // The read path is lock-free: estimates serve from an atomically published
   // ServingView (the model plus its estimator interface pointers, resolved
@@ -214,18 +255,42 @@ class Engine {
   // the single-threaded contract already rules out a concurrent update).
   // Answers are deterministic per query regardless of thread interleaving,
   // batch size or call order.
+  //
+  // Single-table batches execute on the exec engine named in
+  // EngineConfig::estimate_engine — "vectorized" amortizes per-call setup
+  // (weight freezing, scratch, kernel dispatch) across the batch and runs
+  // the models' fused GEMM paths. Join batches are planned and fanned out
+  // per table by the QueryRouter (api/router.h), then combined under
+  // request.combiner. See EstimateRequest for the request shapes.
+  StatusOr<EstimateResponse> Estimate(const EstimateRequest& request) const;
+
+  // --- Legacy string-keyed estimate overloads -----------------------------
+  //
+  // DEPRECATED shims over Estimate(EstimateRequest). They remain
+  // byte-identical to their historical behavior — same answers bit-for-bit,
+  // same error messages (scalar errors carry no "query 0: " batch prefix) —
+  // and are pinned that way in tests/engine_test.cc, but new call sites
+  // should build an EstimateRequest instead.
+  //
+  // Migration:
+  //   EstimateCardinality(t, q)        -> {kind=kCardinality, table=t,
+  //                                        queries={q}}, answers[0]
+  //   EstimateCardinalityBatch(t, b)   -> {kind=kCardinality, table=t,
+  //                                        queries=b}
+  //   EstimateAqp(t, q)                -> {kind=kAqp, table=t, queries={q}},
+  //                                        answers[0]
+  //   EstimateAqpBatch(t, b)           -> {kind=kAqp, table=t, queries=b}
+  // Multi-table queries have no legacy spelling; build the join shape of
+  // EstimateRequest (or use api::QueryRouter directly).
+  //
+  // One historical quirk the shims deliberately do NOT preserve: the old
+  // scalar calls never consulted EngineConfig::estimate_engine, so an
+  // engine configured with an unknown exec-engine name only failed on
+  // batch calls. Scalar shims now validate it too (InvalidArgument).
   StatusOr<double> EstimateCardinality(const std::string& name,
                                        const workload::Query& query) const;
   StatusOr<double> EstimateAqp(const std::string& name,
                                const workload::Query& query) const;
-
-  // Batched estimates: answers[i] corresponds to batch.queries[i], and every
-  // answer is bit-identical to the scalar call for that query. The batch is
-  // executed by the exec engine named in EngineConfig::estimate_engine —
-  // "vectorized" amortizes per-call setup (weight freezing, scratch, kernel
-  // dispatch) across the batch and runs the models' fused GEMM paths, which
-  // is where the estimate-throughput headroom of the PR 2 kernels actually
-  // gets used. Same lock-free serving contract as the scalar calls.
   StatusOr<std::vector<double>> EstimateCardinalityBatch(
       const std::string& name, const workload::QueryBatch& batch) const;
   StatusOr<std::vector<double>> EstimateAqpBatch(
@@ -255,6 +320,10 @@ class Engine {
                                                 EngineConfig config = {});
 
  private:
+  // The router reads TableState serving/stats snapshots (atomic loads only)
+  // and plan-time schema metadata via the engine's lookup helpers.
+  friend class QueryRouter;
+
   struct TableState {
     std::string name;
     ModelSpec spec;
@@ -319,6 +388,16 @@ class Engine {
       const core::AqpEstimator* aqp = nullptr;
     };
     std::shared_ptr<const ServingView> serving;
+
+    // Exact per-column NDV + row count for the join combiners. The builder
+    // is guarded by mu and folds rows exactly when they leave the
+    // accumulator for the DDUp loop (inline drain or strand enqueue), so
+    // the snapshot tracks the flushed state the models serve — buffered
+    // rows are invisible here just as they are to Estimate*. Published
+    // snapshots are immutable; access `stats` ONLY via
+    // std::atomic_load/atomic_store (same discipline as `serving`).
+    storage::TableStatsBuilder stats_builder;
+    std::shared_ptr<const storage::TableStats> stats;
   };
 
   // Hash-striped registry: CreateTable/lookup contend only within one
@@ -344,6 +423,14 @@ class Engine {
   StatusOr<std::shared_ptr<TableState>> FindTable(
       const std::string& name) const;
   bool async() const { return executor_ != nullptr; }
+
+  // Single-table body of Estimate(): resolves the exec engine, the table
+  // and its serving view, then runs the whole batch through the exec
+  // engine. Batch-execution errors carry the exec engines' "query <i>: "
+  // prefix; the scalar shims strip it for batch-of-1 calls.
+  StatusOr<std::vector<double>> EstimateSingleTable(
+      EstimateRequest::Kind kind, const std::string& name,
+      const workload::QueryBatch& batch) const;
 
   // Runs the DDUp loop on `batch` inline and folds the report into the
   // counters (sync path; also the strand body via RunBatchOnWorker).

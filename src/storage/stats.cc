@@ -1,0 +1,70 @@
+#include "storage/stats.h"
+
+#include <cstring>
+
+#include "common/status.h"
+
+namespace ddup::storage {
+
+namespace {
+
+uint64_t CanonicalBits(double v) {
+  if (v == 0.0) v = 0.0;  // collapse -0.0 onto +0.0 (they compare equal)
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v), "double is 64-bit");
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+}  // namespace
+
+int TableStats::ColumnIndex(const std::string& column) const {
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i] == column) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+int64_t TableStats::NdvOf(const std::string& column) const {
+  int idx = ColumnIndex(column);
+  return idx < 0 ? 0 : ndv[static_cast<size_t>(idx)];
+}
+
+TableStatsBuilder::TableStatsBuilder(const Table& schema) {
+  columns_.reserve(static_cast<size_t>(schema.num_columns()));
+  types_.reserve(static_cast<size_t>(schema.num_columns()));
+  for (int c = 0; c < schema.num_columns(); ++c) {
+    columns_.push_back(schema.column(c).name());
+    types_.push_back(schema.column(c).type());
+  }
+  distinct_.resize(columns_.size());
+  Absorb(schema);
+}
+
+void TableStatsBuilder::Absorb(const Table& batch) {
+  DDUP_CHECK_MSG(static_cast<size_t>(batch.num_columns()) == columns_.size(),
+                 "TableStatsBuilder::Absorb: column count mismatch");
+  const int64_t n = batch.num_rows();
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    const Column& col = batch.column(static_cast<int>(c));
+    std::unordered_set<uint64_t>& seen = distinct_[c];
+    for (int64_t r = 0; r < n; ++r) {
+      seen.insert(CanonicalBits(col.AsDouble(r)));
+    }
+  }
+  rows_ += n;
+}
+
+std::shared_ptr<const TableStats> TableStatsBuilder::Snapshot() const {
+  auto stats = std::make_shared<TableStats>();
+  stats->rows = rows_;
+  stats->columns = columns_;
+  stats->types = types_;
+  stats->ndv.reserve(distinct_.size());
+  for (const auto& seen : distinct_) {
+    stats->ndv.push_back(static_cast<int64_t>(seen.size()));
+  }
+  return stats;
+}
+
+}  // namespace ddup::storage

@@ -1,0 +1,57 @@
+#ifndef DDUP_STORAGE_STATS_H_
+#define DDUP_STORAGE_STATS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "storage/table.h"
+
+namespace ddup::storage {
+
+// Immutable per-table statistics snapshot: the row count and the exact
+// per-column distinct-value counts the join combiners (api/router) need.
+// Snapshots are plain values published through an atomic shared_ptr by the
+// Engine, so any number of router threads read them lock-free while ingest
+// keeps folding new batches into the builder below.
+struct TableStats {
+  int64_t rows = 0;
+  // One entry per schema column, in schema order.
+  std::vector<std::string> columns;
+  std::vector<ColumnType> types;
+  std::vector<int64_t> ndv;
+
+  // Index of the named column; -1 for an unknown name.
+  int ColumnIndex(const std::string& column) const;
+  // NDV of the named column; 0 for an unknown name.
+  int64_t NdvOf(const std::string& column) const;
+};
+
+// Incremental exact-distinct counter over a fixed schema. Absorb() folds a
+// batch in O(rows x columns); Snapshot() materializes an immutable
+// TableStats. Values are counted on their AsDouble view (categorical codes
+// cast to double) with -0.0 canonicalized to +0.0, matching the equality
+// the query executor uses.
+class TableStatsBuilder {
+ public:
+  TableStatsBuilder() = default;
+  // Captures the schema and absorbs any rows `schema` already carries.
+  explicit TableStatsBuilder(const Table& schema);
+
+  // Folds `batch` (same schema) into the running counts.
+  void Absorb(const Table& batch);
+
+  std::shared_ptr<const TableStats> Snapshot() const;
+
+ private:
+  int64_t rows_ = 0;
+  std::vector<std::string> columns_;
+  std::vector<ColumnType> types_;
+  std::vector<std::unordered_set<uint64_t>> distinct_;  // double bit patterns
+};
+
+}  // namespace ddup::storage
+
+#endif  // DDUP_STORAGE_STATS_H_

@@ -1,0 +1,130 @@
+#include "workload/join_query.h"
+
+#include <algorithm>
+#include <cstring>
+#include <tuple>
+
+namespace ddup::workload {
+
+namespace {
+
+// FNV-1a step shared with QueryFingerprint's encoding conventions.
+constexpr uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+void MixU64(uint64_t* h, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    *h ^= (v >> (8 * i)) & 0xffu;
+    *h *= kFnvPrime;
+  }
+}
+
+void MixString(uint64_t* h, const std::string& s) {
+  // Length-prefixed so ("ab","c") never collides with ("a","bc").
+  MixU64(h, static_cast<uint64_t>(s.size()));
+  for (unsigned char c : s) {
+    *h ^= c;
+    *h *= kFnvPrime;
+  }
+}
+
+uint64_t DoubleBits(double v) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v), "double is 64-bit");
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+uint64_t HashBoundPredicate(const BoundPredicate& p) {
+  uint64_t h = kFnvOffset;
+  MixString(&h, p.table);
+  MixU64(&h, static_cast<uint64_t>(static_cast<int64_t>(p.predicate.column)));
+  MixU64(&h, static_cast<uint64_t>(p.predicate.op));
+  MixU64(&h, DoubleBits(p.predicate.value));
+  return h;
+}
+
+// (table, column) pair ordering used to orient edges canonically.
+bool SideLess(const std::string& ta, const std::string& ca,
+              const std::string& tb, const std::string& cb) {
+  return std::tie(ta, ca) < std::tie(tb, cb);
+}
+
+void OrientEdge(JoinEdge* e) {
+  if (SideLess(e->right_table, e->right_column, e->left_table,
+               e->left_column)) {
+    std::swap(e->left_table, e->right_table);
+    std::swap(e->left_column, e->right_column);
+  }
+}
+
+uint64_t HashOrientedEdge(const JoinEdge& e) {
+  uint64_t h = kFnvOffset;
+  MixString(&h, e.left_table);
+  MixString(&h, e.left_column);
+  MixString(&h, e.right_table);
+  MixString(&h, e.right_column);
+  return h;
+}
+
+bool PredicateLess(const BoundPredicate& a, const BoundPredicate& b) {
+  return std::tie(a.table, a.predicate.column) <
+             std::tie(b.table, b.predicate.column) ||
+         (std::tie(a.table, a.predicate.column) ==
+              std::tie(b.table, b.predicate.column) &&
+          (a.predicate.op < b.predicate.op ||
+           (a.predicate.op == b.predicate.op &&
+            DoubleBits(a.predicate.value) < DoubleBits(b.predicate.value))));
+}
+
+bool EdgeLess(const JoinEdge& a, const JoinEdge& b) {
+  return std::tie(a.left_table, a.left_column, a.right_table, a.right_column) <
+         std::tie(b.left_table, b.left_column, b.right_table, b.right_column);
+}
+
+}  // namespace
+
+std::vector<std::string> JoinQuery::ReferencedTables() const {
+  std::vector<std::string> tables;
+  for (const BoundPredicate& p : predicates) tables.push_back(p.table);
+  for (const JoinEdge& e : joins) {
+    tables.push_back(e.left_table);
+    tables.push_back(e.right_table);
+  }
+  if (!agg_table.empty()) tables.push_back(agg_table);
+  std::sort(tables.begin(), tables.end());
+  tables.erase(std::unique(tables.begin(), tables.end()), tables.end());
+  return tables;
+}
+
+void CanonicalizeJoinQuery(JoinQuery* query) {
+  for (JoinEdge& e : query->joins) OrientEdge(&e);
+  std::sort(query->joins.begin(), query->joins.end(), EdgeLess);
+  std::sort(query->predicates.begin(), query->predicates.end(), PredicateLess);
+}
+
+uint64_t JoinQueryFingerprint(const JoinQuery& query) {
+  // Order-invariant combination: per-element FNV hashes are summed (mod
+  // 2^64), so reordering predicates or edges cannot change the result, but
+  // duplicated elements still do (unlike XOR, which would cancel pairs).
+  uint64_t pred_sum = 0;
+  for (const BoundPredicate& p : query.predicates) {
+    pred_sum += HashBoundPredicate(p);
+  }
+  uint64_t edge_sum = 0;
+  for (JoinEdge e : query.joins) {
+    OrientEdge(&e);
+    edge_sum += HashOrientedEdge(e);
+  }
+  uint64_t h = kFnvOffset;
+  MixU64(&h, static_cast<uint64_t>(query.predicates.size()));
+  MixU64(&h, pred_sum);
+  MixU64(&h, static_cast<uint64_t>(query.joins.size()));
+  MixU64(&h, edge_sum);
+  MixU64(&h, static_cast<uint64_t>(query.agg));
+  MixString(&h, query.agg_table);
+  MixU64(&h, static_cast<uint64_t>(static_cast<int64_t>(query.agg_column)));
+  return h;
+}
+
+}  // namespace ddup::workload

@@ -501,5 +501,99 @@ TEST(EngineTest, LoadRejectsMissingAndCorruptFiles) {
   std::remove(path.c_str());
 }
 
+TEST(EngineTest, LegacyOverloadsAreByteIdenticalShimsOverEstimate) {
+  // The deprecated string-keyed overloads are pinned as thin shims over
+  // Estimate(EstimateRequest): same answers bit-for-bit, same error
+  // messages (scalar errors carry no "query <i>: " batch prefix).
+  Engine engine(FastEngineConfig(100));
+  storage::Table base = MakeConditional(25, 75, 300, 4);
+  ASSERT_TRUE(engine.CreateTable("card", base).ok());
+  ASSERT_TRUE(engine.AttachModel("card", FastDarnSpec()).ok());
+  ASSERT_TRUE(engine.CreateTable("aqp", base).ok());
+  ASSERT_TRUE(engine.AttachModel("aqp", FastMdnSpec()).ok());
+
+  workload::QueryBatch batch;
+  batch.Add(RangeCountQuery(10, 40));
+  batch.Add(RangeCountQuery(25, 75));
+  batch.Add(RangeCountQuery(60, 90));
+
+  EstimateRequest card_request;
+  card_request.table = "card";
+  card_request.queries = batch;
+  auto card_structured = engine.Estimate(card_request);
+  ASSERT_TRUE(card_structured.ok()) << card_structured.status().ToString();
+  auto card_batch = engine.EstimateCardinalityBatch("card", batch);
+  ASSERT_TRUE(card_batch.ok());
+  EXPECT_EQ(card_structured.value().answers, card_batch.value());
+  for (size_t i = 0; i < batch.queries.size(); ++i) {
+    auto scalar = engine.EstimateCardinality("card", batch.queries[i]);
+    ASSERT_TRUE(scalar.ok());
+    EXPECT_EQ(scalar.value(), card_structured.value().answers[i]) << i;
+  }
+
+  EstimateRequest aqp_request;
+  aqp_request.kind = EstimateRequest::Kind::kAqp;
+  aqp_request.table = "aqp";
+  aqp_request.queries = batch;
+  auto aqp_structured = engine.Estimate(aqp_request);
+  ASSERT_TRUE(aqp_structured.ok()) << aqp_structured.status().ToString();
+  auto aqp_batch = engine.EstimateAqpBatch("aqp", batch);
+  ASSERT_TRUE(aqp_batch.ok());
+  EXPECT_EQ(aqp_structured.value().answers, aqp_batch.value());
+  for (size_t i = 0; i < batch.queries.size(); ++i) {
+    auto scalar = engine.EstimateAqp("aqp", batch.queries[i]);
+    ASSERT_TRUE(scalar.ok());
+    EXPECT_EQ(scalar.value(), aqp_structured.value().answers[i]) << i;
+  }
+
+  // Error-message parity: batch errors name the query, scalar errors do
+  // not — the shim strips the exec engines' "query 0: " prefix.
+  workload::Query bad;
+  bad.predicates.push_back({99, workload::CompareOp::kEq, 0.0});
+  auto scalar_err = engine.EstimateCardinality("card", bad);
+  ASSERT_FALSE(scalar_err.ok());
+  EXPECT_EQ(scalar_err.status().message().find("query 0: "),
+            std::string::npos)
+      << scalar_err.status().ToString();
+  EXPECT_EQ(scalar_err.status().message().rfind("predicate on", 0), 0u)
+      << scalar_err.status().ToString();
+  workload::QueryBatch bad_second;
+  bad_second.Add(RangeCountQuery(10, 40));
+  bad_second.Add(bad);
+  auto batch_err = engine.EstimateCardinalityBatch("card", bad_second);
+  ASSERT_FALSE(batch_err.ok());
+  EXPECT_EQ(batch_err.status().message().rfind("query 1: ", 0), 0u)
+      << batch_err.status().ToString();
+
+  // Unknown-table parity holds through the structured path too (including
+  // the legacy empty-name spelling).
+  EstimateRequest unknown;
+  unknown.table = "nope";
+  EXPECT_EQ(engine.Estimate(unknown).status().code(), StatusCode::kNotFound);
+  EstimateRequest unnamed;
+  EXPECT_EQ(engine.Estimate(unnamed).status().code(), StatusCode::kNotFound);
+
+  // A request populating both the single-table and join shapes is malformed.
+  EstimateRequest both = card_request;
+  workload::JoinQuery join;
+  join.joins.push_back({"card", "y", "aqp", "y"});
+  both.joins.Add(join);
+  auto rejected = engine.Estimate(both);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kInvalidArgument);
+
+  // An empty single-table batch answers with an empty vector, same as the
+  // legacy batch overload.
+  EstimateRequest empty;
+  empty.table = "card";
+  auto none = engine.Estimate(empty);
+  ASSERT_TRUE(none.ok());
+  EXPECT_TRUE(none.value().answers.empty());
+  auto legacy_none =
+      engine.EstimateCardinalityBatch("card", workload::QueryBatch{});
+  ASSERT_TRUE(legacy_none.ok());
+  EXPECT_TRUE(legacy_none.value().empty());
+}
+
 }  // namespace
 }  // namespace ddup::api
