@@ -7,11 +7,26 @@
 // of DESIGN.md §11 is a measured number, and the next perf PR has a
 // concurrency baseline to beat.
 //
+// Backpressure is engine-side (DESIGN.md §15): async runs bound the
+// per-table backlog (EngineConfig::max_backlog_batches) under the "shed"
+// admission policy, so an over-eager client gets a typed
+// [admission:shed] RESOURCE_EXHAUSTED refusal instead of growing the
+// queue without bound. Clients here just Ingest and count the sheds —
+// the PR 5 pattern of polling TableReport::backlog_batches before every
+// ingest is gone (that field is advisory now).
+//
+// --cluster: runs the same mixed workload against the sharded serving
+// layer (serving::Cluster) at each shard count in DDUP_BENCH_SHARDS and
+// writes BENCH_cluster_throughput.json — estimate QPS and ingest
+// latency vs shard count, the tentpole artifact of DESIGN.md §15.
+//
 // Environment knobs (defaults in parentheses):
 //   DDUP_BENCH_TABLES  (4)   tables, one model each
 //   DDUP_BENCH_CLIENTS (4)   client threads
 //   DDUP_BENCH_SECONDS (6)   measured wall time per engine mode
 //   DDUP_BENCH_WORKERS (2)   background update workers in async mode
+//                            (per shard under --cluster)
+//   DDUP_BENCH_SHARDS  (1,2,4) shard counts swept under --cluster
 //   DDUP_ROWS          (4000 via BenchParams) base rows per table
 //   DDUP_EPOCH_SCALE / DDUP_BOOTSTRAP / DDUP_SEED — as in every bench
 #include <algorithm>
@@ -21,6 +36,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -31,6 +47,8 @@
 #include "common/rng.h"
 #include "common/stats.h"
 #include "common/stopwatch.h"
+#include "serving/admission.h"
+#include "serving/cluster.h"
 #include "workload/query.h"
 
 namespace {
@@ -38,14 +56,32 @@ namespace {
 using ddup::Rng;
 using ddup::api::Engine;
 using ddup::api::EngineConfig;
+using ddup::api::EstimateRequest;
 using ddup::api::ModelSpec;
 using ddup::api::TableServingState;
+using ddup::serving::Cluster;
+using ddup::serving::ClusterConfig;
 
 int64_t EnvInt(const char* name, int64_t fallback) {
   const char* v = std::getenv(name);
   if (v == nullptr) return fallback;
   int64_t parsed = std::atoll(v);
   return parsed > 0 ? parsed : fallback;
+}
+
+// Comma-separated positive ints, e.g. DDUP_BENCH_SHARDS=1,2,4.
+std::vector<int> EnvIntList(const char* name, std::vector<int> fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || v[0] == '\0') return fallback;
+  std::vector<int> out;
+  for (const char* p = v; *p != '\0';) {
+    char* end = nullptr;
+    long parsed = std::strtol(p, &end, 10);
+    if (end == p) break;
+    if (parsed > 0) out.push_back(static_cast<int>(parsed));
+    p = (*end == ',') ? end + 1 : end;
+  }
+  return out.empty() ? fallback : out;
 }
 
 ddup::storage::Table MakeConditional(double m0, double m1, int64_t n,
@@ -88,7 +124,7 @@ struct ClientStats {
   int64_t estimates_total = 0;
   int64_t estimates_during_update = 0;
   int64_t rows_ingested = 0;
-  int64_t ingests_throttled = 0;
+  int64_t ingests_shed = 0;  // typed [admission:shed] refusals observed
   int64_t errors = 0;
 };
 
@@ -99,23 +135,44 @@ struct ModeResult {
   int64_t snapshot_publishes = 0;
   double queue_seconds = 0.0;
   int64_t rows_total = 0;
+  int64_t sheds_reported = 0;  // engine-side counter, cross-checks merged
 };
 
-// One engine mode end to end: build N tables, run M clients for
-// `seconds`, flush, aggregate.
-ModeResult RunMode(const ddup::bench::BenchParams& params, int update_workers,
-                   int64_t tables, int64_t clients, double seconds) {
+// The engine configuration every mode derives from. Async modes move
+// backpressure engine-side: a bounded per-table backlog under the "shed"
+// policy refuses ingests once 2 batches per worker are already queued —
+// the same watermark the retired caller-side Report poll used.
+EngineConfig MakeEngineConfig(const ddup::bench::BenchParams& params,
+                              int update_workers) {
   EngineConfig config;
-  config.micro_batch_rows =
-      std::clamp<int64_t>(params.rows / 8, 32, 512);
+  config.micro_batch_rows = std::clamp<int64_t>(params.rows / 8, 32, 512);
   config.update_workers = update_workers;
+  if (update_workers > 0) {
+    config.max_backlog_batches = 2 * update_workers;
+    config.admission_policy = "shed";
+  }
   config.controller.detector.bootstrap_iterations =
       params.bootstrap_iterations;
   config.controller.policy.distill.epochs = params.ScaledEpochs(4);
   config.controller.policy.finetune_epochs = params.ScaledEpochs(2);
   config.controller.seed = params.seed;
-  Engine engine(config);
+  return config;
+}
 
+// One frontend end to end: build N tables, run M clients for `seconds`,
+// flush, aggregate. Frontend is api::Engine or serving::Cluster — the two
+// expose the same surface (CreateTable/AttachModel/Ingest/Estimate/Report/
+// FlushAll), the cluster just routes each call to the owning shard.
+// `serialize_clients` models the synchronous engine's single-threaded
+// contract: estimates read the live model that Ingest trains in place, so
+// multi-client callers must serialize per-table access themselves — which
+// is precisely the contention the async engine's snapshot serving removes.
+template <typename Frontend>
+ModeResult RunTraffic(Frontend& frontend,
+                      const ddup::bench::BenchParams& params,
+                      const EngineConfig& config, int64_t tables,
+                      int64_t clients, double seconds,
+                      bool serialize_clients) {
   ModelSpec spec{"mdn",
                  {{"num_components", "6"},
                   {"hidden_width", "32"},
@@ -126,20 +183,15 @@ ModeResult RunMode(const ddup::bench::BenchParams& params, int update_workers,
     names.push_back("t" + std::to_string(t));
     ddup::storage::Table base = MakeConditional(
         25, 75, params.rows, params.seed + static_cast<uint64_t>(t));
-    DDUP_CHECK(engine.CreateTable(names.back(), base).ok());
-    ddup::Status st = engine.AttachModel(names.back(), spec);
+    DDUP_CHECK(frontend.CreateTable(names.back(), base).ok());
+    ddup::Status st = frontend.AttachModel(names.back(), spec);
     DDUP_CHECK_MSG(st.ok(), st.ToString());
   }
 
   const int64_t chunk_rows = std::max<int64_t>(16, config.micro_batch_rows / 2);
   std::vector<ClientStats> stats(static_cast<size_t>(clients));
-  // The synchronous engine's contract is single-threaded: estimates read
-  // the live model that Ingest trains in place, so multi-client callers
-  // must serialize access themselves. These per-table locks model that
-  // caller-side cost — which is precisely the contention the async
-  // engine's snapshot serving removes (async mode leaves them unused).
   std::vector<std::mutex> sync_locks(
-      update_workers > 0 ? 0 : static_cast<size_t>(tables));
+      serialize_clients ? static_cast<size_t>(tables) : 0);
   auto sync_guard = [&](size_t table_index) {
     return sync_locks.empty()
                ? std::unique_lock<std::mutex>()
@@ -157,46 +209,43 @@ ModeResult RunMode(const ddup::bench::BenchParams& params, int update_workers,
         size_t table_index = static_cast<size_t>((c + op) % tables);
         const std::string& table = names[table_index];
         if (op % 8 == 0) {
-          // Client-side backpressure: an open-loop ingest storm would grow
-          // the update backlog without bound (clients can enqueue batches
-          // far faster than a worker trains on them), so real clients —
-          // and this bench — watch IngestResult::backlog_batches and back
-          // off once the strand is saturated.
-          auto report = engine.Report(table);
-          if (report.ok() &&
-              report.value().backlog_batches >=
-                  2 * std::max(1, update_workers)) {
-            mine.ingests_throttled += 1;
+          // Mostly-IND chunk into this client's rotating table. No
+          // caller-side throttle: the engine's admission policy bounds the
+          // backlog, and an over-limit ingest comes back as a typed shed
+          // the client counts and retries later (next rotation).
+          ddup::storage::Table chunk = MakeConditional(
+              25, 75, chunk_rows,
+              params.seed + 5000 + static_cast<uint64_t>(c * 1000 + op));
+          ddup::Stopwatch timer;
+          auto guard = sync_guard(table_index);
+          auto result = frontend.Ingest(table, chunk);
+          mine.ingest_ms.push_back(timer.ElapsedMillis());
+          if (result.ok()) {
+            mine.rows_ingested += chunk.num_rows();
+          } else if (ddup::serving::IsAdmissionShed(result.status())) {
+            mine.ingests_shed += 1;
           } else {
-            // Mostly-IND chunk into this client's rotating table.
-            ddup::storage::Table chunk = MakeConditional(
-                25, 75, chunk_rows,
-                params.seed + 5000 + static_cast<uint64_t>(c * 1000 + op));
-            ddup::Stopwatch timer;
-            auto guard = sync_guard(table_index);
-            auto result = engine.Ingest(table, chunk);
-            mine.ingest_ms.push_back(timer.ElapsedMillis());
-            if (result.ok()) {
-              mine.rows_ingested += chunk.num_rows();
-            } else {
-              mine.errors += 1;
-            }
+            mine.errors += 1;
           }
         } else {
           bool updating = false;
-          auto report = engine.Report(table);
+          auto report = frontend.Report(table);
           if (report.ok()) {
             updating =
                 report.value().state != TableServingState::kServing;
           }
           double lo = rng.Uniform(0.0, 40.0);
+          EstimateRequest request;
+          request.kind = EstimateRequest::Kind::kAqp;
+          request.table = table;
+          request.queries.Add(AqpRangeQuery(lo, lo + 40.0));
           ddup::Stopwatch timer;
           {
             auto guard = sync_guard(table_index);
-            auto est =
-                engine.EstimateAqp(table, AqpRangeQuery(lo, lo + 40.0));
+            auto est = frontend.Estimate(request);
             mine.estimate_ms.push_back(timer.ElapsedMillis());
-            if (est.ok() && std::isfinite(est.value())) {
+            if (est.ok() && est.value().answers.size() == 1 &&
+                std::isfinite(est.value().answers[0])) {
               mine.estimates_total += 1;
               if (updating) mine.estimates_during_update += 1;
             } else {
@@ -214,7 +263,7 @@ ModeResult RunMode(const ddup::bench::BenchParams& params, int update_workers,
   stop.store(true, std::memory_order_release);
   for (auto& w : workers) w.join();
   double measured = wall.ElapsedSeconds();
-  auto sweep = engine.FlushAll();
+  auto sweep = frontend.FlushAll();
   DDUP_CHECK_MSG(sweep.ok(), sweep.status().ToString());
 
   ModeResult out;
@@ -228,53 +277,143 @@ ModeResult RunMode(const ddup::bench::BenchParams& params, int update_workers,
     out.merged.estimates_total += s.estimates_total;
     out.merged.estimates_during_update += s.estimates_during_update;
     out.merged.rows_ingested += s.rows_ingested;
-    out.merged.ingests_throttled += s.ingests_throttled;
+    out.merged.ingests_shed += s.ingests_shed;
     out.merged.errors += s.errors;
   }
   for (const auto& name : names) {
-    auto report = engine.Report(name);
+    auto report = frontend.Report(name);
     DDUP_CHECK(report.ok());
     out.updates_completed += report.value().insertions;
     out.snapshot_publishes += report.value().snapshot_publishes;
     out.queue_seconds += report.value().queue_seconds;
     out.rows_total += report.value().rows;
+    out.sheds_reported += report.value().sheds;
   }
   return out;
 }
 
+ModeResult RunEngineMode(const ddup::bench::BenchParams& params,
+                         int update_workers, int64_t tables, int64_t clients,
+                         double seconds) {
+  EngineConfig config = MakeEngineConfig(params, update_workers);
+  Engine engine(config);
+  return RunTraffic(engine, params, config, tables, clients, seconds,
+                    /*serialize_clients=*/update_workers == 0);
+}
+
+ModeResult RunClusterMode(const ddup::bench::BenchParams& params, int shards,
+                          int update_workers, int64_t tables, int64_t clients,
+                          double seconds) {
+  ClusterConfig config;
+  config.shards = shards;
+  config.engine = MakeEngineConfig(params, update_workers);
+  Cluster cluster(config);
+  return RunTraffic(cluster, params, config.engine, tables, clients, seconds,
+                    /*serialize_clients=*/update_workers == 0);
+}
+
+double Pct(std::vector<double> v, double p) {
+  return v.empty() ? 0.0 : ddup::Percentile(std::move(v), p);
+}
+
+double EstimateQps(const ModeResult& r) {
+  return r.seconds > 0
+             ? static_cast<double>(r.merged.estimates_total) / r.seconds
+             : 0.0;
+}
+
 void PrintMode(const char* label, const ModeResult& r) {
-  auto pct = [](std::vector<double> v, double p) {
-    return v.empty() ? 0.0 : ddup::Percentile(std::move(v), p);
-  };
-  double est_qps =
-      r.seconds > 0 ? static_cast<double>(r.merged.estimates_total) / r.seconds
-                    : 0.0;
-  std::printf("%-6s ingest n=%-6zu p50=%7.3f p99=%8.3f max=%9.3f ms\n", label,
-              r.merged.ingest_ms.size(), pct(r.merged.ingest_ms, 50),
-              pct(r.merged.ingest_ms, 99),
+  std::printf("%-8s ingest n=%-6zu p50=%7.3f p99=%8.3f max=%9.3f ms\n", label,
+              r.merged.ingest_ms.size(), Pct(r.merged.ingest_ms, 50),
+              Pct(r.merged.ingest_ms, 99),
               r.merged.ingest_ms.empty()
                   ? 0.0
                   : *std::max_element(r.merged.ingest_ms.begin(),
                                       r.merged.ingest_ms.end()));
   std::printf(
-      "       estimate n=%-6zu p50=%7.3f p99=%8.3f ms  qps=%8.1f "
+      "         estimate n=%-6zu p50=%7.3f p99=%8.3f ms  qps=%8.1f "
       "(during update: n=%lld)\n",
-      r.merged.estimate_ms.size(), pct(r.merged.estimate_ms, 50),
-      pct(r.merged.estimate_ms, 99), est_qps,
+      r.merged.estimate_ms.size(), Pct(r.merged.estimate_ms, 50),
+      Pct(r.merged.estimate_ms, 99), EstimateQps(r),
       static_cast<long long>(r.merged.estimates_during_update));
   std::printf(
-      "       updates=%lld publishes=%lld queue_wait=%.3fs rows=%lld "
-      "throttled=%lld errors=%lld\n",
+      "         updates=%lld publishes=%lld queue_wait=%.3fs rows=%lld "
+      "shed=%lld errors=%lld\n",
       static_cast<long long>(r.updates_completed),
       static_cast<long long>(r.snapshot_publishes), r.queue_seconds,
       static_cast<long long>(r.rows_total),
-      static_cast<long long>(r.merged.ingests_throttled),
+      static_cast<long long>(r.merged.ingests_shed),
       static_cast<long long>(r.merged.errors));
+}
+
+// The shard-count sweep behind BENCH_cluster_throughput.json: the same
+// traffic at every shard count, one JSON row each.
+int RunClusterSweep(const ddup::bench::BenchParams& params,
+                    const std::vector<int>& shard_counts, int workers,
+                    int64_t tables, int64_t clients, double seconds) {
+  ddup::bench::BenchJsonEmitter emitter("cluster_throughput", params);
+  emitter.SetParam("tables", tables)
+      .SetParam("clients", clients)
+      .SetParam("update_workers", workers)
+      .SetParam("seconds", seconds)
+      .SetParam("admission_policy", workers > 0 ? "shed" : "block")
+      .SetParam("max_backlog_batches",
+                workers > 0 ? int64_t{2} * workers : int64_t{0})
+      // Header "shards" (stamped 1 by the emitter for single-engine
+      // benches) records the largest cluster in this sweep; each row
+      // carries its own count.
+      .SetParam("shards",
+                *std::max_element(shard_counts.begin(), shard_counts.end()));
+  int64_t errors = 0;
+  for (int shards : shard_counts) {
+    std::printf("-- cluster: %d shard%s x %d update worker%s --------------\n",
+                shards, shards == 1 ? "" : "s", workers,
+                workers == 1 ? "" : "s");
+    ModeResult r =
+        RunClusterMode(params, shards, workers, tables, clients, seconds);
+    std::string label = "shards=" + std::to_string(shards);
+    PrintMode(label.c_str(), r);
+    if (r.merged.ingests_shed != r.sheds_reported) {
+      std::printf("         WARNING client sheds %lld != engine sheds %lld\n",
+                  static_cast<long long>(r.merged.ingests_shed),
+                  static_cast<long long>(r.sheds_reported));
+    }
+    errors += r.merged.errors;
+    ddup::bench::JsonObject row;
+    row.Set("shards", shards)
+        .Set("estimate_qps", EstimateQps(r))
+        .Set("estimates_total", r.merged.estimates_total)
+        .Set("estimates_during_update", r.merged.estimates_during_update)
+        .Set("estimate_p50_ms", Pct(r.merged.estimate_ms, 50))
+        .Set("estimate_p99_ms", Pct(r.merged.estimate_ms, 99))
+        .Set("ingests", static_cast<int64_t>(r.merged.ingest_ms.size()))
+        .Set("ingest_p50_ms", Pct(r.merged.ingest_ms, 50))
+        .Set("ingest_p99_ms", Pct(r.merged.ingest_ms, 99))
+        .Set("rows_ingested", r.merged.rows_ingested)
+        .Set("ingests_shed", r.merged.ingests_shed)
+        .Set("sheds_reported", r.sheds_reported)
+        .Set("updates_completed", r.updates_completed)
+        .Set("snapshot_publishes", r.snapshot_publishes)
+        .Set("queue_seconds", r.queue_seconds)
+        .Set("rows_total", r.rows_total)
+        .Set("seconds", r.seconds)
+        .Set("errors", r.merged.errors);
+    emitter.AddRow(std::move(row));
+  }
+  emitter.Write();
+  if (errors > 0) {
+    std::printf("bench_engine_throughput --cluster: FAILED (client errors)\n");
+    return 1;
+  }
+  std::printf("bench_engine_throughput --cluster: OK\n");
+  return 0;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bool cluster_mode =
+      argc > 1 && std::strcmp(argv[1], "--cluster") == 0;
   ddup::bench::BenchParams params = ddup::bench::BenchParams::FromEnv();
   const int64_t tables = EnvInt("DDUP_BENCH_TABLES", 4);
   const int64_t clients = EnvInt("DDUP_BENCH_CLIENTS", 4);
@@ -284,8 +423,13 @@ int main() {
 
   std::printf(
       "==============================================================\n");
-  std::printf(
-      "Engine throughput — mixed Ingest/Estimate under live updates\n");
+  if (cluster_mode) {
+    std::printf(
+        "Cluster throughput — sharded serving layer (DESIGN.md §15)\n");
+  } else {
+    std::printf(
+        "Engine throughput — mixed Ingest/Estimate under live updates\n");
+  }
   std::printf("tables=%lld clients=%lld update_workers=%d seconds=%.0f "
               "rows=%lld epoch_scale=%.2f bootstrap=%d\n",
               static_cast<long long>(tables), static_cast<long long>(clients),
@@ -294,15 +438,22 @@ int main() {
   std::printf(
       "==============================================================\n");
 
+  if (cluster_mode) {
+    const std::vector<int> shard_counts =
+        EnvIntList("DDUP_BENCH_SHARDS", {1, 2, 4});
+    return RunClusterSweep(params, shard_counts, workers, tables, clients,
+                           seconds);
+  }
+
   std::printf(
       "-- async: background update workers, snapshot serving --------\n");
   ModeResult async_result =
-      RunMode(params, workers, tables, clients, seconds);
+      RunEngineMode(params, workers, tables, clients, seconds);
   PrintMode("async", async_result);
 
   std::printf(
       "-- sync: updates inline in Ingest (pre-concurrency engine) ---\n");
-  ModeResult sync_result = RunMode(params, 0, tables, clients, seconds);
+  ModeResult sync_result = RunEngineMode(params, 0, tables, clients, seconds);
   PrintMode("sync", sync_result);
 
   bool served_while_updating = async_result.merged.estimates_during_update > 0;

@@ -495,27 +495,37 @@ std::string JsonDouble(double v) {
 }
 }  // namespace
 
-JsonObject& JsonObject::Set(const std::string& key, const std::string& value) {
-  fields_.emplace_back(key, "\"" + JsonEscape(value) + "\"");
+JsonObject& JsonObject::SetEncoded(const std::string& key,
+                                   std::string encoded) {
+  // Last-writer-wins: overwrite in place so headers never carry duplicate
+  // members (the emitter stamps defaults that benches may override).
+  for (auto& field : fields_) {
+    if (field.first == key) {
+      field.second = std::move(encoded);
+      return *this;
+    }
+  }
+  fields_.emplace_back(key, std::move(encoded));
   return *this;
+}
+
+JsonObject& JsonObject::Set(const std::string& key, const std::string& value) {
+  return SetEncoded(key, "\"" + JsonEscape(value) + "\"");
 }
 JsonObject& JsonObject::Set(const std::string& key, const char* value) {
   return Set(key, std::string(value));
 }
 JsonObject& JsonObject::Set(const std::string& key, double value) {
-  fields_.emplace_back(key, JsonDouble(value));
-  return *this;
+  return SetEncoded(key, JsonDouble(value));
 }
 JsonObject& JsonObject::Set(const std::string& key, int64_t value) {
-  fields_.emplace_back(key, std::to_string(value));
-  return *this;
+  return SetEncoded(key, std::to_string(value));
 }
 JsonObject& JsonObject::Set(const std::string& key, int value) {
   return Set(key, static_cast<int64_t>(value));
 }
 JsonObject& JsonObject::Set(const std::string& key, bool value) {
-  fields_.emplace_back(key, value ? "true" : "false");
-  return *this;
+  return SetEncoded(key, value ? "true" : "false");
 }
 
 std::string JsonObject::Render() const {
@@ -555,6 +565,10 @@ BenchJsonEmitter::BenchJsonEmitter(std::string artifact,
       .Set("epoch_scale", params.epoch_scale)
       .Set("bootstrap", params.bootstrap_iterations)
       .Set("seed", static_cast<int64_t>(params.seed))
+      // Engine shards serving the bench. Single-engine benches keep the
+      // default; cluster benches override via SetParam("shards", n) — Set is
+      // last-writer-wins, so the header ends up with exactly one member.
+      .Set("shards", 1)
       .Set("host_cores",
            static_cast<int64_t>(std::thread::hardware_concurrency()))
       .Set("host_cpu", HostCpuModel());

@@ -171,6 +171,11 @@ std::string FormatRow(const std::string& label,
 // ---------------------------------------------------------------------------
 class JsonObject {
  public:
+  // Set is last-writer-wins: re-setting an existing key overwrites its value
+  // in place (keeping the key's original position) instead of emitting a
+  // duplicate member. This is what lets the emitter stamp defaults ("shards":
+  // 1) that individual benches override via SetParam without producing JSON
+  // that strict parsers reject.
   JsonObject& Set(const std::string& key, const std::string& value);
   JsonObject& Set(const std::string& key, const char* value);
   JsonObject& Set(const std::string& key, double value);
@@ -182,6 +187,8 @@ class JsonObject {
   std::string Render() const;
 
  private:
+  JsonObject& SetEncoded(const std::string& key, std::string encoded);
+
   std::vector<std::pair<std::string, std::string>> fields_;  // key -> encoded
 };
 

@@ -58,6 +58,21 @@ else
   echo "bench_smoke: bench_engine_throughput not built, skipping"
 fi
 
+# Cluster smoke: the same mixed workload against the sharded serving layer
+# (serving::Cluster) at 1 and 2 shards, engine-side shed admission. Writes
+# BENCH_cluster_throughput.json — estimate QPS vs shard count; the
+# committed full-size sweep lives in results/.
+if [[ -x "${BUILD_DIR}/bench/bench_engine_throughput" ]]; then
+  DDUP_BENCH_TABLES=${DDUP_BENCH_TABLES:-2} \
+  DDUP_BENCH_CLIENTS=${DDUP_BENCH_CLIENTS:-2} \
+  DDUP_BENCH_SECONDS=${DDUP_BENCH_SECONDS:-2} \
+  DDUP_BENCH_WORKERS=${DDUP_BENCH_WORKERS:-1} \
+  DDUP_BENCH_SHARDS=${DDUP_BENCH_SHARDS:-1,2} \
+    "${BUILD_DIR}/bench/bench_engine_throughput" --cluster
+else
+  echo "bench_smoke: cluster bench not built, skipping"
+fi
+
 # Drift grid smoke: every detector in the zoo against every named drift
 # scenario, scored on FPR / FNR / detection delay; writes
 # BENCH_drift_grid.json (bit-identical for a fixed seed).

@@ -10,13 +10,15 @@
 #include "exec/estimator_engine.h"
 #include "io/checkpoint.h"
 #include "io/serializer.h"
+#include "serving/admission.h"
 
 namespace ddup::api {
 
 namespace {
 
-// Version 2 adds the per-table resolved detector kind to the manifest.
-constexpr uint32_t kManifestVersion = 2;
+// Version 2 added the per-table resolved detector kind to the manifest;
+// version 3 adds the per-table update-worker priority.
+constexpr uint32_t kManifestVersion = 3;
 constexpr const char* kManifestSection = "engine";
 
 std::string JoinedNames(const std::vector<std::string>& names) {
@@ -100,6 +102,9 @@ void Engine::FoldReportLocked(TableState* state,
 Engine::Engine(EngineConfig config) : config_(std::move(config)) {
   DDUP_CHECK_MSG(config_.micro_batch_rows > 0,
                  "EngineConfig::micro_batch_rows must be positive");
+  DDUP_CHECK_MSG(config_.max_backlog_batches >= 0,
+                 "EngineConfig::max_backlog_batches must be >= 0");
+  admission_ = serving::FindAdmissionPolicy(config_.admission_policy);
   int workers = ResolveUpdateWorkers(config_.update_workers);
   if (workers > 0) executor_ = std::make_unique<TaskExecutor>(workers);
 }
@@ -154,6 +159,7 @@ Status Engine::CreateTable(const std::string& name,
   }
   auto state = std::make_shared<TableState>();
   state->name = name;
+  state->update_priority = options.update_priority;
   state->micro_batch_rows = options.micro_batch_rows > 0
                                 ? options.micro_batch_rows
                                 : config_.micro_batch_rows;
@@ -314,46 +320,66 @@ void Engine::PublishSnapshot(TableState* state) {
   state->snapshot_publishes += 1;
 }
 
-void Engine::RunBatchOnWorker(const std::shared_ptr<TableState>& state,
-                              const storage::Table& batch,
+void Engine::RunGroupOnWorker(const std::shared_ptr<TableState>& state,
+                              const std::vector<storage::Table>& batches,
                               double queue_seconds) {
   // The strand guarantees exclusivity over the controller and the live
   // model: no lock is taken around HandleInsertion, so readers (estimates
   // off the published snapshot, Report off the stats mutexes) never block
-  // on training.
-  int64_t backlog_now = state->backlog.load(std::memory_order_relaxed);
-  StatusOr<core::InsertionReport> report =
-      state->controller->HandleInsertion(batch);
-  if (!report.ok()) {
-    std::lock_guard<std::mutex> lock(state->stats_mu);
-    if (state->async_error.ok()) state->async_error = report.status();
-    state->backlog.fetch_sub(1, std::memory_order_release);
-    return;
+  // on training. A group runs the DDUp loop once per micro-batch — grouping
+  // amortizes queue entries and the snapshot publish, never changes what
+  // the model absorbs — and publishes ONE snapshot for the whole group.
+  const int64_t backlog_now = state->backlog.load(std::memory_order_relaxed);
+  std::vector<core::InsertionReport> reports;
+  reports.reserve(batches.size());
+  Status failed;
+  for (const storage::Table& batch : batches) {
+    StatusOr<core::InsertionReport> report =
+        state->controller->HandleInsertion(batch);
+    if (!report.ok()) {
+      // Sticky error; the group's unprocessed suffix is dropped, exactly
+      // like the queued single-batch tasks behind a failed one used to be
+      // surfaced (every later Ingest/Flush reports the sticky Status).
+      failed = report.status();
+      break;
+    }
+    core::InsertionReport r = std::move(report).value();
+    r.backlog_batches = backlog_now;
+    // The strand wait was paid once for the whole group.
+    r.queue_seconds = reports.empty() ? queue_seconds : 0.0;
+    reports.push_back(std::move(r));
   }
-  core::InsertionReport r = std::move(report).value();
-  r.backlog_batches = backlog_now;
-  r.queue_seconds = queue_seconds;
   {
     std::lock_guard<std::mutex> lock(state->stats_mu);
-    FoldReportLocked(state.get(), r);
-    state->async_batches += 1;
-    state->queue_seconds += queue_seconds;
-    if (state->finished.size() >= kMaxBufferedReports) {
-      state->finished.erase(state->finished.begin());
+    for (core::InsertionReport& r : reports) {
+      FoldReportLocked(state.get(), r);
+      state->async_batches += 1;
+      if (state->finished.size() >= kMaxBufferedReports) {
+        state->finished.erase(state->finished.begin());
+      }
+      state->finished.push_back(std::move(r));
     }
-    state->finished.push_back(std::move(r));
+    if (!reports.empty()) state->queue_seconds += queue_seconds;
+    if (!failed.ok() && state->async_error.ok()) state->async_error = failed;
   }
-  PublishSnapshot(state.get());
-  state->backlog.fetch_sub(1, std::memory_order_release);
+  if (!reports.empty()) PublishSnapshot(state.get());
+  state->backlog.fetch_sub(static_cast<int64_t>(batches.size()),
+                           std::memory_order_release);
+  // Wake blocked producers (admission kWait). The empty critical section
+  // pairs the notify with the waiters' predicate re-check so the decrement
+  // cannot slip between their check and their wait.
+  { std::lock_guard<std::mutex> lock(state->admission_mu); }
+  state->admission_cv.notify_all();
 }
 
-void Engine::EnqueueBatchesLocked(const std::shared_ptr<TableState>& state,
-                                  bool all, IngestResult* result) {
-  // Caller holds state->mu, which also orders Submit calls: two racing
-  // Ingests cannot interleave their batches out of row-arrival order.
+void Engine::SubmitGroupLocked(const std::shared_ptr<TableState>& state,
+                               int64_t batches, bool remainder,
+                               IngestResult* result) {
   const int64_t total = state->pending.num_rows();
   int64_t offset = 0;
-  while (total - offset >= state->micro_batch_rows) {
+  std::vector<storage::Table> group;
+  group.reserve(static_cast<size_t>(batches) + (remainder ? 1 : 0));
+  for (int64_t b = 0; b < batches; ++b) {
     storage::Table batch =
         Slice(state->pending, offset, offset + state->micro_batch_rows);
     offset += state->micro_batch_rows;
@@ -363,31 +389,94 @@ void Engine::EnqueueBatchesLocked(const std::shared_ptr<TableState>& state,
     // strand catches up — both are eventually consistent views of the same
     // flushed prefix).
     state->stats_builder.Absorb(batch);
-    state->backlog.fetch_add(1, std::memory_order_relaxed);
     result->rows_enqueued += batch.num_rows();
-    Stopwatch queued;
-    executor_->Submit(state->name,
-                      [state, batch = std::move(batch), queued]() {
-                        RunBatchOnWorker(state, batch,
-                                         queued.ElapsedSeconds());
-                      });
+    group.push_back(std::move(batch));
   }
-  if (all && offset < total) {
+  if (remainder && offset < total) {
     storage::Table batch = Slice(state->pending, offset, total);
     offset = total;
     state->stats_builder.Absorb(batch);
-    state->backlog.fetch_add(1, std::memory_order_relaxed);
     result->rows_enqueued += batch.num_rows();
-    Stopwatch queued;
-    executor_->Submit(state->name,
-                      [state, batch = std::move(batch), queued]() {
-                        RunBatchOnWorker(state, batch,
-                                         queued.ElapsedSeconds());
-                      });
+    group.push_back(std::move(batch));
   }
-  if (offset > 0) {
-    state->pending = Slice(state->pending, offset, total);
-    std::atomic_store(&state->stats, state->stats_builder.Snapshot());
+  if (group.empty()) return;
+  state->pending = Slice(state->pending, offset, total);
+  std::atomic_store(&state->stats, state->stats_builder.Snapshot());
+  if (group.size() > 1) {
+    std::lock_guard<std::mutex> lock(state->stats_mu);
+    state->coalesced_groups += 1;
+  }
+  state->backlog.fetch_add(static_cast<int64_t>(group.size()),
+                           std::memory_order_relaxed);
+  Stopwatch queued;
+  executor_->Submit(state->name, state->update_priority,
+                    [state, group = std::move(group), queued]() {
+                      RunGroupOnWorker(state, group, queued.ElapsedSeconds());
+                    });
+}
+
+void Engine::EnqueueBatchesLocked(const std::shared_ptr<TableState>& state,
+                                  bool all, IngestResult* result) {
+  // Caller holds state->mu, which also orders Submit calls: two racing
+  // Ingests cannot interleave their batches out of row-arrival order.
+  // Unbounded path (and every flush/drain path): one task per micro-batch,
+  // no admission — the caller drains right after, so bounding here would
+  // only deadlock a block-policy flush.
+  while (state->pending.num_rows() >= state->micro_batch_rows) {
+    SubmitGroupLocked(state, /*batches=*/1, /*remainder=*/false, result);
+  }
+  if (all && state->pending.num_rows() > 0) {
+    SubmitGroupLocked(state, /*batches=*/0, /*remainder=*/true, result);
+  }
+  result->rows_buffered = state->pending.num_rows();
+  result->backlog_batches = state->backlog.load(std::memory_order_relaxed);
+}
+
+void Engine::EnqueueBoundedLocked(const std::shared_ptr<TableState>& state,
+                                  std::unique_lock<std::mutex>& lock,
+                                  IngestResult* result) {
+  const int64_t bound = config_.max_backlog_batches;
+  for (;;) {
+    const int64_t available =
+        state->pending.num_rows() / state->micro_batch_rows;
+    if (available == 0) break;
+    const int64_t backlog = state->backlog.load(std::memory_order_acquire);
+    if (backlog < bound) {
+      // Room: enqueue one group sized by the policy (1 for block/shed,
+      // everything buffered for coalesce), then re-evaluate.
+      const int64_t group = std::clamp<int64_t>(
+          admission_->GroupSize(available), int64_t{1}, available);
+      SubmitGroupLocked(state, group, /*remainder=*/false, result);
+      continue;
+    }
+    serving::AdmissionContext ctx;
+    ctx.table = state->name;
+    ctx.backlog_batches = backlog;
+    ctx.bound = bound;
+    ctx.buffered_batches = available;
+    const serving::AdmissionAction action = admission_->Admit(ctx);
+    if (action == serving::AdmissionAction::kAdmit) {
+      const int64_t group = std::clamp<int64_t>(
+          admission_->GroupSize(available), int64_t{1}, available);
+      SubmitGroupLocked(state, group, /*remainder=*/false, result);
+      continue;
+    }
+    if (action == serving::AdmissionAction::kWait) {
+      // Stall with state->mu released so Report/Estimate/Flush on the
+      // table stay responsive while this producer is blocked.
+      lock.unlock();
+      {
+        std::unique_lock<std::mutex> wait_lock(state->admission_mu);
+        state->admission_cv.wait(wait_lock, [&state, bound] {
+          return state->backlog.load(std::memory_order_acquire) < bound;
+        });
+      }
+      lock.lock();
+      continue;
+    }
+    // kShed / kCoalesce at the bound: the rows stay buffered; a later
+    // admitted call (or a flush) enqueues them once the backlog has room.
+    break;
   }
   result->rows_buffered = state->pending.num_rows();
   result->backlog_batches = state->backlog.load(std::memory_order_relaxed);
@@ -411,7 +500,14 @@ StatusOr<IngestResult> Engine::Ingest(const std::string& name,
   StatusOr<std::shared_ptr<TableState>> found = FindTable(name);
   if (!found.ok()) return found.status();
   const std::shared_ptr<TableState>& state = found.value();
-  std::lock_guard<std::mutex> lock(state->mu);
+  const bool bounded = async() && config_.max_backlog_batches > 0;
+  if (bounded && admission_ == nullptr) {
+    return Status::InvalidArgument(
+        "unknown admission policy '" + config_.admission_policy +
+        "'; registered: " +
+        JoinedNames(serving::RegisteredAdmissionPolicies()));
+  }
+  std::unique_lock<std::mutex> lock(state->mu);
   if (state->controller == nullptr) {
     return Status::FailedPrecondition("table '" + name +
                                       "' has no model attached yet");
@@ -420,13 +516,40 @@ StatusOr<IngestResult> Engine::Ingest(const std::string& name,
   IngestResult result;
   if (batch.num_rows() > 0) {
     DDUP_RETURN_IF_ERROR(storage::CheckSchemaCompatible(state->base, batch));
+    if (bounded) {
+      // Shed decides at call entry, before any row is buffered: a refused
+      // call leaves no trace in the accumulator, so the caller can retry
+      // the whole batch later without double-counting rows.
+      const int64_t backlog = state->backlog.load(std::memory_order_acquire);
+      if (backlog >= config_.max_backlog_batches) {
+        serving::AdmissionContext ctx;
+        ctx.table = state->name;
+        ctx.backlog_batches = backlog;
+        ctx.bound = config_.max_backlog_batches;
+        ctx.buffered_batches =
+            (state->pending.num_rows() + batch.num_rows()) /
+            state->micro_batch_rows;
+        if (admission_->Admit(ctx) == serving::AdmissionAction::kShed) {
+          {
+            std::lock_guard<std::mutex> stats_lock(state->stats_mu);
+            state->sheds += 1;
+          }
+          return serving::MakeShedError(name, backlog,
+                                        config_.max_backlog_batches);
+        }
+      }
+    }
     state->pending.Append(batch);
   }
-  if (async()) {
-    EnqueueBatchesLocked(state, /*all=*/false, &result);
+  if (!async()) {
+    DDUP_RETURN_IF_ERROR(DrainInline(state.get(), /*all=*/false, &result));
     return result;
   }
-  DDUP_RETURN_IF_ERROR(DrainInline(state.get(), /*all=*/false, &result));
+  if (bounded) {
+    EnqueueBoundedLocked(state, lock, &result);
+  } else {
+    EnqueueBatchesLocked(state, /*all=*/false, &result);
+  }
   return result;
 }
 
@@ -670,6 +793,7 @@ StatusOr<TableReport> Engine::Report(const std::string& name) const {
   const TableState* state = found.value().get();
   TableReport report;
   report.table = name;
+  report.update_priority = state->update_priority;
   report.backlog_batches = state->backlog.load(std::memory_order_acquire);
   {
     std::lock_guard<std::mutex> lock(state->mu);
@@ -703,7 +827,21 @@ StatusOr<TableReport> Engine::Report(const std::string& name) const {
   report.async_batches = state->async_batches;
   report.queue_seconds = state->queue_seconds;
   report.snapshot_publishes = state->snapshot_publishes;
+  report.sheds = state->sheds;
+  report.coalesced_groups = state->coalesced_groups;
   return report;
+}
+
+void Engine::Quiesce() {
+  if (executor_ != nullptr) executor_->Drain();
+}
+
+void Engine::PauseUpdates() {
+  if (executor_ != nullptr) executor_->Pause();
+}
+
+void Engine::ResumeUpdates() {
+  if (executor_ != nullptr) executor_->Resume();
 }
 
 std::vector<std::string> Engine::TableNames() const {
@@ -747,6 +885,7 @@ Engine::TableCheckpoint Engine::CheckpointTable(const TableState& state) {
     }
     manifest.WriteI64(state.micro_batch_rows);
     manifest.WriteString(state.detector_kind);
+    manifest.WriteI64(state.update_priority);
     manifest.WriteI64(state.insertions);
     manifest.WriteI64(state.ood_updates);
     manifest.WriteI64(state.finetunes);
@@ -794,7 +933,8 @@ Status Engine::Save(const std::string& path) const {
       std::shared_ptr<TableState> state = states[i];
       TableCheckpoint* blob = &blobs[i];
       done.push_back(executor_->Submit(
-          state->name, [state, blob]() { *blob = CheckpointTable(*state); }));
+          state->name, state->update_priority,
+          [state, blob]() { *blob = CheckpointTable(*state); }));
     }
     for (auto& f : done) f.wait();
   } else {
@@ -847,6 +987,7 @@ StatusOr<std::unique_ptr<Engine>> Engine::Load(const std::string& path,
     }
     state->micro_batch_rows = manifest.ReadI64();
     state->detector_kind = manifest.ReadString();
+    state->update_priority = static_cast<int>(manifest.ReadI64());
     state->insertions = manifest.ReadI64();
     state->ood_updates = manifest.ReadI64();
     state->finetunes = manifest.ReadI64();

@@ -3,6 +3,7 @@
 
 #include <array>
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -18,6 +19,10 @@
 #include "storage/table.h"
 #include "workload/join_query.h"
 #include "workload/query.h"
+
+namespace ddup::serving {
+class AdmissionPolicy;
+}  // namespace ddup::serving
 
 namespace ddup::api {
 
@@ -47,6 +52,20 @@ struct EngineConfig {
   // the differential harness); the scalar Estimate* calls do not go through
   // an engine. Validated on first batch call (InvalidArgument if unknown).
   std::string estimate_engine = "vectorized";
+  // Engine-side admission control (DESIGN.md §15). With a positive bound,
+  // each table's queued micro-batch updates are capped at
+  // max_backlog_batches and an overloaded Ingest is resolved by the named
+  // AdmissionPolicy (serving/admission.h): "block" stalls the caller until
+  // a worker drains a slot, "shed" refuses the call with a typed
+  // [admission:shed] ResourceExhausted Status, "coalesce" keeps buffering
+  // and merges the pile into one group task (one snapshot publish per
+  // group, byte-identical models). 0 = unbounded, the PR 5 behavior where
+  // callers throttle themselves off TableReport::backlog_batches. Only
+  // meaningful with update_workers != 0 (the synchronous engine has no
+  // backlog). An unknown policy name surfaces as InvalidArgument on the
+  // first bounded Ingest, like estimate_engine.
+  int64_t max_backlog_batches = 0;
+  std::string admission_policy = "block";
 };
 
 struct TableOptions {
@@ -58,6 +77,12 @@ struct TableOptions {
   // applied when AttachModel builds the table's controller, and persisted
   // across Save/Load.
   std::string detector;
+  // Update-worker priority (async engines): when more tables have queued
+  // updates than there are workers, higher-priority tables' strands run
+  // first (strict precedence, round-robin among equals — see
+  // TaskExecutor::Submit). Hot tables keep their models fresh under
+  // saturation while cold tables wait. Persisted across Save/Load.
+  int update_priority = 0;
 };
 
 // Per-table serving state machine (DESIGN.md §11): SERVING when the update
@@ -86,6 +111,11 @@ struct IngestResult {
   // Rows handed to the background update strand by this call (async).
   int64_t rows_enqueued = 0;
   // Micro-batches queued or running for this table after the call (async).
+  // ADVISORY since admission moved engine-side (DESIGN.md §15): with
+  // EngineConfig::max_backlog_batches set, the engine itself bounds the
+  // backlog and applies the admission policy — callers no longer need to
+  // poll this to throttle (the PR 5 pattern); it remains useful for
+  // monitoring.
   int64_t backlog_batches = 0;
   // One entry per flushed micro-batch, in flush order.
   std::vector<core::InsertionReport> reports;
@@ -126,12 +156,19 @@ struct TableReport {
   // Detector state after the last offline refresh.
   double bootstrap_mean = 0.0;
   double bootstrap_std = 0.0;
+  // Update-worker priority for this table (TableOptions::update_priority).
+  int update_priority = 0;
   // Concurrency surface (async engines; zeros on the synchronous path).
   TableServingState state = TableServingState::kServing;
-  int64_t backlog_batches = 0;      // micro-batches queued or running
+  // Micro-batches queued or running. ADVISORY for throttling purposes now
+  // that admission is engine-side (EngineConfig::max_backlog_batches +
+  // admission_policy, DESIGN.md §15); kept for monitoring.
+  int64_t backlog_batches = 0;
   int64_t async_batches = 0;        // batches that ran on a worker
   double queue_seconds = 0.0;       // cumulative worker-queue wait
   int64_t snapshot_publishes = 0;   // serving-model swaps so far
+  int64_t sheds = 0;                // Ingest calls refused by admission
+  int64_t coalesced_groups = 0;     // multi-batch group tasks enqueued
 };
 
 // One estimate call, structured. This is the single entry point behind
@@ -300,6 +337,22 @@ class Engine {
   std::vector<std::string> TableNames() const;  // sorted
   bool HasTable(const std::string& name) const;
 
+  // Barrier over the update workers: blocks until every queued update has
+  // run (no-op on a synchronous engine). Unlike Flush it pushes nothing —
+  // accumulator remainders stay buffered — so it is the quiesce point a
+  // multi-engine checkpoint wants before serializing (serving::Cluster
+  // drains every shard through this before any shard file is written).
+  void Quiesce();
+
+  // Pauses/resumes the update workers (async; no-ops sync). While paused,
+  // Ingest still buffers and enqueues (admission decisions apply against
+  // the frozen backlog) but nothing trains and no snapshot publishes.
+  // Flush/FlushAll/Save/Quiesce while paused block until ResumeUpdates —
+  // pairing them is on the caller. Built for deterministic admission tests
+  // and maintenance windows, not for steady-state use.
+  void PauseUpdates();
+  void ResumeUpdates();
+
   // Direct access to the live training model for plotting/diagnostics
   // (nullptr before AttachModel). The engine still owns the model. Async
   // engines: quiesce first (Flush/FlushAll) — the live model is mutated by
@@ -332,6 +385,8 @@ class Engine {
     // controller is built with at AttachModel and re-anchored to the live
     // controller on Load.
     std::string detector_kind;
+    // Strand priority for this table's update tasks (TableOptions).
+    int update_priority = 0;
 
     // Ingest-side state, guarded by mu: the schema contract, the
     // micro-batch accumulator, the model/controller handles and the drain
@@ -357,6 +412,8 @@ class Engine {
     int64_t async_batches = 0;
     double queue_seconds = 0.0;
     int64_t snapshot_publishes = 0;
+    int64_t sheds = 0;
+    int64_t coalesced_groups = 0;
     // First background failure, sticky: reported by every later
     // Ingest/Flush on the table. Cannot trigger for batches the engine
     // validated, but a custom model kind could fail a snapshot publish.
@@ -367,6 +424,13 @@ class Engine {
 
     // Micro-batches queued or running on the strand.
     std::atomic<int64_t> backlog{0};
+
+    // Admission wait point (block policy, DESIGN.md §15): an overloaded
+    // Ingest waits here — never under `mu`, so Report/Estimate/Flush on
+    // the table stay responsive while a producer is stalled. Workers
+    // notify after every backlog decrement.
+    std::mutex admission_mu;
+    std::condition_variable admission_cv;
 
     // What Estimate* serves, swapped as one atomic unit (access ONLY via
     // std::atomic_load/atomic_store on `serving`): the model handle plus
@@ -440,12 +504,31 @@ class Engine {
   // accumulator under state->mu and runs them inline (sync).
   Status DrainInline(TableState* state, bool all, IngestResult* result);
   // Async: slices batches out of the accumulator and enqueues them on the
-  // table's strand. Caller must hold state->mu.
+  // table's strand, one task per micro-batch, ignoring the admission bound
+  // (the flush/drain paths use this — they are immediately followed by a
+  // drain, so bounding them would only deadlock a block-policy flush).
+  // Caller must hold state->mu.
   void EnqueueBatchesLocked(const std::shared_ptr<TableState>& state, bool all,
                             IngestResult* result);
-  // Strand body: one micro-batch through the loop + snapshot republish.
-  static void RunBatchOnWorker(const std::shared_ptr<TableState>& state,
-                               const storage::Table& batch,
+  // Admission-aware enqueue for the bounded Ingest path: enqueues full
+  // micro-batches while the backlog has room (grouping per the policy's
+  // GroupSize), consults the policy when it does not, and implements kWait
+  // by releasing `lock` while the caller stalls on admission_cv. Caller
+  // must hold `lock` (on state->mu); it is held again on return.
+  void EnqueueBoundedLocked(const std::shared_ptr<TableState>& state,
+                            std::unique_lock<std::mutex>& lock,
+                            IngestResult* result);
+  // Slices `batches` micro-batches (plus the remainder when `remainder`)
+  // out of the accumulator and submits them as ONE strand task. Caller
+  // must hold state->mu.
+  void SubmitGroupLocked(const std::shared_ptr<TableState>& state,
+                         int64_t batches, bool remainder,
+                         IngestResult* result);
+  // Strand body: a group of micro-batches through the loop, one
+  // HandleInsertion per micro-batch (so grouping never changes model
+  // bytes), one snapshot republish per group.
+  static void RunGroupOnWorker(const std::shared_ptr<TableState>& state,
+                               const std::vector<storage::Table>& batches,
                                double queue_seconds);
   // Publishes a fresh read-only copy of the live model (strand context or
   // setup path). Folds errors into state->async_error.
@@ -469,6 +552,9 @@ class Engine {
   bool NothingToFlushLocked(const TableState& state) const;
 
   EngineConfig config_;
+  // Resolved once from config_.admission_policy; nullptr for an unknown
+  // name (surfaced as InvalidArgument on the first bounded Ingest).
+  const serving::AdmissionPolicy* admission_ = nullptr;
   std::array<Stripe, kRegistryStripes> stripes_;
   // Background update workers; null on the synchronous path. Declared last
   // so it is destroyed (drained + joined) before the registry it points

@@ -150,6 +150,12 @@ std::optional<PlanError> PlanErrorFromStatus(const Status& status) {
   return std::nullopt;
 }
 
+const Engine* QueryRouter::Route(const std::string& table) const {
+  if (!route_) return engine_;
+  const Engine* shard = route_(table);
+  return shard != nullptr ? shard : engine_;
+}
+
 const JoinCombiner* FindJoinCombiner(const std::string& name) {
   static const JoinUniformityCombiner* uniformity =
       new JoinUniformityCombiner();
@@ -187,7 +193,7 @@ StatusOr<JoinPlan> QueryRouter::Plan(const workload::JoinQuery& query) const {
   std::map<std::string, std::shared_ptr<const storage::TableStats>> schemas;
   for (const std::string& t : plan.tables) {
     StatusOr<std::shared_ptr<Engine::TableState>> found =
-        engine_->FindTable(t);
+        Route(t)->FindTable(t);
     if (!found.ok()) {
       return MakePlanError(PlanError::kUnknownTable,
                            "no table named '" + t + "' is registered");
@@ -360,7 +366,7 @@ StatusOr<std::vector<double>> QueryRouter::EstimateCardinalityBatch(
     for (const std::string& t : plan.tables) {
       if (snapshots.count(t) > 0) continue;
       StatusOr<std::shared_ptr<Engine::TableState>> found =
-          engine_->FindTable(t);
+          Route(t)->FindTable(t);
       if (!found.ok()) return found.status();
       TableSnapshot& snap = snapshots[t];
       snap.view = std::atomic_load(&found.value()->serving);

@@ -2,6 +2,7 @@
 #define DDUP_API_ROUTER_H_
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
@@ -151,6 +152,18 @@ class QueryRouter {
  public:
   explicit QueryRouter(const Engine* engine) : engine_(engine) {}
 
+  // Cross-shard routing (serving::Cluster): `route` maps a table name to
+  // the Engine shard that owns it — the router fans each planned per-table
+  // subquery batch out to its owner, so one join query can span shards.
+  // `config_source` supplies the shared engine-level knobs (the exec
+  // estimate engine); every shard of a cluster is built from one
+  // EngineConfig, so any shard serves. A resolver returning nullptr for a
+  // table falls back to `config_source`, whose registry lookup then yields
+  // the standard [plan:unknown-table] error.
+  QueryRouter(const Engine* config_source,
+              std::function<const Engine*(const std::string&)> route)
+      : engine_(config_source), route_(std::move(route)) {}
+
   // Validates and plans `query` against the registered tables: resolves
   // every referenced table and column, type-checks the equi-join columns,
   // checks the join graph is a tree, splits the predicates into canonical
@@ -173,7 +186,12 @@ class QueryRouter {
       const std::string& combiner = {}) const;
 
  private:
+  // The engine owning `table`: the resolver's answer under cross-shard
+  // routing, else the single engine this router was built on.
+  const Engine* Route(const std::string& table) const;
+
   const Engine* engine_;
+  std::function<const Engine*(const std::string&)> route_;
 };
 
 }  // namespace ddup::api

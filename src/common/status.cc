@@ -19,6 +19,8 @@ const char* CodeName(StatusCode code) {
       return "IO_ERROR";
     case StatusCode::kInternal:
       return "INTERNAL";
+    case StatusCode::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
   }
   return "UNKNOWN";
 }

@@ -19,6 +19,10 @@ enum class StatusCode {
   kFailedPrecondition,
   kIoError,
   kInternal,
+  // A bounded resource is saturated and the call was refused, not failed:
+  // retrying after the resource drains is expected to succeed (the
+  // admission layer's shed decision, serving/admission.h).
+  kResourceExhausted,
 };
 
 class Status {
@@ -45,6 +49,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

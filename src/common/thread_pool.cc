@@ -146,18 +146,33 @@ TaskExecutor::~TaskExecutor() {
   DDUP_CHECK_MSG(pending_ == 0, "TaskExecutor lost tasks at shutdown");
 }
 
+void TaskExecutor::PushReady(const std::string& key, int priority) {
+  ready_[priority].push_back(key);
+}
+
 void TaskExecutor::WorkerLoop() {
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
-    work_cv_.wait(lock, [this] { return shutdown_ || !ready_.empty(); });
+    // A pause holds workers here; shutdown overrides it so the destructor's
+    // graceful drain still runs every queued task.
+    work_cv_.wait(lock, [this] {
+      return shutdown_ || (!paused_ && !ready_.empty());
+    });
     if (ready_.empty()) {
-      // shutdown_ set and no runnable strand. A strand whose task is still
-      // running on another worker requeues itself when it finishes, and that
-      // worker re-checks the predicate — so exiting here never strands work.
-      return;
+      if (shutdown_) {
+        // No runnable strand. A strand whose task is still running on
+        // another worker requeues itself when it finishes, and that worker
+        // re-checks the predicate — so exiting here never strands work.
+        return;
+      }
+      continue;  // woken by Resume with nothing ready
     }
-    std::string key = std::move(ready_.front());
-    ready_.pop_front();
+    // Highest-priority bucket first (ready_ is ordered greatest-first),
+    // FIFO among its strands.
+    auto bucket = ready_.begin();
+    std::string key = std::move(bucket->second.front());
+    bucket->second.pop_front();
+    if (bucket->second.empty()) ready_.erase(bucket);
     std::packaged_task<void()> task;
     {
       Strand& strand = strands_[key];
@@ -172,7 +187,7 @@ void TaskExecutor::WorkerLoop() {
     auto it = strands_.find(key);
     it->second.running = false;
     if (!it->second.queue.empty()) {
-      ready_.push_back(std::move(key));
+      PushReady(key, it->second.priority);
       work_cv_.notify_one();
     } else {
       strands_.erase(it);
@@ -184,6 +199,11 @@ void TaskExecutor::WorkerLoop() {
 
 std::future<void> TaskExecutor::Submit(const std::string& key,
                                        std::function<void()> fn) {
+  return Submit(key, 0, std::move(fn));
+}
+
+std::future<void> TaskExecutor::Submit(const std::string& key, int priority,
+                                       std::function<void()> fn) {
   std::packaged_task<void()> task(std::move(fn));
   std::future<void> future = task.get_future();
   {
@@ -191,13 +211,27 @@ std::future<void> TaskExecutor::Submit(const std::string& key,
     DDUP_CHECK_MSG(!shutdown_, "TaskExecutor::Submit after shutdown");
     Strand& strand = strands_[key];
     strand.queue.push_back(std::move(task));
+    strand.priority = priority;
     ++pending_;
     if (!strand.running && strand.queue.size() == 1) {
-      ready_.push_back(key);
+      PushReady(key, priority);
     }
   }
   work_cv_.notify_one();
   return future;
+}
+
+void TaskExecutor::Pause() {
+  std::lock_guard<std::mutex> lock(mu_);
+  paused_ = true;
+}
+
+void TaskExecutor::Resume() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    paused_ = false;
+  }
+  work_cv_.notify_all();
 }
 
 void TaskExecutor::Drain() {

@@ -6,6 +6,7 @@
 #include <deque>
 #include <functional>
 #include <future>
+#include <map>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -102,6 +103,26 @@ class TaskExecutor {
   // when the task finishes. Must not be called during/after destruction.
   std::future<void> Submit(const std::string& key, std::function<void()> fn);
 
+  // Priority variant: when several strands are runnable, workers pick the
+  // highest-priority one first (FIFO among strands sharing a priority, FIFO
+  // within a strand as always). The plain overload submits at priority 0.
+  // A strand's priority is the one carried by its latest Submit — callers
+  // that care (the Engine's per-table update priorities) keep it constant
+  // per key. Priorities starve fairly: a lower-priority strand runs only
+  // when no higher-priority strand is runnable, so hot tables get update
+  // workers first under saturation (DESIGN.md §15).
+  std::future<void> Submit(const std::string& key, int priority,
+                           std::function<void()> fn);
+
+  // Pauses dispatch: running tasks finish, but workers pick no new strand
+  // until Resume. Submit/backlog stay usable while paused. Destruction
+  // overrides a pause (the graceful drain still runs every queued task).
+  // Drain/DrainKey while paused block until Resume — pairing them is on
+  // the caller. Built for deterministic admission/priority tests and
+  // maintenance windows; not part of any hot path.
+  void Pause();
+  void Resume();
+
   // Blocks until every task submitted before the call has finished. Tasks
   // submitted concurrently with Drain may or may not be waited for.
   void Drain();
@@ -116,23 +137,29 @@ class TaskExecutor {
  private:
   // Invariant: a strand is present in strands_ iff it has queued tasks or a
   // running one; it is in ready_ exactly once iff it has queued tasks and
-  // none running. Workers pull strands from ready_, run ONE task, then
-  // requeue the strand at the back — round-robin across strands, FIFO
-  // within one.
+  // none running. Workers pull the front strand of the highest-priority
+  // ready bucket, run ONE task, then requeue the strand at the back of its
+  // bucket — round-robin across strands of one priority, strict precedence
+  // across priorities, FIFO within one strand.
   struct Strand {
     std::deque<std::packaged_task<void()>> queue;
     bool running = false;
+    int priority = 0;  // latest Submit wins; used at every ready insertion
   };
 
   void WorkerLoop();
+  // Caller must hold mu_. Appends `key` to its priority bucket.
+  void PushReady(const std::string& key, int priority);
 
   mutable std::mutex mu_;
   std::condition_variable work_cv_;  // workers: ready_ non-empty or shutdown
   std::condition_variable idle_cv_;  // Drain/DrainKey: progress signal
   std::unordered_map<std::string, Strand> strands_;
-  std::deque<std::string> ready_;
+  // Priority buckets, highest first; a bucket is present iff non-empty.
+  std::map<int, std::deque<std::string>, std::greater<int>> ready_;
   int64_t pending_ = 0;  // queued + running, all strands
   bool shutdown_ = false;
+  bool paused_ = false;
   std::vector<std::thread> workers_;
 };
 

@@ -1,0 +1,68 @@
+#include "serving/admission.h"
+
+#include <algorithm>
+
+namespace ddup::serving {
+
+namespace {
+
+constexpr const char kShedTag[] = "[admission:shed]";
+
+class BlockAdmission : public AdmissionPolicy {
+ public:
+  std::string name() const override { return "block"; }
+  AdmissionAction Admit(const AdmissionContext& ctx) const override {
+    (void)ctx;
+    return AdmissionAction::kWait;
+  }
+};
+
+class ShedAdmission : public AdmissionPolicy {
+ public:
+  std::string name() const override { return "shed"; }
+  AdmissionAction Admit(const AdmissionContext& ctx) const override {
+    (void)ctx;
+    return AdmissionAction::kShed;
+  }
+};
+
+class CoalesceAdmission : public AdmissionPolicy {
+ public:
+  std::string name() const override { return "coalesce"; }
+  AdmissionAction Admit(const AdmissionContext& ctx) const override {
+    (void)ctx;
+    return AdmissionAction::kCoalesce;
+  }
+  int64_t GroupSize(int64_t available) const override { return available; }
+};
+
+}  // namespace
+
+const AdmissionPolicy* FindAdmissionPolicy(const std::string& name) {
+  static const BlockAdmission* block = new BlockAdmission();
+  static const ShedAdmission* shed = new ShedAdmission();
+  static const CoalesceAdmission* coalesce = new CoalesceAdmission();
+  if (name == block->name()) return block;
+  if (name == shed->name()) return shed;
+  if (name == coalesce->name()) return coalesce;
+  return nullptr;
+}
+
+std::vector<std::string> RegisteredAdmissionPolicies() {
+  return {"block", "coalesce", "shed"};
+}
+
+Status MakeShedError(const std::string& table, int64_t backlog, int64_t bound) {
+  return Status::ResourceExhausted(
+      std::string(kShedTag) + " table '" + table +
+      "' ingest backlog is saturated (" + std::to_string(backlog) + "/" +
+      std::to_string(bound) +
+      " micro-batches queued); retry after the update workers drain");
+}
+
+bool IsAdmissionShed(const Status& status) {
+  return status.code() == StatusCode::kResourceExhausted &&
+         status.message().find(kShedTag) != std::string::npos;
+}
+
+}  // namespace ddup::serving

@@ -1,0 +1,62 @@
+#ifndef DDUP_SERVING_SHARD_MAP_H_
+#define DDUP_SERVING_SHARD_MAP_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ddup::serving {
+
+// FNV-1a 64-bit followed by the murmur3 fmix64 finalizer (raw FNV's high
+// bits — the ones ring placement sorts by — mix poorly for short similar
+// strings). The shard placement function must be platform-stable — a
+// cluster checkpoint written on one host has to route every table to the
+// same shard file when loaded on another — so std::hash (implementation-
+// defined, may differ across standard libraries and even process runs) is
+// ruled out.
+uint64_t ShardHash(const std::string& key);
+
+// Consistent-hash placement of table names onto shard indices
+// (DESIGN.md §15): each shard owns `virtual_nodes` pseudo-random points on
+// a 64-bit ring, and a table belongs to the shard owning the first point at
+// or after the table's own hash (wrapping). Properties the cluster relies
+// on, pinned in tests/serving_test.cc:
+//
+//   - Deterministic and platform-stable: placement depends only on
+//     (num_shards, virtual_nodes, name), never on registration order,
+//     pointer values or the standard library.
+//   - Monotone under growth: going from N to N+1 shards only moves tables
+//     onto the new shard N — the ring points of shards 0..N-1 do not move,
+//     so a table changes owner only when one of shard N's new points lands
+//     between the table and its old successor. No table ever moves between
+//     two pre-existing shards (the classic consistent-hashing guarantee;
+//     mod-N hashing would reshuffle nearly everything).
+//   - Balanced in expectation: virtual nodes smooth the per-shard arc
+//     length; 64 points per shard keeps the imbalance within a few percent
+//     for realistic table counts.
+class ShardMap {
+ public:
+  // num_shards >= 1 (clamped). virtual_nodes >= 1 (clamped); every shard
+  // contributes the same count, and the value must match across save/load
+  // for placement to be stable (the cluster manifest persists it).
+  explicit ShardMap(int num_shards, int virtual_nodes = kDefaultVirtualNodes);
+
+  int num_shards() const { return num_shards_; }
+  int virtual_nodes() const { return virtual_nodes_; }
+
+  // Shard index in [0, num_shards) owning `table`.
+  int ShardOf(const std::string& table) const;
+
+  static constexpr int kDefaultVirtualNodes = 64;
+
+ private:
+  int num_shards_ = 1;
+  int virtual_nodes_ = kDefaultVirtualNodes;
+  // The ring: (point, shard), sorted by point.
+  std::vector<std::pair<uint64_t, int>> ring_;
+};
+
+}  // namespace ddup::serving
+
+#endif  // DDUP_SERVING_SHARD_MAP_H_
