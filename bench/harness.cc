@@ -81,6 +81,26 @@ std::string FormatDouble(double v) {
   std::snprintf(buf, sizeof(buf), "%.17g", v);
   return buf;
 }
+
+// One line on the cache file's codec footprint: stored vs uncompressed bytes
+// across its sections (the container stamps both per section since format
+// v2, DESIGN.md §16). Printed when a base model enters or leaves the cache,
+// so warm-start runs show what the compressed data plane saves on disk.
+void PrintCheckpointFootprint(const char* verb, const std::string& path) {
+  StatusOr<io::CheckpointReader> reader = io::CheckpointReader::FromFile(path);
+  if (!reader.ok()) return;
+  uint64_t stored = 0;
+  uint64_t uncompressed = 0;
+  for (const auto& info : reader.value().Sections()) {
+    stored += info.stored_bytes;
+    uncompressed += info.uncompressed_bytes;
+  }
+  if (stored == 0) return;
+  std::printf("  [ckpt] %s %s: %llu bytes on disk, %llu uncompressed (%.2fx)\n",
+              verb, path.c_str(), static_cast<unsigned long long>(stored),
+              static_cast<unsigned long long>(uncompressed),
+              static_cast<double>(uncompressed) / static_cast<double>(stored));
+}
 }  // namespace
 
 BenchParams BenchParams::FromEnv() {
@@ -373,7 +393,7 @@ Approaches<ModelT> RunApproaches(const DatasetBundle& bundle,
     }
     StatusOr<std::unique_ptr<ModelT>> loaded = ModelT::LoadFromFile(cache_path);
     if (loaded.ok()) {
-      ++cache_hits;
+      if (++cache_hits == 1) PrintCheckpointFootprint("reusing", cache_path);
       return std::move(loaded).value();
     }
     ++cold_trainings;
@@ -381,6 +401,8 @@ Approaches<ModelT> RunApproaches(const DatasetBundle& bundle,
     Status saved = model->SaveToFile(cache_path);
     if (!saved.ok()) {
       std::printf("  [ckpt] save failed: %s\n", saved.ToString().c_str());
+    } else {
+      PrintCheckpointFootprint("saved", cache_path);
     }
     return model;
   };

@@ -78,7 +78,8 @@ int main(int argc, char** argv) {
   {
     ddup::storage::Table unknown_kind =
         ddup::datagen::MakeDataset("tpcds", 200, 9);
-    Engine probe;
+    ddup::api::EngineConfig probe_config;
+    Engine probe(probe_config);
     ddup::Status st = probe.CreateTable("t", unknown_kind);
     st = probe.AttachModel("t", {"made-up-kind", {}});
     all_ok &= Check(!st.ok(), "unregistered model kind rejected");

@@ -17,8 +17,10 @@ namespace ddup::api {
 namespace {
 
 // Version 2 added the per-table resolved detector kind to the manifest;
-// version 3 adds the per-table update-worker priority.
-constexpr uint32_t kManifestVersion = 3;
+// version 3 added the per-table update-worker priority; version 4 adds the
+// checkpoint codec name after the version word (Load still reads v3).
+constexpr uint32_t kManifestVersion = 4;
+constexpr uint32_t kMinManifestVersion = 3;
 constexpr const char* kManifestSection = "engine";
 
 std::string JoinedNames(const std::vector<std::string>& names) {
@@ -40,13 +42,6 @@ std::string JoinedDetectorKinds() {
 std::string ModelSection(const std::string& table) { return "model:" + table; }
 std::string ControllerSection(const std::string& table) {
   return "controller:" + table;
-}
-
-// Rows [begin, end) of `t`, preserving order.
-storage::Table Slice(const storage::Table& t, int64_t begin, int64_t end) {
-  std::vector<int64_t> rows(static_cast<size_t>(end - begin));
-  std::iota(rows.begin(), rows.end(), begin);
-  return t.TakeRows(rows);
 }
 
 int ResolveUpdateWorkers(int requested) {
@@ -168,7 +163,8 @@ Status Engine::CreateTable(const std::string& name,
                              : options.detector;
   state->base = base_data;
   state->base.set_name(name);
-  state->pending = state->base.TakeRows({});  // zero rows, same schema
+  state->pending.Reset(state->base, state->micro_batch_rows,
+                       config_.packed_accumulator);
   // Stats cover the base rows from the start; later batches fold in when
   // they leave the accumulator (DrainInline/EnqueueBatchesLocked).
   state->stats_builder = storage::TableStatsBuilder(state->base);
@@ -270,7 +266,7 @@ Status Engine::DrainInline(TableState* state, bool all, IngestResult* result) {
   Status status;
   while (status.ok() && total - offset >= state->micro_batch_rows) {
     storage::Table batch =
-        Slice(state->pending, offset, offset + state->micro_batch_rows);
+        state->pending.Slice(offset, offset + state->micro_batch_rows);
     status = PushBatch(state, batch, result);
     if (status.ok()) {
       state->stats_builder.Absorb(batch);
@@ -278,7 +274,7 @@ Status Engine::DrainInline(TableState* state, bool all, IngestResult* result) {
     }
   }
   if (status.ok() && all && offset < total) {
-    storage::Table batch = Slice(state->pending, offset, total);
+    storage::Table batch = state->pending.Slice(offset, total);
     status = PushBatch(state, batch, result);
     if (status.ok()) {
       state->stats_builder.Absorb(batch);
@@ -286,7 +282,7 @@ Status Engine::DrainInline(TableState* state, bool all, IngestResult* result) {
     }
   }
   if (offset > 0) {
-    state->pending = Slice(state->pending, offset, total);
+    state->pending.DropFront(offset);
     // Stats fold only for batches the loop actually consumed: on an error
     // the unconsumed suffix stays buffered and stays out of the stats,
     // keeping the snapshot aligned with what the model serves.
@@ -381,7 +377,7 @@ void Engine::SubmitGroupLocked(const std::shared_ptr<TableState>& state,
   group.reserve(static_cast<size_t>(batches) + (remainder ? 1 : 0));
   for (int64_t b = 0; b < batches; ++b) {
     storage::Table batch =
-        Slice(state->pending, offset, offset + state->micro_batch_rows);
+        state->pending.Slice(offset, offset + state->micro_batch_rows);
     offset += state->micro_batch_rows;
     // Async stats fold at enqueue time: the rows leave the accumulator for
     // the strand unconditionally, so the snapshot tracks the handed-off
@@ -393,14 +389,14 @@ void Engine::SubmitGroupLocked(const std::shared_ptr<TableState>& state,
     group.push_back(std::move(batch));
   }
   if (remainder && offset < total) {
-    storage::Table batch = Slice(state->pending, offset, total);
+    storage::Table batch = state->pending.Slice(offset, total);
     offset = total;
     state->stats_builder.Absorb(batch);
     result->rows_enqueued += batch.num_rows();
     group.push_back(std::move(batch));
   }
   if (group.empty()) return;
-  state->pending = Slice(state->pending, offset, total);
+  state->pending.DropFront(offset);
   std::atomic_store(&state->stats, state->stats_builder.Snapshot());
   if (group.size() > 1) {
     std::lock_guard<std::mutex> lock(state->stats_mu);
@@ -800,6 +796,7 @@ StatusOr<TableReport> Engine::Report(const std::string& name) const {
     report.model_kind = state->spec.kind;
     report.detector_kind = state->detector_kind;
     report.buffered_rows = state->pending.num_rows();
+    report.buffered_bytes = state->pending.buffered_bytes();
     report.micro_batch_rows = state->micro_batch_rows;
     if (state->controller != nullptr) {
       // stats() is the controller's thread-safe read surface; the live
@@ -893,7 +890,7 @@ Engine::TableCheckpoint Engine::CheckpointTable(const TableState& state) {
     manifest.WriteDouble(state.detect_seconds);
     manifest.WriteDouble(state.update_seconds);
     manifest.WriteTable(state.base);
-    manifest.WriteTable(state.pending);
+    manifest.WriteTable(state.pending.Materialize());
     manifest.WriteBool(state.model != nullptr);
     out.has_model = state.model != nullptr;
     if (out.has_model) {
@@ -943,9 +940,23 @@ Status Engine::Save(const std::string& path) const {
     }
   }
 
-  io::CheckpointWriter writer;
+  // Codec precedence: the caller's config wins, then the codec recorded in
+  // the manifest this engine was loaded from, then the compressed default.
+  std::string codec_name = config_.checkpoint.codec.empty()
+                               ? loaded_codec_
+                               : config_.checkpoint.codec;
+  if (codec_name.empty()) codec_name = io::kDefaultCheckpointCodec;
+  const io::Codec* codec = io::FindCodecByName(codec_name);
+  if (codec == nullptr) {
+    return Status::InvalidArgument(
+        "unknown checkpoint codec '" + codec_name + "'; registered codecs: " +
+        JoinedNames(io::RegisteredCodecNames()));
+  }
+
+  io::CheckpointWriter writer(codec);
   io::Serializer manifest;
   manifest.WriteU32(kManifestVersion);
+  manifest.WriteString(codec_name);
   manifest.WriteU32(static_cast<uint32_t>(states.size()));
   for (size_t i = 0; i < states.size(); ++i) {
     DDUP_RETURN_IF_ERROR(blobs[i].status);
@@ -969,12 +980,16 @@ StatusOr<std::unique_ptr<Engine>> Engine::Load(const std::string& path,
   if (!payload.ok()) return payload.status();
   io::Deserializer manifest(std::move(payload).value());
   uint32_t version = manifest.ReadU32();
-  if (manifest.ok() && version != kManifestVersion) {
+  if (manifest.ok() &&
+      (version < kMinManifestVersion || version > kManifestVersion)) {
     return Status::InvalidArgument("unsupported engine manifest version " +
                                    std::to_string(version));
   }
 
   auto engine = std::make_unique<Engine>(std::move(config));
+  // v4 records the codec the checkpoint was written with; a later Save
+  // keeps it unless the loading config names a different one.
+  if (version >= 4) engine->loaded_codec_ = manifest.ReadString();
   uint32_t num_tables = manifest.ReadU32();
   for (uint32_t i = 0; i < num_tables && manifest.ok(); ++i) {
     auto state = std::make_shared<TableState>();
@@ -995,13 +1010,16 @@ StatusOr<std::unique_ptr<Engine>> Engine::Load(const std::string& path,
     state->detect_seconds = manifest.ReadDouble();
     state->update_seconds = manifest.ReadDouble();
     state->base = manifest.ReadTable();
-    state->pending = manifest.ReadTable();
+    storage::Table pending = manifest.ReadTable();
     bool has_model = manifest.ReadBool();
     if (!manifest.ok()) break;
     if (state->micro_batch_rows <= 0) {
       return Status::InvalidArgument("manifest for table '" + state->name +
                                      "' has a non-positive micro-batch size");
     }
+    state->pending.Reset(state->base, state->micro_batch_rows,
+                         engine->config_.packed_accumulator);
+    state->pending.Append(pending);
     if (has_model) {
       StatusOr<std::string> model_payload =
           reader.value().Section(ModelSection(state->name));

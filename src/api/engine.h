@@ -15,6 +15,7 @@
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "core/controller.h"
+#include "storage/packed.h"
 #include "storage/stats.h"
 #include "storage/table.h"
 #include "workload/join_query.h"
@@ -27,6 +28,18 @@ class AdmissionPolicy;
 namespace ddup::api {
 
 class QueryRouter;
+
+// Checkpoint-writing knobs (Engine::Save, serving::Cluster::Save).
+struct CheckpointOptions {
+  // Section codec, by registered name (io::RegisteredCodecNames(): "raw",
+  // "lz", "shuffle", "delta"). "" uses the compressed default
+  // (io::kDefaultCheckpointCodec). The choice is recorded in the engine
+  // manifest, so a later Save through Engine::Load + Save keeps the codec
+  // unless the loading config names a different one; Load itself reads any
+  // registered codec regardless of this setting. An unknown name is an
+  // InvalidArgument at Save time.
+  std::string codec;
+};
 
 // Engine-wide defaults. The controller config (detector + update policies)
 // applies to every attached model; micro_batch_rows is the default flush
@@ -66,6 +79,17 @@ struct EngineConfig {
   // first bounded Ingest, like estimate_engine.
   int64_t max_backlog_batches = 0;
   std::string admission_policy = "block";
+  // Buffer accumulated rows in the packed columnar form
+  // (storage::MicroBatchBuffer): sealed micro-batch chunks are held as
+  // delta/varint- or shuffle-encoded column buffers instead of plain
+  // doubles/codes, shrinking the per-table buffered footprint
+  // (TableReport::buffered_bytes). Drain order and model bytes are
+  // identical either way — pinned by tests/packed_test.cc — so false is
+  // only a debugging escape hatch, not a compatibility knob.
+  bool packed_accumulator = true;
+  // How Engine::Save (and serving::Cluster::Save) writes checkpoint
+  // containers.
+  CheckpointOptions checkpoint;
 };
 
 struct TableOptions {
@@ -144,6 +168,9 @@ struct TableReport {
   // Rows the model has absorbed / rows awaiting a flush.
   int64_t rows = 0;
   int64_t buffered_rows = 0;
+  // Bytes the accumulator currently holds for those buffered rows — the
+  // packed (EngineConfig::packed_accumulator) vs plain footprint metric.
+  int64_t buffered_bytes = 0;
   // Flush threshold.
   int64_t micro_batch_rows = 0;
   // Micro-batches through the loop, split by the action taken.
@@ -394,8 +421,11 @@ class Engine {
     // touched only from the table's FIFO update strand (async) or inline
     // (sync), which serializes them without a lock.
     mutable std::mutex mu;
-    storage::Table base;     // schema contract; rows only until AttachModel
-    storage::Table pending;  // micro-batch accumulator (base schema)
+    storage::Table base;  // schema contract; rows only until AttachModel
+    // Micro-batch accumulator (base schema): packed columnar buffers when
+    // EngineConfig::packed_accumulator, plain rows otherwise. Drained
+    // front-to-back in both modes with identical bytes.
+    storage::MicroBatchBuffer pending;
     std::unique_ptr<core::UpdatableModel> model;
     std::unique_ptr<core::DdupController> controller;
     bool draining = false;
@@ -552,6 +582,9 @@ class Engine {
   bool NothingToFlushLocked(const TableState& state) const;
 
   EngineConfig config_;
+  // Codec name recorded in the manifest this engine was loaded from ("" for
+  // a fresh engine); Save re-uses it when config_.checkpoint.codec is empty.
+  std::string loaded_codec_;
   // Resolved once from config_.admission_policy; nullptr for an unknown
   // name (surfaced as InvalidArgument on the first bounded Ingest).
   const serving::AdmissionPolicy* admission_ = nullptr;

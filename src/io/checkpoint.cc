@@ -1,7 +1,8 @@
 #include "io/checkpoint.h"
 
 #include <cstdio>
-#include <memory>
+#include <cstring>
+#include <utility>
 
 #include "io/serializer.h"
 
@@ -29,7 +30,49 @@ StatusOr<std::string> ReadWholeFile(const std::string& path) {
   return data;
 }
 
+// Little-endian header readers over the raw image. The container is parsed
+// by offset (not through Deserializer) so section payloads stay views into
+// the image instead of being copied out one by one.
+bool ReadU8At(std::string_view d, size_t* pos, uint8_t* v) {
+  if (d.size() - *pos < 1) return false;
+  *v = static_cast<uint8_t>(d[(*pos)++]);
+  return true;
+}
+
+bool ReadU32At(std::string_view d, size_t* pos, uint32_t* v) {
+  if (d.size() - *pos < 4) return false;
+  *v = 0;
+  for (int i = 0; i < 4; ++i) {
+    *v |= static_cast<uint32_t>(static_cast<unsigned char>(d[(*pos)++]))
+          << (8 * i);
+  }
+  return true;
+}
+
+bool ReadU64At(std::string_view d, size_t* pos, uint64_t* v) {
+  if (d.size() - *pos < 8) return false;
+  *v = 0;
+  for (int i = 0; i < 8; ++i) {
+    *v |= static_cast<uint64_t>(static_cast<unsigned char>(d[(*pos)++]))
+          << (8 * i);
+  }
+  return true;
+}
+
+bool ReadNameAt(std::string_view d, size_t* pos, std::string* name) {
+  uint64_t n = 0;
+  if (!ReadU64At(d, pos, &n)) return false;
+  if (n > d.size() - *pos) return false;
+  name->assign(d.data() + *pos, static_cast<size_t>(n));
+  *pos += static_cast<size_t>(n);
+  return true;
+}
+
 }  // namespace
+
+CheckpointWriter::CheckpointWriter(const Codec* codec)
+    : codec_(codec != nullptr ? codec
+                              : FindCodecByName(kDefaultCheckpointCodec)) {}
 
 void CheckpointWriter::AddSection(std::string name, std::string payload) {
   sections_.emplace_back(std::move(name), std::move(payload));
@@ -40,11 +83,23 @@ std::string CheckpointWriter::Encode() const {
   out.WriteU64(kCheckpointMagic);
   out.WriteU32(kCheckpointFormatVersion);
   out.WriteU32(static_cast<uint32_t>(sections_.size()));
+  std::string encoded;
   for (const auto& [name, payload] : sections_) {
+    const Codec* used = codec_;
+    if (used->id() != kCodecRaw) {
+      encoded.clear();
+      used->Compress(payload, &encoded);
+      // Store incompressible sections raw: ratio never drops below 1 and
+      // the section stays zero-copy on the mmap read path.
+      if (encoded.size() >= payload.size()) used = FindCodec(kCodecRaw);
+    }
+    const std::string& stored = used->id() == kCodecRaw ? payload : encoded;
     out.WriteString(name);
+    out.WriteU8(used->id());
     out.WriteU64(payload.size());
-    out.WriteU32(Crc32(payload));
-    out.WriteRaw(payload);
+    out.WriteU64(stored.size());
+    out.WriteU32(Crc32(stored));
+    out.WriteRaw(stored);
   }
   return out.Take();
 }
@@ -74,63 +129,189 @@ Status CheckpointWriter::WriteToFile(const std::string& path) const {
   return Status::OK();
 }
 
-StatusOr<CheckpointReader> CheckpointReader::FromBuffer(std::string buffer) {
-  Deserializer in(std::move(buffer));
-  uint64_t magic = in.ReadU64();
-  if (!in.ok() || magic != kCheckpointMagic) {
+StatusOr<CheckpointReader> CheckpointReader::Parse(CheckpointReader reader,
+                                                   bool verify_eagerly) {
+  const std::string_view image = reader.image();
+  size_t pos = 0;
+  uint64_t magic = 0;
+  if (!ReadU64At(image, &pos, &magic) || magic != kCheckpointMagic) {
     return Status::InvalidArgument("bad checkpoint magic");
   }
-  uint32_t version = in.ReadU32();
-  if (!in.ok() || version != kCheckpointFormatVersion) {
+  uint32_t version = 0;
+  if (!ReadU32At(image, &pos, &version)) {
+    return Status::InvalidArgument("bad checkpoint magic");
+  }
+  if (version != 1 && version != kCheckpointFormatVersion) {
     return Status::InvalidArgument(
         "unsupported checkpoint format version " + std::to_string(version) +
         " (expected " + std::to_string(kCheckpointFormatVersion) + ")");
   }
-  uint32_t count = in.ReadU32();
-  CheckpointReader reader;
+  reader.format_version_ = version;
+  uint32_t count = 0;
+  if (!ReadU32At(image, &pos, &count)) {
+    return Status::InvalidArgument("truncated checkpoint section");
+  }
+  reader.sections_.clear();
+  reader.sections_.reserve(count);
   for (uint32_t i = 0; i < count; ++i) {
-    std::string name = in.ReadString();
-    uint64_t length = in.ReadU64();
-    uint32_t crc = in.ReadU32();
-    if (!in.ok() || length > in.remaining()) {
+    Entry entry;
+    if (!ReadNameAt(image, &pos, &entry.name)) {
       return Status::InvalidArgument("truncated checkpoint section");
     }
-    std::string payload = in.ReadRaw(length);
-    if (!in.ok()) return Status::InvalidArgument("truncated checkpoint section");
-    if (Crc32(payload) != crc) {
-      return Status::InvalidArgument("checkpoint section CRC mismatch: " + name);
+    if (version >= 2) {
+      if (!ReadU8At(image, &pos, &entry.codec) ||
+          !ReadU64At(image, &pos, &entry.uncompressed_bytes) ||
+          !ReadU64At(image, &pos, &entry.stored_bytes) ||
+          !ReadU32At(image, &pos, &entry.crc)) {
+        return Status::InvalidArgument("truncated checkpoint section");
+      }
+      if (FindCodec(entry.codec) == nullptr) {
+        return Status::InvalidArgument(
+            "unknown checkpoint codec id " + std::to_string(entry.codec) +
+            " in section: " + entry.name);
+      }
+      if (entry.codec == kCodecRaw &&
+          entry.stored_bytes != entry.uncompressed_bytes) {
+        return Status::InvalidArgument(
+            "raw checkpoint section length mismatch: " + entry.name);
+      }
+    } else {
+      if (!ReadU64At(image, &pos, &entry.stored_bytes) ||
+          !ReadU32At(image, &pos, &entry.crc)) {
+        return Status::InvalidArgument("truncated checkpoint section");
+      }
+      entry.codec = kCodecRaw;
+      entry.uncompressed_bytes = entry.stored_bytes;
     }
-    reader.sections_.emplace_back(std::move(name), std::move(payload));
+    if (entry.stored_bytes > image.size() - pos) {
+      return Status::InvalidArgument("truncated checkpoint section");
+    }
+    entry.offset = pos;
+    pos += static_cast<size_t>(entry.stored_bytes);
+    if (verify_eagerly) {
+      if (Crc32(image.data() + entry.offset, entry.stored_bytes) !=
+          entry.crc) {
+        return Status::InvalidArgument("checkpoint section CRC mismatch: " +
+                                       entry.name);
+      }
+      entry.verified = true;
+    }
+    reader.sections_.push_back(std::move(entry));
   }
-  if (in.remaining() != 0) {
+  if (pos != image.size()) {
     return Status::InvalidArgument("trailing bytes after checkpoint sections");
   }
   return reader;
 }
 
+StatusOr<CheckpointReader> CheckpointReader::FromBuffer(std::string buffer) {
+  CheckpointReader reader;
+  reader.owned_image_ = std::move(buffer);
+  reader.use_mapping_ = false;
+  return Parse(std::move(reader), /*verify_eagerly=*/true);
+}
+
 StatusOr<CheckpointReader> CheckpointReader::FromFile(const std::string& path) {
+  StatusOr<MappedFile> mapped = MappedFile::Open(path);
+  if (!mapped.ok()) return FromFileBuffered(path);
+  CheckpointReader reader;
+  reader.mapped_ = std::move(mapped).value();
+  reader.use_mapping_ = true;
+  return Parse(std::move(reader), /*verify_eagerly=*/false);
+}
+
+StatusOr<CheckpointReader> CheckpointReader::FromFileBuffered(
+    const std::string& path) {
   StatusOr<std::string> data = ReadWholeFile(path);
   if (!data.ok()) return data.status();
   return FromBuffer(std::move(data).value());
 }
 
-bool CheckpointReader::Has(const std::string& name) const {
-  for (const auto& [n, p] : sections_) {
-    if (n == name) return true;
+std::string_view CheckpointReader::image() const {
+  return use_mapping_ ? mapped_.data() : std::string_view(owned_image_);
+}
+
+const CheckpointReader::Entry* CheckpointReader::FindEntry(
+    const std::string& name) const {
+  for (const Entry& e : sections_) {
+    if (e.name == name) return &e;
   }
-  return false;
+  return nullptr;
+}
+
+StatusOr<std::string_view> CheckpointReader::Payload(const Entry& entry) const {
+  const std::string_view image_view = image();
+  const std::string_view stored(image_view.data() + entry.offset,
+                                static_cast<size_t>(entry.stored_bytes));
+  if (!entry.verified) {
+    if (Crc32(stored.data(), stored.size()) != entry.crc) {
+      return Status::InvalidArgument("checkpoint section CRC mismatch: " +
+                                     entry.name);
+    }
+    entry.verified = true;
+  }
+  if (entry.codec == kCodecRaw) return stored;
+  if (entry.decoded == nullptr) {
+    const Codec* codec = FindCodec(entry.codec);  // validated at parse time
+    auto decoded = std::make_unique<std::string>();
+    Status status = codec->Decompress(
+        stored, static_cast<size_t>(entry.uncompressed_bytes), decoded.get());
+    if (!status.ok()) {
+      return Status::InvalidArgument("checkpoint section decode failed: " +
+                                     entry.name + " (" + status.message() +
+                                     ")");
+    }
+    if (decoded->size() != entry.uncompressed_bytes) {
+      return Status::InvalidArgument(
+          "checkpoint section decompressed-length mismatch: " + entry.name);
+    }
+    entry.decoded = std::move(decoded);
+  }
+  return std::string_view(*entry.decoded);
+}
+
+bool CheckpointReader::Has(const std::string& name) const {
+  return FindEntry(name) != nullptr;
 }
 
 StatusOr<std::string> CheckpointReader::Section(const std::string& name) const {
-  for (const auto& [n, p] : sections_) {
-    if (n == name) return p;
+  StatusOr<std::string_view> view = SectionView(name);
+  if (!view.ok()) return view.status();
+  return std::string(view.value());
+}
+
+StatusOr<std::string_view> CheckpointReader::SectionView(
+    const std::string& name) const {
+  const Entry* entry = FindEntry(name);
+  if (entry == nullptr) {
+    return Status::NotFound("checkpoint section not found: " + name);
   }
-  return Status::NotFound("checkpoint section not found: " + name);
+  return Payload(*entry);
+}
+
+StatusOr<CheckpointReader::SectionInfo> CheckpointReader::Info(
+    const std::string& name) const {
+  const Entry* entry = FindEntry(name);
+  if (entry == nullptr) {
+    return Status::NotFound("checkpoint section not found: " + name);
+  }
+  return SectionInfo{entry->name, entry->codec, entry->stored_bytes,
+                     entry->uncompressed_bytes};
+}
+
+std::vector<CheckpointReader::SectionInfo> CheckpointReader::Sections() const {
+  std::vector<SectionInfo> infos;
+  infos.reserve(sections_.size());
+  for (const Entry& e : sections_) {
+    infos.push_back(SectionInfo{e.name, e.codec, e.stored_bytes,
+                                e.uncompressed_bytes});
+  }
+  return infos;
 }
 
 Status WriteSectionFile(const std::string& path, const std::string& kind,
-                        std::string payload) {
-  CheckpointWriter writer;
+                        std::string payload, const Codec* codec) {
+  CheckpointWriter writer(codec);
   writer.AddSection(kind, std::move(payload));
   return writer.WriteToFile(path);
 }
@@ -141,9 +322,12 @@ StatusOr<std::string> ReadSectionFile(const std::string& path,
   if (!reader.ok()) return reader.status();
   StatusOr<std::string> payload = reader.value().Section(kind);
   if (!payload.ok()) {
-    if (reader.value().num_sections() == 1) {
-      return Status::InvalidArgument(
-          "checkpoint kind mismatch: expected '" + kind + "'");
+    // Only a missing section means "wrong model kind" — CRC/decode failures
+    // must surface as what they are, not be masked as a kind mismatch.
+    if (payload.status().code() == StatusCode::kNotFound &&
+        reader.value().num_sections() == 1) {
+      return Status::InvalidArgument("checkpoint kind mismatch: expected '" +
+                                     kind + "'");
     }
     return payload.status();
   }

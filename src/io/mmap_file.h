@@ -1,0 +1,50 @@
+#ifndef DDUP_IO_MMAP_FILE_H_
+#define DDUP_IO_MMAP_FILE_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "common/status.h"
+
+namespace ddup::io {
+
+// Read-only memory-mapped file. data() is a stable view of the file image
+// for the mapping's lifetime: moving a MappedFile moves ownership without
+// relocating the bytes, so string_views handed out against data() survive
+// the move (unlike views into a moved std::string, whose small-string
+// buffer lives inside the object). Views must not outlive the MappedFile —
+// the checkpoint reader that owns one documents the same rule for its
+// section views (DESIGN.md §16).
+//
+// Mapping an empty file yields an empty, valid data() view (POSIX mmap
+// rejects zero-length mappings, so no mapping is created).
+class MappedFile {
+ public:
+  MappedFile() = default;
+  ~MappedFile();
+
+  MappedFile(MappedFile&& other) noexcept { *this = std::move(other); }
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  // Maps `path` read-only (MAP_PRIVATE). IoError when the file cannot be
+  // opened, stat'd or mapped — callers fall back to a buffered read.
+  static StatusOr<MappedFile> Open(const std::string& path);
+
+  std::string_view data() const {
+    if (addr_ == nullptr) return {};
+    return {static_cast<const char*>(addr_), size_};
+  }
+  size_t size() const { return size_; }
+
+ private:
+  void* addr_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace ddup::io
+
+#endif  // DDUP_IO_MMAP_FILE_H_

@@ -144,7 +144,7 @@ void Deserializer::Fail(const std::string& message) {
 
 bool Deserializer::Need(size_t n) {
   if (!status_.ok()) return false;
-  if (buffer_.size() - pos_ < n) {
+  if (data_.size() - pos_ < n) {
     Fail("truncated checkpoint payload");
     return false;
   }
@@ -164,14 +164,14 @@ bool Deserializer::CheckCount(uint64_t count, size_t elem_size) {
 
 uint8_t Deserializer::ReadU8() {
   if (!Need(1)) return 0;
-  return static_cast<uint8_t>(buffer_[pos_++]);
+  return static_cast<uint8_t>(data_[pos_++]);
 }
 
 uint32_t Deserializer::ReadU32() {
   if (!Need(4)) return 0;
   uint32_t v = 0;
   for (int i = 0; i < 4; ++i) {
-    v |= static_cast<uint32_t>(static_cast<unsigned char>(buffer_[pos_++]))
+    v |= static_cast<uint32_t>(static_cast<unsigned char>(data_[pos_++]))
          << (8 * i);
   }
   return v;
@@ -181,7 +181,7 @@ uint64_t Deserializer::ReadU64() {
   if (!Need(8)) return 0;
   uint64_t v = 0;
   for (int i = 0; i < 8; ++i) {
-    v |= static_cast<uint64_t>(static_cast<unsigned char>(buffer_[pos_++]))
+    v |= static_cast<uint64_t>(static_cast<unsigned char>(data_[pos_++]))
          << (8 * i);
   }
   return v;
@@ -203,14 +203,14 @@ double Deserializer::ReadDouble() {
 std::string Deserializer::ReadString() {
   uint64_t n = ReadU64();
   if (!CheckCount(n, 1)) return {};
-  std::string s = buffer_.substr(pos_, n);
+  std::string s(data_.substr(pos_, n));
   pos_ += n;
   return s;
 }
 
 std::string Deserializer::ReadRaw(size_t n) {
   if (!Need(n)) return {};
-  std::string s = buffer_.substr(pos_, n);
+  std::string s(data_.substr(pos_, n));
   pos_ += n;
   return s;
 }
@@ -373,7 +373,7 @@ Status CheckParameterShapes(const std::vector<nn::Variable>& params,
 
 Status Deserializer::Finish() const {
   if (!status_.ok()) return status_;
-  if (pos_ != buffer_.size()) {
+  if (pos_ != data_.size()) {
     return Status::InvalidArgument("trailing bytes in checkpoint payload");
   }
   return Status::OK();

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -73,7 +74,16 @@ class Serializer {
 // allocation, so corrupt lengths fail cleanly instead of over-allocating.
 class Deserializer {
  public:
-  explicit Deserializer(std::string buffer) : buffer_(std::move(buffer)) {}
+  // Owning: keeps the buffer alive for the deserializer's lifetime.
+  explicit Deserializer(std::string buffer)
+      : owned_(std::move(buffer)), data_(owned_) {}
+  // Borrowing (zero-copy): `view` must outlive the Deserializer. Used by the
+  // mmap-backed checkpoint reader to parse sections in place.
+  explicit Deserializer(std::string_view view) : data_(view) {}
+
+  // data_ may point into owned_, so default copies/moves would dangle.
+  Deserializer(const Deserializer&) = delete;
+  Deserializer& operator=(const Deserializer&) = delete;
 
   uint8_t ReadU8();
   uint32_t ReadU32();
@@ -99,7 +109,7 @@ class Deserializer {
 
   bool ok() const { return status_.ok(); }
   const Status& status() const { return status_; }
-  size_t remaining() const { return buffer_.size() - pos_; }
+  size_t remaining() const { return data_.size() - pos_; }
   // OK iff no read failed and every byte was consumed.
   Status Finish() const;
   // Lets Restore-style callers record a semantic validation failure with the
@@ -115,7 +125,8 @@ class Deserializer {
   // overflow-safe, records a failure otherwise.
   bool CheckCount(uint64_t count, size_t elem_size);
 
-  std::string buffer_;
+  std::string owned_;       // empty for the borrowing constructor
+  std::string_view data_;   // the bytes being decoded (may view owned_)
   size_t pos_ = 0;
   Status status_;
 };

@@ -1,0 +1,254 @@
+#include "storage/packed.h"
+
+#include <algorithm>
+#include <cstring>
+#include <numeric>
+#include <utility>
+
+#include "common/status.h"
+#include "io/codec.h"
+
+namespace ddup::storage {
+
+namespace {
+
+// Per-column packing mode, the first byte of each encoded column payload.
+enum PackMode : uint8_t {
+  kPackDeltaInt = 0,  // numeric, every double survives an int64 round trip
+  kPackShuffle = 1,   // numeric, byte-plane shuffle + LZ over raw bits
+  kPackCodes = 2,     // categorical codes
+};
+
+Table SliceTable(const Table& t, int64_t begin, int64_t end) {
+  std::vector<int64_t> rows(static_cast<size_t>(end - begin));
+  std::iota(rows.begin(), rows.end(), begin);
+  return t.TakeRows(rows);
+}
+
+// True iff every value's bit pattern survives double -> int64 -> double.
+// Checked per value: rejects out-of-range magnitudes, fractions, NaN and
+// -0.0, so delta mode can never change a single bit.
+bool IntegralBits(const std::vector<double>& values) {
+  for (double d : values) {
+    if (!(d >= -9223372036854775808.0 && d < 9223372036854775808.0)) {
+      return false;
+    }
+    const double back = static_cast<double>(static_cast<int64_t>(d));
+    uint64_t bits = 0, back_bits = 0;
+    std::memcpy(&bits, &d, sizeof(bits));
+    std::memcpy(&back_bits, &back, sizeof(back_bits));
+    if (bits != back_bits) return false;
+  }
+  return true;
+}
+
+// Deltas in unsigned arithmetic (wraps instead of overflowing), then
+// zigzag + varint.
+void PutDelta(int64_t value, uint64_t* prev, std::string* out) {
+  const uint64_t delta = static_cast<uint64_t>(value) - *prev;
+  io::PutVarint64(io::ZigZagEncode(static_cast<int64_t>(delta)), out);
+  *prev = static_cast<uint64_t>(value);
+}
+
+int64_t GetDelta(std::string_view in, size_t* pos, uint64_t* prev) {
+  uint64_t encoded = 0;
+  DDUP_CHECK(io::GetVarint64(in, pos, &encoded));
+  *prev += static_cast<uint64_t>(io::ZigZagDecode(encoded));
+  return static_cast<int64_t>(*prev);
+}
+
+}  // namespace
+
+void MicroBatchBuffer::Reset(const Table& schema, int64_t seal_rows,
+                             bool pack) {
+  proto_ = schema.TakeRows({});
+  seal_rows_ = seal_rows;
+  pack_ = pack && seal_rows > 0;
+  num_rows_ = 0;
+  segments_.clear();
+}
+
+bool MicroBatchBuffer::HasOpenTail() const {
+  return !segments_.empty() && !segments_.back().packed;
+}
+
+void MicroBatchBuffer::Append(const Table& batch) {
+  if (batch.num_rows() == 0) return;
+  if (!HasOpenTail()) {
+    Segment tail;
+    tail.plain = proto_;
+    segments_.push_back(std::move(tail));
+  }
+  Segment& tail = segments_.back();
+  tail.plain.Append(batch);
+  tail.rows = tail.plain.num_rows();
+  num_rows_ += batch.num_rows();
+  if (pack_) SealFullChunks();
+}
+
+void MicroBatchBuffer::SealFullChunks() {
+  if (segments_.back().rows < seal_rows_) return;
+  Table rest = std::move(segments_.back().plain);
+  segments_.pop_back();
+  const int64_t total = rest.num_rows();
+  int64_t offset = 0;
+  while (total - offset >= seal_rows_) {
+    segments_.push_back(
+        PackChunk(SliceTable(rest, offset, offset + seal_rows_)));
+    offset += seal_rows_;
+  }
+  if (offset < total) {
+    Segment tail;
+    tail.rows = total - offset;
+    tail.plain = SliceTable(rest, offset, total);
+    segments_.push_back(std::move(tail));
+  }
+}
+
+MicroBatchBuffer::Segment MicroBatchBuffer::PackChunk(
+    const Table& chunk) const {
+  Segment segment;
+  segment.packed = true;
+  segment.rows = chunk.num_rows();
+  segment.columns.reserve(static_cast<size_t>(chunk.num_columns()));
+  for (int i = 0; i < chunk.num_columns(); ++i) {
+    const Column& column = chunk.column(i);
+    std::string encoded;
+    if (column.is_numeric()) {
+      const std::vector<double>& values = column.numeric_values();
+      if (IntegralBits(values)) {
+        encoded.push_back(static_cast<char>(kPackDeltaInt));
+        uint64_t prev = 0;
+        for (double d : values) {
+          PutDelta(static_cast<int64_t>(d), &prev, &encoded);
+        }
+      } else {
+        encoded.push_back(static_cast<char>(kPackShuffle));
+        std::string raw(values.size() * sizeof(double), '\0');
+        if (!values.empty()) {
+          std::memcpy(raw.data(), values.data(), raw.size());
+        }
+        std::string compressed;
+        io::FindCodec(io::kCodecShuffle)->Compress(raw, &compressed);
+        encoded.append(compressed);
+      }
+    } else {
+      encoded.push_back(static_cast<char>(kPackCodes));
+      uint64_t prev = 0;
+      for (int32_t code : column.codes()) {
+        PutDelta(code, &prev, &encoded);
+      }
+    }
+    segment.columns.push_back(std::move(encoded));
+  }
+  return segment;
+}
+
+Table MicroBatchBuffer::UnpackSegment(const Segment& segment) const {
+  if (!segment.packed) return segment.plain;
+  Table out(proto_.name());
+  const size_t rows = static_cast<size_t>(segment.rows);
+  for (int i = 0; i < proto_.num_columns(); ++i) {
+    const Column& proto_column = proto_.column(i);
+    const std::string& encoded = segment.columns[static_cast<size_t>(i)];
+    DDUP_CHECK(!encoded.empty());
+    const uint8_t mode = static_cast<uint8_t>(encoded[0]);
+    const std::string_view payload(encoded.data() + 1, encoded.size() - 1);
+    if (mode == kPackShuffle) {
+      std::string raw;
+      const Status status = io::FindCodec(io::kCodecShuffle)
+                                ->Decompress(payload, rows * sizeof(double),
+                                             &raw);
+      DDUP_CHECK_MSG(status.ok(), status.message());
+      std::vector<double> values(rows);
+      if (rows > 0) std::memcpy(values.data(), raw.data(), raw.size());
+      out.AddColumn(Column::Numeric(proto_column.name(), std::move(values)));
+      continue;
+    }
+    size_t pos = 0;
+    uint64_t prev = 0;
+    if (mode == kPackDeltaInt) {
+      std::vector<double> values;
+      values.reserve(rows);
+      for (size_t r = 0; r < rows; ++r) {
+        values.push_back(static_cast<double>(GetDelta(payload, &pos, &prev)));
+      }
+      DDUP_CHECK(pos == payload.size());
+      out.AddColumn(Column::Numeric(proto_column.name(), std::move(values)));
+    } else {
+      DDUP_CHECK(mode == kPackCodes);
+      std::vector<int32_t> codes;
+      codes.reserve(rows);
+      for (size_t r = 0; r < rows; ++r) {
+        codes.push_back(static_cast<int32_t>(GetDelta(payload, &pos, &prev)));
+      }
+      DDUP_CHECK(pos == payload.size());
+      out.AddColumn(Column::Categorical(proto_column.name(), std::move(codes),
+                                        proto_column.dictionary()));
+    }
+  }
+  return out;
+}
+
+Table MicroBatchBuffer::Slice(int64_t begin, int64_t end) const {
+  DDUP_CHECK(begin >= 0 && begin <= end && end <= num_rows_);
+  Table out = proto_;
+  int64_t pos = 0;
+  for (const Segment& segment : segments_) {
+    if (pos >= end) break;
+    const int64_t seg_begin = pos;
+    const int64_t seg_end = pos + segment.rows;
+    pos = seg_end;
+    if (seg_end <= begin) continue;
+    const int64_t lo = std::max(begin, seg_begin) - seg_begin;
+    const int64_t hi = std::min(end, seg_end) - seg_begin;
+    const Table t = UnpackSegment(segment);
+    if (lo == 0 && hi == segment.rows) {
+      out.Append(t);
+    } else {
+      out.Append(SliceTable(t, lo, hi));
+    }
+  }
+  return out;
+}
+
+Table MicroBatchBuffer::Materialize() const { return Slice(0, num_rows_); }
+
+void MicroBatchBuffer::DropFront(int64_t n) {
+  DDUP_CHECK(n >= 0 && n <= num_rows_);
+  while (n > 0) {
+    Segment& front = segments_.front();
+    if (front.rows <= n) {
+      n -= front.rows;
+      num_rows_ -= front.rows;
+      segments_.pop_front();
+      continue;
+    }
+    // Partial drop: the surviving suffix reopens as a plain front segment
+    // (appends still go to the back only).
+    Segment reopened;
+    reopened.rows = front.rows - n;
+    reopened.plain = SliceTable(UnpackSegment(front), n, front.rows);
+    num_rows_ -= n;
+    n = 0;
+    front = std::move(reopened);
+  }
+}
+
+int64_t MicroBatchBuffer::buffered_bytes() const {
+  int64_t bytes = 0;
+  for (const Segment& segment : segments_) {
+    if (segment.packed) {
+      for (const std::string& column : segment.columns) {
+        bytes += static_cast<int64_t>(column.size());
+      }
+    } else {
+      for (int i = 0; i < proto_.num_columns(); ++i) {
+        bytes += segment.rows * (proto_.column(i).is_numeric() ? 8 : 4);
+      }
+    }
+  }
+  return bytes;
+}
+
+}  // namespace ddup::storage

@@ -1,0 +1,90 @@
+#ifndef DDUP_STORAGE_PACKED_H_
+#define DDUP_STORAGE_PACKED_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "storage/table.h"
+
+namespace ddup::storage {
+
+// Columnar, dictionary-packed micro-batch accumulator (DESIGN.md §16).
+//
+// The engine's per-table accumulator used to be a plain storage::Table — 8
+// bytes per numeric value and 4 per categorical code, even though buffered
+// rows are write-once and read exactly once (when they leave for the DDUp
+// loop). MicroBatchBuffer keeps an open plain-Table tail and seals every
+// full `seal_rows` chunk into a packed block: one encoded byte string per
+// column, using the checkpoint transform codecs (io/codec.h) —
+//   - numeric columns whose doubles all survive an int64 round trip
+//     bit-exactly: value delta + zigzag + varint;
+//   - other numeric columns: byte-plane shuffle + LZ over the raw IEEE-754
+//     bits;
+//   - categorical columns: code delta + zigzag + varint (the dictionary
+//     lives in the shared schema prototype, never per block).
+// Unpacking reproduces the original tables bit-exactly (the integral-mode
+// check is per value and rejects -0.0 and NaN, so no double is ever
+// round-tripped through an int64 unless its bit pattern survives), which is
+// what keeps drain order and model bytes identical to the unpacked
+// accumulator — pinned by tests/packed_test.cc.
+//
+// The drain pattern is strictly front-to-back (Slice a prefix, then
+// DropFront it), so blocks decode at most twice and a partial DropFront
+// simply reopens the front block as a plain segment. Not thread-safe; the
+// engine guards it with the table mutex like the Table it replaces.
+class MicroBatchBuffer {
+ public:
+  MicroBatchBuffer() = default;
+
+  // Installs the schema prototype (column names/types/dictionaries and the
+  // table name of `schema`) and the packing threshold, and drops all rows.
+  // `pack` false keeps every segment a plain Table — the byte-equality
+  // escape hatch (EngineConfig::packed_accumulator).
+  void Reset(const Table& schema, int64_t seal_rows, bool pack);
+
+  int64_t num_rows() const { return num_rows_; }
+
+  // Appends `batch` (must be schema-compatible; the engine validates) and
+  // seals any newly completed chunks.
+  void Append(const Table& batch);
+
+  // Rows [begin, end) as a plain table. CHECKs 0 <= begin <= end <= rows.
+  Table Slice(int64_t begin, int64_t end) const;
+  // All buffered rows as a plain table (the checkpoint path).
+  Table Materialize() const;
+  // Drops the first n rows. CHECKs 0 <= n <= rows.
+  void DropFront(int64_t n);
+
+  // Bytes currently held: encoded sizes for packed blocks, 8 bytes per
+  // numeric and 4 per categorical value for plain segments. The packed-vs-
+  // plain footprint metric behind TableReport::buffered_bytes.
+  int64_t buffered_bytes() const;
+
+ private:
+  // Either a sealed packed block (`packed` true: one encoded payload per
+  // column, in schema order) or a plain row run.
+  struct Segment {
+    bool packed = false;
+    int64_t rows = 0;
+    std::vector<std::string> columns;
+    Table plain;
+  };
+
+  // True when the last segment is an open plain tail appends can extend.
+  bool HasOpenTail() const;
+  void SealFullChunks();
+  Segment PackChunk(const Table& chunk) const;
+  Table UnpackSegment(const Segment& segment) const;
+
+  Table proto_;  // zero-row schema prototype
+  int64_t seal_rows_ = 0;
+  bool pack_ = false;
+  int64_t num_rows_ = 0;
+  std::deque<Segment> segments_;
+};
+
+}  // namespace ddup::storage
+
+#endif  // DDUP_STORAGE_PACKED_H_

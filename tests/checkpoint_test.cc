@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "common/rng.h"
 #include "core/controller.h"
 #include "core/detector.h"
 #include "datagen/datasets.h"
@@ -189,6 +190,219 @@ TEST(CheckpointContainerTest, KindMismatchRejected) {
   ASSERT_TRUE(io::WriteSectionFile(path, "mdn", "payload").ok());
   EXPECT_FALSE(io::ReadSectionFile(path, "darn").ok());
   EXPECT_TRUE(io::ReadSectionFile(path, "mdn").ok());
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Format version 2: per-section codecs, header tampering, v1 compatibility
+// and the mmap/buffered differential (DESIGN.md §16).
+// ---------------------------------------------------------------------------
+
+// v2 section header layout after the 16-byte container header:
+//   u64 name length, name bytes, u8 codec id, u64 uncompressed length, ...
+// The CRC covers only the STORED payload bytes, so these header offsets can
+// be tampered without tripping the checksum — exactly what the tests below
+// exploit to reach the decode-time validation paths.
+size_t FirstCodecByteOffset(const std::string& section_name) {
+  return 16 + 8 + section_name.size();
+}
+
+std::string CompressiblePayload() {
+  std::string payload;
+  for (int i = 0; i < 400; ++i) payload += "model weights shard ";
+  return payload;
+}
+
+std::string IncompressiblePayload(size_t n) {
+  Rng rng(1234);
+  std::string payload(n, '\0');
+  for (char& c : payload) c = static_cast<char>(rng.UniformInt(0, 255));
+  return payload;
+}
+
+std::string ReadFileRaw(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(f, nullptr) << path;
+  std::string bytes;
+  char buffer[4096];
+  size_t n = 0;
+  while (f != nullptr && (n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
+    bytes.append(buffer, n);
+  }
+  if (f != nullptr) std::fclose(f);
+  return bytes;
+}
+
+void WriteFileRaw(const std::string& path, const std::string& bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr) << path;
+  ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), f), bytes.size());
+  std::fclose(f);
+}
+
+TEST(CheckpointV2Test, CompressedSectionsRoundTripAndShrinkTheImage) {
+  const std::string payload = CompressiblePayload();
+  io::CheckpointWriter writer;  // default codec: compressed
+  writer.AddSection("s", payload);
+  const std::string image = writer.Encode();
+  EXPECT_LT(image.size(), payload.size());
+
+  auto reader = io::CheckpointReader::FromBuffer(image);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  EXPECT_EQ(reader.value().format_version(), 2u);
+  EXPECT_EQ(reader.value().Section("s").value(), payload);
+  auto info = reader.value().Info("s");
+  ASSERT_TRUE(info.ok());
+  EXPECT_NE(info.value().codec, io::kCodecRaw);
+  EXPECT_EQ(info.value().uncompressed_bytes, payload.size());
+  EXPECT_LT(info.value().stored_bytes, info.value().uncompressed_bytes);
+}
+
+TEST(CheckpointV2Test, UnknownCodecIdRejected) {
+  io::CheckpointWriter writer;
+  writer.AddSection("s", CompressiblePayload());
+  std::string image = writer.Encode();
+  image[FirstCodecByteOffset("s")] = static_cast<char>(200);
+  auto reader = io::CheckpointReader::FromBuffer(image);
+  ASSERT_FALSE(reader.ok());
+  EXPECT_NE(reader.status().message().find("unknown checkpoint codec id"),
+            std::string::npos)
+      << reader.status().ToString();
+}
+
+TEST(CheckpointV2Test, CorruptedCompressedPayloadFailsCrcBeforeDecode) {
+  io::CheckpointWriter writer;
+  writer.AddSection("s", CompressiblePayload());
+  std::string image = writer.Encode();
+  image[image.size() - 2] ^= 0x40;  // inside the stored (encoded) bytes
+
+  // Eager path: the corruption is a parse error.
+  auto eager = io::CheckpointReader::FromBuffer(image);
+  ASSERT_FALSE(eager.ok());
+  EXPECT_NE(eager.status().message().find("CRC"), std::string::npos);
+
+  // Lazy mmap path: parsing succeeds (CRCs untouched), the first access
+  // fails the checksum — before the decoder ever sees the hostile bytes.
+  const std::string path = TempPath("corrupt_v2.ckpt");
+  WriteFileRaw(path, image);
+  auto lazy = io::CheckpointReader::FromFile(path);
+  ASSERT_TRUE(lazy.ok()) << lazy.status().ToString();
+  auto section = lazy.value().Section("s");
+  ASSERT_FALSE(section.ok());
+  EXPECT_NE(section.status().message().find("CRC"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointV2Test, DecompressedLengthMismatchRejected) {
+  const std::string payload = CompressiblePayload();
+  io::CheckpointWriter writer;
+  writer.AddSection("s", payload);
+  std::string image = writer.Encode();
+  // Patch the uncompressed-length u64 (not covered by the payload CRC):
+  // the stored bytes still decode cleanly, but to the wrong size.
+  const uint64_t lie = payload.size() + 1;
+  std::memcpy(image.data() + FirstCodecByteOffset("s") + 1, &lie, sizeof(lie));
+  auto reader = io::CheckpointReader::FromBuffer(image);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  auto section = reader.value().Section("s");
+  ASSERT_FALSE(section.ok());
+  // The lie is caught either by the codec (decoded size != requested) or
+  // by the reader's own post-decode length check — both surface as a
+  // decode failure naming the section, never as silently-wrong bytes.
+  EXPECT_NE(section.status().message().find("decode"), std::string::npos)
+      << section.status().ToString();
+  EXPECT_NE(section.status().message().find("s"), std::string::npos);
+}
+
+TEST(CheckpointV2Test, HandCraftedV1ContainerStillLoadsBitIdentically) {
+  // A format-version-1 container built byte by byte from the documented
+  // layout: no codec byte, no uncompressed length, CRC over the payload
+  // itself. Readers must serve it unchanged forever.
+  const std::string payload = IncompressiblePayload(257);
+  io::Serializer v1;
+  v1.WriteU64(io::kCheckpointMagic);
+  v1.WriteU32(1);  // format version
+  v1.WriteU32(1);  // section count
+  v1.WriteString("blob");
+  v1.WriteU64(payload.size());
+  v1.WriteU32(io::Crc32(payload));
+  v1.WriteRaw(payload);
+
+  auto reader = io::CheckpointReader::FromBuffer(v1.Take());
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  EXPECT_EQ(reader.value().format_version(), 1u);
+  EXPECT_EQ(reader.value().Section("blob").value(), payload);
+  auto info = reader.value().Info("blob");
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info.value().codec, io::kCodecRaw);
+  EXPECT_EQ(info.value().stored_bytes, payload.size());
+  EXPECT_EQ(info.value().uncompressed_bytes, payload.size());
+}
+
+TEST(CheckpointV2Test, MmapAndBufferedReadersAgreeByteForByte) {
+  // One compressible section (stored encoded) and one incompressible
+  // section (the writer falls back to raw storage): the mmap reader and
+  // the buffered reader must serve identical bytes for both, and the raw
+  // section must be served zero-copy — a view into the mapped image.
+  const std::string compressible = CompressiblePayload();
+  const std::string incompressible = IncompressiblePayload(4096);
+  io::CheckpointWriter writer;
+  writer.AddSection("packed", compressible);
+  writer.AddSection("raw", incompressible);
+  const std::string path = TempPath("differential.ckpt");
+  ASSERT_TRUE(writer.WriteToFile(path).ok());
+
+  auto mapped = io::CheckpointReader::FromFile(path);
+  auto buffered = io::CheckpointReader::FromFileBuffered(path);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+  ASSERT_TRUE(buffered.ok()) << buffered.status().ToString();
+  EXPECT_EQ(mapped.value().format_version(), buffered.value().format_version());
+  ASSERT_EQ(mapped.value().num_sections(), buffered.value().num_sections());
+  for (const auto& info : mapped.value().Sections()) {
+    EXPECT_EQ(mapped.value().Section(info.name).value(),
+              buffered.value().Section(info.name).value())
+        << info.name;
+  }
+  EXPECT_EQ(mapped.value().Section("packed").value(), compressible);
+  EXPECT_EQ(mapped.value().Section("raw").value(), incompressible);
+
+  // Zero-copy pin: the raw section's view aliases the container image.
+  auto view = mapped.value().SectionView("raw");
+  ASSERT_TRUE(view.ok());
+  std::string_view image = mapped.value().image();
+  EXPECT_GE(view.value().data(), image.data());
+  EXPECT_LE(view.value().data() + view.value().size(),
+            image.data() + image.size());
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointV2Test, WriteSectionFileCompressesByDefault) {
+  const std::string payload = CompressiblePayload();
+  const std::string compressed_path = TempPath("section_default.ckpt");
+  const std::string raw_path = TempPath("section_raw.ckpt");
+  ASSERT_TRUE(io::WriteSectionFile(compressed_path, "kind", payload).ok());
+  ASSERT_TRUE(io::WriteSectionFile(raw_path, "kind", payload,
+                                   io::FindCodecByName("raw"))
+                  .ok());
+  EXPECT_LT(ReadFileRaw(compressed_path).size(), payload.size());
+  EXPECT_GT(ReadFileRaw(raw_path).size(), payload.size());
+  EXPECT_EQ(io::ReadSectionFile(compressed_path, "kind").value(), payload);
+  EXPECT_EQ(io::ReadSectionFile(raw_path, "kind").value(), payload);
+  std::remove(compressed_path.c_str());
+  std::remove(raw_path.c_str());
+}
+
+TEST(CheckpointV2Test, SectionFileCrcErrorIsNotMaskedAsKindMismatch) {
+  const std::string path = TempPath("section_crc.ckpt");
+  ASSERT_TRUE(io::WriteSectionFile(path, "kind", CompressiblePayload()).ok());
+  std::string bytes = ReadFileRaw(path);
+  bytes[bytes.size() - 2] ^= 0x08;
+  WriteFileRaw(path, bytes);
+  auto result = io::ReadSectionFile(path, "kind");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("CRC"), std::string::npos)
+      << result.status().ToString();
+  EXPECT_EQ(result.status().message().find("kind mismatch"), std::string::npos);
   std::remove(path.c_str());
 }
 

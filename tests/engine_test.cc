@@ -7,6 +7,8 @@
 #include "api/model_factory.h"
 #include "common/rng.h"
 #include "gtest/gtest.h"
+#include "io/checkpoint.h"
+#include "io/serializer.h"
 #include "models/registry.h"
 #include "storage/sampling.h"
 #include "storage/transforms.h"
@@ -593,6 +595,112 @@ TEST(EngineTest, LegacyOverloadsAreByteIdenticalShimsOverEstimate) {
       engine.EstimateCardinalityBatch("card", workload::QueryBatch{});
   ASSERT_TRUE(legacy_none.ok());
   EXPECT_TRUE(legacy_none.value().empty());
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint codec knob (EngineConfig::checkpoint, DESIGN.md §16)
+// ---------------------------------------------------------------------------
+
+int64_t FileSize(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return -1;
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fclose(f);
+  return size;
+}
+
+TEST(EngineTest, CheckpointCodecKnob) {
+  const std::string default_path = TempPath("codec_default.ckpt");
+  const std::string raw_path = TempPath("codec_raw.ckpt");
+  EngineConfig config = FastEngineConfig(120);
+  Engine engine(config);
+  ASSERT_TRUE(engine.CreateTable("t", MakeConditional(25, 75, 400, 31)).ok());
+  ASSERT_TRUE(engine.AttachModel("t", FastDarnSpec()).ok());
+  ASSERT_TRUE(engine.Ingest("t", MakeConditional(25, 75, 120, 32)).ok());
+
+  // Same engine, two codecs: the default compressed checkpoint must be
+  // measurably smaller than the raw one, and both must load to identical
+  // estimates.
+  ASSERT_TRUE(engine.Save(default_path).ok());
+  EngineConfig raw_config = config;
+  raw_config.checkpoint.codec = "raw";
+  Engine raw_engine(raw_config);
+  ASSERT_TRUE(
+      raw_engine.CreateTable("t", MakeConditional(25, 75, 400, 31)).ok());
+  ASSERT_TRUE(raw_engine.AttachModel("t", FastDarnSpec()).ok());
+  ASSERT_TRUE(raw_engine.Ingest("t", MakeConditional(25, 75, 120, 32)).ok());
+  ASSERT_TRUE(raw_engine.Save(raw_path).ok());
+  EXPECT_LT(FileSize(default_path), FileSize(raw_path));
+
+  auto from_default = Engine::Load(default_path, config);
+  auto from_raw = Engine::Load(raw_path, config);
+  ASSERT_TRUE(from_default.ok()) << from_default.status().ToString();
+  ASSERT_TRUE(from_raw.ok()) << from_raw.status().ToString();
+  for (int i = 0; i < 6; ++i) {
+    workload::Query q = RangeCountQuery(10.0 + i * 5, 60.0 + i * 5);
+    auto a = from_default.value()->EstimateCardinality("t", q);
+    auto b = from_raw.value()->EstimateCardinality("t", q);
+    ASSERT_TRUE(a.ok() && b.ok());
+    EXPECT_EQ(a.value(), b.value());
+  }
+
+  // The manifest records the codec: a Load → Save cycle with no codec in
+  // the loading config keeps writing raw (same file size, not compressed).
+  const std::string resaved_path = TempPath("codec_resaved.ckpt");
+  ASSERT_TRUE(from_raw.value()->Save(resaved_path).ok());
+  EXPECT_EQ(FileSize(resaved_path), FileSize(raw_path));
+
+  EngineConfig bad = config;
+  bad.checkpoint.codec = "zstd";
+  Engine bad_engine(bad);
+  ASSERT_TRUE(
+      bad_engine.CreateTable("t", MakeConditional(25, 75, 60, 33)).ok());
+  Status st = bad_engine.Save(TempPath("codec_bad.ckpt"));
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(st.message().find("unknown checkpoint codec"), std::string::npos);
+
+  std::remove(default_path.c_str());
+  std::remove(raw_path.c_str());
+  std::remove(resaved_path.c_str());
+}
+
+TEST(EngineTest, LoadsV1ContainerWithV3Manifest) {
+  // Compatibility pin: a pre-codec checkpoint — format-version-1 container
+  // holding a version-3 engine manifest (no codec string) — must still
+  // load. Hand-crafted from the documented layouts so this cannot rot even
+  // after the writers move on.
+  io::Serializer manifest;
+  manifest.WriteU32(3);  // engine manifest version (pre-codec)
+  manifest.WriteU32(0);  // zero tables
+  const std::string payload = manifest.Take();
+
+  io::Serializer v1;
+  v1.WriteU64(io::kCheckpointMagic);
+  v1.WriteU32(1);  // container format version
+  v1.WriteU32(1);  // section count
+  v1.WriteString("engine");
+  v1.WriteU64(payload.size());
+  v1.WriteU32(io::Crc32(payload));
+  v1.WriteRaw(payload);
+
+  const std::string path = TempPath("legacy_v1.ckpt");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  const std::string image = v1.Take();
+  ASSERT_EQ(std::fwrite(image.data(), 1, image.size(), f), image.size());
+  std::fclose(f);
+
+  auto loaded = Engine::Load(path, FastEngineConfig(100));
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(loaded.value()->TableNames().empty());
+  // And the loaded engine saves again with the current writer (v2
+  // container, compressed default) without complaint.
+  const std::string resaved = TempPath("legacy_resaved.ckpt");
+  ASSERT_TRUE(loaded.value()->Save(resaved).ok());
+  std::remove(path.c_str());
+  std::remove(resaved.c_str());
 }
 
 }  // namespace
